@@ -1,0 +1,243 @@
+//! FILTER constraints — the §5 extension.
+//!
+//! The paper's conclusions discuss the FILTER operator: well-designed
+//! patterns with FILTER can express conjunctive queries with
+//! *inequalities*, which makes the evaluation problem polynomially
+//! equivalent to graph-embedding problems `EMB(H)` and breaks the
+//! PTIME/W\[1\]-hard dichotomy (there are classes in FPT that are NP-hard).
+//! This module implements the constraint language and its semantics so the
+//! phenomenon is executable (see `wdsparql-hardness::emb` for the
+//! embedding encoding); a *dichotomy* for FILTER classes is an open
+//! problem the paper explicitly leaves open, and none is claimed here.
+//!
+//! Semantics: SPARQL's error-as-false reading — a comparison involving an
+//! unbound variable does not hold (`Bound` exists to test bindings
+//! explicitly).
+
+use crate::pattern::GraphPattern;
+use crate::semantics::{eval, SolutionSet};
+use std::fmt;
+use wdsparql_rdf::{Iri, Mapping, RdfGraph, Variable};
+
+/// A FILTER expression.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum FilterExpr {
+    /// `?x = ?y` (both bound and equal).
+    EqVar(Variable, Variable),
+    /// `?x != ?y` (both bound and different).
+    NeqVar(Variable, Variable),
+    /// `?x = c`.
+    EqConst(Variable, Iri),
+    /// `?x != c`.
+    NeqConst(Variable, Iri),
+    /// `bound(?x)`.
+    Bound(Variable),
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    Not(Box<FilterExpr>),
+    /// The always-true filter (neutral element for [`FilterExpr::and`]).
+    True,
+}
+
+impl FilterExpr {
+    pub fn and(l: FilterExpr, r: FilterExpr) -> FilterExpr {
+        match (l, r) {
+            (FilterExpr::True, x) | (x, FilterExpr::True) => x,
+            (l, r) => FilterExpr::And(Box::new(l), Box::new(r)),
+        }
+    }
+
+    pub fn or(l: FilterExpr, r: FilterExpr) -> FilterExpr {
+        FilterExpr::Or(Box::new(l), Box::new(r))
+    }
+
+    #[allow(clippy::should_implement_trait)] // DSL constructor, deliberately named like the operator
+    pub fn not(e: FilterExpr) -> FilterExpr {
+        FilterExpr::Not(Box::new(e))
+    }
+
+    /// The conjunction `?xi != ?xj` over all pairs — the inequality
+    /// pattern that turns homomorphisms into *embeddings* (§5).
+    pub fn all_different<I>(vars: I) -> FilterExpr
+    where
+        I: IntoIterator<Item = Variable>,
+    {
+        let vars: Vec<Variable> = vars.into_iter().collect();
+        let mut acc = FilterExpr::True;
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                acc = FilterExpr::and(acc, FilterExpr::NeqVar(vars[i], vars[j]));
+            }
+        }
+        acc
+    }
+
+    /// Evaluates the expression under `µ` (error-as-false).
+    pub fn holds(&self, mu: &Mapping) -> bool {
+        match self {
+            FilterExpr::EqVar(a, b) => match (mu.get(*a), mu.get(*b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+            FilterExpr::NeqVar(a, b) => match (mu.get(*a), mu.get(*b)) {
+                (Some(x), Some(y)) => x != y,
+                _ => false,
+            },
+            FilterExpr::EqConst(a, c) => mu.get(*a) == Some(*c),
+            FilterExpr::NeqConst(a, c) => matches!(mu.get(*a), Some(x) if x != *c),
+            FilterExpr::Bound(a) => mu.contains(*a),
+            FilterExpr::And(l, r) => l.holds(mu) && r.holds(mu),
+            FilterExpr::Or(l, r) => l.holds(mu) || r.holds(mu),
+            FilterExpr::Not(e) => !e.holds(mu),
+            FilterExpr::True => true,
+        }
+    }
+
+    /// Variables mentioned by the expression.
+    pub fn vars(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Variable>) {
+        match self {
+            FilterExpr::EqVar(a, b) | FilterExpr::NeqVar(a, b) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            FilterExpr::EqConst(a, _)
+            | FilterExpr::NeqConst(a, _)
+            | FilterExpr::Bound(a) => out.push(*a),
+            FilterExpr::And(l, r) | FilterExpr::Or(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            FilterExpr::Not(e) => e.collect_vars(out),
+            FilterExpr::True => {}
+        }
+    }
+}
+
+impl fmt::Display for FilterExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterExpr::EqVar(a, b) => write!(f, "{a} = {b}"),
+            FilterExpr::NeqVar(a, b) => write!(f, "{a} != {b}"),
+            FilterExpr::EqConst(a, c) => write!(f, "{a} = {c}"),
+            FilterExpr::NeqConst(a, c) => write!(f, "{a} != {c}"),
+            FilterExpr::Bound(a) => write!(f, "bound({a})"),
+            FilterExpr::And(l, r) => write!(f, "({l} && {r})"),
+            FilterExpr::Or(l, r) => write!(f, "({l} || {r})"),
+            FilterExpr::Not(e) => write!(f, "!({e})"),
+            FilterExpr::True => write!(f, "true"),
+        }
+    }
+}
+
+impl fmt::Debug for FilterExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Keeps the solutions satisfying the filter.
+pub fn filter_solutions(sols: SolutionSet, expr: &FilterExpr) -> SolutionSet {
+    sols.into_iter().filter(|mu| expr.holds(mu)).collect()
+}
+
+/// `⟦P FILTER R⟧_G` for a top-level filter.
+pub fn eval_filter(p: &GraphPattern, expr: &FilterExpr, g: &RdfGraph) -> SolutionSet {
+    filter_solutions(eval(p, g), expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn g() -> RdfGraph {
+        RdfGraph::from_strs([("a", "p", "b"), ("a", "p", "a"), ("b", "p", "c")])
+    }
+
+    #[test]
+    fn inequality_filters_loop_matches() {
+        let p = GraphPattern::triple(tp(var("x"), iri("p"), var("y")));
+        let all = eval(&p, &g());
+        assert_eq!(all.len(), 3);
+        let neq = eval_filter(&p, &FilterExpr::NeqVar(v("x"), v("y")), &g());
+        assert_eq!(neq.len(), 2); // drops (a, a)
+    }
+
+    #[test]
+    fn unbound_comparisons_are_false() {
+        // OPT leaves z unbound on some solutions: `z != x` must drop them.
+        let p = GraphPattern::opt(
+            GraphPattern::triple(tp(var("x"), iri("p"), var("y"))),
+            GraphPattern::triple(tp(var("y"), iri("p"), var("z"))),
+        );
+        let sols = eval_filter(&p, &FilterExpr::NeqVar(v("z"), v("x")), &g());
+        for mu in &sols {
+            assert!(mu.contains(v("z")));
+        }
+        // bound() can recover the optional rows explicitly.
+        let unbound = eval_filter(
+            &p,
+            &FilterExpr::not(FilterExpr::Bound(v("z"))),
+            &g(),
+        );
+        assert!(unbound.iter().all(|mu| !mu.contains(v("z"))));
+    }
+
+    #[test]
+    fn const_comparisons() {
+        let p = GraphPattern::triple(tp(var("x"), iri("p"), var("y")));
+        let only_a = eval_filter(&p, &FilterExpr::EqConst(v("x"), Iri::new("a")), &g());
+        assert_eq!(only_a.len(), 2);
+        let not_a = eval_filter(&p, &FilterExpr::NeqConst(v("x"), Iri::new("a")), &g());
+        assert_eq!(not_a.len(), 1);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let mu = Mapping::from_strs([("x", "a"), ("y", "b")]);
+        let e = FilterExpr::and(
+            FilterExpr::Bound(v("x")),
+            FilterExpr::or(
+                FilterExpr::EqConst(v("y"), Iri::new("zzz")),
+                FilterExpr::NeqVar(v("x"), v("y")),
+            ),
+        );
+        assert!(e.holds(&mu));
+        assert!(!FilterExpr::not(e.clone()).holds(&mu));
+        assert!(FilterExpr::True.holds(&Mapping::new()));
+    }
+
+    #[test]
+    fn all_different_shape() {
+        let e = FilterExpr::all_different([v("a"), v("b"), v("c")]);
+        assert_eq!(e.vars().len(), 3);
+        assert!(e.holds(&Mapping::from_strs([("a", "1"), ("b", "2"), ("c", "3")])));
+        assert!(!e.holds(&Mapping::from_strs([("a", "1"), ("b", "1"), ("c", "3")])));
+        // Unbound variables fail the pairwise inequalities.
+        assert!(!e.holds(&Mapping::from_strs([("a", "1"), ("b", "2")])));
+        // Degenerate cases.
+        assert_eq!(FilterExpr::all_different([v("a")]), FilterExpr::True);
+    }
+
+    #[test]
+    fn display_renders() {
+        let e = FilterExpr::and(
+            FilterExpr::NeqVar(v("a"), v("b")),
+            FilterExpr::Bound(v("c")),
+        );
+        assert_eq!(e.to_string(), "(?a != ?b && bound(?c))");
+    }
+}

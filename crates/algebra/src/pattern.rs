@@ -1,0 +1,288 @@
+//! SPARQL graph patterns over AND / OPT / UNION (§2, "SPARQL Syntax").
+//!
+//! A graph pattern is either a triple pattern or `P1 ∗ P2` for
+//! `∗ ∈ {AND, OPT, UNION}`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use wdsparql_rdf::{TriplePattern, Variable};
+
+/// A SPARQL graph pattern in the core AND/OPT/UNION fragment.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum GraphPattern {
+    Triple(TriplePattern),
+    And(Box<GraphPattern>, Box<GraphPattern>),
+    Opt(Box<GraphPattern>, Box<GraphPattern>),
+    Union(Box<GraphPattern>, Box<GraphPattern>),
+}
+
+impl GraphPattern {
+    pub fn triple(t: TriplePattern) -> GraphPattern {
+        GraphPattern::Triple(t)
+    }
+
+    pub fn and(l: GraphPattern, r: GraphPattern) -> GraphPattern {
+        GraphPattern::And(Box::new(l), Box::new(r))
+    }
+
+    pub fn opt(l: GraphPattern, r: GraphPattern) -> GraphPattern {
+        GraphPattern::Opt(Box::new(l), Box::new(r))
+    }
+
+    pub fn union(l: GraphPattern, r: GraphPattern) -> GraphPattern {
+        GraphPattern::Union(Box::new(l), Box::new(r))
+    }
+
+    /// Left-deep AND of a non-empty sequence of triple patterns.
+    pub fn and_all<I>(triples: I) -> GraphPattern
+    where
+        I: IntoIterator<Item = TriplePattern>,
+    {
+        let mut it = triples.into_iter();
+        let first = GraphPattern::Triple(it.next().expect("and_all needs at least one triple"));
+        it.fold(first, |acc, t| {
+            GraphPattern::and(acc, GraphPattern::Triple(t))
+        })
+    }
+
+    /// Left-deep UNION of a non-empty sequence of patterns.
+    pub fn union_all<I>(branches: I) -> GraphPattern
+    where
+        I: IntoIterator<Item = GraphPattern>,
+    {
+        let mut it = branches.into_iter();
+        let first = it.next().expect("union_all needs at least one branch");
+        it.fold(first, GraphPattern::union)
+    }
+
+    /// All variables occurring in the pattern.
+    pub fn vars(&self) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Variable>) {
+        match self {
+            GraphPattern::Triple(t) => out.extend(t.var_occurrences()),
+            GraphPattern::And(l, r)
+            | GraphPattern::Opt(l, r)
+            | GraphPattern::Union(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// The triple patterns occurring in the pattern, in syntactic order.
+    pub fn triples(&self) -> Vec<TriplePattern> {
+        let mut out = Vec::new();
+        self.collect_triples(&mut out);
+        out
+    }
+
+    fn collect_triples(&self, out: &mut Vec<TriplePattern>) {
+        match self {
+            GraphPattern::Triple(t) => out.push(*t),
+            GraphPattern::And(l, r)
+            | GraphPattern::Opt(l, r)
+            | GraphPattern::Union(l, r) => {
+                l.collect_triples(out);
+                r.collect_triples(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes (`|P|` up to a constant factor).
+    pub fn size(&self) -> usize {
+        match self {
+            GraphPattern::Triple(_) => 1,
+            GraphPattern::And(l, r)
+            | GraphPattern::Opt(l, r)
+            | GraphPattern::Union(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// Does the pattern avoid UNION entirely?
+    pub fn is_union_free(&self) -> bool {
+        match self {
+            GraphPattern::Triple(_) => true,
+            GraphPattern::And(l, r) | GraphPattern::Opt(l, r) => {
+                l.is_union_free() && r.is_union_free()
+            }
+            GraphPattern::Union(_, _) => false,
+        }
+    }
+
+    /// Does the pattern avoid OPT entirely (an AND/UNION pattern)?
+    pub fn is_opt_free(&self) -> bool {
+        match self {
+            GraphPattern::Triple(_) => true,
+            GraphPattern::And(l, r) | GraphPattern::Union(l, r) => {
+                l.is_opt_free() && r.is_opt_free()
+            }
+            GraphPattern::Opt(_, _) => false,
+        }
+    }
+
+    /// Splits a pattern of the form `P1 UNION ··· UNION Pm` (UNION-normal
+    /// form, any association) into its UNION-free branches.
+    ///
+    /// Returns `None` if some branch still contains a UNION *below* an AND
+    /// or OPT — such patterns are outside the well-designed fragment.
+    pub fn union_branches(&self) -> Option<Vec<&GraphPattern>> {
+        let mut out = Vec::new();
+        if self.split_unions(&mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn split_unions<'a>(&'a self, out: &mut Vec<&'a GraphPattern>) -> bool {
+        match self {
+            GraphPattern::Union(l, r) => l.split_unions(out) && r.split_unions(out),
+            other => {
+                if other.is_union_free() {
+                    out.push(other);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Iterates over all subpatterns (including `self`), pre-order.
+    pub fn subpatterns(&self) -> Vec<&GraphPattern> {
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(p) = stack.pop() {
+            out.push(p);
+            match p {
+                GraphPattern::Triple(_) => {}
+                GraphPattern::And(l, r)
+                | GraphPattern::Opt(l, r)
+                | GraphPattern::Union(l, r) => {
+                    stack.push(r);
+                    stack.push(l);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl From<TriplePattern> for GraphPattern {
+    fn from(t: TriplePattern) -> GraphPattern {
+        GraphPattern::Triple(t)
+    }
+}
+
+impl fmt::Display for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphPattern::Triple(t) => write!(f, "{t}"),
+            GraphPattern::And(l, r) => write!(f, "({l} AND {r})"),
+            GraphPattern::Opt(l, r) => write!(f, "({l} OPT {r})"),
+            GraphPattern::Union(l, r) => write!(f, "({l} UNION {r})"),
+        }
+    }
+}
+
+impl fmt::Debug for GraphPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn t1() -> GraphPattern {
+        GraphPattern::triple(tp(var("x"), iri("p"), var("y")))
+    }
+    fn t2() -> GraphPattern {
+        GraphPattern::triple(tp(var("y"), iri("q"), var("z")))
+    }
+    fn t3() -> GraphPattern {
+        GraphPattern::triple(tp(var("z"), iri("r"), iri("c")))
+    }
+
+    #[test]
+    fn vars_collects_across_operators() {
+        let p = GraphPattern::opt(GraphPattern::and(t1(), t2()), t3());
+        let vars: Vec<String> = p.vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["?x", "?y", "?z"]);
+    }
+
+    #[test]
+    fn size_and_triples() {
+        let p = GraphPattern::union(GraphPattern::and(t1(), t2()), t3());
+        assert_eq!(p.size(), 5);
+        assert_eq!(p.triples().len(), 3);
+    }
+
+    #[test]
+    fn union_freeness() {
+        assert!(GraphPattern::and(t1(), t2()).is_union_free());
+        assert!(!GraphPattern::union(t1(), t2()).is_union_free());
+        assert!(GraphPattern::union(t1(), t2()).is_opt_free());
+        assert!(!GraphPattern::opt(t1(), t2()).is_opt_free());
+    }
+
+    #[test]
+    fn union_branches_flattens_any_association() {
+        let left_deep = GraphPattern::union(GraphPattern::union(t1(), t2()), t3());
+        let right_deep = GraphPattern::union(t1(), GraphPattern::union(t2(), t3()));
+        assert_eq!(left_deep.union_branches().unwrap().len(), 3);
+        assert_eq!(right_deep.union_branches().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn union_below_and_is_rejected() {
+        let bad = GraphPattern::and(GraphPattern::union(t1(), t2()), t3());
+        assert!(bad.union_branches().is_none());
+    }
+
+    #[test]
+    fn union_free_pattern_is_its_own_branch() {
+        let p = GraphPattern::opt(t1(), t2());
+        let branches = p.union_branches().unwrap();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(*branches[0], p);
+    }
+
+    #[test]
+    fn display_is_fully_parenthesised() {
+        let p = GraphPattern::opt(GraphPattern::and(t1(), t2()), t3());
+        assert_eq!(
+            p.to_string(),
+            "(((?x, p, ?y) AND (?y, q, ?z)) OPT (?z, r, c))"
+        );
+    }
+
+    #[test]
+    fn subpatterns_preorder() {
+        let p = GraphPattern::and(t1(), t2());
+        let subs = p.subpatterns();
+        assert_eq!(subs.len(), 3);
+        assert_eq!(*subs[0], p);
+    }
+
+    #[test]
+    fn and_all_and_union_all() {
+        let p = GraphPattern::and_all([
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+            tp(var("z"), iri("r"), iri("c")),
+        ]);
+        assert_eq!(p.triples().len(), 3);
+        assert!(p.is_union_free() && p.is_opt_free());
+        let u = GraphPattern::union_all([t1(), t2(), t3()]);
+        assert_eq!(u.union_branches().unwrap().len(), 3);
+    }
+}

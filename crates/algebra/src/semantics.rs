@@ -1,0 +1,202 @@
+//! Reference semantics `⟦P⟧_G` (Pérez et al.; §2 "SPARQL Semantics").
+//!
+//! This is the textbook bottom-up evaluator implementing the four rules
+//! verbatim on *sets of mappings*. It is exponential in general and exists
+//! as executable ground truth: every optimised algorithm in the workspace
+//! is differential-tested against it.
+
+use crate::pattern::GraphPattern;
+use std::collections::BTreeSet;
+use wdsparql_rdf::{Mapping, RdfGraph};
+
+/// A set of mappings, ordered for deterministic comparison.
+pub type SolutionSet = BTreeSet<Mapping>;
+
+/// Evaluates `⟦P⟧_G` bottom-up.
+pub fn eval(p: &GraphPattern, g: &RdfGraph) -> SolutionSet {
+    match p {
+        GraphPattern::Triple(t) => g.solutions(t).into_iter().collect(),
+        GraphPattern::And(l, r) => join(&eval(l, g), &eval(r, g)),
+        GraphPattern::Opt(l, r) => left_outer_join(&eval(l, g), &eval(r, g)),
+        GraphPattern::Union(l, r) => {
+            let mut out = eval(l, g);
+            out.extend(eval(r, g));
+            out
+        }
+    }
+}
+
+/// `⟦P1 AND P2⟧ = {µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, compatible}`.
+pub fn join(a: &SolutionSet, b: &SolutionSet) -> SolutionSet {
+    let mut out = SolutionSet::new();
+    for m1 in a {
+        for m2 in b {
+            if let Some(u) = m1.union(m2) {
+                out.insert(u);
+            }
+        }
+    }
+    out
+}
+
+/// `⟦P1 OPT P2⟧ = (Ω1 ⋈ Ω2) ∪ {µ1 ∈ Ω1 | no compatible µ2 ∈ Ω2}`.
+pub fn left_outer_join(a: &SolutionSet, b: &SolutionSet) -> SolutionSet {
+    let mut out = join(a, b);
+    for m1 in a {
+        if b.iter().all(|m2| !m1.compatible(m2)) {
+            out.insert(m1.clone());
+        }
+    }
+    out
+}
+
+/// Membership check `µ ∈ ⟦P⟧_G` via full evaluation (reference oracle).
+pub fn contains(p: &GraphPattern, g: &RdfGraph, mu: &Mapping) -> bool {
+    eval(p, g).contains(mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn g() -> RdfGraph {
+        RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("b", "q", "d"),
+            ("x", "p", "y"),
+        ])
+    }
+
+    fn t_xy() -> GraphPattern {
+        GraphPattern::triple(tp(var("u"), iri("p"), var("v")))
+    }
+
+    fn t_vq() -> GraphPattern {
+        GraphPattern::triple(tp(var("v"), iri("q"), var("w")))
+    }
+
+    #[test]
+    fn triple_rule() {
+        let sols = eval(&t_xy(), &g());
+        assert_eq!(sols.len(), 3);
+        assert!(sols.contains(&Mapping::from_strs([("u", "a"), ("v", "b")])));
+    }
+
+    #[test]
+    fn and_rule_joins_compatible() {
+        let p = GraphPattern::and(t_xy(), t_vq());
+        let sols = eval(&p, &g());
+        assert_eq!(sols.len(), 1);
+        assert!(sols.contains(&Mapping::from_strs([
+            ("u", "a"),
+            ("v", "b"),
+            ("w", "d")
+        ])));
+    }
+
+    #[test]
+    fn opt_rule_keeps_unextendable() {
+        let p = GraphPattern::opt(t_xy(), t_vq());
+        let sols = eval(&p, &g());
+        // (a,b) extends with w=d; (a,c) and (x,y) stay bare.
+        assert_eq!(sols.len(), 3);
+        assert!(sols.contains(&Mapping::from_strs([
+            ("u", "a"),
+            ("v", "b"),
+            ("w", "d")
+        ])));
+        assert!(sols.contains(&Mapping::from_strs([("u", "a"), ("v", "c")])));
+        assert!(sols.contains(&Mapping::from_strs([("u", "x"), ("v", "y")])));
+        // The un-extended (a,b) must NOT be a solution.
+        assert!(!sols.contains(&Mapping::from_strs([("u", "a"), ("v", "b")])));
+    }
+
+    #[test]
+    fn union_rule_is_set_union() {
+        let p = GraphPattern::union(t_xy(), t_vq());
+        let sols = eval(&p, &g());
+        assert_eq!(sols.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_solutions() {
+        let sols = eval(&t_xy(), &RdfGraph::new());
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn ground_triple_pattern_yields_empty_mapping() {
+        let p = GraphPattern::triple(tp(iri("a"), iri("p"), iri("b")));
+        let sols = eval(&p, &g());
+        assert_eq!(sols.len(), 1);
+        assert!(sols.contains(&Mapping::new()));
+    }
+
+    #[test]
+    fn opt_with_incompatible_right_side() {
+        // Right side binds v to something incompatible: left survives bare.
+        let right = GraphPattern::triple(tp(var("v"), iri("p"), var("w")));
+        let p = GraphPattern::opt(t_vq(), right);
+        // t_vq over g: v=b, w=d. Right side: (v,p,w) has matches with
+        // v ∈ {a, x}; none compatible with v=b.
+        let sols = eval(&p, &g());
+        assert_eq!(sols.len(), 1);
+        assert!(sols.contains(&Mapping::from_strs([("v", "b"), ("w", "d")])));
+    }
+
+    #[test]
+    fn nested_opt_example1_pattern_evaluates() {
+        // P1 from Example 1 (well-designed): ((x,p,y) OPT (z,q,x)) OPT
+        //                                    ((y,r,o1) AND (o1,r,o2))
+        let p1 = GraphPattern::opt(
+            GraphPattern::opt(
+                GraphPattern::triple(tp(var("x"), iri("p"), var("y"))),
+                GraphPattern::triple(tp(var("z"), iri("q"), var("x"))),
+            ),
+            GraphPattern::and(
+                GraphPattern::triple(tp(var("y"), iri("r"), var("o1"))),
+                GraphPattern::triple(tp(var("o1"), iri("r"), var("o2"))),
+            ),
+        );
+        let g = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("z0", "q", "a"),
+            ("b", "r", "c"),
+            ("c", "r", "d"),
+            ("e", "p", "f"),
+        ]);
+        let sols = eval(&p1, &g);
+        assert!(sols.contains(&Mapping::from_strs([
+            ("x", "a"),
+            ("y", "b"),
+            ("z", "z0"),
+            ("o1", "c"),
+            ("o2", "d"),
+        ])));
+        // (e, f) extends with neither OPT branch.
+        assert!(sols.contains(&Mapping::from_strs([("x", "e"), ("y", "f")])));
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn join_and_outer_join_primitives() {
+        let a: SolutionSet = [Mapping::from_strs([("x", "1")])].into_iter().collect();
+        let b: SolutionSet = [
+            Mapping::from_strs([("x", "1"), ("y", "2")]),
+            Mapping::from_strs([("x", "9")]),
+        ]
+        .into_iter()
+        .collect();
+        let j = join(&a, &b);
+        assert_eq!(j.len(), 1);
+        let oj = left_outer_join(&a, &b);
+        assert_eq!(oj.len(), 1); // compatible partner exists, so no bare µ1
+        let c: SolutionSet = [Mapping::from_strs([("x", "9")])].into_iter().collect();
+        let oj2 = left_outer_join(&a, &c);
+        assert_eq!(oj2.len(), 1);
+        assert!(oj2.contains(&Mapping::from_strs([("x", "1")])));
+    }
+}

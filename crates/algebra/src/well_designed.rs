@@ -1,0 +1,229 @@
+//! Well-designedness (§2, "Well-designed SPARQL").
+//!
+//! A UNION-free pattern `P` is *well-designed* if for every subpattern
+//! `P' = (P1 OPT P2)` of `P`, every variable occurring in `P2` but not in
+//! `P1` does not occur outside `P'` in `P`. A general pattern is
+//! well-designed if it is `P1 UNION ··· UNION Pm` with every branch a
+//! UNION-free well-designed pattern (UNION normal form).
+
+use crate::pattern::GraphPattern;
+use std::collections::BTreeSet;
+use std::fmt;
+use wdsparql_rdf::Variable;
+
+/// Why a pattern fails to be well-designed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WdViolation {
+    /// A UNION occurs below an AND or OPT, so the pattern has no UNION
+    /// normal form.
+    UnionNotTopLevel,
+    /// Some `(P1 OPT P2)` has a variable in `P2 \ P1` that also occurs
+    /// outside the OPT subpattern.
+    OptScope {
+        variable: Variable,
+        subpattern: String,
+    },
+}
+
+impl fmt::Display for WdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WdViolation::UnionNotTopLevel => {
+                write!(f, "UNION occurs below AND/OPT (no UNION normal form)")
+            }
+            WdViolation::OptScope {
+                variable,
+                subpattern,
+            } => write!(
+                f,
+                "variable {variable} of the optional side of {subpattern} occurs outside it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WdViolation {}
+
+/// Checks whether `p` is well-designed; `Err` explains the first violation.
+pub fn check_well_designed(p: &GraphPattern) -> Result<(), WdViolation> {
+    let branches = p
+        .union_branches()
+        .ok_or(WdViolation::UnionNotTopLevel)?;
+    for b in branches {
+        check_union_free_wd(b, &BTreeSet::new())?;
+    }
+    Ok(())
+}
+
+/// Convenience boolean wrapper around [`check_well_designed`].
+pub fn is_well_designed(p: &GraphPattern) -> bool {
+    check_well_designed(p).is_ok()
+}
+
+/// Recursive check for UNION-free patterns. `outside` is the set of
+/// variables occurring in `P` strictly outside the current subpattern.
+fn check_union_free_wd(
+    p: &GraphPattern,
+    outside: &BTreeSet<Variable>,
+) -> Result<(), WdViolation> {
+    match p {
+        GraphPattern::Triple(_) => Ok(()),
+        GraphPattern::Union(_, _) => Err(WdViolation::UnionNotTopLevel),
+        GraphPattern::And(l, r) => {
+            let mut outside_l = outside.clone();
+            outside_l.extend(r.vars());
+            check_union_free_wd(l, &outside_l)?;
+            let mut outside_r = outside.clone();
+            outside_r.extend(l.vars());
+            check_union_free_wd(r, &outside_r)
+        }
+        GraphPattern::Opt(l, r) => {
+            let lv = l.vars();
+            if let Some(&bad) = r
+                .vars()
+                .iter()
+                .find(|v| !lv.contains(v) && outside.contains(v))
+            {
+                return Err(WdViolation::OptScope {
+                    variable: bad,
+                    subpattern: p.to_string(),
+                });
+            }
+            let mut outside_l = outside.clone();
+            outside_l.extend(r.vars());
+            check_union_free_wd(l, &outside_l)?;
+            let mut outside_r = outside.clone();
+            outside_r.extend(lv);
+            check_union_free_wd(r, &outside_r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn t(s: &str, p: &str, o: &str) -> GraphPattern {
+        let term = |x: &str| {
+            if let Some(name) = x.strip_prefix('?') {
+                var(name)
+            } else {
+                iri(x)
+            }
+        };
+        GraphPattern::triple(tp(term(s), term(p), term(o)))
+    }
+
+    /// P1 from Example 1 — well-designed.
+    fn example1_p1() -> GraphPattern {
+        GraphPattern::opt(
+            GraphPattern::opt(t("?x", "p", "?y"), t("?z", "q", "?x")),
+            GraphPattern::and(t("?y", "r", "?o1"), t("?o1", "r", "?o2")),
+        )
+    }
+
+    /// P2 from Example 1 — NOT well-designed (`?z` escapes its OPT).
+    fn example1_p2() -> GraphPattern {
+        GraphPattern::opt(
+            GraphPattern::opt(t("?x", "p", "?y"), t("?z", "q", "?x")),
+            GraphPattern::and(t("?y", "r", "?z"), t("?z", "r", "?o2")),
+        )
+    }
+
+    #[test]
+    fn example1_classification() {
+        assert!(is_well_designed(&example1_p1()));
+        let err = check_well_designed(&example1_p2()).unwrap_err();
+        match err {
+            WdViolation::OptScope { variable, .. } => {
+                assert_eq!(variable, Variable::new("z"));
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_triple_is_well_designed() {
+        assert!(is_well_designed(&t("?x", "p", "?y")));
+    }
+
+    #[test]
+    fn and_only_patterns_are_well_designed() {
+        let p = GraphPattern::and(
+            GraphPattern::and(t("?x", "p", "?y"), t("?y", "q", "?z")),
+            t("?z", "r", "c"),
+        );
+        assert!(is_well_designed(&p));
+    }
+
+    #[test]
+    fn top_level_union_of_wd_branches_is_wd() {
+        let p = GraphPattern::union(
+            example1_p1(),
+            GraphPattern::opt(
+                t("?x", "p", "?y"),
+                GraphPattern::and(t("?z", "q", "?x"), t("?w", "q", "?z")),
+            ),
+        );
+        assert!(is_well_designed(&p));
+    }
+
+    #[test]
+    fn union_under_and_is_rejected() {
+        let p = GraphPattern::and(
+            GraphPattern::union(t("?x", "p", "?y"), t("?x", "q", "?y")),
+            t("?y", "r", "?z"),
+        );
+        assert_eq!(
+            check_well_designed(&p),
+            Err(WdViolation::UnionNotTopLevel)
+        );
+    }
+
+    #[test]
+    fn violation_through_and_sibling() {
+        // (A OPT B) AND C where B's private var reappears in C.
+        let p = GraphPattern::and(
+            GraphPattern::opt(t("?x", "p", "?y"), t("?z", "q", "?x")),
+            t("?z", "r", "?w"),
+        );
+        assert!(!is_well_designed(&p));
+    }
+
+    #[test]
+    fn shared_lhs_variable_is_fine() {
+        // Variable shared between OPT's left side and outside is allowed.
+        let p = GraphPattern::and(
+            GraphPattern::opt(t("?x", "p", "?y"), t("?y", "q", "?w")),
+            t("?x", "r", "?u"),
+        );
+        assert!(is_well_designed(&p));
+    }
+
+    #[test]
+    fn nested_opt_inner_private_vars() {
+        // ((A OPT B) OPT C) where C reuses B's private variable: violation
+        // because the inner OPT's ?z occurs outside it (in C).
+        let p = GraphPattern::opt(
+            GraphPattern::opt(t("?x", "p", "?y"), t("?z", "q", "?x")),
+            t("?z", "r", "?o"),
+        );
+        assert!(!is_well_designed(&p));
+        // But a deeper OPT extending its own branch is fine:
+        // (A OPT (B OPT C)) with C using B's vars.
+        let q = GraphPattern::opt(
+            t("?x", "p", "?y"),
+            GraphPattern::opt(t("?z", "q", "?x"), t("?z", "r", "?o")),
+        );
+        assert!(is_well_designed(&q));
+    }
+
+    #[test]
+    fn violation_display_mentions_variable() {
+        let err = check_well_designed(&example1_p2()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("?z"), "message was {msg}");
+    }
+}

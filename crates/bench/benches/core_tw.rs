@@ -1,0 +1,75 @@
+//! E13 — the core/treewidth machinery: cost of core computation and of
+//! exact treewidth across pattern families (the per-query static-analysis
+//! cost of the width measures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdsparql_hom::{core_of, ctw, treewidth, UGraph};
+use wdsparql_workloads::{example3_s_prime, fk_forest};
+use wdsparql_width::domination_width;
+
+fn bench_core_computation(c: &mut Criterion) {
+    // (S', X) from Example 3: the core must fold a K_k onto a loop.
+    let mut group = c.benchmark_group("core_of_s_prime");
+    group.sample_size(10);
+    for k in [3usize, 5, 7] {
+        let s = example3_s_prime(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &s, |b, s| {
+            b.iter(|| core_of(s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ctw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctw_of_s_prime");
+    group.sample_size(10);
+    for k in [3usize, 5, 7] {
+        let s = example3_s_prime(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &s, |b, s| {
+            b.iter(|| assert_eq!(ctw(s).width, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_treewidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treewidth_exact");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        let g = UGraph::grid(n, 4);
+        group.bench_with_input(
+            BenchmarkId::new("grid_nx4", n),
+            &g,
+            |b, g| b.iter(|| assert_eq!(treewidth(g).width, 4.min(g.n()))),
+        );
+    }
+    for k in [8usize, 12, 16] {
+        let g = UGraph::complete(k);
+        group.bench_with_input(BenchmarkId::new("clique", k), &g, |b, g| {
+            b.iter(|| assert_eq!(treewidth(g).width, g.n() - 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_domination_width(c: &mut Criterion) {
+    // The full static analysis of F_k (subtrees × GtG × cores × treewidth).
+    let mut group = c.benchmark_group("domination_width_fk");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let f = fk_forest(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &f, |b, f| {
+            b.iter(|| assert_eq!(domination_width(f), 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_core_computation,
+    bench_ctw,
+    bench_exact_treewidth,
+    bench_domination_width
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 — Corollary 1 on UNION-free families: bounded branch treewidth
+//! (`T'_k`, `Path_n`) stays cheap; the unbounded clique-child family `Q_k`
+//! grows with k under *every* strategy, matching the W[1]-hardness of the
+//! class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdsparql_core::{check_forest, check_forest_pebble};
+use wdsparql_workloads::{clique_instance, path_instance, tprime_instance};
+
+fn bench_bounded_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unionfree_bounded");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let inst = tprime_instance(k, 4 * (k - 1));
+        group.bench_with_input(BenchmarkId::new("tprime_naive", k), &inst, |b, inst| {
+            b.iter(|| check_forest(&inst.forest, &inst.graph, &inst.mu))
+        });
+    }
+    for len in [2usize, 4, 6] {
+        let inst = path_instance(len, 6);
+        group.bench_with_input(BenchmarkId::new("path_naive", len), &inst, |b, inst| {
+            b.iter(|| check_forest(&inst.forest, &inst.graph, &inst.mu))
+        });
+        group.bench_with_input(BenchmarkId::new("path_pebble_k1", len), &inst, |b, inst| {
+            b.iter(|| check_forest_pebble(&inst.forest, &inst.graph, &inst.mu, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_unbounded_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unionfree_unbounded_Qk");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let inst = clique_instance(k, 4 * (k - 1));
+        group.bench_with_input(BenchmarkId::new("naive", k), &inst, |b, inst| {
+            b.iter(|| check_forest(&inst.forest, &inst.graph, &inst.mu))
+        });
+        // The exact pebble parameter for Q_k is k − 1: cost grows with k
+        // (no fixed-parameter shortcut exists for the class).
+        group.bench_with_input(BenchmarkId::new("pebble_exact", k), &inst, |b, inst| {
+            b.iter(|| check_forest_pebble(&inst.forest, &inst.graph, &inst.mu, k - 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_families, bench_unbounded_family);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! E12b — the homomorphism solver: satisfiable vs refutation workloads,
+//! and the effect of the Turán adversary (the NP-hard test the naive
+//! evaluator pays for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdsparql_hom::{find_hom_into_graph, find_hom_into_graph_with, GenTGraph, SearchOrder, TGraph};
+use wdsparql_rdf::{iri, tp, var, Mapping, RdfGraph, Triple};
+use wdsparql_workloads::turan_graph;
+
+fn clique_query(k: usize) -> GenTGraph {
+    let mut pats = Vec::new();
+    for i in 1..=k {
+        for j in (i + 1)..=k {
+            pats.push(tp(var(&format!("hs{i}")), iri("r"), var(&format!("hs{j}"))));
+        }
+    }
+    GenTGraph::new(TGraph::from_patterns(pats), [])
+}
+
+fn bench_refutation(c: &mut Criterion) {
+    // K_k into Turán(n, k−1): no hom; the solver must refute.
+    let mut group = c.benchmark_group("hom_refutation_clique");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let g = turan_graph(4 * (k - 1), k - 1, "r");
+        let q = clique_query(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g), |b, (q, g)| {
+            b.iter(|| {
+                assert!(find_hom_into_graph(q, g, &Mapping::new()).is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_satisfiable(c: &mut Criterion) {
+    // K_k into Turán(n, k): hom exists; fail-first finds it quickly.
+    let mut group = c.benchmark_group("hom_satisfiable_clique");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let g = turan_graph(4 * k, k, "r");
+        let q = clique_query(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g), |b, (q, g)| {
+            b.iter(|| {
+                assert!(find_hom_into_graph(q, g, &Mapping::new()).is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_queries(c: &mut Criterion) {
+    // Long path patterns over a chain-with-noise graph: index-driven,
+    // near-linear.
+    let mut group = c.benchmark_group("hom_path_queries");
+    group.sample_size(10);
+    let mut g = RdfGraph::new();
+    for i in 0..500 {
+        g.insert(Triple::from_strs(&format!("c{i}"), "r", &format!("c{}", i + 1)));
+        g.insert(Triple::from_strs(&format!("c{i}"), "q", &format!("d{i}")));
+    }
+    for len in [4usize, 8, 16] {
+        let q = GenTGraph::new(
+            TGraph::from_patterns((0..len).map(|i| {
+                tp(
+                    var(&format!("hp{i}")),
+                    iri("r"),
+                    var(&format!("hp{}", i + 1)),
+                )
+            })),
+            [],
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(len), &q, |b, q| {
+            b.iter(|| {
+                assert!(find_hom_into_graph(q, &g, &Mapping::new()).is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_ablation(c: &mut Criterion) {
+    // What does fail-first buy? Path queries over a chain-with-decoys
+    // graph: the static order binds triples in input order (worst when the
+    // selective triple comes last), fail-first starts from the rarest.
+    let mut group = c.benchmark_group("hom_order_ablation");
+    group.sample_size(10);
+    let mut g = RdfGraph::new();
+    for i in 0..300 {
+        g.insert(Triple::from_strs(&format!("c{i}"), "r", &format!("c{}", i + 1)));
+    }
+    // One selective 'tag' edge at the end of the chain.
+    g.insert(Triple::from_strs("c300", "tag", "goal"));
+    for len in [4usize, 6, 8] {
+        // Pattern: a path of r-edges whose *last* vertex carries the tag;
+        // written tag-last so the static order explores the untagged
+        // prefix blindly.
+        let mut pats: Vec<_> = (0..len)
+            .map(|i| {
+                tp(
+                    var(&format!("ho{i}")),
+                    iri("r"),
+                    var(&format!("ho{}", i + 1)),
+                )
+            })
+            .collect();
+        pats.push(tp(var(&format!("ho{len}")), iri("tag"), iri("goal")));
+        let q = GenTGraph::new(TGraph::from_patterns(pats), []);
+        for order in [SearchOrder::FailFirst, SearchOrder::Static] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{order:?}"), len),
+                &(&q, &g),
+                |b, (q, g)| {
+                    b.iter(|| {
+                        assert!(
+                            find_hom_into_graph_with(q, g, &Mapping::new(), order).is_some()
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_refutation,
+    bench_satisfiable,
+    bench_path_queries,
+    bench_order_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E16 — the SELECT frontier: projected membership on the dw = 1 family
+//! `R_k` embeds k-CLIQUE (grows superpolynomially in k), while projected
+//! *enumeration* on realistic data stays proportional to the full
+//! solution set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdsparql_project::{
+    anchored_graph, check_projected, clique_projection_query, enumerate_projected,
+    ProjectedQuery,
+};
+use wdsparql_rdf::{Mapping, Variable};
+use wdsparql_workloads::{turan_graph, university};
+
+fn bench_projected_membership_refutation(c: &mut Criterion) {
+    // Negative instances: no k-clique in the Turán adversary, so the
+    // witness search must exhaust — the NP-hard kernel of §5.
+    let mut group = c.benchmark_group("projected_membership_refute");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let q = clique_projection_query(k);
+        let (g, hub) = anchored_graph(&turan_graph(4 * (k - 1), k - 1, "r"), "hub");
+        let mut mu = Mapping::new();
+        mu.bind(Variable::new("u"), hub);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g, &mu), |b, (q, g, mu)| {
+            b.iter(|| assert!(!check_projected(q, g, mu)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_projected_membership_witness(c: &mut Criterion) {
+    // Positive instances: a K_k exists; fail-first finds it quickly.
+    let mut group = c.benchmark_group("projected_membership_witness");
+    group.sample_size(10);
+    for k in [3usize, 4, 5] {
+        let q = clique_projection_query(k);
+        let (g, hub) = anchored_graph(&turan_graph(3 * k, k, "r"), "hub");
+        let mut mu = Mapping::new();
+        mu.bind(Variable::new("u"), hub);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g, &mu), |b, (q, g, mu)| {
+            b.iter(|| assert!(check_projected(q, g, mu)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_projected_enumeration_university(c: &mut Criterion) {
+    // Projection on realistic OPT data: SELECT-ing fewer variables only
+    // shrinks the output; the work tracks the full solution set.
+    let mut group = c.benchmark_group("projected_enumeration_university");
+    group.sample_size(10);
+    let q_all = ProjectedQuery::parse(
+        "SELECT * WHERE { ?p type Professor . ?p teaches ?c OPTIONAL { ?p office ?o } }",
+    )
+    .unwrap();
+    let q_proj = ProjectedQuery::parse(
+        "SELECT ?p WHERE { ?p type Professor . ?p teaches ?c OPTIONAL { ?p office ?o } }",
+    )
+    .unwrap();
+    for depts in [4usize, 8, 16] {
+        let g = university(depts, 42);
+        group.bench_with_input(BenchmarkId::new("select_star", depts), &g, |b, g| {
+            b.iter(|| enumerate_projected(&q_all, g).len())
+        });
+        group.bench_with_input(BenchmarkId::new("select_p", depts), &g, |b, g| {
+            b.iter(|| enumerate_projected(&q_proj, g).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_projected_membership_refutation,
+    bench_projected_membership_witness,
+    bench_projected_enumeration_university
+);
+criterion_main!(benches);

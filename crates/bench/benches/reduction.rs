@@ -1,0 +1,53 @@
+//! E10 — cost of the §4.2 reduction: building (P, G, µ) from (H, k), and
+//! the downstream sizes, as H grows (the fpt shape: polynomial in |H| for
+//! fixed k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wdsparql_hardness::{clique_family_parameter, lemma2, reduce_clique};
+use wdsparql_hom::{GenTGraph, UGraph};
+use wdsparql_tree::{Wdpf, ROOT};
+use wdsparql_workloads::clique_child_tree;
+
+fn clique_source(m: usize) -> GenTGraph {
+    let tree = clique_child_tree(m);
+    let child = tree.children(ROOT)[0];
+    let pat = tree.pat(ROOT).union(tree.pat(child));
+    let x: Vec<_> = pat
+        .vars()
+        .into_iter()
+        .filter(|v| ["x", "y"].contains(&v.name()))
+        .collect();
+    GenTGraph::new(pat, x)
+}
+
+fn bench_full_reduction_k2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_build_k2");
+    group.sample_size(10);
+    let m = clique_family_parameter(2).max(2);
+    for n in [4usize, 8, 12] {
+        let h = UGraph::complete(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| {
+                let f = Wdpf::new(vec![clique_child_tree(m)]);
+                reduce_clique(f, h, 2, m - 1).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma2_k3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma2_build_k3");
+    group.sample_size(10);
+    let s = clique_source(9);
+    for n in [4usize, 5, 6] {
+        let h = UGraph::complete(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| lemma2(&s, h, 3).unwrap().b.s.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_reduction_k2, bench_lemma2_k3);
+criterion_main!(benches);

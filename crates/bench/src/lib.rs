@@ -1,0 +1,144 @@
+//! # wdsparql-bench
+//!
+//! Shared utilities for the criterion benches and the `experiments`
+//! harness binary: wall-clock measurement helpers and plain-text table
+//! rendering (no serde format crate is in the approved dependency set, so
+//! tables are printed and optionally written as TSV).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one closure invocation.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs `f` repeatedly until `budget` elapses (at least once), returning
+/// the median duration.
+pub fn time_median<T>(budget: Duration, mut f: impl FnMut() -> T) -> Duration {
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    loop {
+        let (_, d) = time_once(&mut f);
+        samples.push(d);
+        if start.elapsed() >= budget || samples.len() >= 25 {
+            break;
+        }
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// A plain-text table with aligned columns.
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Tab-separated rendering for machine consumption.
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let n = d.as_nanos();
+    if n < 10_000 {
+        format!("{n}ns")
+    } else if n < 10_000_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else if n < 10_000_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else {
+        format!("{:.2}s", n as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&22, &"yy"]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.lines().count() >= 5);
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("a\tlong-header"));
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(120)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(120)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(12)).ends_with('s'));
+    }
+
+    #[test]
+    fn time_median_returns_a_sample() {
+        let d = time_median(Duration::from_millis(5), || 2 + 2);
+        assert!(d < Duration::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_is_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&[&1]);
+    }
+}

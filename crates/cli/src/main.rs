@@ -1,0 +1,261 @@
+//! `wdsparql` — a command-line interface to the library.
+//!
+//! ```text
+//! wdsparql analyze  <query>                 width report for a query
+//! wdsparql eval     <data.nt> <query>       enumerate all solutions
+//! wdsparql check    <data.nt> <query> <µ>   membership, all strategies
+//! wdsparql count    <data.nt> <query>       solution counts by domain
+//! wdsparql select   <data.nt> <select-q>    projected (SELECT) evaluation
+//! wdsparql contain  <query1> <query2>       containment verdicts, both ways
+//! wdsparql forest   <query>                 print the wdPF translation
+//! wdsparql demo                             run a tiny built-in scenario
+//! ```
+//!
+//! `<query>` is a pattern in the paper's syntax, e.g.
+//! `"(?x, knows, ?y) OPT (?y, email, ?e)"`, or SPARQL-style curly syntax.
+//! `<select-q>` is `"SELECT ?x ?y WHERE { ... }"`. `<µ>` is a
+//! comma-separated binding list, e.g. `"x=alice,y=bob"`.
+
+use std::process::ExitCode;
+use wdsparql_contain::{decide_containment, SearchBudget, Verdict};
+use wdsparql_core::{count_by_domain, enumerate_with_stats, Engine, Query, Strategy};
+use wdsparql_project::{enumerate_projected, ProjectedQuery};
+use wdsparql_rdf::{parse_ntriples, Mapping};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  wdsparql analyze <query>
+  wdsparql eval    <data.nt> <query>
+  wdsparql check   <data.nt> <query> <bindings>   (e.g. \"x=alice,y=bob\")
+  wdsparql count   <data.nt> <query>
+  wdsparql select  <data.nt> <select-query>       (e.g. \"SELECT ?x WHERE { ... }\")
+  wdsparql contain <query1> <query2>
+  wdsparql forest  <query>
+  wdsparql demo";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "analyze" => {
+            let query = parse_query(args.get(1))?;
+            // Width analysis needs no data; use an empty engine.
+            let engine = Engine::new(wdsparql_rdf::RdfGraph::new());
+            println!("query: {query}");
+            println!("{}", engine.analyze(&query));
+            Ok(())
+        }
+        "forest" => {
+            let query = parse_query(args.get(1))?;
+            print!("{}", query.forest());
+            Ok(())
+        }
+        "eval" => {
+            let graph = load_graph(args.get(1))?;
+            let text = args.get(2).ok_or("missing query argument")?;
+            let engine = Engine::new(graph);
+            // Curly-syntax queries may carry top-level FILTER clauses.
+            let sols = if text.trim_start().starts_with('{') {
+                let (query, filter) =
+                    Query::parse_with_filter(text).map_err(|e| e.to_string())?;
+                engine.evaluate_filtered(&query, &filter)
+            } else {
+                engine.evaluate(&parse_query(args.get(2))?)
+            };
+            println!("{} solution(s):", sols.len());
+            for mu in &sols {
+                println!("  {mu}");
+            }
+            Ok(())
+        }
+        "check" => {
+            let graph = load_graph(args.get(1))?;
+            let query = parse_query(args.get(2))?;
+            let mu = parse_bindings(args.get(3))?;
+            let engine = Engine::new(graph);
+            println!("µ = {mu}");
+            let reference = engine.check(&query, &mu, Strategy::Naive);
+            println!("naive (Lemma 1, exact homomorphisms): {reference}");
+            let dw = query.domination_width();
+            let pebble = engine.check(&query, &mu, Strategy::Pebble { k: dw });
+            println!("pebble (Theorem 1, k = dw = {dw}):      {pebble}");
+            if reference != pebble {
+                return Err("internal disagreement between strategies (bug)".into());
+            }
+            Ok(())
+        }
+        "count" => {
+            let graph = load_graph(args.get(1))?;
+            let query = parse_query(args.get(2))?;
+            let (sols, stats) = enumerate_with_stats(query.forest(), &graph);
+            println!("{} solution(s)", sols.len());
+            for (domain, count) in count_by_domain(query.forest(), &graph) {
+                let names: Vec<String> = domain.iter().map(|v| v.to_string()).collect();
+                println!("  {{{}}}: {count}", names.join(", "));
+            }
+            println!(
+                "(work: {} hom calls, {} steps, max delay {} steps)",
+                stats.hom_calls, stats.steps, stats.max_delay_steps
+            );
+            Ok(())
+        }
+        "select" => {
+            let graph = load_graph(args.get(1))?;
+            let text = args.get(2).ok_or("missing SELECT query argument")?;
+            let query = ProjectedQuery::parse(text).map_err(|e| e.to_string())?;
+            println!("query: {query}");
+            let sols = enumerate_projected(&query, &graph);
+            println!("{} projected solution(s):", sols.len());
+            for mu in &sols {
+                println!("  {mu}");
+            }
+            Ok(())
+        }
+        "contain" => {
+            let q1 = parse_query(args.get(1))?;
+            let q2 = parse_query(args.get(2))?;
+            let budget = SearchBudget::default();
+            for (label, a, b) in [("P1 ⊆ P2", &q1, &q2), ("P2 ⊆ P1", &q2, &q1)] {
+                match decide_containment(a.forest(), b.forest(), &budget) {
+                    Verdict::Contained => println!("{label}: contained (proved)"),
+                    Verdict::NotContained(ce) => {
+                        println!("{label}: NOT contained; witness µ = {} on:", ce.mu);
+                        for t in ce.graph.iter() {
+                            println!("    {t}");
+                        }
+                    }
+                    Verdict::Unknown => println!("{label}: unknown (within budget)"),
+                }
+            }
+            Ok(())
+        }
+        "demo" => {
+            demo();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_query(arg: Option<&String>) -> Result<Query, String> {
+    let text = arg.ok_or("missing query argument")?;
+    Query::parse(text).map_err(|e| e.to_string())
+}
+
+fn load_graph(arg: Option<&String>) -> Result<wdsparql_rdf::RdfGraph, String> {
+    let path = arg.ok_or("missing data file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_ntriples(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_bindings(arg: Option<&String>) -> Result<Mapping, String> {
+    let text = arg.ok_or("missing bindings argument")?;
+    let mut mu = Mapping::new();
+    for part in text.split(',').filter(|s| !s.trim().is_empty()) {
+        let (var, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad binding {part:?} (expected var=iri)"))?;
+        mu.bind(
+            wdsparql_rdf::Variable::new(var.trim()),
+            wdsparql_rdf::Iri::new(val.trim()),
+        );
+    }
+    Ok(mu)
+}
+
+fn demo() {
+    let graph = wdsparql_workloads::social_network(30, 1);
+    let engine = Engine::new(graph);
+    let query = Query::parse("((?p, type, Person) OPT (?p, email, ?e)) OPT (?p, city, ?c)")
+        .expect("demo query is well-designed");
+    println!("demo query: {query}\n");
+    println!("{}\n", engine.analyze(&query));
+    let sols = engine.evaluate(&query);
+    println!("{} solutions; first 5:", sols.len());
+    for mu in sols.iter().take(5) {
+        println!("  {mu}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn bindings_parse() {
+        let mu = parse_bindings(Some(&"x=alice, y=bob".to_string())).unwrap();
+        assert_eq!(mu.len(), 2);
+        assert_eq!(
+            mu.get(wdsparql_rdf::Variable::new("y")),
+            Some(wdsparql_rdf::Iri::new("bob"))
+        );
+        assert!(parse_bindings(Some(&"xalice".to_string())).is_err());
+        assert!(parse_bindings(None).is_err());
+    }
+
+    #[test]
+    fn analyze_and_forest_subcommands() {
+        assert!(run(&s(&["analyze", "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&["forest", "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&["analyze", "(?x, p"])).is_err());
+    }
+
+    #[test]
+    fn eval_and_check_subcommands() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb q c .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        assert!(run(&s(&["eval", &p, "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&["check", &p, "(?x, p, ?y) OPT (?y, q, ?z)", "x=a,y=b,z=c"])).is_ok());
+        assert!(run(&s(&["eval", "/nonexistent.nt", "(?x, p, ?y)"])).is_err());
+        // Curly syntax with a FILTER clause.
+        assert!(run(&s(&[
+            "eval",
+            &p,
+            "{ ?x p ?y OPTIONAL { ?y q ?z } FILTER(BOUND(?z)) }",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn count_select_and_contain_subcommands() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb q c .\nd p e .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        assert!(run(&s(&["count", &p, "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&[
+            "select",
+            &p,
+            "SELECT ?x WHERE { ?x p ?y OPTIONAL { ?y q ?z } }",
+        ]))
+        .is_ok());
+        assert!(run(&s(&["select", &p, "SELECT ?nope WHERE { ?x p ?y }"])).is_err());
+        assert!(run(&s(&["contain", "(?x, p, ?y)", "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&["contain", "(?x, p, ?y)"])).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

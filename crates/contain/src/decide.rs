@@ -1,0 +1,427 @@
+//! Deciding containment **over all graphs** — three-valued, with sound
+//! positive and negative procedures.
+//!
+//! Containment of well-designed patterns is Πᵖ₂-complete (Pichler–Skritek,
+//! PODS'14), so a complete polynomial test is off the table. What this
+//! module provides instead:
+//!
+//! * [`syntactic_containment`] — sound for "contained" (and complete for
+//!   single-node, i.e. pure-AND, patterns);
+//! * [`search_counterexample`] — sound for "not contained": canonical
+//!   frozen instances, child-augmented variants and a random battery;
+//! * [`exhaustive_counterexample`] — complete for counterexamples up to a
+//!   size bound;
+//! * [`decide_containment`] — the combination, returning a [`Verdict`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use wdsparql_core::{check_forest, enumerate_forest};
+use wdsparql_hom::{maps_to, GenTGraph, TGraph};
+use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple};
+use wdsparql_tree::{
+    enumerate_subtrees, subtree_children, subtree_pat, subtree_vars, Wdpf,
+};
+
+/// A verified witness of non-containment: `µ ∈ ⟦F1⟧_G` but `µ ∉ ⟦F2⟧_G`.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    pub graph: RdfGraph,
+    pub mu: Mapping,
+}
+
+impl Counterexample {
+    /// Re-checks the witness against both forests.
+    pub fn verify(&self, f1: &Wdpf, f2: &Wdpf) -> bool {
+        check_forest(f1, &self.graph, &self.mu) && !check_forest(f2, &self.graph, &self.mu)
+    }
+}
+
+/// Outcome of [`decide_containment`].
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Containment holds on every graph (proved syntactically).
+    Contained,
+    /// Containment fails; the witness is attached (boxed: a witness
+    /// carries a whole graph, far bigger than the other variants).
+    NotContained(Box<Counterexample>),
+    /// Neither procedure resolved the instance within budget.
+    Unknown,
+}
+
+impl Verdict {
+    pub fn is_contained(&self) -> bool {
+        matches!(self, Verdict::Contained)
+    }
+
+    pub fn is_not_contained(&self) -> bool {
+        matches!(self, Verdict::NotContained(_))
+    }
+}
+
+/// Budget for [`search_counterexample`].
+#[derive(Clone, Copy, Debug)]
+pub struct SearchBudget {
+    /// Number of random graphs to draw.
+    pub random_graphs: usize,
+    /// Node-pool size for random graphs.
+    pub max_nodes: usize,
+    /// Maximum triple count per random graph.
+    pub max_triples: usize,
+    /// RNG seed (searches are deterministic given the budget).
+    pub seed: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> SearchBudget {
+        SearchBudget {
+            random_graphs: 200,
+            max_nodes: 4,
+            max_triples: 8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The sound syntactic containment test `F1 ⊆ F2`, lifted from
+/// Chandra–Merlin to pattern trees through Lemma 1.
+///
+/// For every subtree `T1'` of a tree of `F1` (with `X := vars(T1')`, the
+/// solution domain it produces), we require a tree of `F2` with a subtree
+/// `T2'` such that
+///
+/// 1. `vars(T2') = X` — the domains match;
+/// 2. `pat(T2') ⊆ pat(T1')` — since every variable of either pattern lies
+///    in `X`, a homomorphism `(pat(T2'), X) → (pat(T1'), X)` is forced to
+///    be the identity, i.e. triple-set inclusion. Any solution
+///    `µ ∈ ⟦T1⟧_G` witnessed by `T1'` (which *is* a homomorphism of
+///    `pat(T1')` with `dom(µ) = X`) is then a homomorphism of `pat(T2')`;
+/// 3. for every child `n` of `T2'` there is a child `m` of `T1'` with
+///    `(pat(T1') ∪ pat(m), X) → (pat(T2') ∪ pat(n), X)`: a compatible
+///    extension of `n` under `µ` would compose into a compatible
+///    extension of `m`, contradicting the Lemma 1 maximality of `µ` in
+///    `T1` — so no child of `T2'` extends and `µ ∈ ⟦T2⟧_G` via `T2'`.
+///
+/// Soundness is immediate from the three steps. The test is also
+/// *complete* for forests of single-node trees (pure AND/UNION patterns):
+/// there condition 3 is vacuous and condition 2 is exactly the
+/// set-semantics containment criterion (freeze `pat(T1')` injectively for
+/// the converse).
+pub fn syntactic_containment(f1: &Wdpf, f2: &Wdpf) -> bool {
+    for ta in &f1.trees {
+        for st1 in enumerate_subtrees(ta) {
+            let x = subtree_vars(ta, &st1);
+            let pat1 = subtree_pat(ta, &st1);
+            let covered = f2.trees.iter().any(|tb| {
+                enumerate_subtrees(tb).into_iter().any(|st2| {
+                    if subtree_vars(tb, &st2) != x {
+                        return false;
+                    }
+                    let pat2 = subtree_pat(tb, &st2);
+                    if !pat2.is_subset(&pat1) {
+                        return false;
+                    }
+                    subtree_children(tb, &st2).into_iter().all(|n| {
+                        subtree_children(ta, &st1).into_iter().any(|m| {
+                            let src =
+                                GenTGraph::new(pat1.union(ta.pat(m)), x.iter().copied());
+                            let dst =
+                                GenTGraph::new(pat2.union(tb.pat(n)), x.iter().copied());
+                            maps_to(&src, &dst)
+                        })
+                    })
+                })
+            });
+            if !covered {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All IRIs usable as predicates in counterexample graphs: the IRIs in
+/// predicate position of either forest, plus a fresh one so that
+/// variable-predicate patterns can be exercised.
+fn predicate_pool(forests: [&Wdpf; 2]) -> Vec<Iri> {
+    let mut preds: BTreeSet<Iri> = BTreeSet::new();
+    for f in forests {
+        for t in &f.trees {
+            for n in t.node_ids() {
+                for tp in t.pat(n).iter() {
+                    if let Term::Iri(i) = tp.p {
+                        preds.insert(i);
+                    }
+                }
+            }
+        }
+    }
+    preds.insert(Iri::new("cx-extra-pred"));
+    preds.into_iter().collect()
+}
+
+/// All IRIs appearing anywhere in either forest (subject/object constants
+/// must be available to the graph generator).
+fn constant_pool(forests: [&Wdpf; 2], fresh: usize) -> Vec<Iri> {
+    let mut consts: BTreeSet<Iri> = BTreeSet::new();
+    for f in forests {
+        for t in &f.trees {
+            for n in t.node_ids() {
+                for tp in t.pat(n).iter() {
+                    for term in tp.positions() {
+                        if let Term::Iri(i) = term {
+                            consts.insert(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for k in 0..fresh {
+        consts.insert(Iri::new(&format!("cx{k}")));
+    }
+    consts.into_iter().collect()
+}
+
+/// Does `g` witness non-containment? Returns the offending mapping.
+fn violation_on(f1: &Wdpf, f2: &Wdpf, g: &RdfGraph) -> Option<Mapping> {
+    enumerate_forest(f1, g)
+        .into_iter()
+        .find(|mu| !check_forest(f2, g, mu))
+}
+
+/// Searches for a counterexample to `F1 ⊆ F2`.
+///
+/// Candidates, in order:
+///
+/// 1. the frozen canonical instance of `pat(T')` for every subtree `T'`
+///    of both forests;
+/// 2. each such instance augmented with one frozen child pattern (these
+///    exercise the maximality side of Lemma 1, where OPT containment
+///    genuinely differs from CQ containment);
+/// 3. a seeded random battery over the forests' own vocabulary.
+///
+/// Any returned [`Counterexample`] has been verified semantically, so a
+/// `Some` answer is always correct; `None` proves nothing.
+pub fn search_counterexample(
+    f1: &Wdpf,
+    f2: &Wdpf,
+    budget: &SearchBudget,
+) -> Option<Counterexample> {
+    // 1 & 2: canonical frozen instances (and child-augmented variants).
+    for f in [f1, f2] {
+        for t in &f.trees {
+            for st in enumerate_subtrees(t) {
+                let pat = subtree_pat(t, &st);
+                let vars = subtree_vars(t, &st);
+                let mut candidates: Vec<TGraph> = vec![pat.clone()];
+                for n in subtree_children(t, &st) {
+                    candidates.push(pat.union(t.pat(n)));
+                }
+                for cand in candidates {
+                    let gen = GenTGraph::new(cand, vars.iter().copied());
+                    let (g, _) = gen.freeze(&vars);
+                    if let Some(mu) = violation_on(f1, f2, &g) {
+                        return Some(Counterexample { graph: g, mu });
+                    }
+                }
+            }
+        }
+    }
+    // 3: random battery over the queries' own vocabulary.
+    let preds = predicate_pool([f1, f2]);
+    let consts = constant_pool([f1, f2], budget.max_nodes);
+    let mut rng = StdRng::seed_from_u64(budget.seed);
+    for _ in 0..budget.random_graphs {
+        let n_triples = rng.gen_range(1..=budget.max_triples);
+        let mut g = RdfGraph::new();
+        for _ in 0..n_triples {
+            let s = consts[rng.gen_range(0..consts.len())];
+            let p = preds[rng.gen_range(0..preds.len())];
+            let o = consts[rng.gen_range(0..consts.len())];
+            g.insert(Triple::new(s, p, o));
+        }
+        if let Some(mu) = violation_on(f1, f2, &g) {
+            return Some(Counterexample { graph: g, mu });
+        }
+    }
+    None
+}
+
+/// Exhaustively searches every graph with at most `max_triples` triples
+/// over the forests' vocabulary extended by `fresh_consts` fresh IRIs.
+/// Complete for counterexamples of that size — but the candidate space is
+/// `C(|consts|²·|preds|, ≤ max_triples)`, so keep the bounds tiny.
+pub fn exhaustive_counterexample(
+    f1: &Wdpf,
+    f2: &Wdpf,
+    fresh_consts: usize,
+    max_triples: usize,
+) -> Option<Counterexample> {
+    let preds = predicate_pool([f1, f2]);
+    let consts = constant_pool([f1, f2], fresh_consts);
+    let mut universe: Vec<Triple> = Vec::new();
+    for &s in &consts {
+        for &p in &preds {
+            for &o in &consts {
+                universe.push(Triple::new(s, p, o));
+            }
+        }
+    }
+    // Enumerate subsets of the universe of size ≤ max_triples.
+    let mut chosen: Vec<Triple> = Vec::new();
+    fn rec(
+        universe: &[Triple],
+        from: usize,
+        left: usize,
+        chosen: &mut Vec<Triple>,
+        f1: &Wdpf,
+        f2: &Wdpf,
+    ) -> Option<Counterexample> {
+        let g = RdfGraph::from_triples(chosen.iter().copied());
+        if let Some(mu) = violation_on(f1, f2, &g) {
+            return Some(Counterexample { graph: g, mu });
+        }
+        if left == 0 {
+            return None;
+        }
+        for i in from..universe.len() {
+            chosen.push(universe[i]);
+            if let Some(ce) = rec(universe, i + 1, left - 1, chosen, f1, f2) {
+                return Some(ce);
+            }
+            chosen.pop();
+        }
+        None
+    }
+    rec(&universe, 0, max_triples, &mut chosen, f1, f2)
+}
+
+/// Combines the syntactic test and the counterexample search.
+pub fn decide_containment(f1: &Wdpf, f2: &Wdpf, budget: &SearchBudget) -> Verdict {
+    if syntactic_containment(f1, f2) {
+        return Verdict::Contained;
+    }
+    match search_counterexample(f1, f2, budget) {
+        Some(ce) => Verdict::NotContained(Box::new(ce)),
+        None => Verdict::Unknown,
+    }
+}
+
+/// Decides equivalence as containment both ways.
+pub fn decide_equivalence(f1: &Wdpf, f2: &Wdpf, budget: &SearchBudget) -> (Verdict, Verdict) {
+    (
+        decide_containment(f1, f2, budget),
+        decide_containment(f2, f1, budget),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_algebra::parse_pattern;
+
+    fn forest(text: &str) -> Wdpf {
+        Wdpf::from_pattern(&parse_pattern(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cq_containment_is_exact() {
+        // pat2 ⊆ pat1 on equal variable sets: contained; converse refuted.
+        let p1 = forest("(?x, p, ?y) AND (?y, p, ?x)");
+        let p2 = forest("(?x, p, ?y) AND (?y, q, ?x)");
+        let both = forest("((?x, p, ?y) AND (?y, p, ?x)) AND (?y, q, ?x)");
+        assert!(syntactic_containment(&both, &p1));
+        assert!(!syntactic_containment(&p1, &both));
+        let ce = search_counterexample(&p1, &both, &SearchBudget::default()).unwrap();
+        assert!(ce.verify(&p1, &both));
+        assert!(decide_containment(&both, &p2, &SearchBudget::default()).is_contained());
+    }
+
+    #[test]
+    fn and_commutativity_is_proved_both_ways() {
+        let ab = forest("(?x, p, ?y) AND (?y, q, ?z)");
+        let ba = forest("(?y, q, ?z) AND (?x, p, ?y)");
+        let (fwd, bwd) = decide_equivalence(&ab, &ba, &SearchBudget::default());
+        assert!(fwd.is_contained() && bwd.is_contained());
+    }
+
+    #[test]
+    fn opt_left_arm_is_not_contained() {
+        // ⟦P⟧ ⊄ ⟦P OPT Q⟧: on graphs where Q matches, the left-arm
+        // mapping is not maximal. The frozen child-augmented canonical
+        // instance finds this immediately.
+        let left = forest("(?x, p, ?y)");
+        let opt = forest("(?x, p, ?y) OPT (?y, q, ?z)");
+        let v = decide_containment(&left, &opt, &SearchBudget::default());
+        let Verdict::NotContained(ce) = v else {
+            panic!("expected a counterexample");
+        };
+        assert!(ce.verify(&left, &opt));
+        // The witness graph must trigger the OPT arm.
+        assert!(ce.graph.iter().any(|t| t.p == Iri::new("q")));
+    }
+
+    #[test]
+    fn opt_to_and_containment() {
+        // ⟦P AND Q⟧ ⊆ ⟦P OPT Q⟧ always (an AND solution is an OPT
+        // solution with the extension present).
+        let and = forest("(?x, p, ?y) AND (?y, q, ?z)");
+        let opt = forest("(?x, p, ?y) OPT (?y, q, ?z)");
+        assert!(syntactic_containment(&and, &opt));
+        // Not conversely: an OPT solution without the extension has a
+        // smaller domain.
+        assert!(!syntactic_containment(&opt, &and));
+        let ce = search_counterexample(&opt, &and, &SearchBudget::default()).unwrap();
+        assert!(ce.verify(&opt, &and));
+    }
+
+    #[test]
+    fn union_branch_containment() {
+        let u = forest("(?x, p, ?y) UNION ((?x, q, ?y) AND (?x, p, ?y))");
+        let b = forest("(?x, p, ?y)");
+        // Each branch of u has solutions contained in... not quite: the
+        // second branch's solutions have domain {x,y} and satisfy the
+        // first branch's pattern, so u ⊆ b should be *provable*.
+        assert!(syntactic_containment(&u, &b));
+        // b ⊆ u holds too (the first branch is b itself).
+        assert!(syntactic_containment(&b, &u));
+    }
+
+    #[test]
+    fn self_containment_always_holds() {
+        for text in [
+            "(?x, p, ?y)",
+            "(?x, p, ?y) OPT (?y, q, ?z)",
+            "((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2))",
+            "(?x, p, ?y) UNION (?x, q, ?y)",
+        ] {
+            let f = forest(text);
+            assert!(syntactic_containment(&f, &f), "{text} ⊈ itself");
+        }
+    }
+
+    #[test]
+    fn exhaustive_search_matches_targeted_search() {
+        let left = forest("(?x, p, ?y)");
+        let opt = forest("(?x, p, ?y) OPT (?y, q, ?z)");
+        let ce = exhaustive_counterexample(&left, &opt, 2, 2).unwrap();
+        assert!(ce.verify(&left, &opt));
+        // Equivalent patterns have no counterexample at this size.
+        let ab = forest("(?x, p, ?y) AND (?y, q, ?z)");
+        let ba = forest("(?y, q, ?z) AND (?x, p, ?y)");
+        assert!(exhaustive_counterexample(&ab, &ba, 2, 2).is_none());
+    }
+
+    #[test]
+    fn nested_opt_subtlety_is_caught() {
+        // Deepening an OPT chain is not containment-preserving in either
+        // direction; both verdicts must be NotContained with verified
+        // witnesses (never Unknown on these).
+        let shallow = forest("(?x, p, ?y) OPT (?y, q, ?z)");
+        let deep = forest("(?x, p, ?y) OPT ((?y, q, ?z) OPT (?z, r, ?w))");
+        let (fwd, bwd) = decide_equivalence(&shallow, &deep, &SearchBudget::default());
+        assert!(fwd.is_not_contained(), "{fwd:?}");
+        assert!(bwd.is_not_contained(), "{bwd:?}");
+    }
+}

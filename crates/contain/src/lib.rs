@@ -1,0 +1,44 @@
+//! # wdsparql-contain
+//!
+//! Static analysis of well-designed SPARQL patterns: **containment**,
+//! **equivalence** and **subsumption** — the optimisation problems the
+//! paper's §3.2 contrasts with evaluation ("containment of UNION-free
+//! patterns can be characterised in very simple terms, while the general
+//! case requires more involved characterisations", citing Pichler–Skritek
+//! PODS'14 and Kostylev et al.).
+//!
+//! For solution *sets* there are two natural orders:
+//!
+//! * **containment** `⟦P1⟧_G ⊆ ⟦P2⟧_G` — literal set inclusion of
+//!   mappings (domains must match exactly);
+//! * **subsumption** `⟦P1⟧_G ⊑ ⟦P2⟧_G` — every `µ1` is extended by some
+//!   `µ2` (the order under which OPT maximises).
+//!
+//! Deciding containment *over all graphs* is Πᵖ₂-complete for
+//! well-designed patterns, so this crate offers a three-valued decision
+//! ([`Verdict`]):
+//!
+//! * [`syntactic_containment`] — a **sound** Chandra–Merlin-style test
+//!   lifted to pattern trees through the Lemma 1 characterisation:
+//!   if it accepts, containment holds on *every* graph (a proof sketch
+//!   accompanies the function);
+//! * [`search_counterexample`] — a **sound refuter**: canonical frozen
+//!   instances of every subtree, child-augmented variants, and a seeded
+//!   random battery; any hit is a verified witness of non-containment;
+//! * [`exhaustive_counterexample`] — complete for counterexamples up to a
+//!   given size: enumerates every graph over the queries' predicates and
+//!   a bounded constant pool;
+//! * [`decide_containment`] / [`decide_equivalence`] — combine the three.
+//!
+//! On a *fixed* graph everything is decidable outright ([`on_graph`]).
+
+pub mod decide;
+pub mod on_graph;
+pub mod order;
+
+pub use decide::{
+    decide_containment, decide_equivalence, exhaustive_counterexample, search_counterexample,
+    syntactic_containment, Counterexample, SearchBudget, Verdict,
+};
+pub use on_graph::{containment_violations, contained_on, equivalent_on, subsumed_on};
+pub use order::{max_solutions, set_subsumed, subsumed};

@@ -1,0 +1,96 @@
+//! The subsumption order on mappings and solution sets.
+//!
+//! `µ1 ⊑ µ2` ("µ2 extends µ1") iff `dom(µ1) ⊆ dom(µ2)` and the two agree
+//! on `dom(µ1)`. This is the order under which OPT returns maximal
+//! solutions, and the order used by the *subsumption* variant of
+//! containment (Pichler–Skritek call the associated set relation `⊑`).
+
+use wdsparql_algebra::SolutionSet;
+use wdsparql_rdf::Mapping;
+
+/// `µ1 ⊑ µ2`: does `µ2` extend `µ1`?
+pub fn subsumed(mu1: &Mapping, mu2: &Mapping) -> bool {
+    mu1.iter().all(|(v, i)| mu2.get(v) == Some(i))
+}
+
+/// `A ⊑ B`: every mapping of `A` is extended by some mapping of `B`.
+pub fn set_subsumed(a: &SolutionSet, b: &SolutionSet) -> bool {
+    a.iter().all(|mu| b.iter().any(|nu| subsumed(mu, nu)))
+}
+
+/// The ⊑-maximal elements of a solution set (duplicates collapse since
+/// `SolutionSet` is a set).
+pub fn max_solutions(sols: &SolutionSet) -> SolutionSet {
+    sols.iter()
+        .filter(|mu| {
+            !sols
+                .iter()
+                .any(|nu| nu != *mu && subsumed(mu, nu))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, &str)]) -> Mapping {
+        Mapping::from_strs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn subsumption_is_extension() {
+        let small = m(&[("x", "a")]);
+        let big = m(&[("x", "a"), ("y", "b")]);
+        let other = m(&[("x", "b"), ("y", "b")]);
+        assert!(subsumed(&small, &big));
+        assert!(!subsumed(&big, &small));
+        assert!(!subsumed(&small, &other));
+        // Reflexivity and the empty mapping as bottom.
+        assert!(subsumed(&big, &big));
+        assert!(subsumed(&Mapping::new(), &small));
+    }
+
+    #[test]
+    fn subsumption_is_a_partial_order() {
+        let a = m(&[("x", "a")]);
+        let b = m(&[("x", "a"), ("y", "b")]);
+        let c = m(&[("x", "a"), ("y", "b"), ("z", "c")]);
+        // Transitivity.
+        assert!(subsumed(&a, &b) && subsumed(&b, &c) && subsumed(&a, &c));
+        // Antisymmetry: mutual subsumption implies equality.
+        let a2 = m(&[("x", "a")]);
+        assert!(subsumed(&a, &a2) && subsumed(&a2, &a) && a == a2);
+    }
+
+    #[test]
+    fn set_subsumption_and_maximal_elements() {
+        let sols: SolutionSet = [
+            m(&[("x", "a")]),
+            m(&[("x", "a"), ("y", "b")]),
+            m(&[("x", "c")]),
+        ]
+        .into_iter()
+        .collect();
+        let maxes = max_solutions(&sols);
+        assert_eq!(maxes.len(), 2);
+        assert!(maxes.contains(&m(&[("x", "a"), ("y", "b")])));
+        assert!(maxes.contains(&m(&[("x", "c")])));
+        // The full set is subsumed by its maximal elements, and vice versa
+        // is false only when a maximal element is missing below.
+        assert!(set_subsumed(&sols, &maxes));
+        assert!(set_subsumed(&maxes, &sols));
+        let partial: SolutionSet = [m(&[("x", "a")])].into_iter().collect();
+        assert!(set_subsumed(&partial, &sols));
+        assert!(!set_subsumed(&sols, &partial));
+    }
+
+    #[test]
+    fn incomparable_mappings_are_not_subsumed() {
+        let a = m(&[("x", "a")]);
+        let b = m(&[("y", "b")]);
+        assert!(!subsumed(&a, &b));
+        assert!(!subsumed(&b, &a));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the containment machinery: the three-valued verdict
+//! must never contradict ground truth.
+//!
+//! * If `syntactic_containment(F1, F2)` accepts, then `⟦F1⟧_G ⊆ ⟦F2⟧_G`
+//!   on every graph in a random battery (soundness of `Contained`).
+//! * Any counterexample returned by the search verifies semantically
+//!   (soundness of `NotContained`).
+//! * `contained_on`/`subsumed_on`/`equivalent_on` are consistent with
+//!   each other on every instance.
+
+use proptest::prelude::*;
+use wdsparql_contain::{
+    contained_on, decide_containment, equivalent_on, search_counterexample, set_subsumed,
+    subsumed_on, syntactic_containment, SearchBudget, Verdict,
+};
+use wdsparql_core::enumerate_forest;
+use wdsparql_workloads::{random_graph, random_wdpf, RandomTreeParams};
+
+fn small_params() -> RandomTreeParams {
+    RandomTreeParams {
+        max_nodes: 3,
+        max_fanout: 2,
+        max_triples_per_node: 2,
+        n_predicates: 2,
+        reuse_bias: 0.7,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Syntactic containment is sound: accepted pairs are contained on
+    /// every random graph probed.
+    #[test]
+    fn syntactic_containment_is_sound(
+        seed1 in 0u64..2000,
+        seed2 in 0u64..2000,
+        gseed in 0u64..2000,
+    ) {
+        let f1 = random_wdpf(small_params(), seed1);
+        let f2 = random_wdpf(small_params(), seed2);
+        if syntactic_containment(&f1, &f2) {
+            for i in 0..6 {
+                let g = random_graph(4, 8, &["p0", "p1"], gseed.wrapping_add(i));
+                prop_assert!(
+                    contained_on(&f1, &f2, &g),
+                    "claimed containment violated on graph seed {}",
+                    gseed.wrapping_add(i)
+                );
+            }
+        }
+    }
+
+    /// Counterexamples verify; verdicts never conflict with each other.
+    #[test]
+    fn verdicts_are_consistent(
+        seed1 in 0u64..2000,
+        seed2 in 0u64..2000,
+    ) {
+        let f1 = random_wdpf(small_params(), seed1);
+        let f2 = random_wdpf(small_params(), seed2);
+        let budget = SearchBudget { random_graphs: 40, ..SearchBudget::default() };
+        if let Some(ce) = search_counterexample(&f1, &f2, &budget) {
+            prop_assert!(ce.verify(&f1, &f2));
+            // A verified counterexample forbids the Contained verdict.
+            prop_assert!(!syntactic_containment(&f1, &f2));
+        }
+        match decide_containment(&f1, &f2, &budget) {
+            Verdict::Contained => prop_assert!(syntactic_containment(&f1, &f2)),
+            Verdict::NotContained(ce) => prop_assert!(ce.verify(&f1, &f2)),
+            Verdict::Unknown => {}
+        }
+    }
+
+    /// Self-containment always holds and is always proved.
+    #[test]
+    fn self_containment_is_proved(seed in 0u64..4000) {
+        let f = random_wdpf(small_params(), seed);
+        prop_assert!(syntactic_containment(&f, &f));
+    }
+
+    /// On-graph relations are mutually consistent: containment implies
+    /// subsumption; equivalence is two-way containment.
+    #[test]
+    fn on_graph_relations_are_consistent(
+        seed1 in 0u64..2000,
+        seed2 in 0u64..2000,
+        gseed in 0u64..2000,
+    ) {
+        let f1 = random_wdpf(small_params(), seed1);
+        let f2 = random_wdpf(small_params(), seed2);
+        let g = random_graph(4, 8, &["p0", "p1"], gseed);
+        let c12 = contained_on(&f1, &f2, &g);
+        let c21 = contained_on(&f2, &f1, &g);
+        if c12 {
+            prop_assert!(subsumed_on(&f1, &f2, &g));
+        }
+        prop_assert_eq!(equivalent_on(&f1, &f2, &g), c12 && c21);
+        // set_subsumed is reflexive on the actual solution sets.
+        let sols = enumerate_forest(&f1, &g);
+        prop_assert!(set_subsumed(&sols, &sols));
+    }
+}

@@ -1,0 +1,146 @@
+//! Full solution enumeration `⟦T⟧_G` / `⟦F⟧_G` over pattern trees.
+//!
+//! Works top-down from the root: for a homomorphism of the current node
+//! (compatible with the bindings accumulated on its branch), each child
+//! either has no compatible extension (it is skipped — and, by Lemma 1,
+//! *must* be skipped) or contributes one of its recursively-maximal
+//! extensions (it *must* extend). Sibling subtrees share no private
+//! variables (condition (3) of wdPTs), so their extensions combine by
+//! cartesian product.
+
+use wdsparql_algebra::SolutionSet;
+use wdsparql_hom::all_homs_into_graph;
+use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_tree::{NodeId, Wdpf, Wdpt};
+
+/// Enumerates `⟦T⟧_G`.
+pub fn enumerate_tree(t: &Wdpt, g: &RdfGraph) -> SolutionSet {
+    solutions_below(t, g, t.root(), &Mapping::new())
+        .into_iter()
+        .collect()
+}
+
+/// Enumerates `⟦F⟧_G = ⋃_i ⟦T_i⟧_G`.
+pub fn enumerate_forest(f: &Wdpf, g: &RdfGraph) -> SolutionSet {
+    let mut out = SolutionSet::new();
+    for t in &f.trees {
+        out.extend(enumerate_tree(t, g));
+    }
+    out
+}
+
+/// All maximal solutions of the subtree rooted at `n`, each including the
+/// bindings of `base` (the mapping accumulated along the branch) plus the
+/// bindings of `n`'s own pattern and of every extendable descendant.
+fn solutions_below(t: &Wdpt, g: &RdfGraph, n: NodeId, base: &Mapping) -> Vec<Mapping> {
+    let mut out = Vec::new();
+    for nu in all_homs_into_graph(t.pat(n), g, base) {
+        let combined = base
+            .union(&nu)
+            .expect("solver extensions agree with their fixed bindings");
+        // Children combine by product; a child with no extension is absent.
+        let mut partials = vec![combined.clone()];
+        for &c in t.children(n) {
+            let exts = solutions_below(t, g, c, &combined);
+            if exts.is_empty() {
+                continue;
+            }
+            let mut next = Vec::with_capacity(partials.len() * exts.len());
+            for p in &partials {
+                for e in &exts {
+                    let u = p
+                        .union(e)
+                        .expect("sibling extensions share only branch variables");
+                    next.push(u);
+                }
+            }
+            partials = next;
+        }
+        out.extend(partials);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_algebra::{eval, parse_pattern};
+
+    fn assert_matches_reference(text: &str, g: &RdfGraph) {
+        let p = parse_pattern(text).unwrap();
+        let f = Wdpf::from_pattern(&p).unwrap();
+        assert_eq!(
+            enumerate_forest(&f, g),
+            eval(&p, g),
+            "enumeration diverges from reference semantics for {text}"
+        );
+    }
+
+    fn sample_graph() -> RdfGraph {
+        RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("z0", "q", "a"),
+            ("b", "r", "c"),
+            ("c", "r", "d"),
+            ("e", "p", "f"),
+            ("w0", "q", "z0"),
+            ("d", "q", "a"),
+        ])
+    }
+
+    #[test]
+    fn matches_reference_on_simple_patterns() {
+        let g = sample_graph();
+        assert_matches_reference("(?x, p, ?y)", &g);
+        assert_matches_reference("((?x, p, ?y) AND (?y, r, ?u))", &g);
+        assert_matches_reference("((?x, p, ?y) OPT (?y, r, ?u))", &g);
+    }
+
+    #[test]
+    fn matches_reference_on_nested_opts() {
+        let g = sample_graph();
+        assert_matches_reference(
+            "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))",
+            &g,
+        );
+        assert_matches_reference("((?x, p, ?y) OPT ((?z, q, ?x) AND (?w, q, ?z)))", &g);
+        assert_matches_reference("((?x, p, ?y) OPT ((?y, r, ?u) OPT (?u, r, ?v)))", &g);
+    }
+
+    #[test]
+    fn matches_reference_on_unions() {
+        let g = sample_graph();
+        assert_matches_reference(
+            "((?x, p, ?y) OPT (?y, r, ?u)) UNION ((?x, q, ?y) OPT (?y, p, ?u))",
+            &g,
+        );
+    }
+
+    #[test]
+    fn sibling_children_multiply() {
+        // Two independent OPT branches, both extendable twice.
+        let g = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("b", "q", "c1"),
+            ("b", "q", "c2"),
+            ("a", "r", "d1"),
+            ("a", "r", "d2"),
+        ]);
+        assert_matches_reference(
+            "(((?x, p, ?y) OPT (?y, q, ?u)) OPT (?x, r, ?v))",
+            &g,
+        );
+        let f = Wdpf::from_pattern(
+            &parse_pattern("(((?x, p, ?y) OPT (?y, q, ?u)) OPT (?x, r, ?v))").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(enumerate_forest(&f, &g).len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_has_no_solutions() {
+        let f = Wdpf::from_pattern(&parse_pattern("(?x, p, ?y)").unwrap()).unwrap();
+        assert!(enumerate_forest(&f, &RdfGraph::new()).is_empty());
+    }
+}

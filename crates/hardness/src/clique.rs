@@ -1,0 +1,98 @@
+//! A baseline clique solver, used to cross-check the p-CLIQUE reduction
+//! end-to-end (experiment E10).
+
+use wdsparql_hom::UGraph;
+
+/// Does `h` contain a clique of size `k`? Branch-and-bound backtracking
+/// with degree pruning — exponential, but `H` is the *parameter-sized*
+/// side of the reduction.
+pub fn has_k_clique(h: &UGraph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if k == 1 {
+        return h.n() > 0;
+    }
+    let candidates: Vec<usize> = (0..h.n()).filter(|&v| h.degree(v) + 1 >= k).collect();
+    let mut clique: Vec<usize> = Vec::with_capacity(k);
+    extend(h, k, &mut clique, &candidates)
+}
+
+fn extend(h: &UGraph, k: usize, clique: &mut Vec<usize>, candidates: &[usize]) -> bool {
+    if clique.len() == k {
+        return true;
+    }
+    if clique.len() + candidates.len() < k {
+        return false;
+    }
+    for (idx, &v) in candidates.iter().enumerate() {
+        clique.push(v);
+        let next: Vec<usize> = candidates[idx + 1..]
+            .iter()
+            .copied()
+            .filter(|&u| h.has_edge(u, v))
+            .collect();
+        if extend(h, k, clique, &next) {
+            return true;
+        }
+        clique.pop();
+    }
+    false
+}
+
+/// The maximum clique size of `h` (for small graphs).
+pub fn max_clique_size(h: &UGraph) -> usize {
+    let mut k = 0;
+    while has_k_clique(h, k + 1) {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_cliques() {
+        let g = UGraph::complete(5);
+        assert!(has_k_clique(&g, 5));
+        assert!(!has_k_clique(&g, 6));
+        assert_eq!(max_clique_size(&g), 5);
+    }
+
+    #[test]
+    fn cycle_has_no_triangle() {
+        assert!(!has_k_clique(&UGraph::cycle(5), 3));
+        assert!(has_k_clique(&UGraph::cycle(5), 2));
+        assert_eq!(max_clique_size(&UGraph::cycle(5)), 2);
+    }
+
+    #[test]
+    fn grid_max_clique_is_two() {
+        assert_eq!(max_clique_size(&UGraph::grid(3, 3)), 2);
+    }
+
+    #[test]
+    fn edgeless_and_trivial_cases() {
+        let g = UGraph::new(4);
+        assert!(has_k_clique(&g, 0));
+        assert!(has_k_clique(&g, 1));
+        assert!(!has_k_clique(&g, 2));
+        assert_eq!(max_clique_size(&UGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn planted_clique_is_found() {
+        let mut g = UGraph::cycle(8);
+        for u in [1usize, 3, 5, 7] {
+            for v in [1usize, 3, 5, 7] {
+                if u < v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        assert!(has_k_clique(&g, 4));
+        assert!(!has_k_clique(&g, 5));
+    }
+}

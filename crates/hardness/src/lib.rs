@@ -1,0 +1,31 @@
+//! # wdsparql-hardness
+//!
+//! The W\[1\]-hardness machinery of §4: minor maps and grid minors
+//! ([`minor`]), the Lemma 2 construction `(B, X)` ([`mod@lemma2`]), the
+//! Lemma 3 witness search ([`mod@lemma3`]), a baseline clique solver
+//! ([`clique`]) and the full fpt-reduction from p-CLIQUE to
+//! p-co-wdEVAL ([`reduction`]).
+//!
+//! Substitution note (see DESIGN.md): the Robertson–Seymour excluded-grid
+//! function `w` is replaced by direct minor-map construction on query
+//! families with explicitly known grid/clique structure; everything
+//! downstream of the minor map is the paper's construction verbatim.
+
+pub mod clique;
+pub mod emb;
+pub mod lemma2;
+pub mod lemma3;
+pub mod minor;
+pub mod reduction;
+
+pub use clique::{has_k_clique, max_clique_size};
+pub use emb::{emb_brute_force, emb_query, emb_target, emb_via_filter};
+pub use lemma2::{lemma2, pair_bijection, slot_respecting_hom_exists, Lemma2, Lemma2Error};
+pub use lemma3::{lemma3_witness, Lemma3Witness};
+pub use minor::{
+    clique_minor_map, embed_grid, find_grid_minor_onto, grid_identity_map, make_onto,
+    validate_minor_map, MinorMap,
+};
+pub use reduction::{
+    clique_family_parameter, reduce_clique, ReductionError, ReductionInstance,
+};

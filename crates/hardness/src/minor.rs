@@ -1,0 +1,277 @@
+//! Grid minors and minor maps (§4.2 / appendix).
+//!
+//! A *minor map* from `H` to `H'` assigns to each vertex of `H` a
+//! non-empty connected *branch set* of `H'`, pairwise disjoint, such that
+//! every edge of `H` is witnessed between the corresponding branch sets.
+//! The Lemma 2 construction needs a minor map from the `(k × K)`-grid
+//! **onto** its target component, so [`make_onto`] absorbs uncovered
+//! vertices into adjacent branch sets (always possible on a connected
+//! target).
+//!
+//! The paper obtains grid minors from the Robertson–Seymour Excluded Grid
+//! Theorem, whose bounding function `w` is astronomically large and
+//! non-constructive in practice. As documented in DESIGN.md, we instead
+//! (a) take the identity map when the target *is* a grid, (b) take
+//! singleton branch sets into cliques, and (c) fall back to a brute-force
+//! subgraph embedding for small targets. The construction downstream is
+//! unchanged.
+
+use wdsparql_hom::UGraph;
+
+/// A minor map from the `rows × cols` grid to a target graph: grid vertex
+/// `(i, p)` (1-based in the paper; 0-based here) owns branch set
+/// `gamma[i * cols + p]`.
+#[derive(Clone, Debug)]
+pub struct MinorMap {
+    pub rows: usize,
+    pub cols: usize,
+    pub gamma: Vec<Vec<usize>>,
+}
+
+impl MinorMap {
+    /// Branch set of grid vertex `(i, p)` (0-based).
+    pub fn branch(&self, i: usize, p: usize) -> &[usize] {
+        &self.gamma[i * self.cols + p]
+    }
+
+    /// The grid vertex owning target vertex `a`, if any (branch sets are
+    /// disjoint).
+    pub fn owner(&self, a: usize) -> Option<(usize, usize)> {
+        for i in 0..self.rows {
+            for p in 0..self.cols {
+                if self.branch(i, p).contains(&a) {
+                    return Some((i, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Is this map onto (every target vertex covered)?
+    pub fn is_onto(&self, target_n: usize) -> bool {
+        (0..target_n).all(|a| self.owner(a).is_some())
+    }
+}
+
+/// Validates the three minor-map conditions against `target`.
+pub fn validate_minor_map(map: &MinorMap, target: &UGraph) -> Result<(), String> {
+    let grid = UGraph::grid(map.rows, map.cols);
+    if map.gamma.len() != map.rows * map.cols {
+        return Err("wrong number of branch sets".into());
+    }
+    let mut seen = vec![false; target.n()];
+    for (idx, branch) in map.gamma.iter().enumerate() {
+        if branch.is_empty() {
+            return Err(format!("branch set {idx} is empty"));
+        }
+        for &a in branch {
+            if a >= target.n() {
+                return Err(format!("vertex {a} out of range"));
+            }
+            if seen[a] {
+                return Err(format!("vertex {a} in two branch sets"));
+            }
+            seen[a] = true;
+        }
+        // Connectivity of the branch set.
+        let (sub, _) = target.induced(branch);
+        if !sub.is_connected() {
+            return Err(format!("branch set {idx} is not connected"));
+        }
+    }
+    for (u, v) in grid.edges() {
+        let found = map.gamma[u]
+            .iter()
+            .any(|&a| map.gamma[v].iter().any(|&b| target.has_edge(a, b)));
+        if !found {
+            return Err(format!("grid edge ({u},{v}) not witnessed"));
+        }
+    }
+    Ok(())
+}
+
+/// The identity minor map when the target *is* the `rows × cols` grid.
+pub fn grid_identity_map(rows: usize, cols: usize) -> MinorMap {
+    MinorMap {
+        rows,
+        cols,
+        gamma: (0..rows * cols).map(|v| vec![v]).collect(),
+    }
+}
+
+/// Singleton branch sets into a clique `K_m` with `m ≥ rows·cols` (any
+/// graph is a minor of a same-size clique).
+pub fn clique_minor_map(rows: usize, cols: usize, clique_n: usize) -> Option<MinorMap> {
+    (clique_n >= rows * cols).then(|| MinorMap {
+        rows,
+        cols,
+        gamma: (0..rows * cols).map(|v| vec![v]).collect(),
+    })
+}
+
+/// Brute-force subgraph embedding of the grid into `target` (singleton
+/// branch sets): feasible only for small targets; used as a fallback for
+/// irregular graphs in tests.
+pub fn embed_grid(target: &UGraph, rows: usize, cols: usize) -> Option<MinorMap> {
+    let grid = UGraph::grid(rows, cols);
+    let gn = grid.n();
+    if gn > target.n() {
+        return None;
+    }
+    let mut assign: Vec<usize> = Vec::with_capacity(gn);
+    fn rec(grid: &UGraph, target: &UGraph, assign: &mut Vec<usize>) -> bool {
+        let next = assign.len();
+        if next == grid.n() {
+            return true;
+        }
+        for cand in 0..target.n() {
+            if assign.contains(&cand) {
+                continue;
+            }
+            let ok = (0..next).all(|prev| {
+                !grid.has_edge(prev, next) || target.has_edge(assign[prev], cand)
+            });
+            if ok {
+                assign.push(cand);
+                if rec(grid, target, assign) {
+                    return true;
+                }
+                assign.pop();
+            }
+        }
+        false
+    }
+    rec(&grid, target, &mut assign).then(|| MinorMap {
+        rows,
+        cols,
+        gamma: assign.into_iter().map(|a| vec![a]).collect(),
+    })
+}
+
+/// Extends a minor map to be **onto** a connected target by absorbing each
+/// uncovered vertex into an adjacent branch set (preserves connectivity,
+/// disjointness and edge witnesses).
+pub fn make_onto(mut map: MinorMap, target: &UGraph) -> MinorMap {
+    let mut owner: Vec<Option<usize>> = vec![None; target.n()];
+    for (idx, branch) in map.gamma.iter().enumerate() {
+        for &a in branch {
+            owner[a] = Some(idx);
+        }
+    }
+    loop {
+        let mut grew = false;
+        for a in 0..target.n() {
+            if owner[a].is_some() {
+                continue;
+            }
+            if let Some(idx) = target.neighbors(a).iter().find_map(|nb| owner[nb]) {
+                owner[a] = Some(idx);
+                map.gamma[idx].push(a);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    map
+}
+
+/// One-stop shop: find a minor map from the `rows × cols` grid onto
+/// `target` (connected). Tries the identity (target is the grid), clique
+/// shortcut, then brute-force embedding; extends to onto.
+pub fn find_grid_minor_onto(target: &UGraph, rows: usize, cols: usize) -> Option<MinorMap> {
+    let grid = UGraph::grid(rows, cols);
+    let candidate = if target.n() == grid.n() && target == &grid {
+        Some(grid_identity_map(rows, cols))
+    } else if is_clique(target) {
+        clique_minor_map(rows, cols, target.n())
+    } else {
+        embed_grid(target, rows, cols)
+    }?;
+    let onto = make_onto(candidate, target);
+    validate_minor_map(&onto, target).ok()?;
+    onto.is_onto(target.n()).then_some(onto)
+}
+
+fn is_clique(g: &UGraph) -> bool {
+    let n = g.n();
+    g.edge_count() == n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_map_validates() {
+        let g = UGraph::grid(3, 3);
+        let m = grid_identity_map(3, 3);
+        assert!(validate_minor_map(&m, &g).is_ok());
+        assert!(m.is_onto(9));
+    }
+
+    #[test]
+    fn clique_map_validates_and_becomes_onto() {
+        let g = UGraph::complete(7);
+        let m = clique_minor_map(2, 2, 7).unwrap();
+        assert!(validate_minor_map(&m, &g).is_ok());
+        assert!(!m.is_onto(7));
+        let onto = make_onto(m, &g);
+        assert!(validate_minor_map(&onto, &g).is_ok());
+        assert!(onto.is_onto(7));
+    }
+
+    #[test]
+    fn clique_too_small_fails() {
+        assert!(clique_minor_map(3, 3, 8).is_none());
+    }
+
+    #[test]
+    fn embed_grid_into_supergraph() {
+        // A 2x2 grid (= C4) embeds into the 3x3 grid.
+        let target = UGraph::grid(3, 3);
+        let m = embed_grid(&target, 2, 2).unwrap();
+        assert!(validate_minor_map(&m, &target).is_ok());
+    }
+
+    #[test]
+    fn embed_fails_into_too_sparse_target() {
+        // 2x2 grid needs a 4-cycle; a tree has none.
+        let target = UGraph::path(6);
+        assert!(embed_grid(&target, 2, 2).is_none());
+    }
+
+    #[test]
+    fn find_grid_minor_onto_end_to_end() {
+        for target in [UGraph::grid(3, 3), UGraph::complete(10)] {
+            let m = find_grid_minor_onto(&target, 3, 3).expect("minor map exists");
+            assert!(validate_minor_map(&m, &target).is_ok());
+            assert!(m.is_onto(target.n()));
+        }
+        // Path target cannot host a 2x2 grid minor (treewidth 1 < 2).
+        assert!(find_grid_minor_onto(&UGraph::path(8), 2, 2).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_bad_maps() {
+        let g = UGraph::grid(2, 2);
+        // Overlapping branch sets.
+        let bad = MinorMap {
+            rows: 2,
+            cols: 2,
+            gamma: vec![vec![0], vec![0], vec![2], vec![3]],
+        };
+        assert!(validate_minor_map(&bad, &g).is_err());
+        // Missing edge witness: map C4 vertices so a grid edge is broken.
+        let mut h = UGraph::new(4);
+        h.add_edge(0, 1);
+        h.add_edge(2, 3);
+        let broken = MinorMap {
+            rows: 2,
+            cols: 2,
+            gamma: vec![vec![0], vec![1], vec![2], vec![3]],
+        };
+        assert!(validate_minor_map(&broken, &h).is_err());
+    }
+}

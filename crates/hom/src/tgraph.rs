@@ -1,0 +1,398 @@
+//! Triple pattern graphs (t-graphs) and generalised t-graphs.
+//!
+//! A *t-graph* is a finite set `S` of triple patterns (§2.1). A *generalised
+//! t-graph* is a pair `(S, X)` with `X ⊆ vars(S)` a set of distinguished
+//! variables that homomorphisms must fix pointwise (§3). Generalised
+//! t-graphs correspond to conjunctive queries over one ternary relation,
+//! with `X` the free variables and IRIs the constants.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple, TriplePattern, Variable};
+
+/// A partial substitution `h : V → I ∪ V`, the witness type for
+/// homomorphisms between t-graphs.
+pub type VarMap = BTreeMap<Variable, Term>;
+
+/// A finite set of triple patterns.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TGraph {
+    triples: BTreeSet<TriplePattern>,
+}
+
+impl TGraph {
+    pub fn new() -> TGraph {
+        TGraph::default()
+    }
+
+    pub fn from_patterns<I>(patterns: I) -> TGraph
+    where
+        I: IntoIterator<Item = TriplePattern>,
+    {
+        TGraph {
+            triples: patterns.into_iter().collect(),
+        }
+    }
+
+    /// Interprets an RDF graph as the (ground) t-graph it is.
+    pub fn from_rdf(g: &RdfGraph) -> TGraph {
+        TGraph::from_patterns(g.iter().map(|&t| TriplePattern::from(t)))
+    }
+
+    pub fn insert(&mut self, t: TriplePattern) -> bool {
+        self.triples.insert(t)
+    }
+
+    pub fn contains(&self, t: &TriplePattern) -> bool {
+        self.triples.contains(t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TriplePattern> {
+        self.triples.iter()
+    }
+
+    /// `vars(S)`: all variables occurring in some triple pattern.
+    pub fn vars(&self) -> BTreeSet<Variable> {
+        self.triples
+            .iter()
+            .flat_map(|t| t.var_occurrences())
+            .collect()
+    }
+
+    /// All IRIs occurring in some triple pattern.
+    pub fn iris(&self) -> BTreeSet<Iri> {
+        self.triples
+            .iter()
+            .flat_map(|t| t.positions())
+            .filter_map(Term::as_iri)
+            .collect()
+    }
+
+    /// All terms (variables and IRIs) occurring in the t-graph.
+    pub fn terms(&self) -> BTreeSet<Term> {
+        self.triples.iter().flat_map(|t| t.positions()).collect()
+    }
+
+    /// Set union of two t-graphs.
+    pub fn union(&self, other: &TGraph) -> TGraph {
+        let mut out = self.clone();
+        out.triples.extend(other.triples.iter().copied());
+        out
+    }
+
+    /// `S ⊆ S'`?
+    pub fn is_subset(&self, other: &TGraph) -> bool {
+        self.triples.is_subset(&other.triples)
+    }
+
+    /// The sub-t-graph of triples *not* mentioning variable `v`
+    /// (`S − v`, the target used for core retractions).
+    pub fn without_var(&self, v: Variable) -> TGraph {
+        TGraph::from_patterns(
+            self.triples
+                .iter()
+                .filter(|t| t.var_occurrences().all(|u| u != v))
+                .copied(),
+        )
+    }
+
+    /// The set difference `S \ S'`.
+    pub fn difference(&self, other: &TGraph) -> TGraph {
+        TGraph::from_patterns(
+            self.triples
+                .iter()
+                .filter(|t| !other.contains(t))
+                .copied(),
+        )
+    }
+
+    /// Applies a substitution to every triple (the image `h(S)`).
+    pub fn apply(&self, h: &VarMap) -> TGraph {
+        let f = |v: Variable| h.get(&v).copied();
+        TGraph::from_patterns(self.triples.iter().map(|t| t.substitute(&f)))
+    }
+
+    /// Applies a mapping `µ` to bound variables, leaving the rest in place.
+    pub fn apply_mapping(&self, mu: &Mapping) -> TGraph {
+        TGraph::from_patterns(self.triples.iter().map(|t| t.apply_partial(mu)))
+    }
+
+    /// If the t-graph is ground, the RDF graph it denotes.
+    pub fn as_rdf(&self) -> Option<RdfGraph> {
+        let mut g = RdfGraph::new();
+        for t in &self.triples {
+            g.insert(t.as_triple()?);
+        }
+        Some(g)
+    }
+
+    /// Whether `µ` (with `vars(S) ⊆ dom(µ)`) maps every triple into `G`.
+    pub fn maps_into_under(&self, mu: &Mapping, g: &RdfGraph) -> bool {
+        self.triples.iter().all(|t| match t.apply(mu) {
+            Some(ground) => g.contains(&ground),
+            None => false,
+        })
+    }
+}
+
+impl FromIterator<TriplePattern> for TGraph {
+    fn from_iter<T: IntoIterator<Item = TriplePattern>>(iter: T) -> TGraph {
+        TGraph::from_patterns(iter)
+    }
+}
+
+impl fmt::Display for TGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.triples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for TGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A generalised t-graph `(S, X)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GenTGraph {
+    pub s: TGraph,
+    pub x: BTreeSet<Variable>,
+}
+
+impl GenTGraph {
+    /// Creates `(S, X)`. The paper requires `X ⊆ vars(S)`; we tolerate
+    /// extra `X`-variables (they are simply fixed points with no
+    /// occurrences) but debug-assert the intended invariant to catch
+    /// construction bugs early.
+    pub fn new(s: TGraph, x: impl IntoIterator<Item = Variable>) -> GenTGraph {
+        let x: BTreeSet<Variable> = x.into_iter().collect();
+        debug_assert!(
+            x.iter().all(|v| s.vars().contains(v)),
+            "X ⊄ vars(S): {:?} vs {}",
+            x,
+            s
+        );
+        GenTGraph { s, x }
+    }
+
+    /// The non-distinguished (existential) variables `vars(S) \ X`.
+    pub fn existential_vars(&self) -> BTreeSet<Variable> {
+        self.s
+            .vars()
+            .into_iter()
+            .filter(|v| !self.x.contains(v))
+            .collect()
+    }
+
+    /// `(S', X)` is a subgraph of `(S, X)` if `S' ⊆ S`.
+    pub fn is_subgraph_of(&self, other: &GenTGraph) -> bool {
+        self.x == other.x && self.s.is_subset(&other.s)
+    }
+
+    /// Total size (number of triple patterns).
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    /// Freezes the variables of `S` into IRIs (the map `Ψ` of §4.2),
+    /// returning the frozen RDF graph together with `Ψ` restricted to the
+    /// given variables as a `Mapping`.
+    ///
+    /// Each variable `?x` freezes to the IRI `a?x` — rendered as
+    /// `frozen:<name>` so frozen IRIs cannot collide with user IRIs that
+    /// would change homomorphism behaviour.
+    pub fn freeze(&self, restrict_to: &BTreeSet<Variable>) -> (RdfGraph, Mapping) {
+        let psi: BTreeMap<Variable, Iri> = self
+            .s
+            .vars()
+            .into_iter()
+            .map(|v| (v, frozen_iri(v)))
+            .collect();
+        let mut g = RdfGraph::new();
+        for t in self.s.iter() {
+            let f = |term: Term| match term {
+                Term::Iri(i) => i,
+                Term::Var(v) => psi[&v],
+            };
+            g.insert(Triple::new(f(t.s), f(t.p), f(t.o)));
+        }
+        let mu = Mapping::from_pairs(
+            psi.iter()
+                .filter(|(v, _)| restrict_to.contains(v))
+                .map(|(&v, &i)| (v, i)),
+        );
+        (g, mu)
+    }
+}
+
+/// The frozen IRI `a?x` for a variable `?x` (§4.2).
+pub fn frozen_iri(v: Variable) -> Iri {
+    Iri::new(&format!("frozen:{}", v.name()))
+}
+
+/// Inverts freezing: the map `Θ : dom(G) → I ∪ V` sending `a?x` back to
+/// `?x` and every other IRI to itself.
+pub fn theta(i: Iri) -> Term {
+    match i.as_str().strip_prefix("frozen:") {
+        Some(name) => Term::Var(Variable::new(name)),
+        None => Term::Iri(i),
+    }
+}
+
+impl fmt::Display for GenTGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {{", self.s)?;
+        for (i, v) in self.x.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}})")
+    }
+}
+
+impl fmt::Debug for GenTGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn sample() -> TGraph {
+        TGraph::from_patterns([
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+            tp(var("z"), iri("q"), iri("c")),
+        ])
+    }
+
+    #[test]
+    fn vars_and_iris() {
+        let s = sample();
+        assert_eq!(s.vars(), [v("x"), v("y"), v("z")].into_iter().collect());
+        assert_eq!(
+            s.iris(),
+            [Iri::new("p"), Iri::new("q"), Iri::new("c")]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(s.terms().len(), 6);
+    }
+
+    #[test]
+    fn without_var_drops_incident_triples() {
+        let s = sample();
+        let s_y = s.without_var(v("y"));
+        assert_eq!(s_y.len(), 1);
+        assert!(s_y.contains(&tp(var("z"), iri("q"), iri("c"))));
+    }
+
+    #[test]
+    fn apply_substitution() {
+        let s = sample();
+        let h: VarMap = [(v("x"), var("y"))].into_iter().collect();
+        let s2 = s.apply(&h);
+        assert!(s2.contains(&tp(var("y"), iri("p"), var("y"))));
+        assert_eq!(s2.len(), 3);
+    }
+
+    #[test]
+    fn apply_can_shrink_the_set() {
+        let s = TGraph::from_patterns([
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("y")),
+        ]);
+        let h: VarMap = [(v("x"), var("y"))].into_iter().collect();
+        assert_eq!(s.apply(&h).len(), 1);
+    }
+
+    #[test]
+    fn ground_tgraph_roundtrips_to_rdf() {
+        let g = RdfGraph::from_strs([("a", "p", "b"), ("b", "q", "c")]);
+        let s = TGraph::from_rdf(&g);
+        assert_eq!(s.as_rdf().unwrap(), g);
+        assert!(sample().as_rdf().is_none());
+    }
+
+    #[test]
+    fn maps_into_under_checks_all_triples() {
+        let s = TGraph::from_patterns([tp(var("x"), iri("p"), var("y"))]);
+        let g = RdfGraph::from_strs([("a", "p", "b")]);
+        let good = Mapping::from_strs([("x", "a"), ("y", "b")]);
+        let bad = Mapping::from_strs([("x", "b"), ("y", "a")]);
+        let partial = Mapping::from_strs([("x", "a")]);
+        assert!(s.maps_into_under(&good, &g));
+        assert!(!s.maps_into_under(&bad, &g));
+        assert!(!s.maps_into_under(&partial, &g));
+    }
+
+    #[test]
+    fn existential_vars_exclude_x() {
+        let g = GenTGraph::new(sample(), [v("x")]);
+        assert_eq!(g.existential_vars(), [v("y"), v("z")].into_iter().collect());
+    }
+
+    #[test]
+    fn freeze_and_theta_are_inverse() {
+        let gt = GenTGraph::new(sample(), [v("x")]);
+        let (frozen, mu) = gt.freeze(&gt.x);
+        assert_eq!(frozen.len(), 3);
+        assert_eq!(mu.len(), 1);
+        let a_x = mu.get(v("x")).unwrap();
+        assert_eq!(theta(a_x), Term::Var(v("x")));
+        assert_eq!(theta(Iri::new("p")), Term::Iri(Iri::new("p")));
+        // Constants survive freezing unchanged.
+        assert!(frozen.dom_contains(Iri::new("c")));
+    }
+
+    #[test]
+    fn subgraph_relation() {
+        let s = sample();
+        let sub = GenTGraph::new(
+            TGraph::from_patterns([tp(var("x"), iri("p"), var("y"))]),
+            [v("x")],
+        );
+        let full = GenTGraph::new(s, [v("x")]);
+        assert!(sub.is_subgraph_of(&full));
+        assert!(!full.is_subgraph_of(&sub));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = TGraph::from_patterns([tp(var("x"), iri("p"), var("y"))]);
+        let b = TGraph::from_patterns([tp(var("y"), iri("q"), var("z"))]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.difference(&a), b);
+    }
+}

@@ -1,0 +1,483 @@
+//! The k-consistency fixpoint implementing `(S, X) →µ_k G`.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use wdsparql_hom::{GenTGraph, TGraph};
+use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, TriplePattern, Variable};
+
+/// Statistics from one run of the game, for the experiment harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PebbleStats {
+    /// Partial homomorphisms generated initially.
+    pub initial_assignments: usize,
+    /// Assignments deleted by the fixpoint.
+    pub deleted: usize,
+    /// Variable subsets considered.
+    pub subsets: usize,
+}
+
+/// `(S, X) →µ_k G`: does the Duplicator win the existential k-pebble game
+/// on `(S, X)`, `G` and `µ` (with `dom(µ) ⊇ X`)?
+///
+/// Requires `k ≥ 2` (the paper's setting). When `vars(S) \ X = ∅` the game
+/// degenerates to the direct check `(S, X) →µ G` (property (1) in §3).
+pub fn duplicator_wins(src: &GenTGraph, g: &RdfGraph, mu: &Mapping, k: usize) -> bool {
+    pebble_game(src, g, mu, k).0
+}
+
+/// As [`duplicator_wins`], also returning statistics.
+pub fn pebble_game(src: &GenTGraph, g: &RdfGraph, mu: &Mapping, k: usize) -> (bool, PebbleStats) {
+    assert!(k >= 2, "the existential pebble game needs k ≥ 2");
+    debug_assert!(
+        src.x.iter().all(|&v| mu.contains(v)),
+        "µ must be defined on X"
+    );
+    let vars: Vec<Variable> = src.existential_vars().into_iter().collect();
+    let mut stats = PebbleStats::default();
+
+    // Degenerate case: no existential variables — direct homomorphism test.
+    if vars.is_empty() {
+        let wins = src.s.maps_into_under(&mu.restrict(src.s.vars()), g);
+        return (wins, stats);
+    }
+
+    // Triples fully determined by µ must hold outright: they belong to every
+    // configuration of the game, including the initial one.
+    let mu_x = mu.restrict(src.x.iter().copied());
+    for t in src.s.iter() {
+        if let Some(ground) = t.apply(&mu_x) {
+            if !g.contains(&ground) {
+                return (false, stats);
+            }
+        }
+    }
+
+    let mut solver = Consistency::new(src, g, mu, k, vars);
+    let wins = solver.run(&mut stats);
+    (wins, stats)
+}
+
+/// Sorted list of variable indices — the domain of a partial assignment.
+type Domain = Vec<u8>;
+/// IRIs assigned to the domain variables, aligned positionally.
+type Assignment = Vec<Iri>;
+
+struct SubsetEntry {
+    domain: Domain,
+    /// Triples of `S` whose variables are covered by `X ∪ domain` —
+    /// the constraints active for this subset.
+    constraints: Vec<TriplePattern>,
+    live: HashSet<Assignment>,
+}
+
+struct Consistency<'a> {
+    g: &'a RdfGraph,
+    k: usize,
+    vars: Vec<Variable>,
+    domain_values: Vec<Iri>,
+    entries: Vec<SubsetEntry>,
+    index: HashMap<Domain, usize>,
+}
+
+impl<'a> Consistency<'a> {
+    fn new(
+        src: &GenTGraph,
+        g: &'a RdfGraph,
+        mu: &Mapping,
+        k: usize,
+        vars: Vec<Variable>,
+    ) -> Consistency<'a> {
+        let mu = mu.restrict(src.x.iter().copied());
+        // Pre-substitute µ into S once: remaining variables are existential.
+        let s_mu: TGraph = src.s.apply_mapping(&mu);
+        let domain_values: Vec<Iri> = g.dom().collect();
+        let mut solver = Consistency {
+            g,
+            k,
+            vars,
+            domain_values,
+            entries: Vec::new(),
+            index: HashMap::new(),
+        };
+        // Enumerate all subsets of size ≤ k.
+        let n = solver.vars.len();
+        let kk = k.min(n);
+        let mut current: Domain = Vec::new();
+        solver.enumerate_subsets(&s_mu, &mut current, 0, kk);
+        solver
+    }
+
+    fn enumerate_subsets(&mut self, s_mu: &TGraph, current: &mut Domain, start: usize, k: usize) {
+        self.register_subset(s_mu, current.clone());
+        if current.len() == k {
+            return;
+        }
+        for i in start..self.vars.len() {
+            current.push(i as u8);
+            self.enumerate_subsets(s_mu, current, i + 1, k);
+            current.pop();
+        }
+    }
+
+    fn register_subset(&mut self, s_mu: &TGraph, domain: Domain) {
+        let covered: Vec<Variable> = domain.iter().map(|&i| self.vars[i as usize]).collect();
+        let constraints: Vec<TriplePattern> = s_mu
+            .iter()
+            .filter(|t| t.vars().iter().all(|v| covered.contains(v)))
+            .copied()
+            .collect();
+        let idx = self.entries.len();
+        self.index.insert(domain.clone(), idx);
+        self.entries.push(SubsetEntry {
+            domain,
+            constraints,
+            live: HashSet::new(),
+        });
+    }
+
+    /// Generates the initial partial homomorphisms of one subset by
+    /// backtracking over its variables, checking each constraint as soon as
+    /// it is fully assigned.
+    fn generate_initial(&mut self, idx: usize) -> usize {
+        let domain = self.entries[idx].domain.clone();
+        let constraints = self.entries[idx].constraints.clone();
+        let mut assignment: Assignment = Vec::with_capacity(domain.len());
+        let mut out: Vec<Assignment> = Vec::new();
+        self.gen_rec(&domain, &constraints, &mut assignment, &mut out);
+        let count = out.len();
+        self.entries[idx].live = out.into_iter().collect();
+        count
+    }
+
+    fn gen_rec(
+        &self,
+        domain: &Domain,
+        constraints: &[TriplePattern],
+        assignment: &mut Assignment,
+        out: &mut Vec<Assignment>,
+    ) {
+        if assignment.len() == domain.len() {
+            out.push(assignment.clone());
+            return;
+        }
+        for &val in &self.domain_values {
+            assignment.push(val);
+            if self.prefix_consistent(domain, constraints, assignment) {
+                self.gen_rec(domain, constraints, assignment, out);
+            }
+            assignment.pop();
+        }
+    }
+
+    /// Checks the constraints whose variables are all within the assigned
+    /// prefix (the last assigned variable being the interesting one).
+    fn prefix_consistent(
+        &self,
+        domain: &Domain,
+        constraints: &[TriplePattern],
+        assignment: &Assignment,
+    ) -> bool {
+        let assigned = assignment.len();
+        let value_of = |v: Variable| -> Option<Iri> {
+            domain[..assigned]
+                .iter()
+                .position(|&i| self.vars[i as usize] == v)
+                .map(|p| assignment[p])
+        };
+        let last_var = self.vars[domain[assigned - 1] as usize];
+        'next: for t in constraints {
+            // Only re-check constraints that involve the newest variable
+            // and are fully assigned.
+            let mut involves_last = false;
+            let mut ground = [Iri::new("_"); 3];
+            for (slot, term) in ground.iter_mut().zip(t.positions()) {
+                match term {
+                    Term::Iri(i) => *slot = i,
+                    Term::Var(v) => {
+                        if v == last_var {
+                            involves_last = true;
+                        }
+                        match value_of(v) {
+                            Some(i) => *slot = i,
+                            None => continue 'next, // not fully assigned yet
+                        }
+                    }
+                }
+            }
+            if involves_last
+                && !self
+                    .g
+                    .contains(&wdsparql_rdf::Triple::new(ground[0], ground[1], ground[2]))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn run(&mut self, stats: &mut PebbleStats) -> bool {
+        stats.subsets = self.entries.len();
+        for idx in 0..self.entries.len() {
+            stats.initial_assignments += self.generate_initial(idx);
+        }
+        // Worklist of deletions to process: (subset index, assignment).
+        let mut work: VecDeque<(usize, Assignment)> = VecDeque::new();
+        // Initial forth check on every assignment.
+        for idx in 0..self.entries.len() {
+            let doomed: Vec<Assignment> = self.entries[idx]
+                .live
+                .iter()
+                .filter(|f| !self.has_forth(idx, f))
+                .cloned()
+                .collect();
+            for f in doomed {
+                if self.entries[idx].live.remove(&f) {
+                    work.push_back((idx, f));
+                }
+            }
+        }
+        while let Some((idx, f)) = work.pop_front() {
+            stats.deleted += 1;
+            let domain = self.entries[idx].domain.clone();
+            // (a) Downward closure: supersets extending f by one variable
+            // must lose every extension of f.
+            if domain.len() < self.k.min(self.vars.len()) {
+                for x in 0..self.vars.len() as u8 {
+                    if domain.contains(&x) {
+                        continue;
+                    }
+                    let (sup_dom, pos) = insert_sorted(&domain, x);
+                    let sup_idx = self.index[&sup_dom];
+                    for &a in &self.domain_values.clone() {
+                        let mut g = f.clone();
+                        g.insert(pos, a);
+                        if self.entries[sup_idx].live.remove(&g) {
+                            work.push_back((sup_idx, g));
+                        }
+                    }
+                }
+            }
+            // (b) Forth support: each restriction of f may have lost its
+            // last extension through the removed variable.
+            for (pos, _) in domain.iter().enumerate() {
+                let mut sub_dom = domain.clone();
+                let removed = sub_dom.remove(pos);
+                let mut f_sub = f.clone();
+                f_sub.remove(pos);
+                let sub_idx = self.index[&sub_dom];
+                if !self.entries[sub_idx].live.contains(&f_sub) {
+                    continue;
+                }
+                if !self.supports(idx, &sub_dom, &f_sub, removed) {
+                    self.entries[sub_idx].live.remove(&f_sub);
+                    work.push_back((sub_idx, f_sub));
+                }
+            }
+        }
+        // Duplicator wins iff the empty assignment survives.
+        let empty_idx = self.index[&Vec::new()];
+        !self.entries[empty_idx].live.is_empty()
+    }
+
+    /// Does assignment `f` over `sub_dom` still extend by variable `x`
+    /// inside the live set of the superset `sub_dom ∪ {x}` (= entry `idx`)?
+    fn supports(&self, sup_idx: usize, sub_dom: &Domain, f: &Assignment, x: u8) -> bool {
+        let (_, pos) = insert_sorted(sub_dom, x);
+        self.domain_values.iter().any(|&a| {
+            let mut g = f.clone();
+            g.insert(pos, a);
+            self.entries[sup_idx].live.contains(&g)
+        })
+    }
+
+    /// Forth property for `f` over its entry's domain: every outside
+    /// variable has at least one live extension.
+    fn has_forth(&self, idx: usize, f: &Assignment) -> bool {
+        let domain = &self.entries[idx].domain;
+        if domain.len() >= self.k.min(self.vars.len()) {
+            return true;
+        }
+        (0..self.vars.len() as u8)
+            .filter(|x| !domain.contains(x))
+            .all(|x| {
+                let (sup_dom, pos) = insert_sorted(domain, x);
+                let sup_idx = self.index[&sup_dom];
+                self.domain_values.iter().any(|&a| {
+                    let mut g = f.clone();
+                    g.insert(pos, a);
+                    self.entries[sup_idx].live.contains(&g)
+                })
+            })
+    }
+}
+
+/// Inserts `x` into a sorted domain, returning the new domain and the
+/// insertion position.
+fn insert_sorted(domain: &Domain, x: u8) -> (Domain, usize) {
+    let pos = domain.partition_point(|&y| y < x);
+    let mut out = domain.clone();
+    out.insert(pos, x);
+    (out, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_hom::{find_hom_into_graph, GenTGraph, TGraph};
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn triangle() -> TGraph {
+        TGraph::from_patterns([
+            tp(var("a"), iri("r"), var("b")),
+            tp(var("b"), iri("r"), var("c")),
+            tp(var("c"), iri("r"), var("a")),
+        ])
+    }
+
+    fn path(n: usize) -> TGraph {
+        TGraph::from_patterns(
+            (0..n).map(|i| tp(var(&format!("v{i}")), iri("r"), var(&format!("v{}", i + 1)))),
+        )
+    }
+
+    fn path_graph(n: usize) -> RdfGraph {
+        RdfGraph::from_triples((0..n).map(|i| {
+            wdsparql_rdf::Triple::from_strs(&format!("n{i}"), "r", &format!("n{}", i + 1))
+        }))
+    }
+
+    #[test]
+    fn hom_implies_pebble_win() {
+        // Property (2): →µ implies →µ_k.
+        let g = RdfGraph::from_strs([("1", "r", "2"), ("2", "r", "3"), ("3", "r", "1")]);
+        let src = GenTGraph::new(triangle(), []);
+        assert!(find_hom_into_graph(&src, &g, &Mapping::new()).is_some());
+        for k in 2..=4 {
+            assert!(duplicator_wins(&src, &g, &Mapping::new(), k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn two_pebbles_cannot_refute_triangle_into_two_cycle() {
+        // The classic relaxation gap: K3 (ctw 2) has no hom into the
+        // directed 2-cycle, but the Duplicator wins with 2 pebbles.
+        let g = RdfGraph::from_strs([("1", "r", "2"), ("2", "r", "1")]);
+        let src = GenTGraph::new(triangle(), []);
+        assert!(find_hom_into_graph(&src, &g, &Mapping::new()).is_none());
+        assert!(duplicator_wins(&src, &g, &Mapping::new(), 2));
+        // Three pebbles pin all variables: Spoiler wins (Proposition 3,
+        // ctw = 2 ≤ 3 − 1).
+        assert!(!duplicator_wins(&src, &g, &Mapping::new(), 3));
+    }
+
+    #[test]
+    fn path_queries_are_exact_at_k2() {
+        // Paths have ctw 1, so k = 2 decides homomorphism exactly
+        // (Proposition 3).
+        for len in 1..=4 {
+            let src = GenTGraph::new(path(len), []);
+            for target_len in 1..=4 {
+                let g = path_graph(target_len);
+                let hom = find_hom_into_graph(&src, &g, &Mapping::new()).is_some();
+                let peb = duplicator_wins(&src, &g, &Mapping::new(), 2);
+                assert_eq!(hom, peb, "path {len} into path {target_len}");
+                assert_eq!(hom, len <= target_len);
+            }
+        }
+    }
+
+    #[test]
+    fn mu_constrains_the_game() {
+        // Path of length 2 pinned at both ends.
+        let src = GenTGraph::new(path(2), [v("v0"), v("v2")]);
+        let g = path_graph(2);
+        let good = Mapping::from_strs([("v0", "n0"), ("v2", "n2")]);
+        let bad = Mapping::from_strs([("v0", "n1"), ("v2", "n1")]);
+        assert!(duplicator_wins(&src, &g, &good, 2));
+        assert!(!duplicator_wins(&src, &g, &bad, 2));
+    }
+
+    #[test]
+    fn no_existential_vars_degenerates_to_hom_check() {
+        let s = TGraph::from_patterns([tp(var("x"), iri("r"), var("y"))]);
+        let src = GenTGraph::new(s, [v("x"), v("y")]);
+        let g = RdfGraph::from_strs([("a", "r", "b")]);
+        let yes = Mapping::from_strs([("x", "a"), ("y", "b")]);
+        let no = Mapping::from_strs([("x", "b"), ("y", "a")]);
+        for k in 2..=3 {
+            assert!(duplicator_wins(&src, &g, &yes, k));
+            assert!(!duplicator_wins(&src, &g, &no, k));
+        }
+    }
+
+    #[test]
+    fn empty_graph_defeats_duplicator() {
+        let src = GenTGraph::new(path(1), []);
+        let g = RdfGraph::new();
+        assert!(!duplicator_wins(&src, &g, &Mapping::new(), 2));
+    }
+
+    #[test]
+    fn ground_source_triples_must_be_in_graph() {
+        let s = TGraph::from_patterns([
+            tp(iri("a"), iri("r"), iri("b")),
+            tp(var("x"), iri("r"), var("y")),
+        ]);
+        let src = GenTGraph::new(s, []);
+        let with = RdfGraph::from_strs([("a", "r", "b")]);
+        let without = RdfGraph::from_strs([("a", "r", "c")]);
+        assert!(duplicator_wins(&src, &with, &Mapping::new(), 2));
+        assert!(!duplicator_wins(&src, &without, &Mapping::new(), 2));
+    }
+
+    #[test]
+    fn pebble_agrees_with_hom_on_low_ctw_random_instances() {
+        // Deterministic LCG-driven random star/path-shaped queries
+        // (ctw ≤ 1) against small random graphs: k = 2 must agree with →.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for trial in 0..30 {
+            let n_edges = 3 + next(6) as usize;
+            let g = RdfGraph::from_triples((0..n_edges).map(|_| {
+                wdsparql_rdf::Triple::from_strs(
+                    &format!("g{}", next(5)),
+                    "r",
+                    &format!("g{}", next(5)),
+                )
+            }));
+            // Random path query of length 1..4.
+            let len = 1 + next(3) as usize;
+            let src = GenTGraph::new(path(len), []);
+            let hom = find_hom_into_graph(&src, &g, &Mapping::new()).is_some();
+            let peb = duplicator_wins(&src, &g, &Mapping::new(), 2);
+            assert_eq!(hom, peb, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = path_graph(3);
+        let src = GenTGraph::new(path(2), []);
+        let (win, stats) = pebble_game(&src, &g, &Mapping::new(), 2);
+        assert!(win);
+        assert!(stats.subsets > 0);
+        assert!(stats.initial_assignments > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn k_one_is_rejected() {
+        let g = path_graph(1);
+        let src = GenTGraph::new(path(1), []);
+        let _ = duplicator_wins(&src, &g, &Mapping::new(), 1);
+    }
+}

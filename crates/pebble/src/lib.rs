@@ -1,0 +1,17 @@
+//! # wdsparql-pebble
+//!
+//! The existential k-pebble game of Kolaitis–Vardi, adapted to generalised
+//! t-graphs and RDF graphs (§3 of the paper): decides the relation
+//! `(S, X) →µ_k G` in polynomial time for fixed `k` (Proposition 2).
+//!
+//! The Duplicator wins iff there is a non-empty family `F` of partial
+//! homomorphisms `f : vars(S) \ X ⇀ dom(G)` with `|dom(f)| ≤ k` that is
+//! closed under restrictions and has the forth property up to `k`
+//! (every `f` with `|dom(f)| < k` extends to any further variable inside
+//! `F`). We compute the greatest such family by worklist deletion from the
+//! family of *all* partial homomorphisms and report whether the empty
+//! assignment survives — this is exactly the k-consistency test.
+
+pub mod game;
+
+pub use game::{duplicator_wins, pebble_game, PebbleStats};

@@ -1,0 +1,114 @@
+//! Property tests for the existential k-pebble game.
+
+use proptest::prelude::*;
+use wdsparql_hom::{ctw, find_hom_into_graph, GenTGraph, TGraph};
+use wdsparql_pebble::duplicator_wins;
+use wdsparql_rdf::{iri, tp, var, Mapping, RdfGraph, Triple};
+
+/// Random small connected-ish query shapes over one predicate: paths,
+/// stars, cycles, cliques — mixing low and high ctw.
+#[derive(Clone, Debug)]
+enum QueryShape {
+    Path(usize),
+    Star(usize),
+    Cycle(usize),
+    Clique(usize),
+}
+
+fn build(shape: &QueryShape) -> GenTGraph {
+    let v = |i: usize| var(&format!("pq{i}"));
+    let pats: Vec<wdsparql_rdf::TriplePattern> = match shape {
+        QueryShape::Path(n) => (0..*n).map(|i| tp(v(i), iri("r"), v(i + 1))).collect(),
+        QueryShape::Star(n) => (1..=*n).map(|i| tp(v(0), iri("r"), v(i))).collect(),
+        QueryShape::Cycle(n) => (0..*n)
+            .map(|i| tp(v(i), iri("r"), v((i + 1) % n)))
+            .collect(),
+        QueryShape::Clique(n) => {
+            let mut out = Vec::new();
+            for i in 0..*n {
+                for j in (i + 1)..*n {
+                    out.push(tp(v(i), iri("r"), v(j)));
+                }
+            }
+            out
+        }
+    };
+    GenTGraph::new(TGraph::from_patterns(pats), [])
+}
+
+fn arb_shape() -> impl Strategy<Value = QueryShape> {
+    prop_oneof![
+        (1usize..5).prop_map(QueryShape::Path),
+        (1usize..4).prop_map(QueryShape::Star),
+        (3usize..5).prop_map(QueryShape::Cycle),
+        (2usize..4).prop_map(QueryShape::Clique),
+    ]
+}
+
+fn arb_graph() -> impl Strategy<Value = RdfGraph> {
+    proptest::collection::vec((0..5usize, 0..5usize), 1..12).prop_map(|edges| {
+        RdfGraph::from_triples(
+            edges
+                .into_iter()
+                .map(|(s, o)| Triple::from_strs(&format!("pg{s}"), "r", &format!("pg{o}"))),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property (2): →µ implies →µ_k for every k ≥ 2.
+    #[test]
+    fn hom_implies_pebble(shape in arb_shape(), g in arb_graph()) {
+        let src = build(&shape);
+        if find_hom_into_graph(&src, &g, &Mapping::new()).is_some() {
+            for k in 2..=3 {
+                prop_assert!(duplicator_wins(&src, &g, &Mapping::new(), k),
+                    "hom exists but Duplicator loses at k={} for {:?}", k, shape);
+            }
+        }
+    }
+
+    /// Monotonicity: more pebbles only help the Spoiler —
+    /// →µ_{k+1} implies →µ_k.
+    #[test]
+    fn pebble_monotone_in_k(shape in arb_shape(), g in arb_graph()) {
+        let src = build(&shape);
+        let w3 = duplicator_wins(&src, &g, &Mapping::new(), 3);
+        let w2 = duplicator_wins(&src, &g, &Mapping::new(), 2);
+        prop_assert!(!w3 || w2, "win at 3 pebbles must imply win at 2");
+    }
+
+    /// Proposition 3: when ctw(S,X) ≤ k − 1, the game decides → exactly.
+    #[test]
+    fn proposition3_exactness(shape in arb_shape(), g in arb_graph()) {
+        let src = build(&shape);
+        let width = ctw(&src).width;
+        let hom = find_hom_into_graph(&src, &g, &Mapping::new()).is_some();
+        for k in 2..=3 {
+            if width < k {
+                prop_assert_eq!(
+                    duplicator_wins(&src, &g, &Mapping::new(), k),
+                    hom,
+                    "Prop 3 violated: ctw={} k={} shape={:?}", width, k, shape
+                );
+            }
+        }
+    }
+
+    /// Pinning variables through µ can only make the Duplicator's life
+    /// harder: if the pinned game is won, the free game is won too.
+    #[test]
+    fn mu_restricts_duplicator(n in 1usize..4, g in arb_graph(), pin in 0usize..5) {
+        let v0 = wdsparql_rdf::Variable::new("pq0");
+        let free = build(&QueryShape::Path(n));
+        let pinned = GenTGraph::new(free.s.clone(), [v0]);
+        let mu = Mapping::from_pairs([(v0, wdsparql_rdf::Iri::new(&format!("pg{pin}")))]);
+        if g.dom_contains(wdsparql_rdf::Iri::new(&format!("pg{pin}")))
+            && duplicator_wins(&pinned, &g, &mu, 2)
+        {
+            prop_assert!(duplicator_wins(&free, &g, &Mapping::new(), 2));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The executable witness that **projection breaks the Theorem 3
+//! dichotomy**: a family of projected queries with domination width 1
+//! (so, projection-free, its class is PTIME-evaluable by Theorem 1)
+//! whose *projected* membership problem embeds k-CLIQUE.
+//!
+//! The family `R_k` is a single-node pattern tree
+//!
+//! ```text
+//! root:  { (?u, anchor, ?c1) } ∪ K_k(?c1, ..., ?ck)      X = {?u}
+//! ```
+//!
+//! where `K_k` is the edge-clique t-graph of Example 3. Projection-free,
+//! every instance is trivial: `dom(µ) = vars(T)` binds the whole clique,
+//! so membership is a per-triple lookup, and `dw(R_k) = 1` for every `k`
+//! (a single-node tree has no children assignments at all). With
+//! projection `X = {?u}`, deciding `{?u ↦ h} ∈ ⟦(R_k, X)⟧_G` asks whether
+//! `G` contains a k-clique anchored at `h` — NP-hard as `k` grows, so the
+//! class `{R_k}` is tractable without projection and intractable with it.
+//! This is exactly the §5 phenomenon (after Barceló–Pichler–Skritek).
+
+use crate::query::ProjectedQuery;
+use wdsparql_hom::TGraph;
+use wdsparql_rdf::{iri, tp, var, Iri, RdfGraph, Triple, Variable};
+use wdsparql_tree::{Wdpf, Wdpt};
+
+/// Predicate IRI used for the clique edges of `R_k`.
+pub const CLIQUE_EDGE: &str = "r";
+/// Predicate IRI anchoring the projected variable to the clique.
+pub const CLIQUE_ANCHOR: &str = "anchor";
+
+/// Builds the projected query `R_k = (T_k, {?u})` described in the module
+/// docs. Requires `k ≥ 2`.
+pub fn clique_projection_query(k: usize) -> ProjectedQuery {
+    assert!(k >= 2, "R_k needs k >= 2");
+    let mut pats = vec![tp(var("u"), iri(CLIQUE_ANCHOR), var("c1"))];
+    for i in 1..=k {
+        for j in (i + 1)..=k {
+            pats.push(tp(
+                var(&format!("c{i}")),
+                iri(CLIQUE_EDGE),
+                var(&format!("c{j}")),
+            ));
+        }
+    }
+    let tree = Wdpt::new(TGraph::from_patterns(pats));
+    ProjectedQuery::new(Wdpf::new(vec![tree]), [Variable::new("u")])
+        .expect("?u occurs in the pattern")
+}
+
+/// Adds an `anchor` edge from a fresh hub IRI to every subject/object of
+/// `base`, returning the anchored graph and the hub. Pairing this with a
+/// Turán graph yields positive/negative k-CLIQUE membership instances for
+/// [`clique_projection_query`].
+pub fn anchored_graph(base: &RdfGraph, hub: &str) -> (RdfGraph, Iri) {
+    let hub_iri = Iri::new(hub);
+    let mut g = base.clone();
+    let mut nodes = std::collections::BTreeSet::new();
+    for t in base.iter() {
+        nodes.insert(t.s);
+        nodes.insert(t.o);
+    }
+    let anchor = Iri::new(CLIQUE_ANCHOR);
+    for n in nodes {
+        g.insert(Triple::new(hub_iri, anchor, n));
+    }
+    (g, hub_iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{check_projected, enumerate_projected};
+    use wdsparql_rdf::Mapping;
+    use wdsparql_width::domination_width;
+    use wdsparql_workloads::turan_graph;
+
+    #[test]
+    fn rk_has_domination_width_one_for_every_k() {
+        for k in 2..=5 {
+            let q = clique_projection_query(k);
+            assert_eq!(
+                domination_width(q.forest()),
+                1,
+                "dw(R_{k}) must be 1: single-node trees have no children"
+            );
+        }
+    }
+
+    #[test]
+    fn projected_membership_is_clique_detection() {
+        for k in [2usize, 3, 4] {
+            // Turán(n, k−1) is k-clique-free; Turán(n, k) contains K_k.
+            let negative = turan_graph(3 * (k - 1).max(2), (k - 1).max(2), CLIQUE_EDGE);
+            let positive = turan_graph(3 * k, k, CLIQUE_EDGE);
+            let q = clique_projection_query(k);
+            let (gneg, hub) = anchored_graph(&negative, "hub");
+            let mu = Mapping::from_pairs([(Variable::new("u"), hub)]);
+            if k > 2 {
+                assert!(
+                    !check_projected(&q, &gneg, &mu),
+                    "k={k}: no k-clique in the Turán adversary"
+                );
+            }
+            let (gpos, hub) = anchored_graph(&positive, "hub");
+            let mu = Mapping::from_pairs([(Variable::new("u"), hub)]);
+            assert!(check_projected(&q, &gpos, &mu), "k={k}: K_k present");
+        }
+    }
+
+    #[test]
+    fn membership_agrees_with_enumeration_on_small_instances() {
+        let k = 3;
+        let q = clique_projection_query(k);
+        for (n, parts) in [(4usize, 2usize), (6, 3)] {
+            let (g, hub) = anchored_graph(&turan_graph(n, parts, CLIQUE_EDGE), "hub");
+            let mu = Mapping::from_pairs([(Variable::new("u"), hub)]);
+            let enumerated = enumerate_projected(&q, &g);
+            assert_eq!(
+                enumerated.contains(&mu),
+                check_projected(&q, &g, &mu),
+                "n={n} parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn unanchored_hub_is_rejected() {
+        let q = clique_projection_query(2);
+        let (g, _) = anchored_graph(&turan_graph(4, 2, CLIQUE_EDGE), "hub");
+        let stray = Mapping::from_strs([("u", "not-the-hub")]);
+        assert!(!check_projected(&q, &g, &stray));
+    }
+}

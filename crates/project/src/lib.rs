@@ -1,0 +1,42 @@
+//! # wdsparql-project
+//!
+//! The SELECT/projection extension of well-designed SPARQL — pattern
+//! trees *with projection* (pp-wdPTs), the fragment the paper's §5 names
+//! as the frontier where the Theorem 3 dichotomy breaks down.
+//!
+//! A projected query is a pair `(F, X)` of a well-designed pattern forest
+//! and a set of *output* variables `X`. Its solutions are the projections
+//! of the forest's solutions:
+//!
+//! ```text
+//! ⟦(F, X)⟧_G  =  { µ|_X : µ ∈ ⟦F⟧_G }        (set semantics)
+//! ```
+//!
+//! Three facts shape this crate:
+//!
+//! * **Enumeration stays easy-ish**: `⟦(F,X)⟧_G` is computed by
+//!   enumerating `⟦F⟧_G` and projecting ([`enumerate_projected`]).
+//! * **Membership becomes NP-hard** even for classes whose projection-free
+//!   evaluation is trivially tractable: deciding `µ ∈ ⟦(F,X)⟧_G` asks for
+//!   an *existential witness* over the projected-away variables
+//!   ([`check_projected`]), and [`hardness`] exhibits a family with
+//!   domination width 1 whose projected membership problem embeds
+//!   k-CLIQUE. This is the executable content of the paper's §5 remark
+//!   that with SELECT the PTIME/W\[1\]-hard dichotomy of Theorem 3 fails.
+//! * **Width measures still help**: [`width`] computes a global-treewidth
+//!   and interface report in the spirit of Kroll–Pichler–Skritek
+//!   (ICDT'16), whose boundedness gives fixed-parameter tractability
+//!   (but, per the paper, *not* PTIME — the dichotomy genuinely breaks).
+
+pub mod eval;
+pub mod hardness;
+pub mod query;
+pub mod width;
+
+pub use eval::{
+    check_projected, count_projected, enumerate_projected, project_solutions,
+    projection_multiplicities,
+};
+pub use hardness::{anchored_graph, clique_projection_query, CLIQUE_ANCHOR, CLIQUE_EDGE};
+pub use query::{ProjectError, ProjectedQuery};
+pub use width::{analyze_projected, global_treewidth, max_interface, ProjectedWidthReport};

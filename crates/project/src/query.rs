@@ -1,0 +1,188 @@
+//! Projected well-designed queries: a wdPF together with a set of output
+//! variables (the pp-wdPT/pp-wdPF representation of `SELECT`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use wdsparql_algebra::{parse_sparql_select, GraphPattern};
+use wdsparql_rdf::Variable;
+use wdsparql_tree::{TranslateError, Wdpf};
+
+/// Errors building a [`ProjectedQuery`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProjectError {
+    /// The surface syntax did not parse.
+    Parse(String),
+    /// The pattern is not well-designed / not translatable to a wdPF.
+    Translate(TranslateError),
+    /// A projected variable does not occur anywhere in the pattern.
+    UnknownVariable(Variable),
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::Parse(e) => write!(f, "{e}"),
+            ProjectError::Translate(e) => write!(f, "{e}"),
+            ProjectError::UnknownVariable(v) => {
+                write!(f, "projected variable {v} does not occur in the pattern")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+/// A well-designed pattern forest with projection: the pair `(F, X)`.
+///
+/// `X ⊆ vars(F)` is enforced at construction (a projected variable must
+/// occur in at least one tree). `X` may be empty — that is the boolean
+/// (`ASK`-style) query, whose only possible solution is the empty mapping.
+#[derive(Clone, Debug)]
+pub struct ProjectedQuery {
+    forest: Wdpf,
+    projection: BTreeSet<Variable>,
+}
+
+impl ProjectedQuery {
+    /// Builds `(F, X)`, checking `X ⊆ vars(F)`.
+    pub fn new(
+        forest: Wdpf,
+        projection: impl IntoIterator<Item = Variable>,
+    ) -> Result<ProjectedQuery, ProjectError> {
+        let mut all_vars: BTreeSet<Variable> = BTreeSet::new();
+        for t in &forest.trees {
+            all_vars.extend(t.vars_tree());
+        }
+        let projection: BTreeSet<Variable> = projection.into_iter().collect();
+        if let Some(&v) = projection.difference(&all_vars).next() {
+            return Err(ProjectError::UnknownVariable(v));
+        }
+        Ok(ProjectedQuery { forest, projection })
+    }
+
+    /// The identity projection `(F, vars(F))` — `SELECT *`.
+    pub fn select_star(forest: Wdpf) -> ProjectedQuery {
+        let mut all_vars: BTreeSet<Variable> = BTreeSet::new();
+        for t in &forest.trees {
+            all_vars.extend(t.vars_tree());
+        }
+        ProjectedQuery {
+            forest,
+            projection: all_vars,
+        }
+    }
+
+    /// Parses a `SELECT ?x ?y WHERE { ... }` query (the SPARQL-flavoured
+    /// surface syntax). `SELECT *` and a bare group project everything.
+    pub fn parse(text: &str) -> Result<ProjectedQuery, ProjectError> {
+        let (pattern, proj) =
+            parse_sparql_select(text).map_err(|e| ProjectError::Parse(e.to_string()))?;
+        Self::from_pattern(&pattern, proj)
+    }
+
+    /// Builds from an already-parsed pattern; `None` projects everything.
+    pub fn from_pattern(
+        pattern: &GraphPattern,
+        projection: Option<Vec<Variable>>,
+    ) -> Result<ProjectedQuery, ProjectError> {
+        let forest = Wdpf::from_pattern(pattern).map_err(ProjectError::Translate)?;
+        match projection {
+            None => Ok(ProjectedQuery::select_star(forest)),
+            Some(vars) => ProjectedQuery::new(forest, vars),
+        }
+    }
+
+    pub fn forest(&self) -> &Wdpf {
+        &self.forest
+    }
+
+    pub fn projection(&self) -> &BTreeSet<Variable> {
+        &self.projection
+    }
+
+    /// Is this the boolean (`ASK`) query `X = ∅`?
+    pub fn is_boolean(&self) -> bool {
+        self.projection.is_empty()
+    }
+
+    /// Does the projection keep every variable (so that projection is a
+    /// no-op and the Theorem 3 dichotomy applies unchanged)?
+    pub fn is_identity(&self) -> bool {
+        let mut all_vars: BTreeSet<Variable> = BTreeSet::new();
+        for t in &self.forest.trees {
+            all_vars.extend(t.vars_tree());
+        }
+        self.projection == all_vars
+    }
+}
+
+impl fmt::Display for ProjectedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT")?;
+        if self.is_identity() {
+            write!(f, " *")?;
+        } else {
+            for v in &self.projection {
+                write!(f, " {v}")?;
+            }
+        }
+        write!(f, " WHERE {}", wdsparql_tree::pattern_from_wdpf(&self.forest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_select_list() {
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x p ?y OPTIONAL { ?y q ?z } }")
+            .unwrap();
+        assert_eq!(q.projection().len(), 1);
+        assert!(!q.is_identity());
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn select_star_projects_everything() {
+        let q = ProjectedQuery::parse("SELECT * WHERE { ?x p ?y }").unwrap();
+        assert!(q.is_identity());
+        assert_eq!(q.projection().len(), 2);
+    }
+
+    #[test]
+    fn unknown_projection_variable_is_rejected() {
+        let err = ProjectedQuery::parse("SELECT ?nope WHERE { ?x p ?y }").unwrap_err();
+        assert!(matches!(err, ProjectError::UnknownVariable(_)));
+    }
+
+    #[test]
+    fn non_well_designed_pattern_is_rejected() {
+        // Example 1's P2: ?z escapes its OPT scope.
+        let err = ProjectedQuery::parse(
+            "SELECT ?x WHERE { ?x p ?y OPTIONAL { ?z q ?x } OPTIONAL { ?y r ?z . ?z r ?o2 } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProjectError::Translate(_)));
+    }
+
+    #[test]
+    fn display_roundtrips_the_projection() {
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x p ?y }").unwrap();
+        let shown = q.to_string();
+        assert!(shown.starts_with("SELECT ?x WHERE"), "{shown}");
+        let star = ProjectedQuery::parse("{ ?x p ?y }").unwrap();
+        assert!(star.to_string().starts_with("SELECT * WHERE"));
+    }
+
+    #[test]
+    fn boolean_query_has_empty_projection() {
+        let f = Wdpf::from_pattern(
+            &wdsparql_algebra::parse_pattern("(?x, p, ?y)").unwrap(),
+        )
+        .unwrap();
+        let q = ProjectedQuery::new(f, []).unwrap();
+        assert!(q.is_boolean());
+        assert!(!q.is_identity());
+    }
+}

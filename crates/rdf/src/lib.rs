@@ -1,0 +1,28 @@
+//! # wdsparql-rdf
+//!
+//! The ground RDF substrate for the `wdsparql` workspace — the data model
+//! underneath Romero's *"The Tractability Frontier of Well-designed SPARQL
+//! Queries"* (PODS 2018).
+//!
+//! Provides:
+//!
+//! * interned [`Iri`]s, [`Variable`]s and [`Term`]s ([`term`]),
+//! * ground [`Triple`]s and SPARQL [`TriplePattern`]s ([`triple`]),
+//! * partial mappings `µ : V → I` with compatibility/union ([`mapping`]),
+//! * indexed [`RdfGraph`]s with triple-pattern matching ([`graph`]),
+//! * a small N-Triples-style reader/writer ([`ntriples`]).
+//!
+//! Everything here is deliberately *ground* (no blank nodes, no literals):
+//! the paper's setting is ground RDF graphs over IRIs.
+
+pub mod graph;
+pub mod mapping;
+pub mod ntriples;
+pub mod term;
+pub mod triple;
+
+pub use graph::{binding_of, pattern_matches, RdfGraph};
+pub use mapping::Mapping;
+pub use ntriples::{parse_ntriples, write_ntriples, NtError};
+pub use term::{iri, var, Iri, Term, Variable};
+pub use triple::{tp, Triple, TriplePattern};

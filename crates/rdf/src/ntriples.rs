@@ -1,0 +1,207 @@
+//! A minimal N-Triples-style reader/writer for ground RDF graphs.
+//!
+//! Accepted line grammar (one statement per line):
+//!
+//! ```text
+//! statement := term term term '.'
+//! term      := '<' [^>]* '>'        # bracketed IRI
+//!            | bare-word            # unquoted IRI, no whitespace/brackets
+//! comment   := '#' ... end-of-line
+//! ```
+//!
+//! This is deliberately a subset of W3C N-Triples (no literals, no blank
+//! nodes: the paper works with ground RDF graphs over IRIs only), extended
+//! with bare words so test fixtures stay readable.
+
+use crate::graph::RdfGraph;
+use crate::term::Iri;
+use crate::triple::Triple;
+use std::fmt;
+
+/// A parse error with 1-based line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for NtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtError {}
+
+fn err(line: usize, message: impl Into<String>) -> NtError {
+    NtError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a graph from N-Triples-style text.
+pub fn parse_ntriples(input: &str) -> Result<RdfGraph, NtError> {
+    let mut g = RdfGraph::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let body = line
+            .strip_suffix('.')
+            .ok_or_else(|| err(lineno, "statement must end with '.'"))?
+            .trim_end();
+        let mut rest = body;
+        let mut terms = Vec::with_capacity(3);
+        while !rest.is_empty() {
+            let (term, tail) = next_term(rest, lineno)?;
+            terms.push(term);
+            rest = tail.trim_start();
+        }
+        match <[Iri; 3]>::try_from(terms) {
+            Ok([s, p, o]) => {
+                g.insert(Triple::new(s, p, o));
+            }
+            Err(got) => {
+                return Err(err(
+                    lineno,
+                    format!("expected exactly 3 terms, found {}", got.len()),
+                ))
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // '#' only starts a comment outside of a bracketed IRI.
+    let mut in_brackets = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '<' => in_brackets = true,
+            '>' => in_brackets = false,
+            '#' if !in_brackets => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn next_term(input: &str, lineno: usize) -> Result<(Iri, &str), NtError> {
+    let input = input.trim_start();
+    if let Some(rest) = input.strip_prefix('<') {
+        let end = rest
+            .find('>')
+            .ok_or_else(|| err(lineno, "unterminated '<'"))?;
+        let name = &rest[..end];
+        if name.is_empty() {
+            return Err(err(lineno, "empty IRI '<>'"));
+        }
+        Ok((Iri::new(name), &rest[end + 1..]))
+    } else {
+        let end = input
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(input.len());
+        let word = &input[..end];
+        if word.is_empty() {
+            return Err(err(lineno, "expected a term"));
+        }
+        if word.contains('<') || word.contains('>') {
+            return Err(err(lineno, format!("malformed term {word:?}")));
+        }
+        Ok((Iri::new(word), &input[end..]))
+    }
+}
+
+/// Serialises a graph in sorted order; bare words are used when safe,
+/// brackets otherwise. The output round-trips through [`parse_ntriples`].
+pub fn write_ntriples(g: &RdfGraph) -> String {
+    let mut triples: Vec<Triple> = g.iter().copied().collect();
+    triples.sort();
+    let mut out = String::new();
+    for t in triples {
+        for term in t.terms() {
+            let s = term.as_str();
+            let bare = !s.is_empty()
+                && !s
+                    .chars()
+                    .any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '#')
+                && s != "."
+                && !s.ends_with('.');
+            if bare {
+                out.push_str(s);
+            } else {
+                out.push('<');
+                out.push_str(s);
+                out.push('>');
+            }
+            out.push(' ');
+        }
+        out.push_str(".\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_and_bracketed_terms() {
+        let g = parse_ntriples("a p b .\n<http://x> <p q> c .\n").unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&Triple::from_strs("a", "p", "b")));
+        assert!(g.contains(&Triple::from_strs("http://x", "p q", "c")));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse_ntriples("# header\n\na p b . # trailing\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_brackets_is_not_a_comment() {
+        let g = parse_ntriples("<http://x#frag> p b .\n").unwrap();
+        assert!(g.contains(&Triple::from_strs("http://x#frag", "p", "b")));
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let e = parse_ntriples("a p b\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("'.'"));
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        assert!(parse_ntriples("a p .\n").is_err());
+        assert!(parse_ntriples("a p b c .\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_bracket_is_an_error() {
+        let e = parse_ntriples("<a p b .\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let e = parse_ntriples("a p b .\nbogus\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let g = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("with space", "p", "b"),
+            ("x#y", "q", "z"),
+        ]);
+        let text = write_ntriples(&g);
+        let g2 = parse_ntriples(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+}

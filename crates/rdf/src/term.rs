@@ -1,0 +1,317 @@
+//! Interned RDF terms: IRIs, variables, and the [`Term`] sum type.
+//!
+//! The paper works over a countably infinite set `I` of IRIs and a disjoint
+//! countably infinite set `V = {?x, ?y, ...}` of variables. We intern both
+//! into process-global tables so that terms are `Copy` 32-bit ids: equality,
+//! hashing and ordering are integer operations, and the string spelling can
+//! be recovered in O(1) for display.
+//!
+//! Interned strings are leaked (`Box::leak`) so lookups can hand out
+//! `&'static str` without holding a lock. The vocabulary lives for the whole
+//! process, which is the intended lifetime of a query workload; the leak is
+//! bounded by the number of *distinct* names ever created.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+#[derive(Default)]
+struct Vocab {
+    iri_names: Vec<&'static str>,
+    iri_ids: HashMap<&'static str, u32>,
+    var_names: Vec<&'static str>,
+    var_ids: HashMap<&'static str, u32>,
+    fresh_counter: u64,
+}
+
+fn vocab() -> &'static RwLock<Vocab> {
+    static VOCAB: OnceLock<RwLock<Vocab>> = OnceLock::new();
+    VOCAB.get_or_init(|| RwLock::new(Vocab::default()))
+}
+
+/// An interned IRI (internationalised resource identifier).
+///
+/// ```
+/// use wdsparql_rdf::Iri;
+/// let a = Iri::new("http://example.org/p");
+/// let b = Iri::new("http://example.org/p");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "http://example.org/p");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Iri(u32);
+
+impl Iri {
+    /// Interns `name` and returns its id. Idempotent per spelling.
+    pub fn new(name: &str) -> Iri {
+        let v = vocab();
+        if let Some(&id) = v.read().iri_ids.get(name) {
+            return Iri(id);
+        }
+        let mut w = v.write();
+        if let Some(&id) = w.iri_ids.get(name) {
+            return Iri(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(w.iri_names.len()).expect("IRI vocabulary overflow");
+        w.iri_names.push(leaked);
+        w.iri_ids.insert(leaked, id);
+        Iri(id)
+    }
+
+    /// The interned spelling.
+    pub fn as_str(self) -> &'static str {
+        vocab().read().iri_names[self.0 as usize]
+    }
+
+    /// The raw interned id (stable within the process, useful as an index).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Iri({})", self.as_str())
+    }
+}
+
+/// An interned SPARQL variable.
+///
+/// Names are canonicalised without the leading `?`; [`fmt::Display`] adds it
+/// back, so `Variable::new("?x")` and `Variable::new("x")` are the same
+/// variable, printed `?x`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(u32);
+
+impl Variable {
+    /// Interns a variable by name (leading `?` optional).
+    pub fn new(name: &str) -> Variable {
+        let name = name.strip_prefix('?').unwrap_or(name);
+        assert!(!name.is_empty(), "variable name must be non-empty");
+        let v = vocab();
+        if let Some(&id) = v.read().var_ids.get(name) {
+            return Variable(id);
+        }
+        let mut w = v.write();
+        if let Some(&id) = w.var_ids.get(name) {
+            return Variable(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(w.var_names.len()).expect("variable vocabulary overflow");
+        w.var_names.push(leaked);
+        w.var_ids.insert(leaked, id);
+        Variable(id)
+    }
+
+    /// A variable guaranteed to be distinct from every variable created so
+    /// far (used by the ρ_∆ renaming of children assignments, §3.1).
+    pub fn fresh() -> Variable {
+        let v = vocab();
+        let mut w = v.write();
+        loop {
+            let n = w.fresh_counter;
+            w.fresh_counter += 1;
+            let name = format!("_f{n}");
+            if !w.var_ids.contains_key(name.as_str()) {
+                let leaked: &'static str = Box::leak(name.into_boxed_str());
+                let id = u32::try_from(w.var_names.len()).expect("variable vocabulary overflow");
+                w.var_names.push(leaked);
+                w.var_ids.insert(leaked, id);
+                return Variable(id);
+            }
+        }
+    }
+
+    /// The canonical spelling, without the leading `?`.
+    pub fn name(self) -> &'static str {
+        vocab().read().var_names[self.0 as usize]
+    }
+
+    /// The raw interned id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.name())
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(?{})", self.name())
+    }
+}
+
+/// A term in a triple pattern: either an IRI constant or a variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    Iri(Iri),
+    Var(Variable),
+}
+
+impl Term {
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn is_iri(self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    pub fn as_var(self) -> Option<Variable> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Iri(_) => None,
+        }
+    }
+
+    pub fn as_iri(self) -> Option<Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Term {
+        Term::Iri(i)
+    }
+}
+
+impl From<Variable> for Term {
+    fn from(v: Variable) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => i.fmt(f),
+            Term::Var(v) => v.fmt(f),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => i.fmt(f),
+            Term::Var(v) => v.fmt(f),
+        }
+    }
+}
+
+/// Convenience constructor for an IRI term.
+pub fn iri(name: &str) -> Term {
+    Term::Iri(Iri::new(name))
+}
+
+/// Convenience constructor for a variable term.
+pub fn var(name: &str) -> Term {
+    Term::Var(Variable::new(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_interning_is_idempotent() {
+        let a = Iri::new("p");
+        let b = Iri::new("p");
+        let c = Iri::new("q");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "p");
+        assert_eq!(c.as_str(), "q");
+    }
+
+    #[test]
+    fn variable_question_mark_is_canonicalised() {
+        assert_eq!(Variable::new("?x"), Variable::new("x"));
+        assert_eq!(Variable::new("?x").to_string(), "?x");
+        assert_eq!(Variable::new("x").name(), "x");
+    }
+
+    #[test]
+    fn fresh_variables_never_collide() {
+        let user = Variable::new("_f0"); // squat on a fresh-style name
+        let f1 = Variable::fresh();
+        let f2 = Variable::fresh();
+        assert_ne!(f1, user);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = iri("a");
+        let u = var("x");
+        assert!(t.is_iri() && !t.is_var());
+        assert!(u.is_var() && !u.is_iri());
+        assert_eq!(t.as_iri(), Some(Iri::new("a")));
+        assert_eq!(t.as_var(), None);
+        assert_eq!(u.as_var(), Some(Variable::new("x")));
+        assert_eq!(u.as_iri(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(iri("a").to_string(), "a");
+        assert_eq!(var("y").to_string(), "?y");
+        assert_eq!(format!("{:?}", Variable::new("y")), "Var(?y)");
+        assert_eq!(format!("{:?}", Iri::new("a")), "Iri(a)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_variable_name_panics() {
+        let _ = Variable::new("?");
+    }
+
+    #[test]
+    fn ids_are_dense_and_distinct() {
+        let a = Iri::new("dense-test-a");
+        let b = Iri::new("dense-test-b");
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for j in 0..100 {
+                        ids.push(Iri::new(&format!("t{}", (i + j) % 50)).id());
+                    }
+                    ids
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Same spelling must yield the same id in every thread.
+        for w in 0..50 {
+            let id = Iri::new(&format!("t{w}")).id();
+            for (i, ids) in all.iter().enumerate() {
+                for (j, &got) in ids.iter().enumerate() {
+                    if (i + j) % 50 == w {
+                        assert_eq!(got, id);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Ground RDF triples and SPARQL triple patterns.
+
+use crate::mapping::Mapping;
+use crate::term::{Iri, Term, Variable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A ground RDF triple `(s, p, o) ∈ I × I × I`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    pub s: Iri,
+    pub p: Iri,
+    pub o: Iri,
+}
+
+impl Triple {
+    pub fn new(s: Iri, p: Iri, o: Iri) -> Triple {
+        Triple { s, p, o }
+    }
+
+    /// Builds a triple from spellings, interning each position.
+    pub fn from_strs(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Iri::new(s), Iri::new(p), Iri::new(o))
+    }
+
+    pub fn terms(self) -> [Iri; 3] {
+        [self.s, self.p, self.o]
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.s, self.p, self.o)
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// A SPARQL triple pattern: a tuple in `(I ∪ V) × (I ∪ V) × (I ∪ V)`.
+///
+/// A ground pattern (no variables) is the same thing as an RDF triple; see
+/// [`TriplePattern::as_triple`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TriplePattern {
+    pub s: Term,
+    pub p: Term,
+    pub o: Term,
+}
+
+impl TriplePattern {
+    pub fn new(s: impl Into<Term>, p: impl Into<Term>, o: impl Into<Term>) -> TriplePattern {
+        TriplePattern {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        }
+    }
+
+    pub fn positions(self) -> [Term; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    /// The set of variables occurring in the pattern (`vars(t)` in the paper).
+    pub fn vars(self) -> BTreeSet<Variable> {
+        self.positions()
+            .into_iter()
+            .filter_map(Term::as_var)
+            .collect()
+    }
+
+    /// Iterates the variables in position order, with repetitions.
+    pub fn var_occurrences(self) -> impl Iterator<Item = Variable> {
+        self.positions().into_iter().filter_map(Term::as_var)
+    }
+
+    pub fn is_ground(self) -> bool {
+        self.positions().iter().all(|t| t.is_iri())
+    }
+
+    /// Interprets a ground pattern as an RDF triple.
+    pub fn as_triple(self) -> Option<Triple> {
+        match (self.s, self.p, self.o) {
+            (Term::Iri(s), Term::Iri(p), Term::Iri(o)) => Some(Triple::new(s, p, o)),
+            _ => None,
+        }
+    }
+
+    /// `µ(t)`: the RDF triple obtained by replacing every variable through
+    /// `µ`. Requires `vars(t) ⊆ dom(µ)`; returns `None` otherwise.
+    pub fn apply(self, mu: &Mapping) -> Option<Triple> {
+        let f = |t: Term| match t {
+            Term::Iri(i) => Some(i),
+            Term::Var(v) => mu.get(v),
+        };
+        Some(Triple::new(f(self.s)?, f(self.p)?, f(self.o)?))
+    }
+
+    /// Substitutes the variables bound by `µ`, leaving the rest in place.
+    pub fn apply_partial(self, mu: &Mapping) -> TriplePattern {
+        let f = |t: Term| match t {
+            Term::Iri(i) => Term::Iri(i),
+            Term::Var(v) => mu.get(v).map_or(Term::Var(v), Term::Iri),
+        };
+        TriplePattern::new(f(self.s), f(self.p), f(self.o))
+    }
+
+    /// Rewrites each position through an arbitrary term substitution
+    /// (`h(t)` for a partial function `h : V → I ∪ V`; unbound variables are
+    /// left unchanged).
+    pub fn substitute(self, h: &dyn Fn(Variable) -> Option<Term>) -> TriplePattern {
+        let f = |t: Term| match t {
+            Term::Iri(i) => Term::Iri(i),
+            Term::Var(v) => h(v).unwrap_or(Term::Var(v)),
+        };
+        TriplePattern::new(f(self.s), f(self.p), f(self.o))
+    }
+}
+
+impl From<Triple> for TriplePattern {
+    fn from(t: Triple) -> TriplePattern {
+        TriplePattern::new(t.s, t.p, t.o)
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.s, self.p, self.o)
+    }
+}
+
+impl fmt::Debug for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Shorthand for building a triple pattern out of [`Term`]-convertible parts.
+///
+/// ```
+/// use wdsparql_rdf::{tp, term::{iri, var}};
+/// let t = tp(var("x"), iri("p"), var("y"));
+/// assert_eq!(t.vars().len(), 2);
+/// ```
+pub fn tp(s: impl Into<Term>, p: impl Into<Term>, o: impl Into<Term>) -> TriplePattern {
+    TriplePattern::new(s, p, o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{iri, var};
+
+    #[test]
+    fn ground_pattern_roundtrip() {
+        let t = Triple::from_strs("a", "p", "b");
+        let pat = TriplePattern::from(t);
+        assert!(pat.is_ground());
+        assert_eq!(pat.as_triple(), Some(t));
+        assert!(pat.vars().is_empty());
+    }
+
+    #[test]
+    fn vars_deduplicates() {
+        let t = tp(var("x"), iri("p"), var("x"));
+        assert_eq!(t.vars().len(), 1);
+        assert_eq!(t.var_occurrences().count(), 2);
+    }
+
+    #[test]
+    fn apply_full_and_partial() {
+        let t = tp(var("x"), iri("p"), var("y"));
+        let mut mu = Mapping::new();
+        mu.bind(Variable::new("x"), Iri::new("a"));
+        assert_eq!(t.apply(&mu), None);
+        let t2 = t.apply_partial(&mu);
+        assert_eq!(t2, tp(iri("a"), iri("p"), var("y")));
+        mu.bind(Variable::new("y"), Iri::new("b"));
+        assert_eq!(t.apply(&mu), Some(Triple::from_strs("a", "p", "b")));
+    }
+
+    #[test]
+    fn substitute_maps_vars_to_terms() {
+        let t = tp(var("x"), iri("p"), var("y"));
+        let h = |v: Variable| {
+            if v == Variable::new("x") {
+                Some(var("z"))
+            } else {
+                None
+            }
+        };
+        assert_eq!(t.substitute(&h), tp(var("z"), iri("p"), var("y")));
+    }
+
+    #[test]
+    fn display_is_paper_style() {
+        let t = tp(var("x"), iri("p"), var("y"));
+        assert_eq!(t.to_string(), "(?x, p, ?y)");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the RDF substrate: mapping laws, graph indexing
+//! consistency, and N-Triples round-trips.
+
+use proptest::prelude::*;
+use wdsparql_rdf::{
+    binding_of, parse_ntriples, tp, write_ntriples, Iri, Mapping, RdfGraph, Term, Triple,
+    Variable,
+};
+
+fn arb_mapping() -> impl Strategy<Value = Mapping> {
+    proptest::collection::btree_map(0..6usize, 0..6usize, 0..5).prop_map(|m| {
+        Mapping::from_pairs(m.into_iter().map(|(v, i)| {
+            (
+                Variable::new(&format!("mv{v}")),
+                Iri::new(&format!("mi{i}")),
+            )
+        }))
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = RdfGraph> {
+    proptest::collection::vec((0..5usize, 0..3usize, 0..5usize), 0..14).prop_map(|ts| {
+        RdfGraph::from_triples(ts.into_iter().map(|(s, p, o)| {
+            Triple::from_strs(&format!("gn{s}"), &format!("gp{p}"), &format!("gn{o}"))
+        }))
+    })
+}
+
+/// IRI strings that are valid in our N-Triples subset (bracketed form
+/// covers anything without '>' or newlines).
+fn arb_iri_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 :/#._-]{1,12}".prop_filter("non-empty trimmed", |s| !s.trim().is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Compatibility is symmetric; union is commutative on compatible
+    /// mappings and has the empty mapping as identity.
+    #[test]
+    fn mapping_union_laws(a in arb_mapping(), b in arb_mapping()) {
+        prop_assert_eq!(a.compatible(&b), b.compatible(&a));
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        let empty = Mapping::new();
+        prop_assert_eq!(a.union(&empty), Some(a.clone()));
+        if let Some(u) = a.union(&b) {
+            // The union restricted to each domain gives back the parts.
+            for (v, i) in a.iter() {
+                prop_assert_eq!(u.get(v), Some(i));
+            }
+            for (v, i) in b.iter() {
+                prop_assert_eq!(u.get(v), Some(i));
+            }
+            prop_assert!(u.len() <= a.len() + b.len());
+        } else {
+            prop_assert!(!a.compatible(&b));
+        }
+    }
+
+    /// Restriction is idempotent and domain-correct.
+    #[test]
+    fn restriction_laws(a in arb_mapping()) {
+        let dom: Vec<Variable> = a.domain().collect();
+        let half: Vec<Variable> = dom.iter().copied().take(dom.len() / 2).collect();
+        let r = a.restrict(half.iter().copied());
+        prop_assert_eq!(r.len(), half.len());
+        prop_assert_eq!(r.restrict(half.iter().copied()), r.clone());
+        for v in half {
+            prop_assert_eq!(r.get(v), a.get(v));
+        }
+    }
+
+    /// Every triple reported by match_pattern actually matches, and the
+    /// full scan agrees with the indexed path.
+    #[test]
+    fn match_pattern_is_sound_and_complete(g in arb_graph(), s in 0..6usize, p in 0..4usize) {
+        use wdsparql_rdf::{iri, var};
+        // A pattern with a constant subject (maybe absent) and predicate.
+        let pat = tp(
+            if s < 5 { iri(&format!("gn{s}")) } else { var("ms") },
+            if p < 3 { iri(&format!("gp{p}")) } else { var("mp") },
+            var("mo"),
+        );
+        let indexed: std::collections::BTreeSet<Triple> =
+            g.match_pattern(&pat).into_iter().collect();
+        let scanned: std::collections::BTreeSet<Triple> = g
+            .iter()
+            .filter(|t| binding_of(&pat, t).is_some())
+            .copied()
+            .collect();
+        prop_assert_eq!(indexed, scanned);
+    }
+
+    /// binding_of produces a mapping that reproduces the triple.
+    #[test]
+    fn binding_roundtrip(g in arb_graph()) {
+        use wdsparql_rdf::var;
+        let pat = tp(var("bs"), var("bp"), var("bo"));
+        for t in g.iter() {
+            let mu = binding_of(&pat, t).expect("open pattern matches everything");
+            prop_assert_eq!(pat.apply(&mu), Some(*t));
+        }
+    }
+
+    /// A pattern with a repeated variable only matches triples with equal
+    /// positions.
+    #[test]
+    fn repeated_variable_semantics(g in arb_graph()) {
+        use wdsparql_rdf::var;
+        let pat = tp(var("rx"), var("rp"), var("rx"));
+        for t in g.match_pattern(&pat) {
+            prop_assert_eq!(t.s, t.o);
+        }
+    }
+
+    /// write → parse is the identity on graphs, for arbitrary IRI
+    /// spellings (spaces, hashes, slashes...).
+    #[test]
+    fn ntriples_roundtrip(names in proptest::collection::vec(arb_iri_string(), 3..9)) {
+        let mut g = RdfGraph::new();
+        for w in names.windows(3) {
+            g.insert(Triple::from_strs(&w[0], &w[1], &w[2]));
+        }
+        let text = write_ntriples(&g);
+        let parsed = parse_ntriples(&text).expect("writer output parses");
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// Term ordering is total and consistent with equality.
+    #[test]
+    fn term_ordering(a in 0..8usize, b in 0..8usize) {
+        let term = |i: usize| -> Term {
+            if i.is_multiple_of(2) {
+                Term::Iri(Iri::new(&format!("ti{i}")))
+            } else {
+                Term::Var(Variable::new(&format!("tv{i}")))
+            }
+        };
+        let (x, y) = (term(a), term(b));
+        prop_assert_eq!(x == y, x.cmp(&y) == std::cmp::Ordering::Equal);
+    }
+}

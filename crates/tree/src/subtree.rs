@@ -1,0 +1,210 @@
+//! Subtrees of a wdPT (§2.1): connected node sets containing the root.
+//!
+//! The arena in [`Wdpt`] guarantees `parent(n).0 < n.0`, which makes
+//! subtree enumeration and closure computations simple index scans.
+
+use crate::wdpt::{NodeId, Wdpt, ROOT};
+use std::collections::BTreeSet;
+use wdsparql_hom::TGraph;
+use wdsparql_rdf::Variable;
+
+/// A subtree is the set of its node ids (always containing the root).
+pub type Subtree = BTreeSet<NodeId>;
+
+/// The subtree containing only the root.
+pub fn root_subtree() -> Subtree {
+    [ROOT].into_iter().collect()
+}
+
+/// Is `s` a subtree of `t` (contains the root; closed under parents)?
+pub fn is_valid_subtree(t: &Wdpt, s: &Subtree) -> bool {
+    s.contains(&ROOT)
+        && s.iter().all(|&n| {
+            n.0 < t.len()
+                && match t.parent(n) {
+                    None => true,
+                    Some(p) => s.contains(&p),
+                }
+        })
+}
+
+/// `pat(T')` for a subtree.
+pub fn subtree_pat(t: &Wdpt, s: &Subtree) -> TGraph {
+    let mut out = TGraph::new();
+    for &n in s {
+        out = out.union(t.pat(n));
+    }
+    out
+}
+
+/// `vars(T')` for a subtree.
+pub fn subtree_vars(t: &Wdpt, s: &Subtree) -> BTreeSet<Variable> {
+    let mut out = BTreeSet::new();
+    for &n in s {
+        out.extend(t.vars(n));
+    }
+    out
+}
+
+/// The *children of the subtree*: nodes outside `s` whose parent is in `s`.
+pub fn subtree_children(t: &Wdpt, s: &Subtree) -> Vec<NodeId> {
+    t.node_ids()
+        .filter(|n| !s.contains(n))
+        .filter(|&n| t.parent(n).is_some_and(|p| s.contains(&p)))
+        .collect()
+}
+
+/// Enumerates *all* subtrees of `t` (exponentially many in general).
+pub fn enumerate_subtrees(t: &Wdpt) -> Vec<Subtree> {
+    let mut acc: Vec<Subtree> = vec![root_subtree()];
+    for id in 1..t.len() {
+        let n = NodeId(id);
+        let parent = t.parent(n).expect("non-root has a parent");
+        let mut next = Vec::with_capacity(acc.len() * 2);
+        for s in acc {
+            if s.contains(&parent) {
+                let mut with = s.clone();
+                with.insert(n);
+                next.push(s);
+                next.push(with);
+            } else {
+                next.push(s);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// The unique maximal subtree `T'` with `vars(T') ⊆ allowed` — the greedy
+/// closure: start at the root (required to satisfy the bound) and keep
+/// adding children whose variables fit. Returns `None` if even the root
+/// does not fit.
+pub fn maximal_subtree_within(t: &Wdpt, allowed: &BTreeSet<Variable>) -> Option<Subtree> {
+    if !t.vars(ROOT).is_subset(allowed) {
+        return None;
+    }
+    let mut s = root_subtree();
+    loop {
+        let mut grew = false;
+        for n in subtree_children(t, &s) {
+            if t.vars(n).is_subset(allowed) {
+                s.insert(n);
+                grew = true;
+            }
+        }
+        if !grew {
+            return Some(s);
+        }
+    }
+}
+
+/// The unique subtree `T'` with `vars(T') = target` exactly, if any — the
+/// witness `T^{sp(i)}` in the definition of support (§3.1). For trees in NR
+/// normal form this witness is unique when it exists.
+pub fn subtree_with_vars(t: &Wdpt, target: &BTreeSet<Variable>) -> Option<Subtree> {
+    let s = maximal_subtree_within(t, target)?;
+    (&subtree_vars(t, &s) == target).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn tg(pats: &[(&str, &str, &str)]) -> TGraph {
+        TGraph::from_patterns(pats.iter().map(|&(s, p, o)| {
+            let term = |x: &str| {
+                if let Some(name) = x.strip_prefix('?') {
+                    var(name)
+                } else {
+                    iri(x)
+                }
+            };
+            tp(term(s), term(p), term(o))
+        }))
+    }
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    /// root {x p y} with children {y q z} and {y r w}, grandchild {z s u}.
+    fn sample() -> (Wdpt, NodeId, NodeId, NodeId) {
+        let mut t = Wdpt::new(tg(&[("?x", "p", "?y")]));
+        let a = t.add_child(ROOT, tg(&[("?y", "q", "?z")]));
+        let b = t.add_child(ROOT, tg(&[("?y", "r", "?w")]));
+        let c = t.add_child(a, tg(&[("?z", "s", "?u")]));
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn validity_checks() {
+        let (t, a, _b, c) = sample();
+        assert!(is_valid_subtree(&t, &root_subtree()));
+        let good: Subtree = [ROOT, a, c].into_iter().collect();
+        assert!(is_valid_subtree(&t, &good));
+        let no_root: Subtree = [a].into_iter().collect();
+        assert!(!is_valid_subtree(&t, &no_root));
+        let gap: Subtree = [ROOT, c].into_iter().collect();
+        assert!(!is_valid_subtree(&t, &gap));
+    }
+
+    #[test]
+    fn children_of_subtree() {
+        let (t, a, b, c) = sample();
+        assert_eq!(subtree_children(&t, &root_subtree()), vec![a, b]);
+        let with_a: Subtree = [ROOT, a].into_iter().collect();
+        assert_eq!(subtree_children(&t, &with_a), vec![b, c]);
+        let all: Subtree = [ROOT, a, b, c].into_iter().collect();
+        assert!(subtree_children(&t, &all).is_empty());
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        let (t, _, _, _) = sample();
+        // Subtrees: {r}, {r,a}, {r,b}, {r,a,b}, {r,a,c}, {r,a,b,c} = 6.
+        let subs = enumerate_subtrees(&t);
+        assert_eq!(subs.len(), 6);
+        for s in &subs {
+            assert!(is_valid_subtree(&t, s));
+        }
+    }
+
+    #[test]
+    fn maximal_subtree_closure() {
+        let (t, a, _b, _c) = sample();
+        let allowed: BTreeSet<Variable> = [v("x"), v("y"), v("z")].into_iter().collect();
+        let s = maximal_subtree_within(&t, &allowed).unwrap();
+        assert_eq!(s, [ROOT, a].into_iter().collect::<Subtree>());
+        // Root does not fit: no subtree.
+        let tiny: BTreeSet<Variable> = [v("x")].into_iter().collect();
+        assert!(maximal_subtree_within(&t, &tiny).is_none());
+    }
+
+    #[test]
+    fn witness_subtree_requires_exact_vars() {
+        let (t, a, _b, _c) = sample();
+        let exact: BTreeSet<Variable> = [v("x"), v("y"), v("z")].into_iter().collect();
+        assert_eq!(
+            subtree_with_vars(&t, &exact),
+            Some([ROOT, a].into_iter().collect::<Subtree>())
+        );
+        // Superset of achievable vars but unreachable exactly: {x,y,z,q}.
+        let too_many: BTreeSet<Variable> =
+            [v("x"), v("y"), v("z"), v("nonexistent")].into_iter().collect();
+        assert_eq!(subtree_with_vars(&t, &too_many), None);
+    }
+
+    #[test]
+    fn pat_and_vars_of_subtree() {
+        let (t, a, _b, _c) = sample();
+        let s: Subtree = [ROOT, a].into_iter().collect();
+        assert_eq!(subtree_pat(&t, &s).len(), 2);
+        assert_eq!(
+            subtree_vars(&t, &s),
+            [v("x"), v("y"), v("z")].into_iter().collect()
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! The `wdpf` translation (§2.1): well-designed graph patterns → pattern
+//! trees/forests, and back.
+//!
+//! A UNION-free well-designed pattern goes to a wdPT by the standard
+//! OPT-normal-form construction:
+//!
+//! * a triple pattern becomes a single-node tree,
+//! * `P1 AND P2` merges the roots and concatenates the children,
+//! * `P1 OPT P2` appends the tree of `P2` as a new child of `P1`'s root,
+//!
+//! followed by NR normalisation. A general well-designed pattern
+//! `P1 UNION ··· UNION Pm` becomes the forest of its branch trees.
+
+use crate::wdpt::{NodeId, Wdpt};
+use std::fmt;
+use wdsparql_algebra::{check_well_designed, GraphPattern, WdViolation};
+use wdsparql_hom::TGraph;
+
+/// Errors of the `wdpf` translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The input is not well-designed.
+    NotWellDesigned(WdViolation),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::NotWellDesigned(v) => write!(f, "not well-designed: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Intermediate recursive tree used during translation.
+struct Spec {
+    pat: TGraph,
+    children: Vec<Spec>,
+}
+
+fn build_spec(p: &GraphPattern) -> Spec {
+    match p {
+        GraphPattern::Triple(t) => Spec {
+            pat: TGraph::from_patterns([*t]),
+            children: Vec::new(),
+        },
+        GraphPattern::And(l, r) => {
+            let mut ls = build_spec(l);
+            let rs = build_spec(r);
+            ls.pat = ls.pat.union(&rs.pat);
+            ls.children.extend(rs.children);
+            ls
+        }
+        GraphPattern::Opt(l, r) => {
+            let mut ls = build_spec(l);
+            ls.children.push(build_spec(r));
+            ls
+        }
+        GraphPattern::Union(_, _) => {
+            unreachable!("UNION is split off before tree construction")
+        }
+    }
+}
+
+fn spec_into_wdpt(spec: Spec) -> Wdpt {
+    let mut t = Wdpt::new(spec.pat);
+    fn attach(t: &mut Wdpt, parent: NodeId, children: Vec<Spec>) {
+        for c in children {
+            let id = t.add_child(parent, c.pat);
+            attach(t, id, c.children);
+        }
+    }
+    let root = t.root();
+    attach(&mut t, root, spec.children);
+    t
+}
+
+/// Translates a UNION-free well-designed pattern into an equivalent wdPT in
+/// NR normal form.
+pub fn wdpt_from_pattern(p: &GraphPattern) -> Result<Wdpt, TranslateError> {
+    check_well_designed(p).map_err(TranslateError::NotWellDesigned)?;
+    if !p.is_union_free() {
+        // Top-level UNION with more than one branch: not a single tree.
+        return Err(TranslateError::NotWellDesigned(
+            WdViolation::UnionNotTopLevel,
+        ));
+    }
+    let mut t = spec_into_wdpt(build_spec(p));
+    t.nr_normalize();
+    t.validate()
+        .expect("translation of a well-designed pattern satisfies the wdPT invariants");
+    Ok(t)
+}
+
+/// A well-designed pattern forest (wdPF): a finite set of wdPTs.
+#[derive(Clone, Debug)]
+pub struct Wdpf {
+    pub trees: Vec<Wdpt>,
+}
+
+impl Wdpf {
+    pub fn new(trees: Vec<Wdpt>) -> Wdpf {
+        Wdpf { trees }
+    }
+
+    /// The paper's polynomial-time `wdpf(P)` function: UNION branches →
+    /// trees.
+    pub fn from_pattern(p: &GraphPattern) -> Result<Wdpf, TranslateError> {
+        check_well_designed(p).map_err(TranslateError::NotWellDesigned)?;
+        let branches = p
+            .union_branches()
+            .expect("well-designed patterns are in UNION normal form");
+        let trees = branches
+            .into_iter()
+            .map(wdpt_from_pattern)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Wdpf { trees })
+    }
+
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Wdpt> {
+        self.trees.iter()
+    }
+}
+
+impl fmt::Display for Wdpf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.trees.iter().enumerate() {
+            writeln!(f, "T{}:", i + 1)?;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The inverse translation: a wdPT back to an equivalent graph pattern
+/// (`pat(n)` as an AND chain, children nested via OPT).
+///
+/// Panics if some node label is empty (hand-built degenerate trees).
+pub fn pattern_from_wdpt(t: &Wdpt) -> GraphPattern {
+    fn node_pattern(t: &Wdpt, n: NodeId) -> GraphPattern {
+        let mut acc = GraphPattern::and_all(t.pat(n).iter().copied());
+        for &c in t.children(n) {
+            acc = GraphPattern::opt(acc, node_pattern(t, c));
+        }
+        acc
+    }
+    node_pattern(t, t.root())
+}
+
+/// The inverse translation for forests (top-level UNION).
+pub fn pattern_from_wdpf(f: &Wdpf) -> GraphPattern {
+    GraphPattern::union_all(f.trees.iter().map(pattern_from_wdpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wdpt::ROOT;
+    use wdsparql_algebra::{eval, parse_pattern};
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::{tp, RdfGraph};
+
+    fn tg(pats: &[(&str, &str, &str)]) -> TGraph {
+        TGraph::from_patterns(pats.iter().map(|&(s, p, o)| {
+            let term = |x: &str| {
+                if let Some(name) = x.strip_prefix('?') {
+                    var(name)
+                } else {
+                    iri(x)
+                }
+            };
+            tp(term(s), term(p), term(o))
+        }))
+    }
+
+    #[test]
+    fn example2_forest_shape() {
+        // P = P1 UNION ((?x,p,?y) OPT ((?z,q,?x) AND (?w,q,?z)))
+        // wdpf(P) = {T1, T2} from Figure 2 with k = 2.
+        let p = parse_pattern(
+            "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2))) \
+             UNION ((?x, p, ?y) OPT ((?z, q, ?x) AND (?w, q, ?z)))",
+        )
+        .unwrap();
+        let f = Wdpf::from_pattern(&p).unwrap();
+        assert_eq!(f.len(), 2);
+
+        let t1 = &f.trees[0];
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t1.pat(ROOT), &tg(&[("?x", "p", "?y")]));
+        let kids = t1.children(ROOT);
+        assert_eq!(t1.pat(kids[0]), &tg(&[("?z", "q", "?x")]));
+        assert_eq!(
+            t1.pat(kids[1]),
+            &tg(&[("?y", "r", "?o1"), ("?o1", "r", "?o2")])
+        );
+
+        let t2 = &f.trees[1];
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.pat(ROOT), &tg(&[("?x", "p", "?y")]));
+        assert_eq!(
+            t2.pat(t2.children(ROOT)[0]),
+            &tg(&[("?z", "q", "?x"), ("?w", "q", "?z")])
+        );
+    }
+
+    #[test]
+    fn and_under_opt_merges_roots() {
+        // ((A OPT B) AND C) — root is A ∪ C.
+        let p = parse_pattern("((?x, p, ?y) OPT (?y, q, ?z)) AND (?x, r, ?w)").unwrap();
+        let t = wdpt_from_pattern(&p).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.pat(ROOT), &tg(&[("?x", "p", "?y"), ("?x", "r", "?w")]));
+    }
+
+    #[test]
+    fn not_well_designed_is_rejected() {
+        let p = parse_pattern(
+            "((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2))",
+        )
+        .unwrap();
+        assert!(matches!(
+            wdpt_from_pattern(&p),
+            Err(TranslateError::NotWellDesigned(_))
+        ));
+        assert!(Wdpf::from_pattern(&p).is_err());
+    }
+
+    #[test]
+    fn union_pattern_is_not_a_single_tree() {
+        let p = parse_pattern("(?x, p, ?y) UNION (?x, q, ?y)").unwrap();
+        assert!(wdpt_from_pattern(&p).is_err());
+        assert_eq!(Wdpf::from_pattern(&p).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn translation_produces_nr_normal_form() {
+        // (A OPT B) where B adds no fresh variable — the child disappears.
+        let p = parse_pattern("(?x, p, ?y) OPT (?y, q, ?x)").unwrap();
+        let t = wdpt_from_pattern(&p).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_nr_normal_form());
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let g = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("z0", "q", "a"),
+            ("b", "r", "c"),
+            ("c", "r", "d"),
+            ("e", "p", "f"),
+            ("w0", "q", "z0"),
+        ]);
+        for text in [
+            "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))",
+            "((?x, p, ?y) OPT ((?z, q, ?x) AND (?w, q, ?z)))",
+            "((?x, p, ?y) AND (?y, r, ?o1))",
+            "((?x, p, ?y) OPT (?y, q, ?x))",
+            "(((?x, p, ?y) OPT (?z, q, ?x)) AND (?y, r, ?o1))",
+        ] {
+            let p = parse_pattern(text).unwrap();
+            let t = wdpt_from_pattern(&p).unwrap();
+            let back = pattern_from_wdpt(&t);
+            assert_eq!(
+                eval(&p, &g),
+                eval(&back, &g),
+                "semantics changed for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn forest_roundtrip_preserves_semantics() {
+        let g = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("z0", "q", "a"),
+            ("b", "r", "c"),
+            ("c", "r", "d"),
+            ("w0", "q", "z0"),
+        ]);
+        let p = parse_pattern(
+            "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2))) \
+             UNION ((?x, p, ?y) OPT ((?z, q, ?x) AND (?w, q, ?z)))",
+        )
+        .unwrap();
+        let f = Wdpf::from_pattern(&p).unwrap();
+        let back = pattern_from_wdpf(&f);
+        assert_eq!(eval(&p, &g), eval(&back, &g));
+    }
+
+    #[test]
+    fn nr_normalisation_preserves_semantics_via_patterns() {
+        // A filter node with a child: ((A OPT B) with B redundant but
+        // carrying a child C). Built by hand, normalised, compared through
+        // the inverse translation.
+        let mut t = Wdpt::new(tg(&[("?x", "p", "?y")]));
+        let b = t.add_child(ROOT, tg(&[("?y", "q", "?x")]));
+        t.add_child(b, tg(&[("?x", "r", "?w")]));
+        let before = pattern_from_wdpt(&t);
+        let mut t2 = t.clone();
+        t2.nr_normalize();
+        let after = pattern_from_wdpt(&t2);
+        let g = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("b", "q", "a"),
+            ("a", "r", "c"),
+            ("e", "p", "f"),
+            ("f", "q", "e"),
+            ("g", "p", "h"),
+        ]);
+        assert_eq!(eval(&before, &g), eval(&after, &g));
+    }
+}

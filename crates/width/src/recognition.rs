@@ -1,0 +1,270 @@
+//! The **recognition problem** from the paper's conclusions: given a
+//! well-designed pattern and a fixed `k`, decide `dw(P) ≤ k` (Πᵖ₂ upper
+//! bound in general) or `bw(P) ≤ k` (NP-complete for UNION-free
+//! patterns, via the NP-completeness of `ctw ≤ k` [Dalmau et al.,
+//! Theorem 13]).
+//!
+//! Unlike the plain boolean tests [`crate::dw_at_most`] /
+//! [`crate::bw_at_most`], the recognisers here return **certificates**:
+//!
+//! * for a *yes* answer, the witness structure (per-subtree dominating
+//!   assignments, or per-node core treewidths) whose validity can be
+//!   re-checked independently with [`verify_dw_certificate`];
+//! * for a *no* answer, the violating subtree/GtG element (the same kind
+//!   of witness Lemma 3 extracts for the hardness reduction) or the
+//!   violating node.
+
+use crate::branch::branch_tgraph;
+use crate::gtg::{forest_subtrees, gtg, ForestSubtree};
+use wdsparql_hom::{ctw, maps_to};
+use wdsparql_tree::{NodeId, Wdpf, Wdpt, ROOT};
+
+/// A dominating assignment for one subtree's `GtG` set: for each element,
+/// the index of a dominator of ctw ≤ k (itself when already small).
+#[derive(Clone, Debug)]
+pub struct SubtreeDomination {
+    pub subtree: ForestSubtree,
+    /// `ctw` of each GtG element, in `gtg(f, subtree)` order.
+    pub ctws: Vec<usize>,
+    /// `dominator_of[i] = j` means element `j` dominates element `i`
+    /// (`i == j` for elements of ctw ≤ k).
+    pub dominator_of: Vec<usize>,
+}
+
+/// Witness that `dw(F) > k`: a subtree with a GtG element of ctw > k that
+/// no small element dominates.
+#[derive(Clone, Debug)]
+pub struct DwViolation {
+    pub subtree: ForestSubtree,
+    /// Index of the undominated element in `gtg(f, subtree)`.
+    pub element: usize,
+    /// Its core treewidth (necessarily > k).
+    pub element_ctw: usize,
+}
+
+/// Outcome of [`recognize_dw`].
+#[derive(Clone, Debug)]
+pub enum DwCertificate {
+    Holds(Vec<SubtreeDomination>),
+    Violated(DwViolation),
+}
+
+impl DwCertificate {
+    pub fn holds(&self) -> bool {
+        matches!(self, DwCertificate::Holds(_))
+    }
+}
+
+/// Decides `dw(F) ≤ k`, producing a checkable certificate either way.
+pub fn recognize_dw(f: &Wdpf, k: usize) -> DwCertificate {
+    let mut per_subtree = Vec::new();
+    for st in forest_subtrees(f) {
+        let elements = gtg(f, &st);
+        let ctws: Vec<usize> = elements.iter().map(|e| ctw(&e.graph).width).collect();
+        let small: Vec<usize> = (0..elements.len()).filter(|&i| ctws[i] <= k).collect();
+        let mut dominator_of = Vec::with_capacity(elements.len());
+        for (i, e) in elements.iter().enumerate() {
+            if ctws[i] <= k {
+                dominator_of.push(i);
+                continue;
+            }
+            match small
+                .iter()
+                .find(|&&d| maps_to(&elements[d].graph, &e.graph))
+            {
+                Some(&d) => dominator_of.push(d),
+                None => {
+                    return DwCertificate::Violated(DwViolation {
+                        subtree: st,
+                        element: i,
+                        element_ctw: ctws[i],
+                    })
+                }
+            }
+        }
+        per_subtree.push(SubtreeDomination {
+            subtree: st,
+            ctws,
+            dominator_of,
+        });
+    }
+    DwCertificate::Holds(per_subtree)
+}
+
+/// Independently re-checks a positive certificate: every listed subtree
+/// must exist, every dominator must have ctw ≤ k and a homomorphism into
+/// its dominee, and the certificate must cover every subtree of `F`.
+pub fn verify_dw_certificate(f: &Wdpf, k: usize, cert: &[SubtreeDomination]) -> bool {
+    let subtrees = forest_subtrees(f);
+    if cert.len() != subtrees.len() {
+        return false;
+    }
+    for (entry, st) in cert.iter().zip(&subtrees) {
+        if &entry.subtree != st {
+            return false;
+        }
+        let elements = gtg(f, st);
+        if entry.dominator_of.len() != elements.len() || entry.ctws.len() != elements.len() {
+            return false;
+        }
+        for (i, &d) in entry.dominator_of.iter().enumerate() {
+            if d >= elements.len() {
+                return false;
+            }
+            // The claimed widths must be honest and the dominator small.
+            if ctw(&elements[i].graph).width != entry.ctws[i] || entry.ctws[d] > k {
+                return false;
+            }
+            if d != i && !maps_to(&elements[d].graph, &elements[i].graph) {
+                return false;
+            }
+            if d == i && entry.ctws[i] > k {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Witness that `bw(T) > k`: the node whose branch t-graph has large ctw.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BwViolation {
+    pub node: NodeId,
+    pub ctw: usize,
+}
+
+/// Outcome of [`recognize_bw`]: per-node core treewidths, or the first
+/// violating node.
+#[derive(Clone, Debug)]
+pub enum BwCertificate {
+    /// `(node, ctw(S^br_n, X^br_n))` for every non-root node.
+    Holds(Vec<(NodeId, usize)>),
+    Violated(BwViolation),
+}
+
+impl BwCertificate {
+    pub fn holds(&self) -> bool {
+        matches!(self, BwCertificate::Holds(_))
+    }
+}
+
+/// Decides `bw(T) ≤ k` with a per-node certificate (Definition 3). The
+/// NP-hard kernel is the per-node `ctw ≤ k` check; our exact core and
+/// treewidth machinery pays that price only in the (small) query size.
+pub fn recognize_bw(t: &Wdpt, k: usize) -> BwCertificate {
+    let mut widths = Vec::new();
+    for n in t.node_ids().filter(|&n| n != ROOT) {
+        let w = ctw(&branch_tgraph(t, n)).width;
+        if w > k {
+            return BwCertificate::Violated(BwViolation { node: n, ctw: w });
+        }
+        widths.push((n, w));
+    }
+    BwCertificate::Holds(widths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::tests::tprime;
+    use crate::domination::domination_width;
+    use crate::gtg::tests::fk;
+    use wdsparql_hom::TGraph;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    /// The clique-child family `Q_k`: root `(?x,p,?y)`, one child
+    /// `{(?y,r,?o1)} ∪ K_k(?o1..?ok)` — `bw(Q_k) = dw(Q_k) = k − 1`.
+    fn clique_tree(k: usize) -> Wdpt {
+        let mut pats = vec![tp(var("y"), iri("r"), var("o1"))];
+        for i in 1..=k {
+            for j in (i + 1)..=k {
+                pats.push(tp(var(&format!("o{i}")), iri("r"), var(&format!("o{j}"))));
+            }
+        }
+        let mut t = Wdpt::new(TGraph::from_patterns([tp(var("x"), iri("p"), var("y"))]));
+        t.add_child(ROOT, TGraph::from_patterns(pats));
+        t
+    }
+
+    #[test]
+    fn fk_recognised_at_its_exact_width() {
+        for k in 2..=4 {
+            let f = fk(k);
+            let cert = recognize_dw(&f, 1);
+            let DwCertificate::Holds(entries) = &cert else {
+                panic!("dw(F_{k}) = 1 must be recognised at k = 1");
+            };
+            assert!(verify_dw_certificate(&f, 1, entries));
+            // Every subtree is covered.
+            assert_eq!(entries.len(), forest_subtrees(&f).len());
+        }
+    }
+
+    #[test]
+    fn fk_nontrivial_domination_appears_in_certificate() {
+        // In F_3, the root subtree's GtG has an element of ctw 2 that is
+        // dominated by a different element — the certificate records a
+        // non-identity dominator.
+        let f = fk(3);
+        let DwCertificate::Holds(entries) = recognize_dw(&f, 1) else {
+            panic!("dw(F_3) = 1");
+        };
+        assert!(entries.iter().any(|e| e
+            .dominator_of
+            .iter()
+            .enumerate()
+            .any(|(i, &d)| i != d)));
+    }
+
+    #[test]
+    fn violation_reports_the_large_element() {
+        // The clique-child tree Q_4 has bw = dw = 3; at k = 2 recognition
+        // must fail and name an element of ctw 3.
+        let q4 = clique_tree(4);
+        let f = Wdpf::new(vec![q4]);
+        assert_eq!(domination_width(&f), 3);
+        let DwCertificate::Violated(v) = recognize_dw(&f, 2) else {
+            panic!("dw(Q_4) = 3 > 2 must be rejected");
+        };
+        assert!(v.element_ctw > 2);
+        // And it is recognised at its exact width.
+        assert!(recognize_dw(&f, 3).holds());
+    }
+
+    #[test]
+    fn bw_certificates_match_branch_treewidth() {
+        for k in 2..=4 {
+            let t = tprime(k);
+            // bw(T'_k) = 1: recognised at 1, rejected at 0 is meaningless
+            // (k ≥ 1), so check the certificate contents instead.
+            let BwCertificate::Holds(widths) = recognize_bw(&t, 1) else {
+                panic!("bw(T'_{k}) = 1");
+            };
+            assert!(widths.iter().all(|&(_, w)| w == 1));
+        }
+        let q4 = clique_tree(4);
+        let BwCertificate::Violated(v) = recognize_bw(&q4, 2) else {
+            panic!("bw(Q_4) = 3 > 2");
+        };
+        assert_eq!(v.ctw, 3);
+        assert!(recognize_bw(&q4, 3).holds());
+    }
+
+    #[test]
+    fn tampered_certificates_are_rejected() {
+        let f = fk(2);
+        let DwCertificate::Holds(mut entries) = recognize_dw(&f, 1) else {
+            panic!("dw(F_2) = 1");
+        };
+        assert!(verify_dw_certificate(&f, 1, &entries));
+        // Drop a subtree: coverage check fails.
+        let dropped: Vec<_> = entries.iter().skip(1).cloned().collect();
+        assert!(!verify_dw_certificate(&f, 1, &dropped));
+        // Lie about a width.
+        if let Some(e) = entries.iter_mut().find(|e| !e.ctws.is_empty()) {
+            e.ctws[0] += 7;
+        }
+        assert!(!verify_dw_certificate(&f, 1, &entries));
+    }
+}

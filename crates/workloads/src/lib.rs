@@ -1,0 +1,31 @@
+//! # wdsparql-workloads
+//!
+//! Deterministic, seeded workload generators:
+//!
+//! * [`paper`] — the paper's own constructions (Examples 1–5, Figures 1–3,
+//!   the families `F_k`, `T'_k`, clique/path/chain trees);
+//! * [`graphs`] — RDF graph families (random, Turán adversaries, a social
+//!   network, a bibliography);
+//! * [`queries`] — random well-designed pattern trees/forests, valid by
+//!   construction;
+//! * [`instances`] — matched (query, graph, µ, expected) membership
+//!   instances for the dichotomy experiments.
+
+pub mod graphs;
+pub mod instances;
+pub mod paper;
+pub mod queries;
+
+pub use graphs::{
+    bibliography, random_graph, scale_free, social_network, turan_class, turan_graph,
+    university,
+};
+pub use instances::{
+    clique_instance, fk_instance, fk_instance_negative, path_instance, tprime_instance, Instance,
+};
+pub use paper::{
+    chain_tree, clique_child_tree, example1_p1, example1_p2, example2_pattern, example3_c_prime,
+    example3_s, example3_s_prime, fk_forest, grid_child_tree, kk_clique, path_child_tree,
+    tprime_tree,
+};
+pub use queries::{random_wdpf, random_wdpt, RandomTreeParams};

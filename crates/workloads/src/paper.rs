@@ -1,0 +1,339 @@
+//! Verbatim constructions from the paper: Examples 1–5 and Figures 1–3,
+//! plus the §3.2 family `T'_k`. These are the fixtures behind experiments
+//! E1–E4 and many integration tests.
+
+use wdsparql_algebra::GraphPattern;
+use wdsparql_hom::{GenTGraph, TGraph};
+use wdsparql_rdf::term::{iri, var};
+use wdsparql_rdf::{tp, TriplePattern, Variable};
+use wdsparql_tree::{Wdpf, Wdpt, ROOT};
+
+fn t(s: &str, p: &str, o: &str) -> TriplePattern {
+    let term = |x: &str| {
+        if let Some(name) = x.strip_prefix('?') {
+            var(name)
+        } else {
+            iri(x)
+        }
+    };
+    tp(term(s), term(p), term(o))
+}
+
+/// `K_k(?o1, ..., ?ok) = {(?oi, r, ?oj) | i < j}` (Example 3).
+pub fn kk_clique(k: usize) -> Vec<TriplePattern> {
+    let mut out = Vec::new();
+    for i in 1..=k {
+        for j in (i + 1)..=k {
+            out.push(t(&format!("?o{i}"), "r", &format!("?o{j}")));
+        }
+    }
+    out
+}
+
+/// `P1` from Example 1 (well-designed):
+/// `((?x,p,?y) OPT (?z,q,?x)) OPT ((?y,r,?o1) AND (?o1,r,?o2))`.
+pub fn example1_p1() -> GraphPattern {
+    GraphPattern::opt(
+        GraphPattern::opt(
+            GraphPattern::triple(t("?x", "p", "?y")),
+            GraphPattern::triple(t("?z", "q", "?x")),
+        ),
+        GraphPattern::and(
+            GraphPattern::triple(t("?y", "r", "?o1")),
+            GraphPattern::triple(t("?o1", "r", "?o2")),
+        ),
+    )
+}
+
+/// `P2` from Example 1 (NOT well-designed: `?z` escapes its OPT).
+pub fn example1_p2() -> GraphPattern {
+    GraphPattern::opt(
+        GraphPattern::opt(
+            GraphPattern::triple(t("?x", "p", "?y")),
+            GraphPattern::triple(t("?z", "q", "?x")),
+        ),
+        GraphPattern::and(
+            GraphPattern::triple(t("?y", "r", "?z")),
+            GraphPattern::triple(t("?z", "r", "?o2")),
+        ),
+    )
+}
+
+/// `P` from Example 2: `P1 UNION ((?x,p,?y) OPT ((?z,q,?x) AND (?w,q,?z)))`.
+pub fn example2_pattern() -> GraphPattern {
+    GraphPattern::union(
+        example1_p1(),
+        GraphPattern::opt(
+            GraphPattern::triple(t("?x", "p", "?y")),
+            GraphPattern::and(
+                GraphPattern::triple(t("?z", "q", "?x")),
+                GraphPattern::triple(t("?w", "q", "?z")),
+            ),
+        ),
+    )
+}
+
+/// `(S, X)` from Example 3 / Figure 1:
+/// `S = {(?z,q,?x), (?x,p,?y), (?y,r,?o1)} ∪ K_k`, `X = {?x, ?y, ?z}`.
+/// A core with `ctw = k − 1`.
+pub fn example3_s(k: usize) -> GenTGraph {
+    let mut pats = vec![t("?z", "q", "?x"), t("?x", "p", "?y"), t("?y", "r", "?o1")];
+    pats.extend(kk_clique(k));
+    GenTGraph::new(
+        TGraph::from_patterns(pats),
+        [Variable::new("x"), Variable::new("y"), Variable::new("z")],
+    )
+}
+
+/// `(S', X)` from Example 3 / Figure 1: `S` extended with
+/// `(?y,r,?o), (?o,r,?o)`. Here `tw = k − 1` but `ctw = 1`.
+pub fn example3_s_prime(k: usize) -> GenTGraph {
+    let mut pats = vec![
+        t("?z", "q", "?x"),
+        t("?x", "p", "?y"),
+        t("?y", "r", "?o1"),
+        t("?y", "r", "?o"),
+        t("?o", "r", "?o"),
+    ];
+    pats.extend(kk_clique(k));
+    GenTGraph::new(
+        TGraph::from_patterns(pats),
+        [Variable::new("x"), Variable::new("y"), Variable::new("z")],
+    )
+}
+
+/// The expected core `C'` of `(S', X)` (Example 3).
+pub fn example3_c_prime() -> TGraph {
+    TGraph::from_patterns([
+        t("?z", "q", "?x"),
+        t("?x", "p", "?y"),
+        t("?y", "r", "?o"),
+        t("?o", "r", "?o"),
+    ])
+}
+
+/// The wdPF `F_k = {T1, T2, T3}` of Example 4 / Figure 2.
+///
+/// * `T1`: root `{(?x,p,?y)}`; children `n11 = {(?z,q,?x)}` and
+///   `n12 = {(?y,r,?o1)} ∪ K_k`;
+/// * `T2`: root `{(?x,p,?y)}`; child `n2 = {(?z,q,?x), (?w,q,?z)}`;
+/// * `T3`: root `{(?x,p,?y), (?z,q,?x)}`; child
+///   `n3 = {(?y,r,?o), (?o,r,?o)}`.
+///
+/// `dw(F_k) = 1` for every `k ≥ 2` (Example 5) even though `F_k` is not
+/// locally tractable (node `n12`).
+pub fn fk_forest(k: usize) -> Wdpf {
+    assert!(k >= 2);
+    let mut t1 = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y")]));
+    t1.add_child(ROOT, TGraph::from_patterns([t("?z", "q", "?x")]));
+    let mut n12 = vec![t("?y", "r", "?o1")];
+    n12.extend(kk_clique(k));
+    t1.add_child(ROOT, TGraph::from_patterns(n12));
+
+    let mut t2 = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y")]));
+    t2.add_child(
+        ROOT,
+        TGraph::from_patterns([t("?z", "q", "?x"), t("?w", "q", "?z")]),
+    );
+
+    let mut t3 = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y"), t("?z", "q", "?x")]));
+    t3.add_child(
+        ROOT,
+        TGraph::from_patterns([t("?y", "r", "?o"), t("?o", "r", "?o")]),
+    );
+
+    let f = Wdpf::new(vec![t1, t2, t3]);
+    for tree in &f.trees {
+        tree.validate().expect("F_k is a valid wdPF");
+    }
+    f
+}
+
+/// The UNION-free family `T'_k` of §3.2: root `{(?y,r,?y)}`, child
+/// `{(?y,r,?o1)} ∪ K_k`. Branch treewidth 1 (hence tractable) but local
+/// width `k − 1` (not locally tractable).
+pub fn tprime_tree(k: usize) -> Wdpt {
+    assert!(k >= 2);
+    let mut tree = Wdpt::new(TGraph::from_patterns([t("?y", "r", "?y")]));
+    let mut child = vec![t("?y", "r", "?o1")];
+    child.extend(kk_clique(k));
+    tree.add_child(ROOT, TGraph::from_patterns(child));
+    tree.validate().expect("T'_k is a valid wdPT");
+    tree
+}
+
+/// The unbounded-width UNION-free family: root `{(?x,p,?y)}`, child
+/// `{(?y,r,?o1)} ∪ K_k`. Branch treewidth `k − 1` — by Corollary 1 this
+/// class has no polynomial-time evaluation unless FPT = W\[1\].
+pub fn clique_child_tree(k: usize) -> Wdpt {
+    assert!(k >= 2);
+    let mut tree = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y")]));
+    let mut child = vec![t("?y", "r", "?o1")];
+    child.extend(kk_clique(k));
+    tree.add_child(ROOT, TGraph::from_patterns(child));
+    tree.validate().expect("clique-child tree is a valid wdPT");
+    tree
+}
+
+/// A bounded-width analogue of [`clique_child_tree`] where the child is an
+/// `n`-edge path `(?y,r,?o1), (?o1,r,?o2), ...` instead of a clique
+/// (bw = 1). Used as the tractable side of dichotomy plots.
+pub fn path_child_tree(n: usize) -> Wdpt {
+    assert!(n >= 1);
+    let mut tree = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y")]));
+    let mut child = vec![t("?y", "r", "?o1")];
+    for i in 1..n {
+        child.push(t(&format!("?o{i}"), "r", &format!("?o{}", i + 1)));
+    }
+    tree.add_child(ROOT, TGraph::from_patterns(child));
+    tree.validate().expect("path-child tree is a valid wdPT");
+    tree
+}
+
+/// A grid-cored analogue of [`clique_child_tree`]: root `{(?x,p,?y)}`,
+/// child `{(?y,anchor,?g1_1)} ∪ Grid(rows × cols)` where the grid t-graph
+/// has one triple per pair of orthogonally adjacent cells, each with its
+/// **own predicate** (`ei_j_v` / `ei_j_h`). The per-edge predicates make
+/// the child pattern rigid — its only self-homomorphism is the identity,
+/// so it is its own core — while its Gaifman graph is exactly the grid.
+/// Hence `bw = dw = min(rows, cols)`: this family realises the
+/// excluded-grid shape of the §4.2 reduction with the *identity* minor
+/// map, no Robertson–Seymour search needed.
+///
+/// (A uniformly-labelled directed grid would *not* work: it folds onto a
+/// diagonal path by the level function `i + j`, collapsing its core to
+/// treewidth 1. Rigidity is what keeps the grid in the core.)
+pub fn grid_child_tree(rows: usize, cols: usize) -> Wdpt {
+    assert!(rows >= 2 && cols >= 2);
+    let cell = |i: usize, j: usize| format!("?g{i}_{j}");
+    let mut tree = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y")]));
+    let mut child = vec![t("?y", "anchor", "?g1_1")];
+    for i in 1..=rows {
+        for j in 1..=cols {
+            if i < rows {
+                child.push(t(&cell(i, j), &format!("e{i}_{j}_v"), &cell(i + 1, j)));
+            }
+            if j < cols {
+                child.push(t(&cell(i, j), &format!("e{i}_{j}_h"), &cell(i, j + 1)));
+            }
+        }
+    }
+    tree.add_child(ROOT, TGraph::from_patterns(child));
+    tree.validate().expect("grid-child tree is a valid wdPT");
+    tree
+}
+
+/// A deep chain of nested OPTs: node `i` is `{(?v_i, p_i, ?v_{i+1})}`
+/// hanging under node `i − 1`; bw = 1 at every depth.
+pub fn chain_tree(depth: usize) -> Wdpt {
+    assert!(depth >= 1);
+    let mut tree = Wdpt::new(TGraph::from_patterns([t("?v0", "p0", "?v1")]));
+    let mut cur = ROOT;
+    for i in 1..depth {
+        cur = tree.add_child(
+            cur,
+            TGraph::from_patterns([t(
+                &format!("?v{i}"),
+                &format!("p{i}"),
+                &format!("?v{}", i + 1),
+            )]),
+        );
+    }
+    tree.validate().expect("chain tree is a valid wdPT");
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_algebra::is_well_designed;
+    use wdsparql_hom::{core_of, ctw, is_core, tw_gen};
+
+    #[test]
+    fn example1_classification() {
+        assert!(is_well_designed(&example1_p1()));
+        assert!(!is_well_designed(&example1_p2()));
+    }
+
+    #[test]
+    fn example2_translates_to_two_trees() {
+        let f = Wdpf::from_pattern(&example2_pattern()).unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn example3_claims() {
+        for k in 2..=4 {
+            let s = example3_s(k);
+            assert!(is_core(&s), "(S, X) is a core (k={k})");
+            assert_eq!(ctw(&s).width, (k - 1).max(1), "ctw(S,X) (k={k})");
+            let sp = example3_s_prime(k);
+            assert_eq!(tw_gen(&sp).width, (k - 1).max(1), "tw(S',X) (k={k})");
+            assert_eq!(ctw(&sp).width, 1, "ctw(S',X) (k={k})");
+            let c = core_of(&sp);
+            assert_eq!(c.s, example3_c_prime(), "core of (S',X) (k={k})");
+        }
+    }
+
+    #[test]
+    fn families_have_expected_shapes() {
+        let f = fk_forest(3);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.trees[0].len(), 3);
+        assert_eq!(f.trees[1].len(), 2);
+        assert_eq!(f.trees[2].len(), 2);
+        assert_eq!(tprime_tree(4).len(), 2);
+        assert_eq!(clique_child_tree(4).len(), 2);
+        assert_eq!(chain_tree(5).len(), 5);
+        assert_eq!(path_child_tree(3).len(), 2);
+    }
+
+    #[test]
+    fn kk_clique_size() {
+        assert_eq!(kk_clique(4).len(), 6);
+        assert_eq!(kk_clique(2).len(), 1);
+    }
+
+    #[test]
+    fn grid_child_tree_is_rigid_with_grid_width() {
+        // Rigidity: the child's branch t-graph is its own core, so the
+        // branch treewidth equals the grid treewidth min(rows, cols).
+        for (rows, cols, want) in [(2usize, 2usize, 2usize), (2, 3, 2), (3, 3, 3)] {
+            let t = grid_child_tree(rows, cols);
+            assert_eq!(t.len(), 2);
+            let child = t.children(ROOT)[0];
+            let branch = wdsparql_width::branch_tgraph(&t, child);
+            assert!(
+                is_core(&branch),
+                "per-edge predicates must make the {rows}x{cols} grid rigid"
+            );
+            assert_eq!(
+                wdsparql_width::branch_treewidth(&t),
+                want,
+                "bw(grid {rows}x{cols})"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_grid_would_fold_onto_a_path() {
+        // The design note on grid_child_tree: with a single predicate the
+        // directed grid folds by levels, so its ctw collapses to 1. This
+        // test pins the phenomenon the per-edge predicates guard against.
+        let cell = |i: usize, j: usize| format!("?u{i}_{j}");
+        let mut pats = Vec::new();
+        for i in 1..=3usize {
+            for j in 1..=3usize {
+                if i < 3 {
+                    pats.push(t(&cell(i, j), "r", &cell(i + 1, j)));
+                }
+                if j < 3 {
+                    pats.push(t(&cell(i, j), "r", &cell(i, j + 1)));
+                }
+            }
+        }
+        let uniform = GenTGraph::new(TGraph::from_patterns(pats), []);
+        assert_eq!(tw_gen(&uniform).width, 3, "the uniform grid has tw 3");
+        assert_eq!(ctw(&uniform).width, 1, "...but folds to a path (ctw 1)");
+    }
+}

@@ -1,0 +1,166 @@
+//! Random well-designed query generators.
+//!
+//! Trees are grown so the wdPT invariants hold *by construction*: each
+//! node's pattern may reuse variables of its branch and always introduces
+//! at least one fresh variable (NR normal form), and private variables are
+//! never shared across sibling subtrees (condition (3)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wdsparql_hom::TGraph;
+use wdsparql_rdf::{tp, Term, TriplePattern, Variable};
+use wdsparql_tree::{NodeId, Wdpf, Wdpt};
+
+/// Parameters for [`random_wdpt`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomTreeParams {
+    /// Maximum node count (≥ 1).
+    pub max_nodes: usize,
+    /// Maximum children per node.
+    pub max_fanout: usize,
+    /// Maximum triples per node label.
+    pub max_triples_per_node: usize,
+    /// Number of predicate names to draw from.
+    pub n_predicates: usize,
+    /// Probability that a triple position reuses an inherited variable
+    /// (vs a fresh variable or constant).
+    pub reuse_bias: f64,
+}
+
+impl Default for RandomTreeParams {
+    fn default() -> RandomTreeParams {
+        RandomTreeParams {
+            max_nodes: 4,
+            max_fanout: 2,
+            max_triples_per_node: 2,
+            n_predicates: 3,
+            reuse_bias: 0.5,
+        }
+    }
+}
+
+/// Generates a random wdPT, valid by construction, deterministic in `seed`.
+pub fn random_wdpt(params: RandomTreeParams, seed: u64) -> Wdpt {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = 0usize;
+    let mut fresh = || {
+        counter += 1;
+        Variable::new(&format!("rv{seed}_{counter}"))
+    };
+
+    let n_nodes = rng.gen_range(1..=params.max_nodes.max(1));
+    let root_vars: Vec<Variable> = (0..2).map(|_| fresh()).collect();
+    let root_pat = random_label(&mut rng, &params, &root_vars, &mut fresh);
+    let mut tree = Wdpt::new(root_pat);
+    let mut open: Vec<NodeId> = vec![tree.root()];
+
+    while tree.len() < n_nodes && !open.is_empty() {
+        let pick = rng.gen_range(0..open.len());
+        let parent = open[pick];
+        if tree.children(parent).len() >= params.max_fanout {
+            open.swap_remove(pick);
+            continue;
+        }
+        // Inherit some branch variables (from the parent's own label so
+        // condition (3) holds), add fresh privates.
+        let parent_vars: Vec<Variable> = tree.vars(parent).into_iter().collect();
+        let n_inherit = rng.gen_range(0..=parent_vars.len().min(2));
+        let mut scope: Vec<Variable> = (0..n_inherit)
+            .map(|_| parent_vars[rng.gen_range(0..parent_vars.len())])
+            .collect();
+        let private = fresh();
+        scope.push(private);
+        let mut label = random_label(&mut rng, &params, &scope, &mut fresh);
+        // Guarantee NR normal form: force one triple to use the private
+        // variable and one inherited variable (or the private twice).
+        let anchor = if parent_vars.is_empty() {
+            Term::Var(private)
+        } else {
+            Term::Var(parent_vars[rng.gen_range(0..parent_vars.len())])
+        };
+        label.insert(tp(
+            anchor,
+            wdsparql_rdf::iri(&format!("p{}", rng.gen_range(0..params.n_predicates))),
+            Term::Var(private),
+        ));
+        let child = tree.add_child(parent, label);
+        open.push(child);
+    }
+    tree.validate()
+        .expect("random trees are valid by construction");
+    tree
+}
+
+fn random_label(
+    rng: &mut StdRng,
+    params: &RandomTreeParams,
+    scope: &[Variable],
+    fresh: &mut dyn FnMut() -> Variable,
+) -> TGraph {
+    let n = rng.gen_range(1..=params.max_triples_per_node.max(1));
+    let mut pats: Vec<TriplePattern> = Vec::with_capacity(n);
+    let mut local: Vec<Variable> = scope.to_vec();
+    for _ in 0..n {
+        let mut pos = |rng: &mut StdRng, local: &mut Vec<Variable>| -> Term {
+            if !local.is_empty() && rng.gen_bool(params.reuse_bias) {
+                Term::Var(local[rng.gen_range(0..local.len())])
+            } else if rng.gen_bool(0.3) {
+                wdsparql_rdf::iri(&format!("c{}", rng.gen_range(0..3)))
+            } else {
+                let v = fresh();
+                local.push(v);
+                Term::Var(v)
+            }
+        };
+        let s = pos(rng, &mut local);
+        let o = pos(rng, &mut local);
+        let p = wdsparql_rdf::iri(&format!("p{}", rng.gen_range(0..params.n_predicates)));
+        pats.push(tp(s, p, o));
+    }
+    TGraph::from_patterns(pats)
+}
+
+/// A random forest of 1–3 random trees.
+pub fn random_wdpf(params: RandomTreeParams, seed: u64) -> Wdpf {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let n = rng.gen_range(1..=3);
+    Wdpf::new(
+        (0..n)
+            .map(|i| random_wdpt(params, seed.wrapping_add(i as u64 * 7919)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_trees_are_valid_and_deterministic() {
+        for seed in 0..40 {
+            let t1 = random_wdpt(RandomTreeParams::default(), seed);
+            assert!(t1.validate().is_ok(), "seed {seed}");
+            let t2 = random_wdpt(RandomTreeParams::default(), seed);
+            assert_eq!(t1.render(), t2.render(), "determinism at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_trees_vary_with_seed() {
+        let renders: std::collections::BTreeSet<String> = (0..10)
+            .map(|s| random_wdpt(RandomTreeParams::default(), s).render())
+            .collect();
+        assert!(renders.len() > 3, "seeds should produce varied trees");
+    }
+
+    #[test]
+    fn random_forest_sizes() {
+        for seed in 0..10 {
+            let f = random_wdpf(RandomTreeParams::default(), seed);
+            assert!((1..=3).contains(&f.len()));
+            for t in &f.trees {
+                assert!(t.validate().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The §4.2 reduction, end to end: p-CLIQUE ≤fpt p-co-wdEVAL.
+//!
+//! For k = 2 (does H have an edge?) we build the full instance
+//! (P, G, µ) from the clique-child family and verify that
+//! `H has a k-clique ⟺ µ ∉ ⟦P⟧_G` using the naive (exact) evaluator.
+//!
+//! Run with: `cargo run --release --example hardness_demo`
+
+use wdsparql::core::check_forest;
+use wdsparql::hardness::{
+    clique_family_parameter, has_k_clique, reduce_clique,
+};
+use wdsparql::hom::UGraph;
+use wdsparql::tree::Wdpf;
+use wdsparql::workloads::clique_child_tree;
+
+fn main() {
+    let k = 2;
+    let m = clique_family_parameter(k).max(2);
+    println!("p-CLIQUE → p-co-wdEVAL reduction, k = {k} (family member Q_{m})\n");
+
+    let cases: Vec<(&str, UGraph)> = vec![
+        ("path P4", UGraph::path(4)),
+        ("cycle C5", UGraph::cycle(5)),
+        ("clique K4", UGraph::complete(4)),
+        ("one edge + isolated", {
+            let mut g = UGraph::new(5);
+            g.add_edge(1, 3);
+            g
+        }),
+    ];
+
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12}   agree?",
+        "H", "|B|", "|G|", "k-clique", "µ ∈ ⟦P⟧_G"
+    );
+    println!("{}", "-".repeat(72));
+    for (label, h) in cases {
+        let forest = Wdpf::new(vec![clique_child_tree(m)]);
+        let inst = reduce_clique(forest, &h, k, m - 1).expect("reduction succeeds");
+        let clique = has_k_clique(&h, k);
+        let member = check_forest(&inst.forest, &inst.graph, &inst.mu);
+        let agree = clique != member;
+        println!(
+            "{:<22} {:>8} {:>10} {:>10} {:>12}   {}",
+            label,
+            inst.lemma2.b.s.len(),
+            inst.graph.len(),
+            clique,
+            member,
+            if agree { "yes" } else { "NO (bug!)" }
+        );
+        assert!(agree, "reduction must be correct");
+    }
+
+    println!("\nEvery row satisfies the §4.2 correctness claim:");
+    println!("H contains a k-clique  ⟺  µ ∉ ⟦P⟧_G.");
+    println!("\n(The paper's excluded-grid bound w(·) is replaced by explicit");
+    println!("minor maps on the clique family — see DESIGN.md, Substitutions.)");
+}

@@ -1,0 +1,90 @@
+//! SELECT/projection over a university dataset — and the §5 frontier:
+//! projection breaks the Theorem 3 dichotomy.
+//!
+//! Run with: `cargo run --release --example projection`
+
+use wdsparql::project::{
+    analyze_projected, anchored_graph, check_projected, clique_projection_query,
+    enumerate_projected, projection_multiplicities,
+};
+use wdsparql::rdf::{Mapping, Variable};
+use wdsparql::workloads::{turan_graph, university};
+use wdsparql::ProjectedQuery;
+
+fn main() {
+    // ---- Part 1: SELECT on realistic data ------------------------------
+    let g = university(3, 42);
+    println!("University dataset: {} triples.", g.len());
+
+    // Professors with the courses they teach and, optionally, an office.
+    let q = ProjectedQuery::parse(
+        "SELECT ?p ?o WHERE { ?p type Professor . ?p teaches ?c OPTIONAL { ?p office ?o } }",
+    )
+    .expect("well-designed query with projection");
+    println!("\nQuery: {q}");
+
+    let sols = enumerate_projected(&q, &g);
+    println!("\nProjected solutions ({}):", sols.len());
+    for mu in sols.iter().take(8) {
+        println!("  {mu}");
+    }
+    if sols.len() > 8 {
+        println!("  ... and {} more", sols.len() - 8);
+    }
+
+    // Multiplicities: how many full solutions collapse onto each output
+    // row (the bag-semantics count a SPARQL engine would report).
+    let mult = projection_multiplicities(&q, &g);
+    let collapsed: usize = mult.values().filter(|&&m| m > 1).count();
+    println!("\n{collapsed} projected rows absorb more than one full solution.");
+
+    // Membership through the projection: existential witness search.
+    if let Some(mu) = sols.iter().next() {
+        assert!(check_projected(&q, &g, mu));
+        println!("Membership check agrees with enumeration for {mu}.");
+    }
+
+    // Width report in the spirit of Kroll–Pichler–Skritek (ICDT'16).
+    let report = analyze_projected(&q);
+    println!("\nProjected width report: {report}");
+
+    // ---- Part 2: the frontier breaks ------------------------------------
+    // R_k has domination width 1 — without projection, its evaluation is
+    // PTIME by Theorem 1. With SELECT hiding the clique variables,
+    // membership *is* k-CLIQUE.
+    println!("\n--- projection vs the dichotomy (paper §5) ---");
+    let k = 4;
+    let rk = clique_projection_query(k);
+    println!(
+        "R_{k}: dw = {} (tractable class without projection)",
+        wdsparql::width::domination_width(rk.forest())
+    );
+
+    // A Turán(12, 3) adversary has no K_4: the projected membership check
+    // must refute every anchored clique candidate.
+    let (gneg, hub) = anchored_graph(&turan_graph(4 * (k - 1), k - 1, "r"), "hub");
+    let mut mu = Mapping::new();
+    mu.bind(Variable::new("u"), hub);
+    let t0 = std::time::Instant::now();
+    let answer = check_projected(&rk, &gneg, &mu);
+    println!(
+        "Turán adversary (no K_{k}): projected membership = {answer} ({:?})",
+        t0.elapsed()
+    );
+    assert!(!answer);
+
+    // The same graph, unprojected: binding all variables makes the check
+    // a per-triple lookup.
+    let (gpos, hub) = anchored_graph(&turan_graph(3 * k, k, "r"), "hub");
+    let mut mu_pos = Mapping::new();
+    mu_pos.bind(Variable::new("u"), hub);
+    let t0 = std::time::Instant::now();
+    let answer = check_projected(&rk, &gpos, &mu_pos);
+    println!(
+        "Turán(12, {k}) with a K_{k}: projected membership = {answer} ({:?})",
+        t0.elapsed()
+    );
+    assert!(answer);
+    println!("\nSame query class, same data scale: the *projection* alone moved the");
+    println!("problem from PTIME (Theorem 1) to NP-hard — the §5 frontier.");
+}

@@ -1,0 +1,66 @@
+//! # wdsparql
+//!
+//! A from-scratch Rust implementation of
+//!
+//! > Miguel Romero, *The Tractability Frontier of Well-designed SPARQL
+//! > Queries*, PODS 2018 (arXiv:1712.08809),
+//!
+//! covering the full pipeline: a ground RDF store, the AND/OPT/UNION
+//! algebra with well-designedness checking, pattern trees/forests, the
+//! homomorphism/core/treewidth toolkit, the existential k-pebble game, the
+//! width measures (domination width, branch treewidth, local width), the
+//! Theorem 1 polynomial-time evaluator, and the §4 W\[1\]-hardness
+//! machinery.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wdsparql::{Engine, Query, Strategy};
+//! use wdsparql::rdf::RdfGraph;
+//!
+//! let graph = RdfGraph::from_strs([
+//!     ("alice", "knows", "bob"),
+//!     ("bob", "email", "bob@example.org"),
+//! ]);
+//! let query = Query::parse("(?x, knows, ?y) OPT (?y, email, ?e)").unwrap();
+//! let engine = Engine::new(graph);
+//!
+//! let solutions = engine.evaluate(&query);
+//! assert_eq!(solutions.len(), 1);
+//! assert_eq!(query.domination_width(), 1); // tractable class (Theorem 3)
+//!
+//! let mu = solutions.iter().next().unwrap();
+//! assert!(engine.check(&query, mu, Strategy::Auto));
+//! ```
+//!
+//! The crates are re-exported as modules:
+//!
+//! * [`rdf`] — terms, triples, mappings, indexed graphs, N-Triples I/O;
+//! * [`algebra`] — patterns, parser, well-designedness, reference semantics;
+//! * [`tree`] — wdPTs/wdPFs, `wdpf` translation, NR normal form;
+//! * [`hom`] — t-graphs, homomorphisms, cores, Gaifman graphs, treewidth;
+//! * [`pebble`] — the existential k-pebble game;
+//! * [`width`] — domination width, branch treewidth, local width;
+//! * [`core`] — the evaluation engine ([`Engine`], [`Query`]);
+//! * [`hardness`] — grid minors, Lemma 2/3, the p-CLIQUE reduction;
+//! * [`workloads`] — seeded graph/query generators incl. the paper's
+//!   families;
+//! * [`project`] — SELECT/projection (pp-wdPTs), where the dichotomy of
+//!   Theorem 3 breaks (§5);
+//! * [`contain`] — containment/equivalence/subsumption static analysis.
+
+pub use wdsparql_algebra as algebra;
+pub use wdsparql_contain as contain;
+pub use wdsparql_core as core;
+pub use wdsparql_hardness as hardness;
+pub use wdsparql_hom as hom;
+pub use wdsparql_pebble as pebble;
+pub use wdsparql_project as project;
+pub use wdsparql_rdf as rdf;
+pub use wdsparql_tree as tree;
+pub use wdsparql_width as width;
+pub use wdsparql_workloads as workloads;
+
+pub use wdsparql_contain::{decide_containment, decide_equivalence, SearchBudget, Verdict};
+pub use wdsparql_core::{Engine, Query, QueryError, Strategy, WidthReport};
+pub use wdsparql_project::ProjectedQuery;

@@ -1,0 +1,155 @@
+//! Cross-crate FILTER integration: the surface syntax, the `FilterExpr`
+//! semantics, the engine entry points and the §5 embedding connection
+//! must all tell the same story.
+
+use proptest::prelude::*;
+use wdsparql::algebra::{
+    eval, eval_filter, filter_solutions, parse_sparql_filtered, FilterExpr,
+};
+use wdsparql::hardness::{emb_brute_force, emb_query, emb_target};
+use wdsparql::hom::UGraph;
+use wdsparql::rdf::{Iri, Mapping, RdfGraph, Variable};
+use wdsparql::workloads::random_graph;
+use wdsparql::{Engine, Query};
+
+/// Parsed filters evaluate exactly like hand-built `FilterExpr`s through
+/// both the algebra-level and the engine-level entry points.
+#[test]
+fn parsed_filters_match_hand_built_expressions() {
+    let text = "{ ?x knows ?y OPTIONAL { ?y email ?e } FILTER(?x != ?y && BOUND(?e)) }";
+    let (pattern, _, parsed) = parse_sparql_filtered(text).unwrap();
+    let hand_built = FilterExpr::and(
+        FilterExpr::NeqVar(Variable::new("x"), Variable::new("y")),
+        FilterExpr::Bound(Variable::new("e")),
+    );
+    assert_eq!(parsed, hand_built);
+    let g = RdfGraph::from_strs([
+        ("alice", "knows", "bob"),
+        ("bob", "knows", "bob"),
+        ("bob", "email", "b@x.org"),
+    ]);
+    let via_algebra = eval_filter(&pattern, &parsed, &g);
+    let (q, f) = Query::parse_with_filter(text).unwrap();
+    let via_engine = Engine::new(g).evaluate_filtered(&q, &f);
+    assert_eq!(via_algebra, via_engine);
+    // bob-knows-bob fails ?x != ?y even though bob has an email.
+    assert_eq!(via_engine.len(), 1);
+}
+
+/// The all-distinct filter turns solutions into *embeddings*: cross-check
+/// the surface syntax against the hardness crate's EMB encoding on a
+/// homomorphism-vs-embedding separating instance.
+#[test]
+fn surface_filters_recover_the_embedding_problem() {
+    // C4 → C2(≅ an edge): a graph homomorphism exists (wrap around) but
+    // no embedding. emb_query builds the pairwise-≠ filter; we rebuild
+    // the same filter through the parser and compare.
+    let c4 = UGraph::cycle(4);
+    let edge = UGraph::complete(2);
+    let (pattern, emb_filter) = emb_query(&c4);
+    let g = emb_target(&edge);
+    assert!(!eval(&pattern, &g).is_empty(), "hom exists");
+    assert!(
+        eval_filter(&pattern, &emb_filter, &g).is_empty(),
+        "no embedding"
+    );
+    assert!(!emb_brute_force(&c4, &edge));
+    // And on a big-enough target both exist.
+    let k4 = UGraph::complete(4);
+    let g2 = emb_target(&k4);
+    assert!(!eval_filter(&pattern, &emb_filter, &g2).is_empty());
+    assert!(emb_brute_force(&c4, &k4));
+}
+
+/// Error-as-false corner cases through the engine: `!=` on an unbound
+/// OPT variable never holds, `!(=)` does, and BOUND discriminates.
+#[test]
+fn error_as_false_interacts_with_opt() {
+    let g = RdfGraph::from_strs([
+        ("a", "p", "b"),
+        ("b", "q", "c"),
+        ("d", "p", "e"),
+    ]);
+    // Solutions: {x:a,y:b,z:c} (extended) and {x:d,y:e} (bare).
+    let cases = [
+        // (filter text, expected solution count)
+        ("FILTER(?z != c)", 0),    // unbound z fails; bound z equals c
+        ("FILTER(!(?z = c))", 1),  // the bare solution passes
+        ("FILTER(BOUND(?z))", 1),  // only the extended one
+        ("FILTER(!BOUND(?z))", 1), // only the bare one
+        ("FILTER(?z = c || ?y = e)", 2),
+        ("FILTER(?z = c && ?y = e)", 0),
+    ];
+    for (ftext, want) in cases {
+        let text = format!("{{ ?x p ?y OPTIONAL {{ ?y q ?z }} {ftext} }}");
+        let (q, f) = Query::parse_with_filter(&text).unwrap();
+        let sols = Engine::new(g.clone()).evaluate_filtered(&q, &f);
+        assert_eq!(sols.len(), want, "{ftext}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Filtering is a *restriction*: the filtered set is a subset of the
+    /// unfiltered one, filtering is idempotent, and conjunction order
+    /// never matters.
+    #[test]
+    fn filtering_laws(gseed in 0u64..3000) {
+        let g = random_graph(4, 10, &["p", "q"], gseed);
+        let (q, f) = Query::parse_with_filter(
+            "{ ?x p ?y OPTIONAL { ?y q ?z } FILTER(?x != ?y) FILTER(!(?z = n0)) }",
+        ).unwrap();
+        let engine = Engine::new(g);
+        let unfiltered = engine.evaluate(&q);
+        let filtered = engine.evaluate_filtered(&q, &f);
+        prop_assert!(filtered.is_subset(&unfiltered));
+        prop_assert_eq!(
+            filter_solutions(filtered.clone(), &f),
+            filtered.clone(),
+            "idempotence"
+        );
+        // Conjunction commutes.
+        let (_, f_rev) = Query::parse_with_filter(
+            "{ ?x p ?y OPTIONAL { ?y q ?z } FILTER(!(?z = n0)) FILTER(?x != ?y) }",
+        ).unwrap();
+        prop_assert_eq!(engine.evaluate_filtered(&q, &f_rev), filtered);
+    }
+
+    /// De Morgan over the solution sets: ¬(A ∨ B) filters exactly like
+    /// ¬A ∧ ¬B (the boolean layer is classical even though atoms use
+    /// error-as-false).
+    #[test]
+    fn de_morgan_on_solutions(gseed in 0u64..3000) {
+        let g = random_graph(4, 10, &["p"], gseed);
+        let base = Query::parse("(?x, p, ?y)").unwrap();
+        let a = FilterExpr::EqConst(Variable::new("x"), Iri::new("n0"));
+        let b = FilterExpr::EqVar(Variable::new("x"), Variable::new("y"));
+        let lhs = FilterExpr::not(FilterExpr::or(a.clone(), b.clone()));
+        let rhs = FilterExpr::and(FilterExpr::not(a), FilterExpr::not(b));
+        let engine = Engine::new(g);
+        prop_assert_eq!(
+            engine.evaluate_filtered(&base, &lhs),
+            engine.evaluate_filtered(&base, &rhs)
+        );
+    }
+
+    /// Parser/printer agreement on membership: a filtered solution is a
+    /// solution of the unfiltered query that satisfies the filter.
+    #[test]
+    fn filtered_membership_decomposes(gseed in 0u64..3000, mseed in 0u64..8) {
+        let g = random_graph(4, 12, &["p", "q"], gseed);
+        let (q, f) = Query::parse_with_filter(
+            "{ ?x p ?y OPTIONAL { ?y q ?z } FILTER(?x != ?y) }",
+        ).unwrap();
+        let engine = Engine::new(g);
+        let all = engine.evaluate(&q);
+        let filtered = engine.evaluate_filtered(&q, &f);
+        for mu in &all {
+            prop_assert_eq!(filtered.contains(mu), f.holds(mu));
+        }
+        // A mapping outside the unfiltered set is never in the filtered set.
+        let probe = Mapping::from_strs([("x", &format!("zz{mseed}")[..]), ("y", "n0")]);
+        prop_assert!(!filtered.contains(&probe));
+    }
+}

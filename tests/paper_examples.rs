@@ -1,0 +1,168 @@
+//! The paper's running examples, end to end — every claim the text makes
+//! about Examples 1–5 and Figures 1–3, checked against the implementation.
+
+use wdsparql::algebra::is_well_designed;
+use wdsparql::core::{check_forest, check_forest_pebble, Engine, Query, Strategy};
+use wdsparql::hom::{core_of, ctw, is_core, maps_to, tw_gen};
+use wdsparql::rdf::{Mapping, RdfGraph};
+use wdsparql::tree::{Wdpf, ROOT};
+use wdsparql::width::{
+    branch_treewidth, domination_width, gtg, local_width_forest, ForestSubtree,
+};
+use wdsparql::workloads::{
+    example1_p1, example1_p2, example2_pattern, example3_c_prime, example3_s, example3_s_prime,
+    fk_forest, tprime_tree,
+};
+
+#[test]
+fn example1_well_designedness() {
+    assert!(is_well_designed(&example1_p1()), "P1 is well-designed");
+    assert!(!is_well_designed(&example1_p2()), "P2 is not well-designed");
+}
+
+#[test]
+fn example2_wdpf_shape_matches_figure2() {
+    // wdpf(P) = {T1, T2} for k = 2: T1 has root (x,p,y) with children
+    // (z,q,x) and {(y,r,o1),(o1,r,o2)} = K2 case; T2 has root (x,p,y)
+    // with child {(z,q,x),(w,q,z)}.
+    let f = Wdpf::from_pattern(&example2_pattern()).unwrap();
+    assert_eq!(f.len(), 2);
+    let t1 = &f.trees[0];
+    assert_eq!(t1.len(), 3);
+    assert_eq!(t1.children(ROOT).len(), 2);
+    let t2 = &f.trees[1];
+    assert_eq!(t2.len(), 2);
+    assert_eq!(t2.pat(t2.children(ROOT)[0]).len(), 2);
+    // Compare with the F_k construction at k = 2 (T1, T2 of Figure 2).
+    let fk = fk_forest(2);
+    assert_eq!(t1.pat(ROOT), fk.trees[0].pat(ROOT));
+    assert_eq!(t2.pat(t2.children(ROOT)[0]), fk.trees[1].pat(fk.trees[1].children(ROOT)[0]));
+}
+
+#[test]
+fn example3_figure1_width_claims() {
+    for k in 2..=5 {
+        let s = example3_s(k);
+        assert!(is_core(&s), "(S,X) is a core");
+        assert_eq!(ctw(&s).width, (k - 1).max(1), "ctw(S,X) = k−1");
+        let sp = example3_s_prime(k);
+        assert_eq!(ctw(&sp).width, 1, "ctw(S',X) = 1");
+        assert_eq!(tw_gen(&sp).width, (k - 1).max(1), "tw(S',X) = k−1");
+        let c = core_of(&sp);
+        assert_eq!(c.s, example3_c_prime(), "the core C' is as printed");
+    }
+}
+
+#[test]
+fn example4_gtg_structure() {
+    let k = 3;
+    let f = fk_forest(k);
+    // Exactly five subtrees have non-empty GtG: T1[r1], T1[r1,n11],
+    // T1[r1,n12], T2[r2], T3[r3].
+    let mut nonempty = 0;
+    for st in wdsparql::width::forest_subtrees(&f) {
+        if !gtg(&f, &st).is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert_eq!(nonempty, 5);
+    // |GtG(T1[r1])| = 2 (∆1, ∆2 of the example).
+    let root_subtree = ForestSubtree {
+        tree: 0,
+        nodes: [ROOT].into_iter().collect(),
+    };
+    assert_eq!(gtg(&f, &root_subtree).len(), 2);
+}
+
+#[test]
+fn example5_domination_width_one() {
+    for k in 2..=4 {
+        assert_eq!(domination_width(&fk_forest(k)), 1, "dw(F_{k}) = 1");
+    }
+}
+
+#[test]
+fn fk_is_not_locally_tractable() {
+    // Node n12 forces local width k−1 (the remark after Theorem 1).
+    for k in 3..=5 {
+        assert_eq!(local_width_forest(&fk_forest(k)), k - 1);
+    }
+}
+
+#[test]
+fn figure3_domination_of_s_delta2_by_s_delta1() {
+    let k = 4;
+    let f = fk_forest(k);
+    let st = ForestSubtree {
+        tree: 0,
+        nodes: [ROOT].into_iter().collect(),
+    };
+    let elements = gtg(&f, &st);
+    let lo = elements.iter().find(|e| ctw(&e.graph).width == 1).unwrap();
+    let hi = elements
+        .iter()
+        .find(|e| ctw(&e.graph).width == k - 1)
+        .unwrap();
+    assert!(maps_to(&lo.graph, &hi.graph), "(S∆1) → (S∆2)");
+}
+
+#[test]
+fn section32_tprime_claims() {
+    for k in 2..=4 {
+        let t = tprime_tree(k);
+        assert_eq!(branch_treewidth(&t), 1, "bw(T'_k) = 1");
+        assert_eq!(wdsparql::width::local_width(&t), k - 1, "not locally tractable");
+        // Proposition 5: dw = bw on UNION-free patterns.
+        assert_eq!(domination_width(&Wdpf::new(vec![t])), 1);
+    }
+}
+
+#[test]
+fn example1_p1_evaluates_correctly_end_to_end() {
+    let q = Query::from_pattern(example1_p1()).unwrap();
+    let g = RdfGraph::from_strs([
+        ("a", "p", "b"),
+        ("z0", "q", "a"),
+        ("b", "r", "c"),
+        ("c", "r", "d"),
+        ("e", "p", "f"),
+    ]);
+    let engine = Engine::new(g);
+    let sols = engine.evaluate(&q);
+    let full = Mapping::from_strs([
+        ("x", "a"),
+        ("y", "b"),
+        ("z", "z0"),
+        ("o1", "c"),
+        ("o2", "d"),
+    ]);
+    let bare = Mapping::from_strs([("x", "e"), ("y", "f")]);
+    assert!(sols.contains(&full));
+    assert!(sols.contains(&bare));
+    assert_eq!(sols.len(), 2);
+    for strategy in [Strategy::Reference, Strategy::Naive, Strategy::Auto] {
+        assert!(engine.check(&q, &full, strategy));
+        assert!(engine.check(&q, &bare, strategy));
+        assert!(!engine.check(&q, &Mapping::from_strs([("x", "a"), ("y", "b")]), strategy));
+    }
+}
+
+#[test]
+fn theorem1_algorithm_exact_on_fk_instances() {
+    // The dichotomy instances from the workloads crate: the pebble
+    // algorithm at k = 1 = dw(F_k) agrees with the naive evaluator.
+    for k in 3..=4 {
+        let inst = wdsparql::workloads::fk_instance(k, 4 * (k - 1));
+        let naive = check_forest(&inst.forest, &inst.graph, &inst.mu);
+        let pebble = check_forest_pebble(&inst.forest, &inst.graph, &inst.mu, 1);
+        assert_eq!(naive, inst.expected, "naive ground truth (k={k})");
+        assert_eq!(pebble, inst.expected, "pebble agrees (k={k})");
+
+        let neg = wdsparql::workloads::fk_instance_negative(k, 4 * (k - 1));
+        assert_eq!(check_forest(&neg.forest, &neg.graph, &neg.mu), neg.expected);
+        assert_eq!(
+            check_forest_pebble(&neg.forest, &neg.graph, &neg.mu, 1),
+            neg.expected
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the recognition problem: on random well-designed
+//! forests, the certificate-producing recognisers must agree exactly with
+//! the width computations, certificates must verify, and the §3.2
+//! collapse (dw = bw on UNION-free patterns) must carry over to the
+//! recognisers.
+
+use proptest::prelude::*;
+use wdsparql::width::{
+    branch_treewidth, domination_width, recognize_bw, recognize_dw, verify_dw_certificate,
+    DwCertificate,
+};
+use wdsparql::workloads::{random_wdpf, random_wdpt, RandomTreeParams};
+
+fn small_params() -> RandomTreeParams {
+    RandomTreeParams {
+        max_nodes: 4,
+        max_fanout: 2,
+        max_triples_per_node: 2,
+        n_predicates: 2,
+        reuse_bias: 0.6,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `recognize_dw(F, k)` holds exactly for `k ≥ dw(F)`, and every
+    /// positive certificate verifies.
+    #[test]
+    fn dw_recognition_matches_the_exact_width(seed in 0u64..3000) {
+        let f = random_wdpf(small_params(), seed);
+        let dw = domination_width(&f);
+        // At the exact width: holds with a verifiable certificate.
+        match recognize_dw(&f, dw) {
+            DwCertificate::Holds(entries) => {
+                prop_assert!(verify_dw_certificate(&f, dw, &entries));
+            }
+            DwCertificate::Violated(v) => {
+                prop_assert!(false, "dw(F) = {dw} but k = {dw} violated: {v:?}");
+            }
+        }
+        // Just below (when possible): violated with an honest witness.
+        if dw > 1 {
+            match recognize_dw(&f, dw - 1) {
+                DwCertificate::Violated(v) => {
+                    prop_assert!(v.element_ctw > dw - 1);
+                }
+                DwCertificate::Holds(_) => {
+                    prop_assert!(false, "dw(F) = {dw} but k = {} accepted", dw - 1);
+                }
+            }
+        }
+    }
+
+    /// `recognize_bw` agrees with `branch_treewidth`, and on UNION-free
+    /// patterns with `recognize_dw` too (Proposition 5 at the level of
+    /// deciders).
+    #[test]
+    fn bw_recognition_matches_and_collapses_to_dw(seed in 0u64..3000) {
+        let t = random_wdpt(small_params(), seed);
+        let bw = branch_treewidth(&t);
+        prop_assert!(recognize_bw(&t, bw).holds());
+        if bw > 1 {
+            prop_assert!(!recognize_bw(&t, bw - 1).holds());
+        }
+        let f = wdsparql::tree::Wdpf::new(vec![t]);
+        prop_assert_eq!(
+            recognize_dw(&f, bw).holds(),
+            true,
+            "Proposition 5: dw = bw on UNION-free patterns"
+        );
+        if bw > 1 {
+            prop_assert!(!recognize_dw(&f, bw - 1).holds());
+        }
+    }
+
+    /// A certificate for width k is also valid testimony for any k' ≥ k
+    /// (k-domination is monotone), and the verifier accepts it at k'.
+    #[test]
+    fn certificates_are_monotone_in_k(seed in 0u64..3000) {
+        let f = random_wdpf(small_params(), seed);
+        let dw = domination_width(&f);
+        if let DwCertificate::Holds(entries) = recognize_dw(&f, dw) {
+            prop_assert!(verify_dw_certificate(&f, dw + 1, &entries));
+            prop_assert!(verify_dw_certificate(&f, dw + 3, &entries));
+            // ...but not below the width it certifies.
+            if dw > 1 {
+                prop_assert!(!verify_dw_certificate(&f, dw - 1, &entries));
+            }
+        }
+    }
+}
