@@ -108,9 +108,9 @@ impl FilterExpr {
                 out.push(*a);
                 out.push(*b);
             }
-            FilterExpr::EqConst(a, _)
-            | FilterExpr::NeqConst(a, _)
-            | FilterExpr::Bound(a) => out.push(*a),
+            FilterExpr::EqConst(a, _) | FilterExpr::NeqConst(a, _) | FilterExpr::Bound(a) => {
+                out.push(*a)
+            }
             FilterExpr::And(l, r) | FilterExpr::Or(l, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
@@ -188,11 +188,7 @@ mod tests {
             assert!(mu.contains(v("z")));
         }
         // bound() can recover the optional rows explicitly.
-        let unbound = eval_filter(
-            &p,
-            &FilterExpr::not(FilterExpr::Bound(v("z"))),
-            &g(),
-        );
+        let unbound = eval_filter(&p, &FilterExpr::not(FilterExpr::Bound(v("z"))), &g());
         assert!(unbound.iter().all(|mu| !mu.contains(v("z"))));
     }
 

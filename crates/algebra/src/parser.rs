@@ -49,9 +49,8 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
     let bytes = input.as_bytes();
     let mut i = 0usize;
     let mut out = Vec::new();
-    let is_word_byte = |b: u8| {
-        !b.is_ascii_whitespace() && !matches!(b, b'(' | b')' | b',' | b'<' | b'>' | b'?')
-    };
+    let is_word_byte =
+        |b: u8| !b.is_ascii_whitespace() && !matches!(b, b'(' | b')' | b',' | b'<' | b'>' | b'?');
     while i < bytes.len() {
         let b = bytes[i];
         match b {
@@ -70,10 +69,13 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             }
             b'<' => {
                 let start = i + 1;
-                let end = input[start..].find('>').map(|j| start + j).ok_or(ParseError {
-                    offset: i,
-                    message: "unterminated '<'".into(),
-                })?;
+                let end = input[start..]
+                    .find('>')
+                    .map(|j| start + j)
+                    .ok_or(ParseError {
+                        offset: i,
+                        message: "unterminated '<'".into(),
+                    })?;
                 if end == start {
                     return Err(ParseError {
                         offset: i,
@@ -131,9 +133,7 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map_or(self.input_len, |&(o, _)| o)
+        self.toks.get(self.pos).map_or(self.input_len, |&(o, _)| o)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -278,15 +278,12 @@ mod tests {
 
     #[test]
     fn example1_parses_and_classifies() {
-        let p1 = parse_pattern(
-            "((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2))",
-        )
-        .unwrap();
+        let p1 =
+            parse_pattern("((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2))")
+                .unwrap();
         assert!(is_well_designed(&p1));
-        let p2 = parse_pattern(
-            "((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2))",
-        )
-        .unwrap();
+        let p2 = parse_pattern("((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2))")
+            .unwrap();
         assert!(!is_well_designed(&p2));
     }
 

@@ -65,9 +65,7 @@ impl GraphPattern {
     fn collect_vars(&self, out: &mut BTreeSet<Variable>) {
         match self {
             GraphPattern::Triple(t) => out.extend(t.var_occurrences()),
-            GraphPattern::And(l, r)
-            | GraphPattern::Opt(l, r)
-            | GraphPattern::Union(l, r) => {
+            GraphPattern::And(l, r) | GraphPattern::Opt(l, r) | GraphPattern::Union(l, r) => {
                 l.collect_vars(out);
                 r.collect_vars(out);
             }
@@ -84,9 +82,7 @@ impl GraphPattern {
     fn collect_triples(&self, out: &mut Vec<TriplePattern>) {
         match self {
             GraphPattern::Triple(t) => out.push(*t),
-            GraphPattern::And(l, r)
-            | GraphPattern::Opt(l, r)
-            | GraphPattern::Union(l, r) => {
+            GraphPattern::And(l, r) | GraphPattern::Opt(l, r) | GraphPattern::Union(l, r) => {
                 l.collect_triples(out);
                 r.collect_triples(out);
             }
@@ -97,9 +93,9 @@ impl GraphPattern {
     pub fn size(&self) -> usize {
         match self {
             GraphPattern::Triple(_) => 1,
-            GraphPattern::And(l, r)
-            | GraphPattern::Opt(l, r)
-            | GraphPattern::Union(l, r) => 1 + l.size() + r.size(),
+            GraphPattern::And(l, r) | GraphPattern::Opt(l, r) | GraphPattern::Union(l, r) => {
+                1 + l.size() + r.size()
+            }
         }
     }
 
@@ -161,9 +157,7 @@ impl GraphPattern {
             out.push(p);
             match p {
                 GraphPattern::Triple(_) => {}
-                GraphPattern::And(l, r)
-                | GraphPattern::Opt(l, r)
-                | GraphPattern::Union(l, r) => {
+                GraphPattern::And(l, r) | GraphPattern::Opt(l, r) | GraphPattern::Union(l, r) => {
                     stack.push(r);
                     stack.push(l);
                 }

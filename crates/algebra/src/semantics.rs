@@ -90,11 +90,7 @@ mod tests {
         let p = GraphPattern::and(t_xy(), t_vq());
         let sols = eval(&p, &g());
         assert_eq!(sols.len(), 1);
-        assert!(sols.contains(&Mapping::from_strs([
-            ("u", "a"),
-            ("v", "b"),
-            ("w", "d")
-        ])));
+        assert!(sols.contains(&Mapping::from_strs([("u", "a"), ("v", "b"), ("w", "d")])));
     }
 
     #[test]
@@ -103,11 +99,7 @@ mod tests {
         let sols = eval(&p, &g());
         // (a,b) extends with w=d; (a,c) and (x,y) stay bare.
         assert_eq!(sols.len(), 3);
-        assert!(sols.contains(&Mapping::from_strs([
-            ("u", "a"),
-            ("v", "b"),
-            ("w", "d")
-        ])));
+        assert!(sols.contains(&Mapping::from_strs([("u", "a"), ("v", "b"), ("w", "d")])));
         assert!(sols.contains(&Mapping::from_strs([("u", "a"), ("v", "c")])));
         assert!(sols.contains(&Mapping::from_strs([("u", "x"), ("v", "y")])));
         // The un-extended (a,b) must NOT be a solution.

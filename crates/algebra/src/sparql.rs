@@ -70,8 +70,18 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
         !b.is_ascii_whitespace()
             && !matches!(
                 b,
-                b'{' | b'}' | b'.' | b'<' | b'>' | b'?' | b'*' | b'(' | b')' | b'=' | b'!'
-                    | b'&' | b'|'
+                b'{' | b'}'
+                    | b'.'
+                    | b'<'
+                    | b'>'
+                    | b'?'
+                    | b'*'
+                    | b'('
+                    | b')'
+                    | b'='
+                    | b'!'
+                    | b'&'
+                    | b'|'
             )
     };
     while i < bytes.len() {
@@ -246,9 +256,9 @@ impl Parser {
             match self.peek() {
                 Some(Tok::Optional) => {
                     self.pos += 1;
-                    let left = acc.take().ok_or_else(|| {
-                        err(self.offset(), "OPTIONAL needs a preceding pattern")
-                    })?;
+                    let left = acc
+                        .take()
+                        .ok_or_else(|| err(self.offset(), "OPTIONAL needs a preceding pattern"))?;
                     let right = self.parse_group()?;
                     acc = Some(GraphPattern::opt(left, right));
                 }
@@ -483,25 +493,23 @@ mod tests {
         let a = parse_sparql("SELECT * WHERE { ?x knows ?y . ?y knows ?z }").unwrap();
         let b = parse_sparql("{ ?x knows ?y . ?y knows ?z }").unwrap();
         assert_eq!(a, b);
-        assert_eq!(a, parse_pattern("(?x, knows, ?y) AND (?y, knows, ?z)").unwrap());
+        assert_eq!(
+            a,
+            parse_pattern("(?x, knows, ?y) AND (?y, knows, ?z)").unwrap()
+        );
     }
 
     #[test]
     fn optional_applies_to_accumulated_left() {
         let p = parse_sparql("{ ?x knows ?y OPTIONAL { ?y email ?e } ?x city ?c }").unwrap();
-        let expected = parse_pattern(
-            "((?x, knows, ?y) OPT (?y, email, ?e)) AND (?x, city, ?c)",
-        )
-        .unwrap();
+        let expected =
+            parse_pattern("((?x, knows, ?y) OPT (?y, email, ?e)) AND (?x, city, ?c)").unwrap();
         assert_eq!(p, expected);
     }
 
     #[test]
     fn nested_optionals() {
-        let p = parse_sparql(
-            "{ ?x p ?y OPTIONAL { ?y q ?z OPTIONAL { ?z r ?w } } }",
-        )
-        .unwrap();
+        let p = parse_sparql("{ ?x p ?y OPTIONAL { ?y q ?z OPTIONAL { ?z r ?w } } }").unwrap();
         let expected = parse_pattern("(?x, p, ?y) OPT ((?y, q, ?z) OPT (?z, r, ?w))").unwrap();
         assert_eq!(p, expected);
         assert!(is_well_designed(&p));
@@ -522,10 +530,9 @@ mod tests {
 
     #[test]
     fn bracketed_iris_and_keyword_case() {
-        let p = parse_sparql("select * where { ?x <http://ex/p> ?y optional { ?y <q> ?z } }")
-            .unwrap();
-        let expected =
-            parse_pattern("(?x, <http://ex/p>, ?y) OPT (?y, q, ?z)").unwrap();
+        let p =
+            parse_sparql("select * where { ?x <http://ex/p> ?y optional { ?y <q> ?z } }").unwrap();
+        let expected = parse_pattern("(?x, <http://ex/p>, ?y) OPT (?y, q, ?z)").unwrap();
         assert_eq!(p, expected);
     }
 
@@ -559,10 +566,7 @@ mod tests {
             pat,
             parse_pattern("(?x, knows, ?y) OPT (?y, email, ?e)").unwrap()
         );
-        assert_eq!(
-            proj,
-            Some(vec![Variable::new("x"), Variable::new("e")])
-        );
+        assert_eq!(proj, Some(vec![Variable::new("x"), Variable::new("e")]));
     }
 
     #[test]
@@ -601,19 +605,15 @@ mod tests {
     #[test]
     fn filter_expression_grammar() {
         // Operators, precedence, parentheses, negation, constants.
-        let (_, _, f) = parse_sparql_filtered(
-            "{ ?x p ?y FILTER(!(?x = c1) || ?y = c2 && ?x != ?y) }",
-        )
-        .unwrap();
+        let (_, _, f) =
+            parse_sparql_filtered("{ ?x p ?y FILTER(!(?x = c1) || ?y = c2 && ?x != ?y) }").unwrap();
         let yes = wdsparql_rdf::Mapping::from_strs([("x", "c9"), ("y", "c2")]);
         assert!(f.holds(&yes));
         let no = wdsparql_rdf::Mapping::from_strs([("x", "c1"), ("y", "c3")]);
         assert!(!f.holds(&no));
         // Multiple FILTER clauses conjoin.
-        let (_, _, f2) = parse_sparql_filtered(
-            "{ ?x p ?y FILTER(?x != c1) FILTER(?y != c2) }",
-        )
-        .unwrap();
+        let (_, _, f2) =
+            parse_sparql_filtered("{ ?x p ?y FILTER(?x != c1) FILTER(?y != c2) }").unwrap();
         assert!(f2.holds(&wdsparql_rdf::Mapping::from_strs([("x", "a"), ("y", "b")])));
         assert!(!f2.holds(&wdsparql_rdf::Mapping::from_strs([("x", "a"), ("y", "c2")])));
         // Constant folding: equal constants are True, distinct are errors.
@@ -636,15 +636,13 @@ mod tests {
     #[test]
     fn filter_scope_restrictions() {
         // Nested FILTER is rejected, not reinterpreted.
-        assert!(parse_sparql_filtered("{ ?x p ?y OPTIONAL { ?y q ?z FILTER(?z != c) } }")
-            .is_err());
+        assert!(parse_sparql_filtered("{ ?x p ?y OPTIONAL { ?y q ?z FILTER(?z != c) } }").is_err());
         // Top-level UNION with a branch filter is ambiguous: rejected.
         assert!(parse_sparql_filtered("{ ?x p ?y FILTER(?x != ?y) UNION ?x q ?y }").is_err());
         // The unambiguous grouped form works.
-        assert!(parse_sparql_filtered(
-            "{ { { ?x p ?y } UNION { ?x q ?y } } FILTER(?x != ?y) }"
-        )
-        .is_ok());
+        assert!(
+            parse_sparql_filtered("{ { { ?x p ?y } UNION { ?x q ?y } } FILTER(?x != ?y) }").is_ok()
+        );
         // The filter-less entry points refuse to drop a filter.
         assert!(parse_sparql("{ ?x p ?y FILTER(?x != ?y) }").is_err());
         assert!(parse_sparql_select("SELECT ?x WHERE { ?x p ?y FILTER(?x != ?y) }").is_err());
@@ -668,10 +666,7 @@ mod tests {
     #[test]
     fn group_conjunction() {
         let p = parse_sparql("{ { ?x p ?y . ?y p ?z } ?z p ?w }").unwrap();
-        let expected = parse_pattern(
-            "((?x, p, ?y) AND (?y, p, ?z)) AND (?z, p, ?w)",
-        )
-        .unwrap();
+        let expected = parse_pattern("((?x, p, ?y) AND (?y, p, ?z)) AND (?z, p, ?w)").unwrap();
         assert_eq!(p, expected);
     }
 }

@@ -46,9 +46,7 @@ impl std::error::Error for WdViolation {}
 
 /// Checks whether `p` is well-designed; `Err` explains the first violation.
 pub fn check_well_designed(p: &GraphPattern) -> Result<(), WdViolation> {
-    let branches = p
-        .union_branches()
-        .ok_or(WdViolation::UnionNotTopLevel)?;
+    let branches = p.union_branches().ok_or(WdViolation::UnionNotTopLevel)?;
     for b in branches {
         check_union_free_wd(b, &BTreeSet::new())?;
     }
@@ -62,10 +60,7 @@ pub fn is_well_designed(p: &GraphPattern) -> bool {
 
 /// Recursive check for UNION-free patterns. `outside` is the set of
 /// variables occurring in `P` strictly outside the current subpattern.
-fn check_union_free_wd(
-    p: &GraphPattern,
-    outside: &BTreeSet<Variable>,
-) -> Result<(), WdViolation> {
+fn check_union_free_wd(p: &GraphPattern, outside: &BTreeSet<Variable>) -> Result<(), WdViolation> {
     match p {
         GraphPattern::Triple(_) => Ok(()),
         GraphPattern::Union(_, _) => Err(WdViolation::UnionNotTopLevel),
@@ -176,10 +171,7 @@ mod tests {
             GraphPattern::union(t("?x", "p", "?y"), t("?x", "q", "?y")),
             t("?y", "r", "?z"),
         );
-        assert_eq!(
-            check_well_designed(&p),
-            Err(WdViolation::UnionNotTopLevel)
-        );
+        assert_eq!(check_well_designed(&p), Err(WdViolation::UnionNotTopLevel));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wdsparql_hom::{core_of, ctw, treewidth, UGraph};
-use wdsparql_workloads::{example3_s_prime, fk_forest};
 use wdsparql_width::domination_width;
+use wdsparql_workloads::{example3_s_prime, fk_forest};
 
 fn bench_core_computation(c: &mut Criterion) {
     // (S', X) from Example 3: the core must fold a K_k onto a loop.
@@ -37,11 +37,9 @@ fn bench_exact_treewidth(c: &mut Criterion) {
     group.sample_size(10);
     for n in [4usize, 5, 6] {
         let g = UGraph::grid(n, 4);
-        group.bench_with_input(
-            BenchmarkId::new("grid_nx4", n),
-            &g,
-            |b, g| b.iter(|| assert_eq!(treewidth(g).width, 4.min(g.n()))),
-        );
+        group.bench_with_input(BenchmarkId::new("grid_nx4", n), &g, |b, g| {
+            b.iter(|| assert_eq!(treewidth(g).width, 4.min(g.n())))
+        });
     }
     for k in [8usize, 12, 16] {
         let g = UGraph::complete(k);

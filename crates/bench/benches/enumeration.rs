@@ -30,9 +30,11 @@ fn bench_chain_enumeration(c: &mut Criterion) {
     for depth in [2usize, 3, 4] {
         let f = Wdpf::new(vec![chain_tree(depth)]);
         let g = layered_graph(depth, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &(&f, &g), |b, (f, g)| {
-            b.iter(|| enumerate_with_stats(f, g).0.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &(&f, &g),
+            |b, (f, g)| b.iter(|| enumerate_with_stats(f, g).0.len()),
+        );
     }
     group.finish();
 }
@@ -40,10 +42,8 @@ fn bench_chain_enumeration(c: &mut Criterion) {
 fn bench_counting_social(c: &mut Criterion) {
     let mut group = c.benchmark_group("count_by_domain_social");
     group.sample_size(10);
-    let q = Query::parse(
-        "{ ?x knows ?y OPTIONAL { ?y email ?e } OPTIONAL { ?y city ?c } }",
-    )
-    .unwrap();
+    let q =
+        Query::parse("{ ?x knows ?y OPTIONAL { ?y email ?e } OPTIONAL { ?y city ?c } }").unwrap();
     for n in [30usize, 60, 120] {
         let g = social_network(n, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {

@@ -56,7 +56,11 @@ fn bench_path_queries(c: &mut Criterion) {
     group.sample_size(10);
     let mut g = RdfGraph::new();
     for i in 0..500 {
-        g.insert(Triple::from_strs(&format!("c{i}"), "r", &format!("c{}", i + 1)));
+        g.insert(Triple::from_strs(
+            &format!("c{i}"),
+            "r",
+            &format!("c{}", i + 1),
+        ));
         g.insert(Triple::from_strs(&format!("c{i}"), "q", &format!("d{i}")));
     }
     for len in [4usize, 8, 16] {
@@ -87,7 +91,11 @@ fn bench_order_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let mut g = RdfGraph::new();
     for i in 0..300 {
-        g.insert(Triple::from_strs(&format!("c{i}"), "r", &format!("c{}", i + 1)));
+        g.insert(Triple::from_strs(
+            &format!("c{i}"),
+            "r",
+            &format!("c{}", i + 1),
+        ));
     }
     // One selective 'tag' edge at the end of the chain.
     g.insert(Triple::from_strs("c300", "tag", "goal"));
@@ -112,9 +120,7 @@ fn bench_order_ablation(c: &mut Criterion) {
                 &(&q, &g),
                 |b, (q, g)| {
                     b.iter(|| {
-                        assert!(
-                            find_hom_into_graph_with(q, g, &Mapping::new(), order).is_some()
-                        )
+                        assert!(find_hom_into_graph_with(q, g, &Mapping::new(), order).is_some())
                     })
                 },
             );

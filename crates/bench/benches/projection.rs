@@ -5,8 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wdsparql_project::{
-    anchored_graph, check_projected, clique_projection_query, enumerate_projected,
-    ProjectedQuery,
+    anchored_graph, check_projected, clique_projection_query, enumerate_projected, ProjectedQuery,
 };
 use wdsparql_rdf::{Mapping, Variable};
 use wdsparql_workloads::{turan_graph, university};
@@ -21,9 +20,11 @@ fn bench_projected_membership_refutation(c: &mut Criterion) {
         let (g, hub) = anchored_graph(&turan_graph(4 * (k - 1), k - 1, "r"), "hub");
         let mut mu = Mapping::new();
         mu.bind(Variable::new("u"), hub);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g, &mu), |b, (q, g, mu)| {
-            b.iter(|| assert!(!check_projected(q, g, mu)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(&q, &g, &mu),
+            |b, (q, g, mu)| b.iter(|| assert!(!check_projected(q, g, mu))),
+        );
     }
     group.finish();
 }
@@ -37,9 +38,11 @@ fn bench_projected_membership_witness(c: &mut Criterion) {
         let (g, hub) = anchored_graph(&turan_graph(3 * k, k, "r"), "hub");
         let mut mu = Mapping::new();
         mu.bind(Variable::new("u"), hub);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g, &mu), |b, (q, g, mu)| {
-            b.iter(|| assert!(check_projected(q, g, mu)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &(&q, &g, &mu),
+            |b, (q, g, mu)| b.iter(|| assert!(check_projected(q, g, mu))),
+        );
     }
     group.finish();
 }

@@ -7,9 +7,7 @@
 use std::time::Duration;
 use wdsparql_bench::{fmt_duration, time_median, time_once, Table};
 use wdsparql_core::{check_forest, check_forest_pebble};
-use wdsparql_hardness::{
-    clique_family_parameter, has_k_clique, lemma3_witness, reduce_clique,
-};
+use wdsparql_hardness::{clique_family_parameter, has_k_clique, lemma3_witness, reduce_clique};
 use wdsparql_hom::{
     core_of, ctw, find_hom_into_graph, is_core, maps_to, tw_gen, GenTGraph, TGraph, UGraph,
 };
@@ -111,7 +109,13 @@ fn e1_figure1() {
 fn e2_figure2_gtg() {
     let mut t = Table::new(
         "E2  Figure 2 / Example 4 — subtrees of F_k with non-empty GtG (paper: exactly 5)",
-        &["k", "subtrees", "non-empty GtG", "|GtG(T1[r1])|", "ctws of GtG(T1[r1])"],
+        &[
+            "k",
+            "subtrees",
+            "non-empty GtG",
+            "|GtG(T1[r1])|",
+            "ctws of GtG(T1[r1])",
+        ],
     );
     for k in 2..=5 {
         let f = wl::fk_forest(k);
@@ -161,7 +165,13 @@ fn e3_figure3_domination() {
 fn e4_frontier() {
     let mut t = Table::new(
         "E4  The frontier: dw vs bw vs local width across families",
-        &["family", "dw", "bw", "local", "verdict (Theorem 3 / Cor. 1)"],
+        &[
+            "family",
+            "dw",
+            "bw",
+            "local",
+            "verdict (Theorem 3 / Cor. 1)",
+        ],
     );
     for k in 2..=4 {
         let f = wl::fk_forest(k);
@@ -236,7 +246,13 @@ fn e5_dichotomy_fk() {
 fn e6_union_free() {
     let mut t = Table::new(
         "E6  Corollary 1 (UNION-free): bounded bw (T'_k) vs unbounded bw (Q_k), naive evaluator",
-        &["k", "T'_k naive", "Q_k naive", "Q_k pebble(k-1) [exact]", "Q_k answers agree"],
+        &[
+            "k",
+            "T'_k naive",
+            "Q_k naive",
+            "Q_k pebble(k-1) [exact]",
+            "Q_k answers agree",
+        ],
     );
     let budget = Duration::from_millis(300);
     for k in 3..=5 {
@@ -310,7 +326,13 @@ fn e7_pebble_scaling() {
 fn e8_proposition3() {
     let mut t = Table::new(
         "E8  Proposition 3 — agreement of →µ_k with →µ (ctw ≤ k−1: must be 100%)",
-        &["query ctw", "k", "trials", "agreements", "relaxation gaps (ctw > k−1)"],
+        &[
+            "query ctw",
+            "k",
+            "trials",
+            "agreements",
+            "relaxation gaps (ctw > k−1)",
+        ],
     );
     let mut lcg: u64 = 0xABCDEF12345;
     let mut next = move |m: u64| {
@@ -446,7 +468,14 @@ fn e10_reduction() {
     // refutation is itself an NP-hard instance by design.
     let mut t3 = Table::new(
         "E10b Lemma 2 condition (3) at k = 3: H has triangle ⟺ (S,X) → (B,X)",
-        &["H", "|B|", "build+check", "triangle", "(S,X)→(B,X)", "agree"],
+        &[
+            "H",
+            "|B|",
+            "build+check",
+            "triangle",
+            "(S,X)→(B,X)",
+            "agree",
+        ],
     );
     let s = clique_source_for(9);
     let cases3: Vec<(String, UGraph)> = vec![
@@ -496,7 +525,13 @@ fn clique_source_for(m: usize) -> GenTGraph {
 fn e11_lemma3() {
     let mut t = Table::new(
         "E11  Lemma 3 — witness search: ctw ≥ k and hom-minimality",
-        &["family", "threshold k", "witness found", "witness ctw", "minimality verified"],
+        &[
+            "family",
+            "threshold k",
+            "witness found",
+            "witness ctw",
+            "minimality verified",
+        ],
     );
     for m in 3..=5 {
         let f = Wdpf::new(vec![wl::clique_child_tree(m)]);
@@ -523,7 +558,14 @@ fn e11_lemma3() {
 fn e12_ablation() {
     let mut t = Table::new(
         "E12  Ablation — pebble evaluator below dw: soundness holds, completeness fails",
-        &["family", "dw", "k used", "false accepts", "false rejects", "trials"],
+        &[
+            "family",
+            "dw",
+            "k used",
+            "false accepts",
+            "false rejects",
+            "trials",
+        ],
     );
     for m in [3usize, 4] {
         let dw = m - 1;
@@ -567,7 +609,13 @@ fn e14_enumeration_delay() {
     let mut t = Table::new(
         "E14  Enumeration — solutions, work and max per-solution delay",
         &[
-            "family", "solutions", "emitted", "hom calls", "steps", "max delay", "time",
+            "family",
+            "solutions",
+            "emitted",
+            "hom calls",
+            "steps",
+            "max delay",
+            "time",
         ],
     );
     // Bounded side: chains of depth d over a 2-way branching layered graph.
@@ -637,7 +685,14 @@ fn e15_recognition() {
             ),
             DwCertificate::Violated(v) => (false, format!("ctw {} element", v.element_ctw)),
         };
-        t.row(&[&format!("F_{k}"), &"dw", &1usize, &holds, &detail, &fmt_duration(d)]);
+        t.row(&[
+            &format!("F_{k}"),
+            &"dw",
+            &1usize,
+            &holds,
+            &detail,
+            &fmt_duration(d),
+        ]);
     }
     for m in [3usize, 4, 5] {
         let q = wl::clique_child_tree(m);

@@ -67,8 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let engine = Engine::new(graph);
             // Curly-syntax queries may carry top-level FILTER clauses.
             let sols = if text.trim_start().starts_with('{') {
-                let (query, filter) =
-                    Query::parse_with_filter(text).map_err(|e| e.to_string())?;
+                let (query, filter) = Query::parse_with_filter(text).map_err(|e| e.to_string())?;
                 engine.evaluate_filtered(&query, &filter)
             } else {
                 engine.evaluate(&parse_query(args.get(2))?)
@@ -223,7 +222,13 @@ mod tests {
         std::fs::write(&path, "a p b .\nb q c .\n").unwrap();
         let p = path.to_string_lossy().to_string();
         assert!(run(&s(&["eval", &p, "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
-        assert!(run(&s(&["check", &p, "(?x, p, ?y) OPT (?y, q, ?z)", "x=a,y=b,z=c"])).is_ok());
+        assert!(run(&s(&[
+            "check",
+            &p,
+            "(?x, p, ?y) OPT (?y, q, ?z)",
+            "x=a,y=b,z=c"
+        ]))
+        .is_ok());
         assert!(run(&s(&["eval", "/nonexistent.nt", "(?x, p, ?y)"])).is_err());
         // Curly syntax with a FILTER clause.
         assert!(run(&s(&[
@@ -249,7 +254,12 @@ mod tests {
         ]))
         .is_ok());
         assert!(run(&s(&["select", &p, "SELECT ?nope WHERE { ?x p ?y }"])).is_err());
-        assert!(run(&s(&["contain", "(?x, p, ?y)", "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&[
+            "contain",
+            "(?x, p, ?y)",
+            "(?x, p, ?y) OPT (?y, q, ?z)"
+        ]))
+        .is_ok());
         assert!(run(&s(&["contain", "(?x, p, ?y)"])).is_err());
     }
 

@@ -1,0 +1,127 @@
+//! End-to-end smoke tests for the `wdsparql` binary: each subcommand
+//! path is spawned as a real process and checked for exit code and
+//! output shape.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn wdsparql(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wdsparql"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the wdsparql binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Writes a small N-Triples file and returns its path.
+fn fixture_nt(name: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("wdsparql_smoke_{}_{name}.nt", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create fixture");
+    writeln!(f, "<alice> <knows> <bob> .").unwrap();
+    writeln!(f, "<bob> <email> <bob@example.org> .").unwrap();
+    writeln!(f, "<bob> <knows> <carol> .").unwrap();
+    path
+}
+
+#[test]
+fn demo_runs_green() {
+    let out = wdsparql(&["demo"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("demo query:"), "unexpected output: {text}");
+    assert!(text.contains("solutions"), "unexpected output: {text}");
+}
+
+#[test]
+fn analyze_reports_widths() {
+    let out = wdsparql(&["analyze", "(?x, knows, ?y) OPT (?y, email, ?e)"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("domination width"),
+        "unexpected output: {text}"
+    );
+    assert!(text.contains("dw(P) = 1"), "unexpected output: {text}");
+}
+
+#[test]
+fn eval_enumerates_solutions() {
+    let data = fixture_nt("eval");
+    let out = wdsparql(&[
+        "eval",
+        data.to_str().unwrap(),
+        "(?x, knows, ?y) OPT (?y, email, ?e)",
+    ]);
+    let _ = std::fs::remove_file(&data);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 solution(s)"), "unexpected output: {text}");
+    assert!(
+        text.contains("bob@example.org"),
+        "unexpected output: {text}"
+    );
+}
+
+#[test]
+fn check_accepts_a_true_binding() {
+    let data = fixture_nt("check");
+    let out = wdsparql(&[
+        "check",
+        data.to_str().unwrap(),
+        "(?x, knows, ?y)",
+        "x=alice,y=bob",
+    ]);
+    let _ = std::fs::remove_file(&data);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn contain_reports_both_directions() {
+    let out = wdsparql(&[
+        "contain",
+        "(?x, knows, ?y)",
+        "(?x, knows, ?y) OPT (?y, email, ?e)",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn forest_prints_the_translation() {
+    let out = wdsparql(&["forest", "(?x, knows, ?y) OPT (?y, email, ?e)"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("T1"),
+        "unexpected output: {}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = wdsparql(&["frobnicate"]);
+    assert!(!out.status.success(), "bogus subcommand must fail");
+    let text = stderr(&out);
+    assert!(text.contains("unknown subcommand"), "stderr: {text}");
+    assert!(text.contains("usage:"), "stderr: {text}");
+}
+
+#[test]
+fn missing_arguments_fail() {
+    let out = wdsparql(&[]);
+    assert!(!out.status.success(), "no arguments must fail");
+    assert!(stderr(&out).contains("usage:"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn malformed_query_fails_cleanly() {
+    let out = wdsparql(&["analyze", "(?x, knows"]);
+    assert!(!out.status.success(), "parse error must fail");
+}

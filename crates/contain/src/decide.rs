@@ -19,9 +19,7 @@ use std::collections::BTreeSet;
 use wdsparql_core::{check_forest, enumerate_forest};
 use wdsparql_hom::{maps_to, GenTGraph, TGraph};
 use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple};
-use wdsparql_tree::{
-    enumerate_subtrees, subtree_children, subtree_pat, subtree_vars, Wdpf,
-};
+use wdsparql_tree::{enumerate_subtrees, subtree_children, subtree_pat, subtree_vars, Wdpf};
 
 /// A verified witness of non-containment: `µ ∈ ⟦F1⟧_G` but `µ ∉ ⟦F2⟧_G`.
 #[derive(Clone, Debug)]
@@ -123,10 +121,8 @@ pub fn syntactic_containment(f1: &Wdpf, f2: &Wdpf) -> bool {
                     }
                     subtree_children(tb, &st2).into_iter().all(|n| {
                         subtree_children(ta, &st1).into_iter().any(|m| {
-                            let src =
-                                GenTGraph::new(pat1.union(ta.pat(m)), x.iter().copied());
-                            let dst =
-                                GenTGraph::new(pat2.union(tb.pat(n)), x.iter().copied());
+                            let src = GenTGraph::new(pat1.union(ta.pat(m)), x.iter().copied());
+                            let dst = GenTGraph::new(pat2.union(tb.pat(n)), x.iter().copied());
                             maps_to(&src, &dst)
                         })
                     })

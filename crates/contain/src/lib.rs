@@ -40,5 +40,5 @@ pub use decide::{
     decide_containment, decide_equivalence, exhaustive_counterexample, search_counterexample,
     syntactic_containment, Counterexample, SearchBudget, Verdict,
 };
-pub use on_graph::{containment_violations, contained_on, equivalent_on, subsumed_on};
+pub use on_graph::{contained_on, containment_violations, equivalent_on, subsumed_on};
 pub use order::{max_solutions, set_subsumed, subsumed};

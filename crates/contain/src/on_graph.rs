@@ -30,11 +30,7 @@ pub fn subsumed_on(f1: &Wdpf, f2: &Wdpf, g: &RdfGraph) -> bool {
 /// Empty iff [`contained_on`]; each entry is a ready-made
 /// counterexample mapping for this graph (useful when debugging a
 /// `NotContained` verdict or an `Unknown` one by hand).
-pub fn containment_violations(
-    f1: &Wdpf,
-    f2: &Wdpf,
-    g: &RdfGraph,
-) -> Vec<wdsparql_rdf::Mapping> {
+pub fn containment_violations(f1: &Wdpf, f2: &Wdpf, g: &RdfGraph) -> Vec<wdsparql_rdf::Mapping> {
     let b = enumerate_forest(f2, g);
     enumerate_forest(f1, g)
         .into_iter()

@@ -22,11 +22,7 @@ pub fn set_subsumed(a: &SolutionSet, b: &SolutionSet) -> bool {
 /// `SolutionSet` is a set).
 pub fn max_solutions(sols: &SolutionSet) -> SolutionSet {
     sols.iter()
-        .filter(|mu| {
-            !sols
-                .iter()
-                .any(|nu| nu != *mu && subsumed(mu, nu))
-        })
+        .filter(|mu| !sols.iter().any(|nu| nu != *mu && subsumed(mu, nu)))
         .cloned()
         .collect()
 }

@@ -181,7 +181,11 @@ mod tests {
             "((?x, p, ?y) OPT (?y, r, ?u)) UNION (?x, r, ?y)",
         ] {
             let f = forest(text);
-            assert_eq!(count_forest(&f, &g), enumerate_forest(&f, &g).len(), "{text}");
+            assert_eq!(
+                count_forest(&f, &g),
+                enumerate_forest(&f, &g).len(),
+                "{text}"
+            );
         }
     }
 
@@ -193,9 +197,8 @@ mod tests {
         // Domains: {x,y} (no r-extension) and {x,y,u} (extended).
         assert_eq!(by_domain.len(), 2);
         assert_eq!(by_domain.values().sum::<usize>(), count_forest(&f, &g));
-        let vars = |names: &[&str]| -> Vec<Variable> {
-            names.iter().map(|n| Variable::new(n)).collect()
-        };
+        let vars =
+            |names: &[&str]| -> Vec<Variable> { names.iter().map(|n| Variable::new(n)).collect() };
         // Keys are name-sorted.
         assert_eq!(by_domain[&vars(&["x", "y"])], 1); // (e,p,f): f has no r-edge
         assert_eq!(by_domain[&vars(&["u", "x", "y"])], 2);

@@ -8,8 +8,7 @@ use crate::pebble_eval::check_forest_pebble;
 use std::fmt;
 use std::sync::OnceLock;
 use wdsparql_algebra::{
-    eval as reference_eval, filter_solutions, parse_pattern, FilterExpr, GraphPattern,
-    SolutionSet,
+    eval as reference_eval, filter_solutions, parse_pattern, FilterExpr, GraphPattern, SolutionSet,
 };
 use wdsparql_rdf::{Mapping, RdfGraph};
 use wdsparql_tree::{TranslateError, Wdpf};
@@ -109,7 +108,9 @@ impl Query {
     /// `bw(P)` (cached; meaningful for UNION-free queries, where it equals
     /// `dw(P)` by Proposition 5).
     pub fn branch_treewidth(&self) -> usize {
-        *self.bw.get_or_init(|| branch_treewidth_forest(&self.forest))
+        *self
+            .bw
+            .get_or_init(|| branch_treewidth_forest(&self.forest))
     }
 
     /// The local-tractability width (Letelier et al.).
@@ -251,10 +252,9 @@ mod tests {
     #[test]
     fn strategies_agree_on_bounded_width_query() {
         let e = engine();
-        let q = Query::parse(
-            "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))",
-        )
-        .unwrap();
+        let q =
+            Query::parse("(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))")
+                .unwrap();
         let sols = e.evaluate(&q);
         assert!(!sols.is_empty());
         for mu in &sols {
@@ -322,10 +322,7 @@ mod tests {
 
     #[test]
     fn query_errors_are_reported() {
-        assert!(matches!(
-            Query::parse("(?x, p"),
-            Err(QueryError::Parse(_))
-        ));
+        assert!(matches!(Query::parse("(?x, p"), Err(QueryError::Parse(_))));
         assert!(matches!(
             Query::parse("((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2))"),
             Err(QueryError::Translate(_))
@@ -336,8 +333,7 @@ mod tests {
     fn filtered_queries_parse_and_evaluate() {
         let e = engine();
         let (q, f) =
-            Query::parse_with_filter("{ ?x p ?y OPTIONAL { ?y r ?u } FILTER(BOUND(?u)) }")
-                .unwrap();
+            Query::parse_with_filter("{ ?x p ?y OPTIONAL { ?y r ?u } FILTER(BOUND(?u)) }").unwrap();
         let filtered = e.evaluate_filtered(&q, &f);
         let unfiltered = e.evaluate(&q);
         assert!(filtered.len() < unfiltered.len());

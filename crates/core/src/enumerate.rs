@@ -127,10 +127,7 @@ mod tests {
             ("a", "r", "d1"),
             ("a", "r", "d2"),
         ]);
-        assert_matches_reference(
-            "(((?x, p, ?y) OPT (?y, q, ?u)) OPT (?x, r, ?v))",
-            &g,
-        );
+        assert_matches_reference("(((?x, p, ?y) OPT (?y, q, ?u)) OPT (?x, r, ?v))", &g);
         let f = Wdpf::from_pattern(
             &parse_pattern("(((?x, p, ?y) OPT (?y, q, ?u)) OPT (?x, r, ?v))").unwrap(),
         )

@@ -110,11 +110,7 @@ pub fn explain_tree(
     let children = subtree_children(t, &st);
     for &n in &children {
         let pat = t.pat(n);
-        let x: Vec<_> = pat
-            .vars()
-            .into_iter()
-            .filter(|v| mu.contains(*v))
-            .collect();
+        let x: Vec<_> = pat.vars().into_iter().filter(|v| mu.contains(*v)).collect();
         let src = GenTGraph::new(pat.clone(), x);
         if let Some(nu) = find_hom_into_graph(&src, g, mu) {
             return Err(TreeRejection::ChildExtends {
@@ -222,9 +218,7 @@ mod tests {
 
     #[test]
     fn explanation_agrees_with_naive_checker() {
-        let f = forest(
-            "((?x, p, ?y) OPT (?y, q, ?z)) UNION ((?x, p, ?y) OPT (?x, q, ?w))",
-        );
+        let f = forest("((?x, p, ?y) OPT (?y, q, ?z)) UNION ((?x, p, ?y) OPT (?x, q, ?w))");
         let graph = g();
         for mu in [
             Mapping::from_strs([("x", "a"), ("y", "b"), ("z", "c")]),
@@ -244,11 +238,7 @@ mod tests {
     fn display_renders_both_cases() {
         let f = forest("(?x, p, ?y) OPT (?y, q, ?z)");
         let graph = g();
-        let yes = explain_forest(
-            &f,
-            &graph,
-            &Mapping::from_strs([("x", "d"), ("y", "e")]),
-        );
+        let yes = explain_forest(&f, &graph, &Mapping::from_strs([("x", "d"), ("y", "e")]));
         assert!(yes.to_string().contains("member"));
         let no = explain_forest(&f, &graph, &Mapping::from_strs([("x", "a"), ("y", "b")]));
         let text = no.to_string();

@@ -24,11 +24,7 @@ pub fn mu_subtree(t: &Wdpt, g: &RdfGraph, mu: &Mapping) -> Option<Subtree> {
 /// homomorphism `ν` from `pat(n)` to `G` compatible with `µ`?
 pub fn child_extends(t: &Wdpt, g: &RdfGraph, n: NodeId, mu: &Mapping) -> bool {
     let pat = t.pat(n);
-    let x: Vec<_> = pat
-        .vars()
-        .into_iter()
-        .filter(|v| mu.contains(*v))
-        .collect();
+    let x: Vec<_> = pat.vars().into_iter().filter(|v| mu.contains(*v)).collect();
     let src = GenTGraph::new(pat.clone(), x);
     find_hom_into_graph(&src, g, mu).is_some()
 }

@@ -28,8 +28,8 @@ pub mod pebble_eval;
 
 pub use counting::{count_by_domain, count_forest, enumerate_with_stats, EnumStats};
 pub use engine::{Engine, Query, QueryError, Strategy, WidthReport};
-pub use explain::{explain_forest, explain_tree, Explanation, TreeRejection};
 pub use enumerate::{enumerate_forest, enumerate_tree};
+pub use explain::{explain_forest, explain_tree, Explanation, TreeRejection};
 pub use lemma1::{child_extends, mu_subtree};
 pub use naive::{check_forest, check_tree};
 pub use pebble_eval::{check_forest_pebble, check_tree_pebble};

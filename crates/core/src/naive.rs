@@ -35,8 +35,7 @@ mod tests {
 
     #[test]
     fn agrees_with_reference_semantics_on_example1() {
-        let text =
-            "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))";
+        let text = "(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))";
         let p = parse_pattern(text).unwrap();
         let f = forest(text);
         let g = RdfGraph::from_strs([
@@ -62,9 +61,21 @@ mod tests {
     fn union_forest_accepts_from_any_tree() {
         let f = forest("((?x, p, ?y) OPT (?y, q, ?z)) UNION ((?x, r, ?y) OPT (?y, q, ?z))");
         let g = RdfGraph::from_strs([("a", "p", "b"), ("c", "r", "d")]);
-        assert!(check_forest(&f, &g, &Mapping::from_strs([("x", "a"), ("y", "b")])));
-        assert!(check_forest(&f, &g, &Mapping::from_strs([("x", "c"), ("y", "d")])));
-        assert!(!check_forest(&f, &g, &Mapping::from_strs([("x", "a"), ("y", "d")])));
+        assert!(check_forest(
+            &f,
+            &g,
+            &Mapping::from_strs([("x", "a"), ("y", "b")])
+        ));
+        assert!(check_forest(
+            &f,
+            &g,
+            &Mapping::from_strs([("x", "c"), ("y", "d")])
+        ));
+        assert!(!check_forest(
+            &f,
+            &g,
+            &Mapping::from_strs([("x", "a"), ("y", "d")])
+        ));
     }
 
     #[test]
@@ -72,7 +83,11 @@ mod tests {
         let f = forest("(?x, p, ?y) OPT (?y, q, ?z)");
         let g = RdfGraph::from_strs([("a", "p", "b"), ("b", "q", "c")]);
         // Bare (a, b) is not maximal: the OPT extends.
-        assert!(!check_forest(&f, &g, &Mapping::from_strs([("x", "a"), ("y", "b")])));
+        assert!(!check_forest(
+            &f,
+            &g,
+            &Mapping::from_strs([("x", "a"), ("y", "b")])
+        ));
         assert!(check_forest(
             &f,
             &g,

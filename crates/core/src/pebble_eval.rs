@@ -91,7 +91,13 @@ mod tests {
         }
         let candidates = [
             Mapping::from_strs([("x", "a"), ("y", "b")]),
-            Mapping::from_strs([("x", "a"), ("y", "b"), ("o1", "u"), ("o2", "v"), ("o3", "w")]),
+            Mapping::from_strs([
+                ("x", "a"),
+                ("y", "b"),
+                ("o1", "u"),
+                ("o2", "v"),
+                ("o3", "w"),
+            ]),
             Mapping::from_strs([("x", "b"), ("y", "a")]),
         ];
         for mu in &candidates {
@@ -104,9 +110,7 @@ mod tests {
     #[test]
     fn higher_k_restores_completeness() {
         // Same clique-child query with k = 2 (3 pebbles ≥ ctw + 1): exact.
-        let f = forest(
-            "(?x, p, ?y) OPT (((?y, r, ?o1) AND (?o1, r, ?o2)) AND (?o2, r, ?o1))",
-        );
+        let f = forest("(?x, p, ?y) OPT (((?y, r, ?o1) AND (?o1, r, ?o2)) AND (?o2, r, ?o1))");
         let g = RdfGraph::from_strs([
             ("a", "p", "b"),
             ("b", "r", "c"),

@@ -94,7 +94,9 @@ pub fn emb_brute_force(h: &UGraph, target: &UGraph) -> bool {
 
 /// Marker type for variables used by the encoding (exposed for tests).
 pub fn emb_vars(h: &UGraph) -> Vec<Variable> {
-    (0..h.n()).map(|u| Variable::new(&format!("emb{u}"))).collect()
+    (0..h.n())
+        .map(|u| Variable::new(&format!("emb{u}")))
+        .collect()
 }
 
 #[cfg(test)]

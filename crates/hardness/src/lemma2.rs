@@ -101,11 +101,8 @@ pub fn lemma2(s: &GenTGraph, h: &UGraph, k: usize) -> Result<Lemma2, Lemma2Error
     let owner: BTreeMap<usize, (usize, usize)> = (0..f1_vars.len())
         .map(|a| (a, minor.owner(a).expect("minor map is onto F1")))
         .collect();
-    let var_index: BTreeMap<Variable, usize> = f1_vars
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let var_index: BTreeMap<Variable, usize> =
+        f1_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     // The tuple variables ?(v, e, i, p, ?a), grouped by ?a.
     // For a fixed ?a, (i, p) is determined (branch sets are disjoint), so
@@ -335,7 +332,10 @@ mod tests {
     /// (S, X) = clique-child style: {(x,p,y), (y,r,o1)} ∪ K_m(o1..om),
     /// X = {x, y}. Its core is itself; F1 = K_m.
     fn clique_source(m: usize) -> GenTGraph {
-        let mut pats = vec![tp(var("x"), iri("p"), var("y")), tp(var("y"), iri("r"), var("o1"))];
+        let mut pats = vec![
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("r"), var("o1")),
+        ];
         for i in 1..=m {
             for j in (i + 1)..=m {
                 pats.push(tp(var(&format!("o{i}")), iri("r"), var(&format!("o{j}"))));
@@ -406,16 +406,11 @@ mod tests {
         // At k = 2 the generic search is feasible: the two deciders must
         // agree on both directions.
         let s = clique_source(2);
-        for h in [
-            UGraph::path(3),
-            UGraph::complete(4),
-            UGraph::cycle(5),
-            {
-                let mut g = UGraph::new(4);
-                g.add_edge(0, 1);
-                g
-            },
-        ] {
+        for h in [UGraph::path(3), UGraph::complete(4), UGraph::cycle(5), {
+            let mut g = UGraph::new(4);
+            g.add_edge(0, 1);
+            g
+        }] {
             let out = lemma2(&s, &h, 2).unwrap();
             assert_eq!(
                 find_hom(&s, &out.b.s).is_some(),

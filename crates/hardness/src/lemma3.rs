@@ -30,9 +30,8 @@ pub fn lemma3_witness(f: &Wdpf, k: usize) -> Option<Lemma3Witness> {
         let g_idx: Vec<usize> = (0..elements.len())
             .filter(|&i| widths[i] >= k)
             .filter(|&i| {
-                !(0..elements.len()).any(|d| {
-                    widths[d] < k && maps_to(&elements[d].graph, &elements[i].graph)
-                })
+                !(0..elements.len())
+                    .any(|d| widths[d] < k && maps_to(&elements[d].graph, &elements[i].graph))
             })
             .collect();
         if g_idx.is_empty() {
@@ -43,9 +42,7 @@ pub fn lemma3_witness(f: &Wdpf, k: usize) -> Option<Lemma3Witness> {
         let mut adj = vec![vec![false; n]; n];
         for a in 0..n {
             for b in 0..n {
-                if a != b
-                    && maps_to(&elements[g_idx[a]].graph, &elements[g_idx[b]].graph)
-                {
+                if a != b && maps_to(&elements[g_idx[a]].graph, &elements[g_idx[b]].graph) {
                     adj[a][b] = true;
                 }
             }
@@ -61,7 +58,9 @@ pub fn lemma3_witness(f: &Wdpf, k: usize) -> Option<Lemma3Witness> {
                 }
             }
         }
-        let source = (0..n_comps).find(|&c| !has_incoming[c]).expect("a DAG has a source");
+        let source = (0..n_comps)
+            .find(|&c| !has_incoming[c])
+            .expect("a DAG has a source");
         let pick = (0..n).find(|&i| comp[i] == source).unwrap();
         let element = elements[g_idx[pick]].clone();
         let width = widths[g_idx[pick]];
@@ -165,10 +164,7 @@ mod tests {
             let elements = gtg(&f, &w.subtree);
             for e in &elements {
                 if maps_to(&e.graph, &w.element.graph) {
-                    assert!(
-                        maps_to(&w.element.graph, &e.graph),
-                        "minimality violated"
-                    );
+                    assert!(maps_to(&w.element.graph, &e.graph), "minimality violated");
                 }
             }
         }

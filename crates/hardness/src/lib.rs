@@ -26,6 +26,4 @@ pub use minor::{
     clique_minor_map, embed_grid, find_grid_minor_onto, grid_identity_map, make_onto,
     validate_minor_map, MinorMap,
 };
-pub use reduction::{
-    clique_family_parameter, reduce_clique, ReductionError, ReductionInstance,
-};
+pub use reduction::{clique_family_parameter, reduce_clique, ReductionError, ReductionInstance};

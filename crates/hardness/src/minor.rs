@@ -128,9 +128,8 @@ pub fn embed_grid(target: &UGraph, rows: usize, cols: usize) -> Option<MinorMap>
             if assign.contains(&cand) {
                 continue;
             }
-            let ok = (0..next).all(|prev| {
-                !grid.has_edge(prev, next) || target.has_edge(assign[prev], cand)
-            });
+            let ok = (0..next)
+                .all(|prev| !grid.has_edge(prev, next) || target.has_edge(assign[prev], cand));
             if ok {
                 assign.push(cand);
                 if rec(grid, target, assign) {

@@ -34,7 +34,9 @@ pub struct ReductionInstance {
 pub enum ReductionError {
     /// `dw(F)` is smaller than the requested threshold — pick a wider
     /// family member (the paper enumerates the class further).
-    WidthTooSmall { threshold: usize },
+    WidthTooSmall {
+        threshold: usize,
+    },
     Lemma2(Lemma2Error),
 }
 
@@ -68,8 +70,7 @@ pub fn reduce_clique(
         element,
         ctw: witness_ctw,
         ..
-    } = lemma3_witness(&f, threshold)
-        .ok_or(ReductionError::WidthTooSmall { threshold })?;
+    } = lemma3_witness(&f, threshold).ok_or(ReductionError::WidthTooSmall { threshold })?;
     let out = lemma2(&element.graph, h, k).map_err(ReductionError::Lemma2)?;
     // Freeze B into an RDF graph; µ is the frozen identity on vars(T) = X.
     let (graph, mu) = out.b.freeze(&out.b.x.clone());

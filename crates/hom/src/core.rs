@@ -22,11 +22,7 @@ use wdsparql_rdf::Variable;
 pub fn core_of(g: &GenTGraph) -> GenTGraph {
     let mut s = g.s.clone();
     'outer: loop {
-        let vars: Vec<Variable> = s
-            .vars()
-            .into_iter()
-            .filter(|v| !g.x.contains(v))
-            .collect();
+        let vars: Vec<Variable> = s.vars().into_iter().filter(|v| !g.x.contains(v)).collect();
         for v in vars {
             let s_v = s.without_var(v);
             if s_v.len() == s.len() {
@@ -162,11 +158,7 @@ mod tests {
         ];
         for i in 1..=k {
             for j in (i + 1)..=k {
-                pats.push(tp(
-                    var(&format!("o{i}")),
-                    iri("r"),
-                    var(&format!("o{j}")),
-                ));
+                pats.push(tp(var(&format!("o{i}")), iri("r"), var(&format!("o{j}"))));
             }
         }
         let g = GenTGraph::new(TGraph::from_patterns(pats), [v("x"), v("y"), v("z")]);
@@ -194,11 +186,7 @@ mod tests {
         ];
         for i in 1..=k {
             for j in (i + 1)..=k {
-                pats.push(tp(
-                    var(&format!("o{i}")),
-                    iri("r"),
-                    var(&format!("o{j}")),
-                ));
+                pats.push(tp(var(&format!("o{i}")), iri("r"), var(&format!("o{j}"))));
             }
         }
         let g = GenTGraph::new(TGraph::from_patterns(pats), [v("x"), v("y"), v("z")]);

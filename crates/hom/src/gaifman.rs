@@ -17,8 +17,7 @@ use wdsparql_rdf::Variable;
 /// Builds `G(S, X)`; returns the graph and the vertex-index → variable map.
 pub fn gaifman(g: &GenTGraph) -> (UGraph, Vec<Variable>) {
     let vars: Vec<Variable> = g.existential_vars().into_iter().collect();
-    let index: BTreeMap<Variable, usize> =
-        vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: BTreeMap<Variable, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut ug = UGraph::new(vars.len());
     for t in g.s.iter() {
         let occ: Vec<usize> = t
@@ -68,11 +67,7 @@ mod tests {
         let mut pats = Vec::new();
         for i in 1..=k {
             for j in (i + 1)..=k {
-                pats.push(tp(
-                    var(&format!("o{i}")),
-                    iri("r"),
-                    var(&format!("o{j}")),
-                ));
+                pats.push(tp(var(&format!("o{i}")), iri("r"), var(&format!("o{j}"))));
             }
         }
         pats

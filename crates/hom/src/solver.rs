@@ -60,7 +60,8 @@ impl TGraphIndex {
     }
 
     fn candidate_count(&self, slots: &[Slot; 3]) -> usize {
-        self.shortlist(slots).map_or(self.triples.len(), <[u32]>::len)
+        self.shortlist(slots)
+            .map_or(self.triples.len(), <[u32]>::len)
     }
 
     fn candidates(&self, slots: &[Slot; 3]) -> Vec<[Term; 3]> {
@@ -146,13 +147,10 @@ enum Slot {
 /// Positional pre-filter: every fixed position must equal the target
 /// position; repeated-free-variable consistency is checked during binding.
 fn slots_unifiable(slots: &[Slot; 3], target: &TriplePattern) -> bool {
-    slots
-        .iter()
-        .zip(target.positions())
-        .all(|(s, t)| match s {
-            Slot::Free(_) => true,
-            Slot::Fixed(term) => *term == t,
-        })
+    slots.iter().zip(target.positions()).all(|(s, t)| match s {
+        Slot::Free(_) => true,
+        Slot::Fixed(term) => *term == t,
+    })
 }
 
 /// Triple-selection heuristic for the backtracking search — exposed so the

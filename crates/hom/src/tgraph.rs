@@ -106,12 +106,7 @@ impl TGraph {
 
     /// The set difference `S \ S'`.
     pub fn difference(&self, other: &TGraph) -> TGraph {
-        TGraph::from_patterns(
-            self.triples
-                .iter()
-                .filter(|t| !other.contains(t))
-                .copied(),
-        )
+        TGraph::from_patterns(self.triples.iter().filter(|t| !other.contains(t)).copied())
     }
 
     /// Applies a substitution to every triple (the image `h(S)`).

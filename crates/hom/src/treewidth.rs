@@ -100,7 +100,10 @@ fn elimination_degree(adj: &[u32], v: usize, s: u32) -> u32 {
 
 fn exact_dp(g: &UGraph) -> usize {
     let n = g.n();
-    assert!(n <= EXACT_LIMIT, "exact DP capped at {EXACT_LIMIT} vertices");
+    assert!(
+        n <= EXACT_LIMIT,
+        "exact DP capped at {EXACT_LIMIT} vertices"
+    );
     let adj: Vec<u32> = (0..n)
         .map(|u| g.neighbors(u).iter().fold(0u32, |m, v| m | (1 << v)))
         .collect();
@@ -133,7 +136,9 @@ fn exact_dp(g: &UGraph) -> usize {
 /// The width of the elimination ordering `order` (max degree at elimination
 /// time in the fill-in graph) — an upper bound on treewidth.
 pub fn width_of_order(g: &UGraph, order: &[usize]) -> usize {
-    let mut adj: Vec<BTreeSet<usize>> = (0..g.n()).map(|u| g.neighbors(u).iter().collect()).collect();
+    let mut adj: Vec<BTreeSet<usize>> = (0..g.n())
+        .map(|u| g.neighbors(u).iter().collect())
+        .collect();
     let mut alive = vec![true; g.n()];
     let mut width = 0;
     for &v in order {
@@ -230,7 +235,12 @@ pub struct TreeDecomposition {
 
 impl TreeDecomposition {
     pub fn width(&self) -> usize {
-        self.bags.iter().map(BTreeSet::len).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 }
 
@@ -315,7 +325,11 @@ pub fn verify_decomposition(g: &UGraph, td: &TreeDecomposition) -> Result<usize,
     }
     // 2. Every edge is covered by some bag.
     for (u, v) in g.edges() {
-        if !td.bags.iter().any(|bag| bag.contains(&u) && bag.contains(&v)) {
+        if !td
+            .bags
+            .iter()
+            .any(|bag| bag.contains(&u) && bag.contains(&v))
+        {
             return Err(format!("edge ({u},{v}) not covered"));
         }
     }
@@ -426,7 +440,9 @@ mod tests {
         // Deterministic pseudo-random graphs via a simple LCG.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut coin = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 100 < 30
         };
         for n in [6usize, 8, 10] {

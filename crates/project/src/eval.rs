@@ -67,8 +67,7 @@ pub fn check_projected(q: &ProjectedQuery, g: &RdfGraph, mu: &Mapping) -> bool {
 fn check_projected_tree(t: &Wdpt, x: &BTreeSet<Variable>, g: &RdfGraph, mu: &Mapping) -> bool {
     let dom: BTreeSet<Variable> = mu.domain().collect();
     for st in enumerate_subtrees(t) {
-        let visible: BTreeSet<Variable> =
-            subtree_vars(t, &st).intersection(x).copied().collect();
+        let visible: BTreeSet<Variable> = subtree_vars(t, &st).intersection(x).copied().collect();
         if visible != dom {
             continue;
         }
@@ -109,10 +108,8 @@ mod tests {
         // Without projection there are 3 solutions (bob with email,
         // carol and erin without); projecting to ?x collapses alice's two.
         let g = sample_graph();
-        let q = ProjectedQuery::parse(
-            "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }",
-        )
-        .unwrap();
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }")
+            .unwrap();
         let sols = enumerate_projected(&q, &g);
         assert_eq!(sols.len(), 2);
         assert_eq!(count_projected(&q, &g), 2);
@@ -123,10 +120,8 @@ mod tests {
     #[test]
     fn multiplicities_count_preimages() {
         let g = sample_graph();
-        let q = ProjectedQuery::parse(
-            "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }",
-        )
-        .unwrap();
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }")
+            .unwrap();
         let m = projection_multiplicities(&q, &g);
         assert_eq!(m[&Mapping::from_strs([("x", "alice")])], 2);
         assert_eq!(m[&Mapping::from_strs([("x", "dave")])], 1);
@@ -147,7 +142,11 @@ mod tests {
                 assert!(check_projected(&q, &g, mu), "{text}: rejected {mu}");
             }
             // A wrong binding and a foreign variable are both rejected.
-            assert!(!check_projected(&q, &g, &Mapping::from_strs([("x", "zzz")])));
+            assert!(!check_projected(
+                &q,
+                &g,
+                &Mapping::from_strs([("x", "zzz")])
+            ));
             assert!(!check_projected(
                 &q,
                 &g,
@@ -161,16 +160,22 @@ mod tests {
         // µ = {x↦alice} is NOT a solution of the *unprojected* query
         // (bob forces the OPT extension), but projecting away ?y keeps
         // {x↦alice} because a full solution ({x↦alice,y↦carol}) exists.
-        let g = RdfGraph::from_strs([("alice", "knows", "bob"), ("alice", "knows", "carol"),
-            ("bob", "email", "b@x.org")]);
+        let g = RdfGraph::from_strs([
+            ("alice", "knows", "bob"),
+            ("alice", "knows", "carol"),
+            ("bob", "email", "b@x.org"),
+        ]);
         let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }")
             .unwrap();
-        assert!(check_projected(&q, &g, &Mapping::from_strs([("x", "alice")])));
+        assert!(check_projected(
+            &q,
+            &g,
+            &Mapping::from_strs([("x", "alice")])
+        ));
         // But a projection retaining ?y sees the difference:
-        let qy = ProjectedQuery::parse(
-            "SELECT ?x ?y WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }",
-        )
-        .unwrap();
+        let qy =
+            ProjectedQuery::parse("SELECT ?x ?y WHERE { ?x knows ?y OPTIONAL { ?y email ?e } }")
+                .unwrap();
         // {x↦alice, y↦bob} is not a projected solution: the only full
         // solution through bob also binds ?e, and projecting it keeps
         // x,y — wait, it *is* a projected solution: {x,y,e}|_{x,y}.
@@ -180,7 +185,11 @@ mod tests {
             &Mapping::from_strs([("x", "alice"), ("y", "bob")])
         ));
         // And {x↦alice} alone is not (dom must equal vars(T')∩X = {x,y}).
-        assert!(!check_projected(&qy, &g, &Mapping::from_strs([("x", "alice")])));
+        assert!(!check_projected(
+            &qy,
+            &g,
+            &Mapping::from_strs([("x", "alice")])
+        ));
     }
 
     #[test]
@@ -214,8 +223,7 @@ mod tests {
     #[test]
     fn union_queries_project_per_branch() {
         let g = RdfGraph::from_strs([("a", "p", "b"), ("c", "q", "d")]);
-        let q = ProjectedQuery::parse("SELECT ?x WHERE { { ?x p ?y } UNION { ?x q ?y } }")
-            .unwrap();
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { { ?x p ?y } UNION { ?x q ?y } }").unwrap();
         let sols = enumerate_projected(&q, &g);
         assert_eq!(sols.len(), 2);
         assert!(check_projected(&q, &g, &Mapping::from_strs([("x", "a")])));

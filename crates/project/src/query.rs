@@ -126,7 +126,11 @@ impl fmt::Display for ProjectedQuery {
                 write!(f, " {v}")?;
             }
         }
-        write!(f, " WHERE {}", wdsparql_tree::pattern_from_wdpf(&self.forest))
+        write!(
+            f,
+            " WHERE {}",
+            wdsparql_tree::pattern_from_wdpf(&self.forest)
+        )
     }
 }
 
@@ -136,8 +140,7 @@ mod tests {
 
     #[test]
     fn parse_select_list() {
-        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x p ?y OPTIONAL { ?y q ?z } }")
-            .unwrap();
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x p ?y OPTIONAL { ?y q ?z } }").unwrap();
         assert_eq!(q.projection().len(), 1);
         assert!(!q.is_identity());
         assert!(!q.is_boolean());
@@ -177,10 +180,8 @@ mod tests {
 
     #[test]
     fn boolean_query_has_empty_projection() {
-        let f = Wdpf::from_pattern(
-            &wdsparql_algebra::parse_pattern("(?x, p, ?y)").unwrap(),
-        )
-        .unwrap();
+        let f =
+            Wdpf::from_pattern(&wdsparql_algebra::parse_pattern("(?x, p, ?y)").unwrap()).unwrap();
         let q = ProjectedQuery::new(f, []).unwrap();
         assert!(q.is_boolean());
         assert!(!q.is_identity());

@@ -35,10 +35,7 @@ pub fn global_treewidth(t: &Wdpt, x: &BTreeSet<Variable>) -> usize {
 /// The largest node interface `|vars(n) ∩ (X ∪ vars(B_n))|` over all
 /// non-root nodes of `T` (the root's interface is `|vars(r) ∩ X|`).
 pub fn max_interface(t: &Wdpt, x: &BTreeSet<Variable>) -> usize {
-    let mut best = t
-        .vars(ROOT)
-        .intersection(x)
-        .count();
+    let mut best = t.vars(ROOT).intersection(x).count();
     for n in t.node_ids().filter(|&n| n != ROOT) {
         let mut boundary: BTreeSet<Variable> = x.clone();
         for b in t.branch(n) {
@@ -101,8 +98,7 @@ mod tests {
     fn identity_projection_has_trivial_global_treewidth() {
         // All variables distinguished: the existential Gaifman graph is
         // empty, so the global treewidth is 1 by convention.
-        let q = ProjectedQuery::parse("SELECT * WHERE { ?x p ?y . ?y p ?z . ?z p ?x }")
-            .unwrap();
+        let q = ProjectedQuery::parse("SELECT * WHERE { ?x p ?y . ?y p ?z . ?z p ?x }").unwrap();
         let r = analyze_projected(&q);
         assert_eq!(r.global_treewidth, 1);
         assert_eq!(r.output_vars, 3);
@@ -118,10 +114,8 @@ mod tests {
 
     #[test]
     fn interface_counts_output_and_branch_variables() {
-        let q = ProjectedQuery::parse(
-            "SELECT ?x WHERE { ?x p ?y OPTIONAL { ?y q ?z . ?z q ?w } }",
-        )
-        .unwrap();
+        let q = ProjectedQuery::parse("SELECT ?x WHERE { ?x p ?y OPTIONAL { ?y q ?z . ?z q ?w } }")
+            .unwrap();
         let t = &q.forest().trees[0];
         // Child node vars {y,z,w}; boundary = X ∪ vars(root) = {x} ∪ {x,y};
         // interface = |{y}| = 1.

@@ -315,7 +315,10 @@ mod tests {
         let g = sample();
         let pat = tp(var("x"), iri("p"), var("x"));
         assert!(g.candidate_count(&pat) >= g.match_pattern(&pat).len());
-        assert_eq!(g.candidate_count(&tp(var("x"), var("y"), var("z"))), g.len());
+        assert_eq!(
+            g.candidate_count(&tp(var("x"), var("y"), var("z"))),
+            g.len()
+        );
         assert_eq!(g.candidate_count(&tp(iri("zz"), var("y"), var("z"))), 0);
     }
 

@@ -195,11 +195,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_writer() {
-        let g = RdfGraph::from_strs([
-            ("a", "p", "b"),
-            ("with space", "p", "b"),
-            ("x#y", "q", "z"),
-        ]);
+        let g = RdfGraph::from_strs([("a", "p", "b"), ("with space", "p", "b"), ("x#y", "q", "z")]);
         let text = write_ntriples(&g);
         let g2 = parse_ntriples(&text).unwrap();
         assert_eq!(g, g2);

@@ -3,8 +3,7 @@
 
 use proptest::prelude::*;
 use wdsparql_rdf::{
-    binding_of, parse_ntriples, tp, write_ntriples, Iri, Mapping, RdfGraph, Term, Triple,
-    Variable,
+    binding_of, parse_ntriples, tp, write_ntriples, Iri, Mapping, RdfGraph, Term, Triple, Variable,
 };
 
 fn arb_mapping() -> impl Strategy<Value = Mapping> {

@@ -192,8 +192,9 @@ mod tests {
             Some([ROOT, a].into_iter().collect::<Subtree>())
         );
         // Superset of achievable vars but unreachable exactly: {x,y,z,q}.
-        let too_many: BTreeSet<Variable> =
-            [v("x"), v("y"), v("z"), v("nonexistent")].into_iter().collect();
+        let too_many: BTreeSet<Variable> = [v("x"), v("y"), v("z"), v("nonexistent")]
+            .into_iter()
+            .collect();
         assert_eq!(subtree_with_vars(&t, &too_many), None);
     }
 

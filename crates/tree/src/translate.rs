@@ -224,10 +224,8 @@ mod tests {
 
     #[test]
     fn not_well_designed_is_rejected() {
-        let p = parse_pattern(
-            "((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2))",
-        )
-        .unwrap();
+        let p = parse_pattern("((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2))")
+            .unwrap();
         assert!(matches!(
             wdpt_from_pattern(&p),
             Err(TranslateError::NotWellDesigned(_))

@@ -36,9 +36,8 @@ fn arb_wd_pattern() -> impl Strategy<Value = GraphPattern> {
         let sub2 = gen(depth - 1);
         prop_oneof![
             leaf,
-            (sub.clone(), sub2.clone()).prop_map(|((l, _), (r, _))| {
-                (GraphPattern::and(l, r), 0)
-            }),
+            (sub.clone(), sub2.clone())
+                .prop_map(|((l, _), (r, _))| { (GraphPattern::and(l, r), 0) }),
             (sub, sub2, 0..1000usize).prop_map(|((l, _), (r, _), salt)| {
                 // Rename the right side's variables to privates so the OPT
                 // scope condition holds.

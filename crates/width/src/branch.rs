@@ -53,11 +53,7 @@ pub fn bw_at_most(t: &Wdpt, k: usize) -> bool {
 /// The local width of a node: `ctw(pat(n), vars(n) ∩ vars(n'))`.
 pub fn local_node_width(t: &Wdpt, n: NodeId) -> usize {
     let parent = t.parent(n).expect("local width is defined for non-roots");
-    let shared: Vec<_> = t
-        .vars(n)
-        .intersection(&t.vars(parent))
-        .copied()
-        .collect();
+    let shared: Vec<_> = t.vars(n).intersection(&t.vars(parent)).copied().collect();
     ctw(&GenTGraph::new(t.pat(n).clone(), shared)).width
 }
 

@@ -54,7 +54,10 @@ pub fn support(f: &Wdpf, st: &ForestSubtree) -> Support {
             witnesses.insert(i, w);
         }
     }
-    debug_assert!(witnesses.contains_key(&st.tree), "supp(T) contains T's tree");
+    debug_assert!(
+        witnesses.contains_key(&st.tree),
+        "supp(T) contains T's tree"
+    );
     Support { witnesses }
 }
 
@@ -71,12 +74,7 @@ pub fn children_assignments(f: &Wdpf, support: &Support) -> Vec<ChildrenAssignme
     let per_index: Vec<(usize, Vec<NodeId>)> = support
         .witnesses
         .iter()
-        .map(|(&i, w)| {
-            (
-                i,
-                wdsparql_tree::subtree_children(&f.trees[i], w),
-            )
-        })
+        .map(|(&i, w)| (i, wdsparql_tree::subtree_children(&f.trees[i], w)))
         .collect();
     let mut out: Vec<BTreeMap<usize, NodeId>> = vec![BTreeMap::new()];
     for (i, children) in &per_index {
@@ -99,11 +97,7 @@ pub fn children_assignments(f: &Wdpf, support: &Support) -> Vec<ChildrenAssignme
 
 /// Builds `(S_∆, vars(T))`: the subtree pattern united with the fresh-
 /// renamed child patterns `ρ_∆(i)`.
-pub fn s_delta(
-    f: &Wdpf,
-    st: &ForestSubtree,
-    delta: &ChildrenAssignment,
-) -> GenTGraph {
+pub fn s_delta(f: &Wdpf, st: &ForestSubtree, delta: &ChildrenAssignment) -> GenTGraph {
     let tree = &f.trees[st.tree];
     let base = subtree_pat(tree, &st.nodes);
     let tvars = subtree_vars(tree, &st.nodes);
@@ -115,12 +109,7 @@ pub fn s_delta(
 }
 
 /// `ρ_∆(i)`: `pat(∆(i))` with variables outside `vars(T)` renamed fresh.
-fn rename_child(
-    f: &Wdpf,
-    tree_idx: usize,
-    child: NodeId,
-    tvars: &BTreeSet<Variable>,
-) -> TGraph {
+fn rename_child(f: &Wdpf, tree_idx: usize, child: NodeId, tvars: &BTreeSet<Variable>) -> TGraph {
     let pat = f.trees[tree_idx].pat(child);
     let renaming: VarMap = pat
         .vars()
@@ -165,8 +154,7 @@ pub fn gtg(f: &Wdpf, st: &ForestSubtree) -> Vec<GtgElement> {
         .into_iter()
         .filter_map(|delta| {
             let graph = s_delta(f, st, &delta);
-            is_valid_assignment(f, &supp, &delta, &graph)
-                .then_some(GtgElement { delta, graph })
+            is_valid_assignment(f, &supp, &delta, &graph).then_some(GtgElement { delta, graph })
         })
         .collect()
 }
@@ -222,8 +210,7 @@ pub(crate) mod tests {
         // T1: root (x,p,y); children n11 = (z,q,x), n12 = (y,r,o1) ∪ Kk.
         let mut t1 = Wdpt::new(tg(&[("?x", "p", "?y")]));
         t1.add_child(ROOT, tg(&[("?z", "q", "?x")]));
-        let mut n12: Vec<(String, String, String)> =
-            vec![("?y".into(), "r".into(), "?o1".into())];
+        let mut n12: Vec<(String, String, String)> = vec![("?y".into(), "r".into(), "?o1".into())];
         n12.extend(kk(k));
         let n12_ref: Vec<(&str, &str, &str)> = n12
             .iter()
@@ -261,10 +248,7 @@ pub(crate) mod tests {
         let supp2 = support(&f, &st2);
         assert_eq!(supp2.indices().collect::<Vec<_>>(), vec![0, 2]);
         // The witness in tree 3 is its root subtree.
-        assert_eq!(
-            supp2.witnesses[&2],
-            [ROOT].into_iter().collect::<Subtree>()
-        );
+        assert_eq!(supp2.witnesses[&2], [ROOT].into_iter().collect::<Subtree>());
     }
 
     #[test]
@@ -286,15 +270,11 @@ pub(crate) mod tests {
             );
         }
         // One has ctw 1, the other ctw k−1 (Example 5 / Figure 3).
-        let mut widths: Vec<usize> =
-            elements.iter().map(|e| ctw(&e.graph).width).collect();
+        let mut widths: Vec<usize> = elements.iter().map(|e| ctw(&e.graph).width).collect();
         widths.sort();
         assert_eq!(widths, vec![1, k - 1]);
         // The low-width element dominates the high-width one.
-        let lo = elements
-            .iter()
-            .find(|e| ctw(&e.graph).width == 1)
-            .unwrap();
+        let lo = elements.iter().find(|e| ctw(&e.graph).width == 1).unwrap();
         let hi = elements
             .iter()
             .find(|e| ctw(&e.graph).width == k - 1)
@@ -337,7 +317,10 @@ pub(crate) mod tests {
         let f = fk(2);
         for (i, tree) in f.trees.iter().enumerate() {
             let all: Subtree = tree.node_ids().collect();
-            let st = ForestSubtree { tree: i, nodes: all };
+            let st = ForestSubtree {
+                tree: i,
+                nodes: all,
+            };
             assert!(gtg(&f, &st).is_empty(), "full tree {i}");
         }
     }
@@ -352,8 +335,7 @@ pub(crate) mod tests {
         };
         let elements = gtg(&f, &st);
         assert_eq!(elements.len(), 2);
-        let mut widths: Vec<usize> =
-            elements.iter().map(|e| ctw(&e.graph).width).collect();
+        let mut widths: Vec<usize> = elements.iter().map(|e| ctw(&e.graph).width).collect();
         widths.sort();
         assert_eq!(widths, vec![1, 2]);
     }

@@ -28,6 +28,6 @@ pub use gtg::{
     ChildrenAssignment, ForestSubtree, GtgElement, Support,
 };
 pub use recognition::{
-    recognize_bw, recognize_dw, verify_dw_certificate, BwCertificate, BwViolation,
-    DwCertificate, DwViolation, SubtreeDomination,
+    recognize_bw, recognize_dw, verify_dw_certificate, BwCertificate, BwViolation, DwCertificate,
+    DwViolation, SubtreeDomination,
 };

@@ -210,11 +210,9 @@ mod tests {
         let DwCertificate::Holds(entries) = recognize_dw(&f, 1) else {
             panic!("dw(F_3) = 1");
         };
-        assert!(entries.iter().any(|e| e
-            .dominator_of
+        assert!(entries
             .iter()
-            .enumerate()
-            .any(|(i, &d)| i != d)));
+            .any(|e| e.dominator_of.iter().enumerate().any(|(i, &d)| i != d)));
     }
 
     #[test]

@@ -111,7 +111,7 @@ pub fn bibliography(n_papers: usize, seed: u64) -> RdfGraph {
         g.insert(Triple::from_strs(
             &paper,
             "venue",
-            ["PODS", "SIGMOD", "VLDB", "ICDT"][rng.gen_range(0..4)],
+            ["PODS", "SIGMOD", "VLDB", "ICDT"][rng.gen_range(0..4usize)],
         ));
         g.insert(Triple::from_strs(
             &paper,
@@ -296,11 +296,15 @@ mod tests {
     #[test]
     fn bibliography_has_citations_and_awards() {
         let g = bibliography(60, 1);
-        assert!(!g.solutions(&tp(var("p"), iri("cites"), var("q"))).is_empty());
+        assert!(!g
+            .solutions(&tp(var("p"), iri("cites"), var("q")))
+            .is_empty());
         assert!(!g
             .solutions(&tp(var("p"), iri("award"), iri("BestPaper")))
             .is_empty());
-        assert!(!g.solutions(&tp(var("p"), iri("abstract"), var("a"))).is_empty());
+        assert!(!g
+            .solutions(&tp(var("p"), iri("abstract"), var("a")))
+            .is_empty());
     }
 
     #[test]
@@ -310,7 +314,9 @@ mod tests {
         assert!(!profs.is_empty());
         let offices = g.solutions(&tp(var("p"), iri("office"), var("o")));
         assert!(!offices.is_empty() && offices.len() < profs.len());
-        assert!(!g.solutions(&tp(var("s"), iri("advisor"), var("p"))).is_empty());
+        assert!(!g
+            .solutions(&tp(var("s"), iri("advisor"), var("p")))
+            .is_empty());
         // Deterministic in the seed.
         assert_eq!(university(4, 11), university(4, 11));
         assert_ne!(university(4, 11), university(4, 12));

@@ -136,7 +136,10 @@ pub fn fk_forest(k: usize) -> Wdpf {
         TGraph::from_patterns([t("?z", "q", "?x"), t("?w", "q", "?z")]),
     );
 
-    let mut t3 = Wdpt::new(TGraph::from_patterns([t("?x", "p", "?y"), t("?z", "q", "?x")]));
+    let mut t3 = Wdpt::new(TGraph::from_patterns([
+        t("?x", "p", "?y"),
+        t("?z", "q", "?x"),
+    ]));
     t3.add_child(
         ROOT,
         TGraph::from_patterns([t("?y", "r", "?o"), t("?o", "r", "?o")]),

@@ -16,15 +16,16 @@ fn main() {
     let engine = Engine::new(graph);
 
     // Q1: PODS papers with optional abstract and optional award.
-    let q1 = Query::parse(
-        "(((?p, venue, PODS) OPT (?p, abstract, ?a)) OPT (?p, award, ?w))",
-    )
-    .unwrap();
+    let q1 =
+        Query::parse("(((?p, venue, PODS) OPT (?p, abstract, ?a)) OPT (?p, award, ?w))").unwrap();
     let sols1 = engine.evaluate(&q1);
     println!("\nQ1 {q1}");
     println!("   {} PODS papers; widths: {}", sols1.len(), {
         let r = engine.analyze(&q1);
-        format!("dw={}, bw={}, local={}", r.domination_width, r.branch_treewidth, r.local_width)
+        format!(
+            "dw={}, bw={}, local={}",
+            r.domination_width, r.branch_treewidth, r.local_width
+        )
     });
 
     // Q2: citations into award-winning papers, optionally following one

@@ -20,7 +20,11 @@ fn show(v: &Verdict) -> String {
     match v {
         Verdict::Contained => "CONTAINED (proved)".into(),
         Verdict::NotContained(ce) => {
-            format!("NOT CONTAINED (witness: {} on {} triples)", ce.mu, ce.graph.len())
+            format!(
+                "NOT CONTAINED (witness: {} on {} triples)",
+                ce.mu,
+                ce.graph.len()
+            )
         }
         Verdict::Unknown => "UNKNOWN".into(),
     }

@@ -15,10 +15,8 @@ fn main() {
     let g = social_network(40, 7);
     println!("Social network: {} triples.", g.len());
 
-    let q = Query::parse(
-        "{ ?x knows ?y OPTIONAL { ?y email ?e } OPTIONAL { ?y city ?c } }",
-    )
-    .expect("well-designed");
+    let q = Query::parse("{ ?x knows ?y OPTIONAL { ?y email ?e } OPTIONAL { ?y city ?c } }")
+        .expect("well-designed");
     println!("\nQuery: {q}");
 
     // 1. Counting, overall and by solution domain: which OPT extensions

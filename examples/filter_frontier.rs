@@ -28,8 +28,18 @@ fn main() {
         ("path P6", UGraph::path(6), "cycle C5", UGraph::cycle(5)),
         ("path P4", UGraph::path(4), "cycle C5", UGraph::cycle(5)),
         ("cycle C6", UGraph::cycle(6), "cycle C3", UGraph::cycle(3)),
-        ("clique K3", UGraph::complete(3), "cycle C5", UGraph::cycle(5)),
-        ("clique K3", UGraph::complete(3), "clique K5", UGraph::complete(5)),
+        (
+            "clique K3",
+            UGraph::complete(3),
+            "cycle C5",
+            UGraph::cycle(5),
+        ),
+        (
+            "clique K3",
+            UGraph::complete(3),
+            "clique K5",
+            UGraph::complete(5),
+        ),
     ];
 
     for (hl, h, tl, target) in cases {
@@ -73,5 +83,9 @@ fn main() {
     for mu in &sols {
         println!("  {mu}");
     }
-    assert_eq!(sols.len(), 1, "self-knowledge and carol (no email) drop out");
+    assert_eq!(
+        sols.len(),
+        1,
+        "self-knowledge and carol (no email) drop out"
+    );
 }

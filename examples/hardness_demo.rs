@@ -7,9 +7,7 @@
 //! Run with: `cargo run --release --example hardness_demo`
 
 use wdsparql::core::check_forest;
-use wdsparql::hardness::{
-    clique_family_parameter, has_k_clique, reduce_clique,
-};
+use wdsparql::hardness::{clique_family_parameter, has_k_clique, reduce_clique};
 use wdsparql::hom::UGraph;
 use wdsparql::tree::Wdpf;
 use wdsparql::workloads::clique_child_tree;

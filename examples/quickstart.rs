@@ -20,10 +20,8 @@ fn main() {
 
     // 2. A well-designed pattern: who does ?x know, optionally with the
     //    acquaintance's email, and optionally *their* city too.
-    let query = Query::parse(
-        "((?x, knows, ?y) OPT (?y, email, ?e)) OPT (?y, city, ?c)",
-    )
-    .expect("well-designed query");
+    let query = Query::parse("((?x, knows, ?y) OPT (?y, email, ?e)) OPT (?y, city, ?c)")
+        .expect("well-designed query");
     println!("\nQuery: {query}");
     println!("\nPattern forest:\n{}", query.forest());
 

@@ -17,23 +17,25 @@ fn main() {
     let engine = Engine::new(graph);
 
     // Q1: every person, optionally their email, optionally their city.
-    let q1 = Query::parse(
-        "(((?p, type, Person) OPT (?p, email, ?e)) OPT (?p, city, ?c))",
-    )
-    .unwrap();
+    let q1 = Query::parse("(((?p, type, Person) OPT (?p, email, ?e)) OPT (?p, city, ?c))").unwrap();
     let sols = engine.evaluate(&q1);
     let with_email = sols.iter().filter(|m| m.len() >= 2).count();
     println!("\nQ1 {q1}");
-    println!("   {} solutions, {} enriched with optional data", sols.len(), with_email);
+    println!(
+        "   {} solutions, {} enriched with optional data",
+        sols.len(),
+        with_email
+    );
     let r1 = engine.analyze(&q1);
-    println!("   dw = {}, bw = {} (tractable)", r1.domination_width, r1.branch_treewidth);
+    println!(
+        "   dw = {}, bw = {} (tractable)",
+        r1.domination_width, r1.branch_treewidth
+    );
 
     // Q2: friendships with optional topic overlap of what they write —
     //     a nested OPT whose inner branch only extends the outer one.
-    let q2 = Query::parse(
-        "((?a, knows, ?b) OPT ((?b, wrote, ?post) OPT (?post, topic, ?t)))",
-    )
-    .unwrap();
+    let q2 =
+        Query::parse("((?a, knows, ?b) OPT ((?b, wrote, ?post) OPT (?post, topic, ?t)))").unwrap();
     let sols2 = engine.evaluate(&q2);
     println!("\nQ2 {q2}");
     println!("   {} solutions", sols2.len());
@@ -47,7 +49,11 @@ fn main() {
     .unwrap();
     let sols3 = engine.evaluate(&q3);
     println!("\nQ3 {q3}");
-    println!("   {} solutions across {} trees", sols3.len(), q3.forest().len());
+    println!(
+        "   {} solutions across {} trees",
+        sols3.len(),
+        q3.forest().len()
+    );
 
     // Spot-check the Theorem 1 evaluator against the naive one on every
     // solution of Q2 and on mutated non-solutions.

@@ -3,9 +3,7 @@
 //! must all tell the same story.
 
 use proptest::prelude::*;
-use wdsparql::algebra::{
-    eval, eval_filter, filter_solutions, parse_sparql_filtered, FilterExpr,
-};
+use wdsparql::algebra::{eval, eval_filter, filter_solutions, parse_sparql_filtered, FilterExpr};
 use wdsparql::hardness::{emb_brute_force, emb_query, emb_target};
 use wdsparql::hom::UGraph;
 use wdsparql::rdf::{Iri, Mapping, RdfGraph, Variable};
@@ -65,11 +63,7 @@ fn surface_filters_recover_the_embedding_problem() {
 /// OPT variable never holds, `!(=)` does, and BOUND discriminates.
 #[test]
 fn error_as_false_interacts_with_opt() {
-    let g = RdfGraph::from_strs([
-        ("a", "p", "b"),
-        ("b", "q", "c"),
-        ("d", "p", "e"),
-    ]);
+    let g = RdfGraph::from_strs([("a", "p", "b"), ("b", "q", "c"), ("d", "p", "e")]);
     // Solutions: {x:a,y:b,z:c} (extended) and {x:d,y:e} (bare).
     let cases = [
         // (filter text, expected solution count)

@@ -3,9 +3,7 @@
 //! freeze/Θ machinery.
 
 use wdsparql::core::check_forest;
-use wdsparql::hardness::{
-    clique_family_parameter, has_k_clique, reduce_clique,
-};
+use wdsparql::hardness::{clique_family_parameter, has_k_clique, reduce_clique};
 use wdsparql::hom::{theta, UGraph};
 use wdsparql::rdf::Term;
 use wdsparql::tree::Wdpf;

@@ -6,9 +6,7 @@ use wdsparql::core::{check_forest, check_forest_pebble, Engine, Query, Strategy}
 use wdsparql::hom::{core_of, ctw, is_core, maps_to, tw_gen};
 use wdsparql::rdf::{Mapping, RdfGraph};
 use wdsparql::tree::{Wdpf, ROOT};
-use wdsparql::width::{
-    branch_treewidth, domination_width, gtg, local_width_forest, ForestSubtree,
-};
+use wdsparql::width::{branch_treewidth, domination_width, gtg, local_width_forest, ForestSubtree};
 use wdsparql::workloads::{
     example1_p1, example1_p2, example2_pattern, example3_c_prime, example3_s, example3_s_prime,
     fk_forest, tprime_tree,
@@ -36,7 +34,10 @@ fn example2_wdpf_shape_matches_figure2() {
     // Compare with the F_k construction at k = 2 (T1, T2 of Figure 2).
     let fk = fk_forest(2);
     assert_eq!(t1.pat(ROOT), fk.trees[0].pat(ROOT));
-    assert_eq!(t2.pat(t2.children(ROOT)[0]), fk.trees[1].pat(fk.trees[1].children(ROOT)[0]));
+    assert_eq!(
+        t2.pat(t2.children(ROOT)[0]),
+        fk.trees[1].pat(fk.trees[1].children(ROOT)[0])
+    );
 }
 
 #[test]
@@ -111,7 +112,11 @@ fn section32_tprime_claims() {
     for k in 2..=4 {
         let t = tprime_tree(k);
         assert_eq!(branch_treewidth(&t), 1, "bw(T'_k) = 1");
-        assert_eq!(wdsparql::width::local_width(&t), k - 1, "not locally tractable");
+        assert_eq!(
+            wdsparql::width::local_width(&t),
+            k - 1,
+            "not locally tractable"
+        );
         // Proposition 5: dw = bw on UNION-free patterns.
         assert_eq!(domination_width(&Wdpf::new(vec![t])), 1);
     }

@@ -59,8 +59,9 @@ fn select_on_university_data_is_consistent_with_the_engine() {
     // Projecting to ?s collapses nothing (each student appears once per
     // advisor binding, and advisors are unique per student) — but the
     // report must still show the identity-free measures.
-    let ps = ProjectedQuery::parse("SELECT ?s WHERE { ?s type Student OPTIONAL { ?s advisor ?a } }")
-        .unwrap();
+    let ps =
+        ProjectedQuery::parse("SELECT ?s WHERE { ?s type Student OPTIONAL { ?s advisor ?a } }")
+            .unwrap();
     let r = analyze_projected(&ps);
     assert_eq!(r.output_vars, 1);
     assert!(r.global_treewidth >= 1);
@@ -77,9 +78,17 @@ fn containment_verdicts_agree_with_evaluation() {
     let budget = SearchBudget::default();
     let pairs = [
         // (P1, P2, expect-contained-forward)
-        ("(?x, p, ?y) AND (?y, q, ?z)", "(?y, q, ?z) AND (?x, p, ?y)", true),
+        (
+            "(?x, p, ?y) AND (?y, q, ?z)",
+            "(?y, q, ?z) AND (?x, p, ?y)",
+            true,
+        ),
         ("(?x, p, ?y)", "(?x, p, ?y) OPT (?y, q, ?z)", false),
-        ("(?x, p, ?y) AND (?y, q, ?z)", "(?x, p, ?y) OPT (?y, q, ?z)", true),
+        (
+            "(?x, p, ?y) AND (?y, q, ?z)",
+            "(?x, p, ?y) OPT (?y, q, ?z)",
+            true,
+        ),
     ];
     for (a, b, expect) in pairs {
         let qa = Query::parse(a).unwrap();
@@ -125,11 +134,7 @@ fn exhaustive_and_targeted_searches_agree() {
 /// deduplication, checked against the membership search.
 #[test]
 fn union_projection_deduplicates_across_branches() {
-    let g = wdsparql::rdf::RdfGraph::from_strs([
-        ("a", "p", "b"),
-        ("a", "q", "c"),
-        ("d", "q", "e"),
-    ]);
+    let g = wdsparql::rdf::RdfGraph::from_strs([("a", "p", "b"), ("a", "q", "c"), ("d", "q", "e")]);
     let q = ProjectedQuery::parse("SELECT ?x WHERE { { ?x p ?y } UNION { ?x q ?y } }").unwrap();
     let sols = enumerate_projected(&q, &g);
     // a matches both branches but appears once.

@@ -36,21 +36,27 @@ fn arb_shape() -> impl proptest::strategy::Strategy<Value = Shape> {
     let leaf = Just(Shape::Leaf).boxed();
     leaf.prop_recursive(3, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Shape::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner)
-                .prop_map(|(l, r)| Shape::Opt(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Shape::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Shape::Opt(Box::new(l), Box::new(r))),
         ]
     })
 }
 
 /// Instantiates a shape into a well-designed pattern. `scope` carries the
 /// variables visible so far; fresh variables are globally numbered.
-fn realize(shape: &Shape, scope: &mut Vec<Term>, counter: &mut usize, picks: &mut StdPicker) -> GraphPattern {
+fn realize(
+    shape: &Shape,
+    scope: &mut Vec<Term>,
+    counter: &mut usize,
+    picks: &mut StdPicker,
+) -> GraphPattern {
     match shape {
         Shape::Leaf => {
-            let term = |scope: &mut Vec<Term>, counter: &mut usize, picks: &mut StdPicker| {
-                match picks.next() % 3 {
+            let term =
+                |scope: &mut Vec<Term>, counter: &mut usize, picks: &mut StdPicker| match picks
+                    .next()
+                    % 3
+                {
                     0 if !scope.is_empty() => scope[picks.next() % scope.len()],
                     1 => iri(NODES[picks.next() % NODES.len()]),
                     _ => {
@@ -59,8 +65,7 @@ fn realize(shape: &Shape, scope: &mut Vec<Term>, counter: &mut usize, picks: &mu
                         scope.push(v);
                         v
                     }
-                }
-            };
+                };
             let s = term(scope, counter, picks);
             let o = term(scope, counter, picks);
             let p = iri(PREDS[picks.next() % PREDS.len()]);
@@ -78,8 +83,7 @@ fn realize(shape: &Shape, scope: &mut Vec<Term>, counter: &mut usize, picks: &mu
             // else would occur outside that inner OPT and violate the
             // scope condition). Its fresh variables stay private (the
             // shared counter keeps them globally unique).
-            let mut inner_scope: Vec<Term> =
-                safe_vars(&lp).into_iter().map(Term::Var).collect();
+            let mut inner_scope: Vec<Term> = safe_vars(&lp).into_iter().map(Term::Var).collect();
             let rp = realize(r, &mut inner_scope, counter, picks);
             GraphPattern::opt(lp, rp)
         }

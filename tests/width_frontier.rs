@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use wdsparql::tree::Wdpf;
-use wdsparql::width::{
-    branch_treewidth, bw_at_most, domination_width, dw_at_most, local_width,
-};
+use wdsparql::width::{branch_treewidth, bw_at_most, domination_width, dw_at_most, local_width};
 use wdsparql::workloads::{
     chain_tree, clique_child_tree, fk_forest, grid_child_tree, path_child_tree, random_wdpt,
     tprime_tree, RandomTreeParams,

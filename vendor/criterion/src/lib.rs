@@ -1,0 +1,270 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a minimal wall-clock benchmarking harness exposing the
+//! `criterion` API subset its benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_with_input` /
+//! `bench_function` / `finish`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed for
+//! `sample_size` samples of adaptively-chosen iteration count; the
+//! median per-iteration time is reported on stdout as
+//! `group/id ... median <time> (<samples> samples)`. `--bench`,
+//! `--test` and filter arguments from `cargo bench` are accepted;
+//! `--test` (used by `cargo test` over bench targets) runs each
+//! benchmark body exactly once, keeping `cargo test -q` fast.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<T>(&mut self, mut payload: impl FnMut() -> T) {
+        if self.test_mode {
+            black_box(payload());
+            *self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up and per-sample iteration sizing: aim for samples that
+        // are long enough to time reliably (≥ ~1ms) without letting the
+        // whole benchmark run away.
+        let warm_start = Instant::now();
+        black_box(payload());
+        let once = warm_start.elapsed();
+        let iters_per_sample = if once >= Duration::from_millis(1) {
+            1
+        } else {
+            let target = Duration::from_millis(1).as_nanos();
+            (target / once.as_nanos().max(1)).clamp(1, 10_000) as usize
+        };
+        let mut medians = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(payload());
+            }
+            medians.push(start.elapsed() / iters_per_sample as u32);
+        }
+        medians.sort();
+        *self.result = Some(medians[medians.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            result: &mut result,
+        };
+        routine(&mut bencher, input);
+        self.criterion.report(&full, self.sample_size, result);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            result: &mut result,
+        };
+        routine(&mut bencher);
+        self.criterion.report(&full, self.sample_size, result);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads `cargo bench`/`cargo test` harness arguments: flags are
+    /// accepted and ignored except `--test` (single-iteration test
+    /// mode); the first free argument is a substring filter.
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = name.to_string();
+        self.benchmark_group(name.clone())
+            .bench_function("", routine);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    fn report(&self, name: &str, samples: usize, median: Option<Duration>) {
+        match median {
+            _ if self.test_mode => println!("test {name} ... ok"),
+            Some(d) => println!("{name:<56} median {d:>12.3?} ({samples} samples)"),
+            None => println!("{name:<56} (no measurement: b.iter not called)"),
+        }
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)` — collects bench functions
+/// into a runner function `name()`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut result = None;
+        let mut b = Bencher {
+            samples: 3,
+            test_mode: false,
+            result: &mut result,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(result.is_some());
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("clique", 8).to_string(), "clique/8");
+        assert_eq!(BenchmarkId::from_parameter("3x4").to_string(), "3x4");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("clique".into()),
+            test_mode: false,
+        };
+        assert!(c.matches("group/clique/8"));
+        assert!(!c.matches("group/grid/8"));
+        let all = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        assert!(all.matches("anything"));
+    }
+}

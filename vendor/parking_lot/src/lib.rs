@@ -1,0 +1,104 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning API
+//! (`read()` / `write()` / `lock()` return guards directly, no
+//! `Result`). Poisoning is handled by propagating the inner value: if a
+//! panicking thread poisons the std lock, subsequent accessors recover
+//! the guard rather than panicking, matching `parking_lot`'s semantics of
+//! never poisoning.
+
+use std::sync;
+
+/// A reader-writer lock with `parking_lot`'s unpoisoned API.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A mutex with `parking_lot`'s unpoisoned API.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn locks_survive_a_panicking_holder() {
+        let l = std::sync::Arc::new(RwLock::new(0));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the std lock on purpose");
+        })
+        .join();
+        *l.write() = 7; // parking_lot semantics: no poisoning
+        assert_eq!(*l.read(), 7);
+    }
+}

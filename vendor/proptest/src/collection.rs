@@ -1,0 +1,142 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size range for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub min: usize,
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// How many times to retry a rejected element before giving up on the
+/// whole collection candidate (the runner then retries globally).
+const ELEMENT_RETRIES: usize = 64;
+
+fn gen_element<S: Strategy>(element: &S, rng: &mut TestRng) -> Option<S::Value> {
+    (0..ELEMENT_RETRIES).find_map(|_| element.generate(rng))
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+        (0..n).map(|_| gen_element(&self.element, rng)).collect()
+    }
+}
+
+/// `proptest::collection::btree_map(key, value, size)`. Duplicate keys
+/// collapse, so the generated map may be smaller than the drawn size —
+/// same contract as upstream.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<BTreeMap<K::Value, V::Value>> {
+        let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            out.insert(gen_element(&self.key, rng)?, gen_element(&self.value, rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn vec_sizes_and_elements_in_range() {
+        let mut rng = TestRng::from_name("collection-vec");
+        let s = vec(0usize..5, 3..9);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((3..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let mut rng = TestRng::from_name("collection-vec-exact");
+        let s = vec(0usize..5, 5);
+        assert_eq!(s.generate(&mut rng).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn btree_map_respects_bounds() {
+        let mut rng = TestRng::from_name("collection-map");
+        let s = btree_map(0usize..6, 0usize..6, 0..5);
+        for _ in 0..200 {
+            let m = s.generate(&mut rng).unwrap();
+            assert!(m.len() < 5);
+            assert!(m.iter().all(|(&k, &v)| k < 6 && v < 6));
+        }
+    }
+}

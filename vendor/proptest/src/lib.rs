@@ -1,0 +1,75 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a small property-testing runner exposing the `proptest` API
+//! subset its test suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_recursive`, and `boxed`;
+//! * strategies for integer ranges, tuples, [`prelude::Just`],
+//!   `any::<bool>()` / `any::<u64>()`, simple `"[class]{m,n}"` regex
+//!   string literals, [`collection::vec`] and [`collection::btree_map`];
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assume!`] and [`prop_oneof!`] macros;
+//! * [`test_runner::ProptestConfig`] (`with_cases`).
+//!
+//! Differences from upstream, deliberately accepted: no shrinking (a
+//! failing case reports its replay seed instead of a minimal one), and
+//! the RNG is deterministic per test name so CI runs are reproducible.
+
+pub mod collection;
+mod macros;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// `any::<T>()` — the canonical strategy for a whole type. Only the
+/// types the workspace asks for are wired up.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}

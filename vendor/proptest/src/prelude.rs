@@ -1,0 +1,6 @@
+//! `use proptest::prelude::*;` — everything a property test needs.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{any, Arbitrary};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

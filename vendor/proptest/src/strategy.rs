@@ -1,0 +1,413 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of type `Value`.
+///
+/// `generate` returns `None` when the candidate was rejected (e.g. by
+/// `prop_filter`); the runner retries, counting rejections against
+/// `ProptestConfig::max_global_rejects`. There is no shrinking: the
+/// deterministic per-test RNG makes failures replayable as-is.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<R, F>(self, _whence: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Recursive strategies. `depth` levels of `recurse` are stacked on
+    /// top of `self`; `_desired_size` and `_expected_branch_size` are
+    /// accepted for API compatibility but unused (sizing is left to the
+    /// branching probabilities of the recursive strategy itself).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A reference-counted, clonable, type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> BoxedStrategy<V> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` combinator.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// `prop_recursive` combinator: the strategy tree is rebuilt to the
+/// configured depth on each generation (construction is cheap; the
+/// branch-vs-leaf choice inside `recurse`'s `prop_oneof!` is what gives
+/// variable-depth values).
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    depth: u32,
+    #[allow(clippy::type_complexity)]
+    recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+}
+
+impl<V> Strategy for Recursive<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let mut strat = self.base.clone();
+        for _ in 0..self.depth {
+            strat = (self.recurse)(strat);
+        }
+        strat.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform choice among boxed alternatives — the engine of
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> OneOf<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let arm = rng.below(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                Some((self.start as i128 + off) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let off = (rng.next_u64() as u128 % span as u128) as i128;
+                Some((*self.start() as i128 + off) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategies from a `&'static str` regex literal, supporting the
+/// subset `proptest` tests in this workspace actually write: a sequence
+/// of literal characters or `[...]` classes (with `a-z` ranges), each
+/// optionally quantified by `{m}`, `{m,n}`, `?`, `+` or `*` (the open
+/// quantifiers capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        let atoms = parse_simple_regex(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = *lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len())]);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Parses the supported regex subset into `(alternatives, min, max)`
+/// repetition units. Panics on syntax outside the subset so a bad
+/// pattern fails loudly instead of silently generating garbage.
+fn parse_simple_regex(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms: Vec<(Vec<char>, usize, usize)> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alternatives: Vec<char> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated [ in regex {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "bad range {lo}-{hi} in regex {pattern:?}");
+                            // `lo` itself is already in `class`.
+                            for x in (lo as u32 + 1)..=(hi as u32) {
+                                class.push(char::from_u32(x).unwrap());
+                            }
+                        }
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling \\ in regex {pattern:?}"));
+                            class.push(esc);
+                            prev = Some(esc);
+                        }
+                        c => {
+                            class.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty class in regex {pattern:?}");
+                class
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling \\ in regex {pattern:?}"));
+                vec![esc]
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex feature {c:?} in {pattern:?} is outside the vendored proptest subset")
+            }
+            c => vec![c],
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let m: usize = spec.trim().parse().expect("bad {m}");
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            lo <= hi,
+            "bad quantifier {{{lo},{hi}}} in regex {pattern:?}"
+        );
+        atoms.push((alternatives, lo, hi));
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-unit-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut r).unwrap();
+            assert!((3..9).contains(&x));
+            let y = (0u64..3000).generate(&mut r).unwrap();
+            assert!(y < 3000);
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut r = rng();
+        let s = (0usize..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("even", |&x| x < 10);
+        for _ in 0..100 {
+            if let Some(v) = s.generate(&mut r) {
+                assert!(v % 2 == 0 && v < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        let s = "[a-c]{2,4}";
+        for _ in 0..200 {
+            let v = s.generate(&mut r).unwrap();
+            assert!((2..=4).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut r = rng();
+        let s = OneOf::new(vec![
+            Just(0usize).boxed(),
+            Just(1usize).boxed(),
+            Just(2usize).boxed(),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut r).unwrap()] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let s = Just(T::Leaf).boxed().prop_recursive(3, 8, 2, |inner| {
+            OneOf::new(vec![
+                inner.clone().boxed(),
+                (inner.clone(), inner)
+                    .prop_map(|(l, r)| T::Node(Box::new(l), Box::new(r)))
+                    .boxed(),
+            ])
+        });
+        let mut r = rng();
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            max_seen = max_seen.max(depth(&s.generate(&mut r).unwrap()));
+        }
+        assert!(max_seen >= 1, "recursion never branched");
+        assert!(max_seen <= 3, "depth bound exceeded: {max_seen}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Configuration, RNG, and the case-loop machinery behind `proptest!`.
+
+/// Per-`proptest!` block configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+    /// Upper bound on generator/`prop_assume!` rejections before the
+    /// property errors out as unsatisfiable.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Deterministic RNG for case generation (SplitMix64 via the vendored
+/// `rand` stand-in). Seeded from the property's name so every run and
+/// every machine explores the same sequence — failures are reproducible
+/// by construction, which replaces upstream's persisted failure seeds.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: rand::SeedableRng::seed_from_u64(h),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        rand::Rng::next_u64(&mut self.inner)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+/// Drives one property: generates inputs from `strategy`, feeds them to
+/// `case`, and panics with context on the first falsified case.
+/// `#[doc(hidden)]`-style entry point for the `proptest!` macro.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, mut case: F)
+where
+    S: crate::strategy::Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        attempt += 1;
+        let value = match strategy.generate(&mut rng) {
+            Some(v) => v,
+            None => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest stand-in: {name}: strategy rejected {rejected} \
+                         candidates before reaching {} cases",
+                        config.cases
+                    );
+                }
+                continue;
+            }
+        };
+        match case(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest stand-in: {name}: prop_assume! rejected {rejected} \
+                         candidates before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest stand-in: property {name} falsified at case #{accepted} \
+                     (attempt {attempt}): {msg}"
+                );
+            }
+        }
+    }
+}

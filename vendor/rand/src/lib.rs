@@ -1,0 +1,180 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, dependency-free implementation of the `rand` API
+//! subset it actually uses: `StdRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, and `Rng::gen_bool`. The generator is SplitMix64
+//! seeded deterministically — every caller in this repo seeds explicitly,
+//! so reproducibility is the point, and statistical quality well beyond
+//! "uniform enough for workload generation" is not required.
+//!
+//! The stream differs from upstream `rand`'s ChaCha-based `StdRng`;
+//! workloads are seeded families, not golden vectors, so only
+//! within-process determinism matters.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can describe a sampling range for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Inclusive lower bound and inclusive upper bound.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform conversion from a raw `u64` draw into `[lo, hi]` for each
+/// supported integer type.
+pub trait UniformInt: Copy {
+    fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((raw as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_u64_in(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128) - (lo as i128) + 1;
+                let off = (raw as u128 % span as u128) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// The `rand::Rng` trait, reduced to the methods this workspace calls.
+pub trait Rng {
+    /// The next raw 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds();
+        T::from_u64_in(self.next_u64(), lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 bits of mantissa: plenty for workload coin flips.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// The `rand::SeedableRng` trait, reduced to `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush on
+            // its own and is the standard seeder for larger generators.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u64 = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let z: i32 = rng.gen_range(-4..=4);
+            assert!((-4..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+    }
+}
