@@ -7,13 +7,13 @@
 
 use crate::pattern::GraphPattern;
 use std::collections::BTreeSet;
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, TripleIndex};
 
 /// A set of mappings, ordered for deterministic comparison.
 pub type SolutionSet = BTreeSet<Mapping>;
 
 /// Evaluates `⟦P⟧_G` bottom-up.
-pub fn eval(p: &GraphPattern, g: &RdfGraph) -> SolutionSet {
+pub fn eval(p: &GraphPattern, g: &dyn TripleIndex) -> SolutionSet {
     match p {
         GraphPattern::Triple(t) => g.solutions(t).into_iter().collect(),
         GraphPattern::And(l, r) => join(&eval(l, g), &eval(r, g)),
@@ -51,7 +51,7 @@ pub fn left_outer_join(a: &SolutionSet, b: &SolutionSet) -> SolutionSet {
 }
 
 /// Membership check `µ ∈ ⟦P⟧_G` via full evaluation (reference oracle).
-pub fn contains(p: &GraphPattern, g: &RdfGraph, mu: &Mapping) -> bool {
+pub fn contains(p: &GraphPattern, g: &dyn TripleIndex, mu: &Mapping) -> bool {
     eval(p, g).contains(mu)
 }
 
@@ -59,7 +59,7 @@ pub fn contains(p: &GraphPattern, g: &RdfGraph, mu: &Mapping) -> bool {
 mod tests {
     use super::*;
     use wdsparql_rdf::term::{iri, var};
-    use wdsparql_rdf::tp;
+    use wdsparql_rdf::{tp, RdfGraph};
 
     fn g() -> RdfGraph {
         RdfGraph::from_strs([

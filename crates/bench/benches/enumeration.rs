@@ -33,7 +33,7 @@ fn bench_chain_enumeration(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(depth),
             &(&f, &g),
-            |b, (f, g)| b.iter(|| enumerate_with_stats(f, g).0.len()),
+            |b, (f, g)| b.iter(|| enumerate_with_stats(f, *g).0.len()),
         );
     }
     group.finish();

@@ -26,7 +26,7 @@ fn bench_refutation(c: &mut Criterion) {
         let q = clique_query(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g), |b, (q, g)| {
             b.iter(|| {
-                assert!(find_hom_into_graph(q, g, &Mapping::new()).is_none());
+                assert!(find_hom_into_graph(q, *g, &Mapping::new()).is_none());
             })
         });
     }
@@ -42,7 +42,7 @@ fn bench_satisfiable(c: &mut Criterion) {
         let q = clique_query(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &(&q, &g), |b, (q, g)| {
             b.iter(|| {
-                assert!(find_hom_into_graph(q, g, &Mapping::new()).is_some());
+                assert!(find_hom_into_graph(q, *g, &Mapping::new()).is_some());
             })
         });
     }
@@ -120,7 +120,7 @@ fn bench_order_ablation(c: &mut Criterion) {
                 &(&q, &g),
                 |b, (q, g)| {
                     b.iter(|| {
-                        assert!(find_hom_into_graph_with(q, g, &Mapping::new(), order).is_some())
+                        assert!(find_hom_into_graph_with(q, *g, &Mapping::new(), order).is_some())
                     })
                 },
             );

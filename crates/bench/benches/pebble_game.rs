@@ -41,7 +41,7 @@ fn bench_domain_scaling(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("k{k}"), n),
                 &(&src, &g),
-                |b, (src, g)| b.iter(|| duplicator_wins(src, g, &Mapping::new(), k)),
+                |b, (src, g)| b.iter(|| duplicator_wins(src, *g, &Mapping::new(), k)),
             );
         }
     }

@@ -2,8 +2,14 @@
 //! paper (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
 //! recorded results).
 //!
-//! Usage: `cargo run -p wdsparql-bench --release --bin experiments -- [e1|e2|...|e12|all]`
+//! Usage: `cargo run -p wdsparql-bench --release --bin experiments -- [--smoke] [e1|e2|...|e12|all]`
+//!
+//! `--smoke` runs the full suite at reduced scale (smaller parameter
+//! sweeps, shorter timing budgets) — every experiment and its
+//! correctness assertions still execute, in seconds instead of minutes;
+//! CI uses it to keep the harness exercised.
 
+use std::sync::OnceLock;
 use std::time::Duration;
 use wdsparql_bench::{fmt_duration, time_median, time_once, Table};
 use wdsparql_core::{check_forest, check_forest_pebble};
@@ -20,9 +26,46 @@ use wdsparql_width::{
 };
 use wdsparql_workloads as wl;
 
+/// Set once from `--smoke` before any experiment runs.
+static SMOKE: OnceLock<bool> = OnceLock::new();
+
+fn smoke() -> bool {
+    *SMOKE.get().unwrap_or(&false)
+}
+
+/// Sweep upper bound: `full` normally, `small` under `--smoke`.
+fn scale(full: usize, small: usize) -> usize {
+    if smoke() {
+        small
+    } else {
+        full
+    }
+}
+
+/// Parameter list prefix: the whole list normally, the first `small`
+/// entries under `--smoke`.
+fn sweep<T>(xs: &[T], small: usize) -> &[T] {
+    if smoke() {
+        &xs[..xs.len().min(small)]
+    } else {
+        xs
+    }
+}
+
+/// Timing budget, cut to a tenth (min 5ms) under `--smoke`.
+fn budget_ms(ms: u64) -> Duration {
+    Duration::from_millis(if smoke() { (ms / 10).max(5) } else { ms })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let smoke_flag = args.iter().any(|a| a == "--smoke");
+    SMOKE.set(smoke_flag).expect("SMOKE set once");
+    let which = args
+        .iter()
+        .map(String::as_str)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or("all");
     let all = which == "all";
     let run = |id: &str| all || which == id;
 
@@ -89,7 +132,7 @@ fn e1_figure1() {
             "core(S')=C'",
         ],
     );
-    for k in 2..=6 {
+    for k in 2..=scale(6, 3) {
         let s = wl::example3_s(k);
         let sp = wl::example3_s_prime(k);
         let c = core_of(&sp);
@@ -117,7 +160,7 @@ fn e2_figure2_gtg() {
             "ctws of GtG(T1[r1])",
         ],
     );
-    for k in 2..=5 {
+    for k in 2..=scale(5, 3) {
         let f = wl::fk_forest(k);
         let subtrees = forest_subtrees(&f);
         let nonempty = subtrees.iter().filter(|st| !gtg(&f, st).is_empty()).count();
@@ -140,7 +183,7 @@ fn e3_figure3_domination() {
         "E3  Figure 3 / Example 5 — (S∆1) → (S∆2) and dw(F_k) = 1",
         &["k", "ctw(S∆1)", "ctw(S∆2)", "S∆1→S∆2", "S∆2→S∆1", "dw(F_k)"],
     );
-    for k in 2..=5 {
+    for k in 2..=scale(5, 3) {
         let f = wl::fk_forest(k);
         let root = ForestSubtree {
             tree: 0,
@@ -173,7 +216,7 @@ fn e4_frontier() {
             "verdict (Theorem 3 / Cor. 1)",
         ],
     );
-    for k in 2..=4 {
+    for k in 2..=scale(4, 3) {
         let f = wl::fk_forest(k);
         t.row(&[
             &format!("F_{k}"),
@@ -183,7 +226,7 @@ fn e4_frontier() {
             &"PTIME (dominated; not locally tractable)",
         ]);
     }
-    for k in 2..=4 {
+    for k in 2..=scale(4, 3) {
         let tr = wl::tprime_tree(k);
         let bw = branch_treewidth(&tr);
         let lw = local_width(&tr);
@@ -196,7 +239,7 @@ fn e4_frontier() {
             &"PTIME (bw = 1; not locally tractable)",
         ]);
     }
-    for k in 2..=4 {
+    for k in 2..=scale(4, 3) {
         let tr = wl::clique_child_tree(k);
         let bw = branch_treewidth(&tr);
         let lw = local_width(&tr);
@@ -218,8 +261,8 @@ fn e5_dichotomy_fk() {
         "E5  Theorem 1 on {F_k} (positive instances): naive (coNP) vs pebble (PTIME, k=dw=1)",
         &["k", "|G|", "naive", "pebble(k=1)", "agree", "speedup"],
     );
-    let budget = Duration::from_millis(300);
-    for k in 3..=6 {
+    let budget = budget_ms(300);
+    for k in 3..=scale(6, 4) {
         let n = 4 * (k - 1);
         let inst = wl::fk_instance(k, n);
         let (naive_ans, _) = time_once(|| check_forest(&inst.forest, &inst.graph, &inst.mu));
@@ -254,8 +297,8 @@ fn e6_union_free() {
             "Q_k answers agree",
         ],
     );
-    let budget = Duration::from_millis(300);
-    for k in 3..=5 {
+    let budget = budget_ms(300);
+    for k in 3..=scale(5, 4) {
         // The pebble game state space is (n*d)^k: keep the adversary small
         // enough that the k = 5 row (4 pebbles) stays tractable to *run*
         // while still showing the growth.
@@ -283,11 +326,33 @@ fn e6_union_free() {
 
 /// E7 — Proposition 2: pebble game cost scaling in |dom(G)| and k.
 fn e7_pebble_scaling() {
+    // Headers follow the sweep — under --smoke it is truncated, and a
+    // skipped column must say so rather than promise a measurement.
+    let all_ns = [9usize, 12, 15, 18];
+    let ns = sweep(&all_ns, 2);
+    let n_cols: Vec<String> = all_ns
+        .iter()
+        .map(|n| {
+            if ns.contains(n) {
+                format!("n={n}")
+            } else {
+                format!("n={n} (skipped)")
+            }
+        })
+        .collect();
+    let assignments_col = format!("assignments@{}", ns.last().expect("sweep is non-empty"));
     let mut t = Table::new(
         "E7  Proposition 2 — pebble game cost vs |dom(G)| and k (polynomial for fixed k)",
-        &["k", "n=9", "n=12", "n=15", "n=18", "assignments@18"],
+        &[
+            "k",
+            &n_cols[0],
+            &n_cols[1],
+            &n_cols[2],
+            &n_cols[3],
+            &assignments_col,
+        ],
     );
-    let budget = Duration::from_millis(250);
+    let budget = budget_ms(250);
     // A fixed query: root ∪ K4 clique child (4 existential variables).
     let tree = wl::clique_child_tree(4);
     let child = tree.children(ROOT)[0];
@@ -298,10 +363,10 @@ fn e7_pebble_scaling() {
         .filter(|v| ["x", "y"].contains(&v.name()))
         .collect();
     let src = GenTGraph::new(pat, x);
-    for k in 2..=4 {
+    for k in 2..=scale(4, 3) {
         let mut cells: Vec<String> = Vec::new();
         let mut last_assignments = 0;
-        for n in [9usize, 12, 15, 18] {
+        for &n in ns {
             let inst = wl::clique_instance(4, n);
             let mu = Mapping::from_strs([("x", "a"), ("y", "b")]);
             let d = time_median(budget, || duplicator_wins(&src, &inst.graph, &mu, k));
@@ -309,6 +374,7 @@ fn e7_pebble_scaling() {
             last_assignments = stats.initial_assignments;
             cells.push(fmt_duration(d));
         }
+        cells.resize(4, "-".into());
         t.row(&[
             &k,
             &cells[0],
@@ -347,7 +413,7 @@ fn e8_proposition3() {
         ("2 (triangle)", triangle_query(), 3, true),
     ];
     for (label, src, k, exact) in cases {
-        let trials = 60;
+        let trials = scale(60, 12);
         let mut agree = 0;
         let mut gaps = 0;
         for _ in 0..trials {
@@ -408,7 +474,7 @@ fn e9_proposition5() {
     let mut equal = 0;
     let mut max_dw = 0;
     let mut max_nodes = 0;
-    let seeds = 30u64;
+    let seeds = scale(30, 8) as u64;
     for seed in 0..seeds {
         let tree = wl::random_wdpt(wl::RandomTreeParams::default(), seed);
         max_nodes = max_nodes.max(tree.len());
@@ -430,7 +496,7 @@ fn e10_reduction() {
     );
     let k = 2;
     let m = clique_family_parameter(k).max(2);
-    let cases: Vec<(String, UGraph)> = vec![
+    let mut cases: Vec<(String, UGraph)> = vec![
         ("P4".into(), UGraph::path(4)),
         ("C5".into(), UGraph::cycle(5)),
         ("K4".into(), UGraph::complete(4)),
@@ -443,6 +509,9 @@ fn e10_reduction() {
             g
         }),
     ];
+    if smoke() {
+        cases.truncate(3);
+    }
     for (label, h) in cases {
         let forest = Wdpf::new(vec![wl::clique_child_tree(m)]);
         let (inst, build) = time_once(|| reduce_clique(forest, &h, k, m - 1).unwrap());
@@ -478,7 +547,7 @@ fn e10_reduction() {
         ],
     );
     let s = clique_source_for(9);
-    let cases3: Vec<(String, UGraph)> = vec![
+    let mut cases3: Vec<(String, UGraph)> = vec![
         ("C5 (triangle-free)".into(), UGraph::cycle(5)),
         ("Petersen-ish C7".into(), UGraph::cycle(7)),
         ("C5+chord".into(), {
@@ -489,6 +558,9 @@ fn e10_reduction() {
         ("K4".into(), UGraph::complete(4)),
         ("grid 3x3".into(), UGraph::grid(3, 3)),
     ];
+    if smoke() {
+        cases3.truncate(3);
+    }
     for (label, h) in cases3 {
         let ((out, hom), t_build) = time_once(|| {
             let out = wdsparql_hardness::lemma2(&s, &h, 3).unwrap();
@@ -533,7 +605,7 @@ fn e11_lemma3() {
             "minimality verified",
         ],
     );
-    for m in 3..=5 {
+    for m in 3..=scale(5, 4) {
         let f = Wdpf::new(vec![wl::clique_child_tree(m)]);
         let threshold = m - 1;
         match lemma3_witness(&f, threshold) {
@@ -567,12 +639,12 @@ fn e12_ablation() {
             "trials",
         ],
     );
-    for m in [3usize, 4] {
+    for &m in sweep(&[3usize, 4], 1) {
         let dw = m - 1;
         let mut false_accepts = 0;
         let mut false_rejects = 0;
         let mut trials = 0;
-        for n in [6usize, 8, 10] {
+        for &n in sweep(&[6usize, 8, 10], 2) {
             let inst = wl::clique_instance(m, n);
             let truth = check_forest(&inst.forest, &inst.graph, &inst.mu);
             let approx = check_forest_pebble(&inst.forest, &inst.graph, &inst.mu, 1);
@@ -619,7 +691,7 @@ fn e14_enumeration_delay() {
         ],
     );
     // Bounded side: chains of depth d over a 2-way branching layered graph.
-    for depth in [2usize, 3, 4] {
+    for &depth in sweep(&[2usize, 3, 4], 2) {
         let tree = wl::chain_tree(depth);
         let mut g = wdsparql_rdf::RdfGraph::new();
         for i in 0..depth {
@@ -647,7 +719,7 @@ fn e14_enumeration_delay() {
     }
     // Unbounded side: Q_k against the Turán adversary — few solutions,
     // most of the work is one long refutation (delay ≈ all steps).
-    for k in [3usize, 4] {
+    for &k in sweep(&[3usize, 4], 1) {
         let inst = wl::clique_instance(k, 4 * (k - 1));
         let ((sols, stats), d) = time_once(|| enumerate_with_stats(&inst.forest, &inst.graph));
         t.row(&[
@@ -671,7 +743,7 @@ fn e15_recognition() {
         "E15  Recognition — dw(P) ≤ k / bw(P) ≤ k with certificates",
         &["family", "measure", "k", "holds", "certificate", "time"],
     );
-    for k in 2..=4 {
+    for k in 2..=scale(4, 3) {
         let f = wl::fk_forest(k);
         let (cert, d) = time_once(|| recognize_dw(&f, 1));
         let (holds, detail) = match &cert {
@@ -694,7 +766,7 @@ fn e15_recognition() {
             &fmt_duration(d),
         ]);
     }
-    for m in [3usize, 4, 5] {
+    for &m in sweep(&[3usize, 4, 5], 2) {
         let q = wl::clique_child_tree(m);
         // At m − 2: violated with a ctw = m − 1 witness.
         let (cert, d) = time_once(|| recognize_bw(&q, m - 2));
@@ -713,7 +785,7 @@ fn e15_recognition() {
             &fmt_duration(d),
         ]);
     }
-    for (r, c) in [(2usize, 2usize), (2, 3), (3, 3)] {
+    for &(r, c) in sweep(&[(2usize, 2usize), (2, 3), (3, 3)], 2) {
         let g = wl::grid_child_tree(r, c);
         let want = r.min(c);
         let (cert, d) = time_once(|| recognize_bw(&g, want));
@@ -745,7 +817,7 @@ fn e16_projection_hardness() {
             "answers (pos/neg)",
         ],
     );
-    for k in [3usize, 4, 5] {
+    for &k in sweep(&[3usize, 4, 5], 2) {
         let q = clique_projection_query(k);
         let dw = domination_width(q.forest());
         // Tractable side: the full mapping binds the whole clique.
@@ -759,9 +831,7 @@ fn e16_projection_hardness() {
                 wdsparql_rdf::Iri::new(&format!("t{}", i - 1)),
             );
         }
-        let d_full = time_median(Duration::from_millis(30), || {
-            check_forest(q.forest(), &gpos, &full)
-        });
+        let d_full = time_median(budget_ms(30), || check_forest(q.forest(), &gpos, &full));
         assert!(check_forest(q.forest(), &gpos, &full));
         // Hard side: the projected mapping hides the clique.
         let mu = {

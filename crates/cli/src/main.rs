@@ -8,6 +8,9 @@
 //! wdsparql select   <data.nt> <select-q>    projected (SELECT) evaluation
 //! wdsparql contain  <query1> <query2>       containment verdicts, both ways
 //! wdsparql forest   <query>                 print the wdPF translation
+//! wdsparql store    <data.nt> [query]       bulk-load into the triple store,
+//!                                           report stats, run the query
+//!                                           through the service
 //! wdsparql demo                             run a tiny built-in scenario
 //! ```
 //!
@@ -43,6 +46,7 @@ const USAGE: &str = "usage:
   wdsparql select  <data.nt> <select-query>       (e.g. \"SELECT ?x WHERE { ... }\")
   wdsparql contain <query1> <query2>
   wdsparql forest  <query>
+  wdsparql store   <data.nt> [query]
   wdsparql demo";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -139,11 +143,63 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "store" => {
+            let graph = load_graph(args.get(1))?;
+            let store = std::sync::Arc::new(wdsparql_store::TripleStore::from_rdf(&graph));
+            println!("{}", store.stats());
+            let Some(text) = args.get(2) else {
+                return Ok(());
+            };
+            let query = Query::parse(text).map_err(|e| e.to_string())?;
+            let engine = Engine::from_store(std::sync::Arc::clone(&store));
+            let sols = engine.evaluate(&query);
+            println!("\nquery: {query}");
+            println!("{} solution(s) via the store-backed engine:", sols.len());
+            for mu in sols.iter().take(10) {
+                println!("  {mu}");
+            }
+            if sols.len() > 10 {
+                println!("  ... ({} more)", sols.len() - 10);
+            }
+            // AND-only queries additionally go through the service's
+            // planned, cached BGP path; a second run shows the cache.
+            if let Some(pats) = bgp_patterns(query.pattern()) {
+                let order = store.plan(&pats);
+                let plan: Vec<String> = order.iter().map(|&i| pats[i].to_string()).collect();
+                println!("service plan (most selective first): {}", plan.join(" ⋈ "));
+                let served = store.query(&pats);
+                let again = store.query(&pats);
+                assert_eq!(served.len(), again.len());
+                let cs = store.cache_stats();
+                println!(
+                    "service BGP path: {} solution(s); cache {} hit(s) / {} miss(es)",
+                    served.len(),
+                    cs.hits,
+                    cs.misses
+                );
+            }
+            Ok(())
+        }
         "demo" => {
             demo();
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// The triple patterns of an AND-only (BGP) pattern, `None` when the
+/// query uses OPT or UNION.
+fn bgp_patterns(p: &wdsparql_core::GraphPattern) -> Option<Vec<wdsparql_rdf::TriplePattern>> {
+    use wdsparql_core::GraphPattern;
+    match p {
+        GraphPattern::Triple(t) => Some(vec![*t]),
+        GraphPattern::And(l, r) => {
+            let mut out = bgp_patterns(l)?;
+            out.extend(bgp_patterns(r)?);
+            Some(out)
+        }
+        GraphPattern::Opt(..) | GraphPattern::Union(..) => None,
     }
 }
 
@@ -261,6 +317,28 @@ mod tests {
         ]))
         .is_ok());
         assert!(run(&s(&["contain", "(?x, p, ?y)"])).is_err());
+    }
+
+    #[test]
+    fn store_subcommand_loads_and_queries() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb q c .\nd p e .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        assert!(run(&s(&["store", &p])).is_ok());
+        assert!(run(&s(&["store", &p, "(?x, p, ?y) OPT (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&["store", &p, "(?x, p, ?y) AND (?y, q, ?z)"])).is_ok());
+        assert!(run(&s(&["store", "/nonexistent.nt"])).is_err());
+        assert!(run(&s(&["store", &p, "(?x, p"])).is_err());
+    }
+
+    #[test]
+    fn bgp_patterns_accept_and_only_queries() {
+        let and = Query::parse("(?x, p, ?y) AND (?y, q, ?z)").unwrap();
+        assert_eq!(bgp_patterns(and.pattern()).unwrap().len(), 2);
+        let opt = Query::parse("(?x, p, ?y) OPT (?y, q, ?z)").unwrap();
+        assert!(bgp_patterns(opt.pattern()).is_none());
     }
 
     #[test]

@@ -125,3 +125,46 @@ fn malformed_query_fails_cleanly() {
     let out = wdsparql(&["analyze", "(?x, knows"]);
     assert!(!out.status.success(), "parse error must fail");
 }
+
+#[test]
+fn store_reports_stats_and_serves_queries() {
+    let data = fixture_nt("store");
+    let out = wdsparql(&["store", data.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("3 triple(s)") && text.contains("predicate cardinalities:"),
+        "unexpected output: {text}"
+    );
+
+    // An OPT query runs through the store-backed engine.
+    let out = wdsparql(&[
+        "store",
+        data.to_str().unwrap(),
+        "(?x, knows, ?y) OPT (?y, email, ?e)",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("solution(s) via the store-backed engine"),
+        "unexpected output: {text}"
+    );
+
+    // An AND-only query additionally exercises the cached service path.
+    let out = wdsparql(&[
+        "store",
+        data.to_str().unwrap(),
+        "(?x, knows, ?y) AND (?y, knows, ?z)",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("service plan"), "unexpected output: {text}");
+    assert!(
+        text.contains("1 hit(s) / 1 miss(es)"),
+        "unexpected output: {text}"
+    );
+
+    // A missing data file fails cleanly.
+    let out = wdsparql(&["store", "/nonexistent.nt"]);
+    assert!(!out.status.success());
+}

@@ -12,11 +12,11 @@ use crate::enumerate::enumerate_forest;
 use std::collections::BTreeMap;
 use wdsparql_algebra::SolutionSet;
 use wdsparql_hom::all_homs_into_graph;
-use wdsparql_rdf::{Mapping, RdfGraph, Variable};
+use wdsparql_rdf::{Mapping, TripleIndex, Variable};
 use wdsparql_tree::{NodeId, Wdpf, Wdpt};
 
 /// `|⟦F⟧_G|` (distinct mappings; trees of a forest may overlap).
-pub fn count_forest(f: &Wdpf, g: &RdfGraph) -> usize {
+pub fn count_forest(f: &Wdpf, g: &dyn TripleIndex) -> usize {
     enumerate_forest(f, g).len()
 }
 
@@ -25,7 +25,7 @@ pub fn count_forest(f: &Wdpf, g: &RdfGraph) -> usize {
 /// patterns actually fire on `G`. Keys are sorted by variable *name* so
 /// the histogram is stable across runs (variable ids depend on interning
 /// order).
-pub fn count_by_domain(f: &Wdpf, g: &RdfGraph) -> BTreeMap<Vec<Variable>, usize> {
+pub fn count_by_domain(f: &Wdpf, g: &dyn TripleIndex) -> BTreeMap<Vec<Variable>, usize> {
     let mut out: BTreeMap<Vec<Variable>, usize> = BTreeMap::new();
     for mu in &enumerate_forest(f, g) {
         let mut key: Vec<Variable> = mu.domain().collect();
@@ -55,7 +55,7 @@ pub struct EnumStats {
 }
 
 struct Walker<'a> {
-    g: &'a RdfGraph,
+    g: &'a dyn TripleIndex,
     stats: EnumStats,
     last_emit_steps: usize,
     out: SolutionSet,
@@ -108,7 +108,7 @@ impl<'a> Walker<'a> {
 
 /// Enumerates `⟦F⟧_G` while recording work counters, including the
 /// empirical per-solution delay.
-pub fn enumerate_with_stats(f: &Wdpf, g: &RdfGraph) -> (SolutionSet, EnumStats) {
+pub fn enumerate_with_stats(f: &Wdpf, g: &dyn TripleIndex) -> (SolutionSet, EnumStats) {
     let mut w = Walker {
         g,
         stats: EnumStats::default(),
@@ -157,6 +157,7 @@ pub fn enumerate_with_stats(f: &Wdpf, g: &RdfGraph) -> (SolutionSet, EnumStats) 
 mod tests {
     use super::*;
     use wdsparql_algebra::parse_pattern;
+    use wdsparql_rdf::RdfGraph;
 
     fn forest(text: &str) -> Wdpf {
         Wdpf::from_pattern(&parse_pattern(text).unwrap()).unwrap()

@@ -6,11 +6,12 @@ use crate::enumerate::enumerate_forest;
 use crate::naive::check_forest;
 use crate::pebble_eval::check_forest_pebble;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use wdsparql_algebra::{
     eval as reference_eval, filter_solutions, parse_pattern, FilterExpr, GraphPattern, SolutionSet,
 };
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, RdfGraph, TripleIndex};
+use wdsparql_store::TripleStore;
 use wdsparql_tree::{TranslateError, Wdpf};
 use wdsparql_width::{branch_treewidth_forest, domination_width, local_width_forest};
 
@@ -144,36 +145,84 @@ pub enum Strategy {
     Auto,
 }
 
-/// An RDF graph together with evaluation entry points.
+/// The data backend an [`Engine`] evaluates against.
+enum Backend {
+    /// An in-process [`RdfGraph`] with hash-indexed pattern matching
+    /// (boxed: a graph is an order of magnitude larger than the store
+    /// handle).
+    Memory(Box<RdfGraph>),
+    /// A shared [`TripleStore`]: the matcher delegates to the store's
+    /// dictionary-encoded sorted-permutation ranges, under the store's
+    /// read lock.
+    Store(Arc<TripleStore>),
+}
+
+/// An RDF data backend together with evaluation entry points.
 pub struct Engine {
-    graph: RdfGraph,
+    backend: Backend,
 }
 
 impl Engine {
     pub fn new(graph: RdfGraph) -> Engine {
-        Engine { graph }
+        Engine {
+            backend: Backend::Memory(Box::new(graph)),
+        }
     }
 
-    pub fn graph(&self) -> &RdfGraph {
-        &self.graph
+    /// A store-backed engine: every triple-pattern match inside the
+    /// evaluation algorithms resolves through the store's
+    /// [`wdsparql_store::EncodedGraph`] range lookups instead of
+    /// [`RdfGraph`]'s hash indexes. The store stays shared — concurrent
+    /// queries and bulk loads through other handles remain possible.
+    pub fn from_store(store: Arc<TripleStore>) -> Engine {
+        Engine {
+            backend: Backend::Store(store),
+        }
+    }
+
+    /// The in-memory graph of a [`Engine::new`]-built engine, or `None`
+    /// for a store-backed one — use [`Engine::with_index`] or
+    /// [`Engine::store`] there.
+    pub fn graph(&self) -> Option<&RdfGraph> {
+        match &self.backend {
+            Backend::Memory(g) => Some(g),
+            Backend::Store(_) => None,
+        }
+    }
+
+    /// The shared store of a [`Engine::from_store`]-built engine.
+    pub fn store(&self) -> Option<&Arc<TripleStore>> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::Store(s) => Some(s),
+        }
+    }
+
+    /// Runs `f` against the backend's [`TripleIndex`] view (for a store
+    /// backend, under the store's read lock).
+    pub fn with_index<R>(&self, f: impl FnOnce(&dyn TripleIndex) -> R) -> R {
+        match &self.backend {
+            Backend::Memory(g) => f(g.as_ref()),
+            Backend::Store(s) => s.with_index(|g| f(g)),
+        }
     }
 
     /// Decides `µ ∈ ⟦P⟧_G` with the requested strategy.
     pub fn check(&self, q: &Query, mu: &Mapping, strategy: Strategy) -> bool {
-        match strategy {
-            Strategy::Reference => reference_eval(q.pattern(), &self.graph).contains(mu),
-            Strategy::Naive => check_forest(q.forest(), &self.graph, mu),
-            Strategy::Pebble { k } => check_forest_pebble(q.forest(), &self.graph, mu, k),
+        self.with_index(|g| match strategy {
+            Strategy::Reference => reference_eval(q.pattern(), g).contains(mu),
+            Strategy::Naive => check_forest(q.forest(), g, mu),
+            Strategy::Pebble { k } => check_forest_pebble(q.forest(), g, mu, k),
             Strategy::Auto => {
                 let k = q.domination_width();
-                check_forest_pebble(q.forest(), &self.graph, mu, k)
+                check_forest_pebble(q.forest(), g, mu, k)
             }
-        }
+        })
     }
 
     /// Enumerates all solutions `⟦P⟧_G`.
     pub fn evaluate(&self, q: &Query) -> SolutionSet {
-        enumerate_forest(q.forest(), &self.graph)
+        self.with_index(|g| enumerate_forest(q.forest(), g))
     }
 
     /// Enumerates `⟦P FILTER R⟧_G` for a top-level filter (error-as-false
@@ -194,7 +243,7 @@ impl Engine {
     /// acceptance, or a per-tree rejection reason (with a counterexample
     /// extension where applicable).
     pub fn explain(&self, q: &Query, mu: &Mapping) -> crate::explain::Explanation {
-        crate::explain::explain_forest(q.forest(), &self.graph, mu)
+        self.with_index(|g| crate::explain::explain_forest(q.forest(), g, mu))
     }
 
     /// A width/tractability report for the query (used by the CLI and the
@@ -347,11 +396,42 @@ mod tests {
     }
 
     #[test]
+    fn store_backed_engine_agrees_with_memory_backend() {
+        let graph = engine().graph().expect("memory-backed engine").clone();
+        let store = Arc::new(TripleStore::from_rdf(&graph));
+        let mem = Engine::new(graph);
+        let via_store = Engine::from_store(Arc::clone(&store));
+        assert!(via_store.store().is_some());
+        let q =
+            Query::parse("(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))")
+                .unwrap();
+        let sols = via_store.evaluate(&q);
+        assert_eq!(sols, mem.evaluate(&q));
+        assert!(!sols.is_empty());
+        for mu in &sols {
+            for s in [
+                Strategy::Reference,
+                Strategy::Naive,
+                Strategy::Pebble { k: 1 },
+                Strategy::Auto,
+            ] {
+                assert!(via_store.check(&q, mu, s), "{s:?} rejected {mu}");
+            }
+            assert!(via_store.explain(&q, mu).is_member());
+        }
+        assert_eq!(via_store.count(&q), mem.count(&q));
+        // A bulk load through the shared store is visible immediately.
+        store.bulk_load([wdsparql_rdf::Triple::from_strs("g", "p", "h")]);
+        assert_eq!(via_store.count(&q), mem.count(&q) + 1);
+    }
+
+    #[test]
     fn evaluate_matches_reference() {
         let e = engine();
         let q = Query::parse("((?x, p, ?y) OPT (?y, r, ?u)) UNION ((?z, q, ?x) OPT (?x, p, ?y))")
             .unwrap();
-        let reference = wdsparql_algebra::eval(q.pattern(), e.graph());
+        let reference =
+            wdsparql_algebra::eval(q.pattern(), e.graph().expect("memory-backed engine"));
         assert_eq!(e.evaluate(&q), reference);
     }
 }

@@ -10,18 +10,18 @@
 
 use wdsparql_algebra::SolutionSet;
 use wdsparql_hom::all_homs_into_graph;
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, TripleIndex};
 use wdsparql_tree::{NodeId, Wdpf, Wdpt};
 
 /// Enumerates `⟦T⟧_G`.
-pub fn enumerate_tree(t: &Wdpt, g: &RdfGraph) -> SolutionSet {
+pub fn enumerate_tree(t: &Wdpt, g: &dyn TripleIndex) -> SolutionSet {
     solutions_below(t, g, t.root(), &Mapping::new())
         .into_iter()
         .collect()
 }
 
 /// Enumerates `⟦F⟧_G = ⋃_i ⟦T_i⟧_G`.
-pub fn enumerate_forest(f: &Wdpf, g: &RdfGraph) -> SolutionSet {
+pub fn enumerate_forest(f: &Wdpf, g: &dyn TripleIndex) -> SolutionSet {
     let mut out = SolutionSet::new();
     for t in &f.trees {
         out.extend(enumerate_tree(t, g));
@@ -32,7 +32,7 @@ pub fn enumerate_forest(f: &Wdpf, g: &RdfGraph) -> SolutionSet {
 /// All maximal solutions of the subtree rooted at `n`, each including the
 /// bindings of `base` (the mapping accumulated along the branch) plus the
 /// bindings of `n`'s own pattern and of every extendable descendant.
-fn solutions_below(t: &Wdpt, g: &RdfGraph, n: NodeId, base: &Mapping) -> Vec<Mapping> {
+fn solutions_below(t: &Wdpt, g: &dyn TripleIndex, n: NodeId, base: &Mapping) -> Vec<Mapping> {
     let mut out = Vec::new();
     for nu in all_homs_into_graph(t.pat(n), g, base) {
         let combined = base
@@ -65,6 +65,7 @@ fn solutions_below(t: &Wdpt, g: &RdfGraph, n: NodeId, base: &Mapping) -> Vec<Map
 mod tests {
     use super::*;
     use wdsparql_algebra::{eval, parse_pattern};
+    use wdsparql_rdf::RdfGraph;
 
     fn assert_matches_reference(text: &str, g: &RdfGraph) {
         let p = parse_pattern(text).unwrap();

@@ -10,7 +10,7 @@
 use crate::lemma1::mu_subtree;
 use std::fmt;
 use wdsparql_hom::{find_hom_into_graph, GenTGraph};
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, TripleIndex};
 use wdsparql_tree::{subtree_children, subtree_with_vars, NodeId, Subtree, Wdpf, Wdpt};
 
 /// Why one tree of the forest rejects `µ`.
@@ -97,7 +97,7 @@ impl fmt::Display for Explanation {
 /// success, `Err` with the rejection reason otherwise.
 pub fn explain_tree(
     t: &Wdpt,
-    g: &RdfGraph,
+    g: &dyn TripleIndex,
     mu: &Mapping,
 ) -> Result<(Subtree, Vec<NodeId>), TreeRejection> {
     let dom = mu.domain().collect();
@@ -124,7 +124,7 @@ pub fn explain_tree(
 }
 
 /// Produces a full certificate for `µ` against the forest.
-pub fn explain_forest(f: &Wdpf, g: &RdfGraph, mu: &Mapping) -> Explanation {
+pub fn explain_forest(f: &Wdpf, g: &dyn TripleIndex, mu: &Mapping) -> Explanation {
     let mut rejections = Vec::with_capacity(f.len());
     for (i, t) in f.trees.iter().enumerate() {
         match explain_tree(t, g, mu) {
@@ -146,6 +146,7 @@ mod tests {
     use super::*;
     use crate::naive::check_forest;
     use wdsparql_algebra::parse_pattern;
+    use wdsparql_rdf::RdfGraph;
 
     fn forest(text: &str) -> Wdpf {
         Wdpf::from_pattern(&parse_pattern(text).unwrap()).unwrap()

@@ -9,12 +9,12 @@
 //! `vars(T^µ) = dom(µ)` is unique when it exists.
 
 use wdsparql_hom::{find_hom_into_graph, GenTGraph};
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, TripleIndex};
 use wdsparql_tree::{subtree_pat, subtree_with_vars, NodeId, Subtree, Wdpt};
 
 /// The unique subtree `T^µ` with `vars(T^µ) = dom(µ)` such that `µ` maps
 /// `pat(T^µ)` into `G`, if it exists.
-pub fn mu_subtree(t: &Wdpt, g: &RdfGraph, mu: &Mapping) -> Option<Subtree> {
+pub fn mu_subtree(t: &Wdpt, g: &dyn TripleIndex, mu: &Mapping) -> Option<Subtree> {
     let dom = mu.domain().collect();
     let st = subtree_with_vars(t, &dom)?;
     subtree_pat(t, &st).maps_into_under(mu, g).then_some(st)
@@ -22,7 +22,7 @@ pub fn mu_subtree(t: &Wdpt, g: &RdfGraph, mu: &Mapping) -> Option<Subtree> {
 
 /// Does child `n` of the subtree extend compatibly: is there a
 /// homomorphism `ν` from `pat(n)` to `G` compatible with `µ`?
-pub fn child_extends(t: &Wdpt, g: &RdfGraph, n: NodeId, mu: &Mapping) -> bool {
+pub fn child_extends(t: &Wdpt, g: &dyn TripleIndex, n: NodeId, mu: &Mapping) -> bool {
     let pat = t.pat(n);
     let x: Vec<_> = pat.vars().into_iter().filter(|v| mu.contains(*v)).collect();
     let src = GenTGraph::new(pat.clone(), x);
@@ -35,6 +35,7 @@ mod tests {
     use wdsparql_hom::TGraph;
     use wdsparql_rdf::term::{iri, var};
     use wdsparql_rdf::tp;
+    use wdsparql_rdf::RdfGraph;
     use wdsparql_tree::ROOT;
 
     fn tg(pats: &[(&str, &str, &str)]) -> TGraph {

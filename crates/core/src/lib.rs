@@ -33,3 +33,4 @@ pub use explain::{explain_forest, explain_tree, Explanation, TreeRejection};
 pub use lemma1::{child_extends, mu_subtree};
 pub use naive::{check_forest, check_tree};
 pub use pebble_eval::{check_forest_pebble, check_tree_pebble};
+pub use wdsparql_algebra::GraphPattern;

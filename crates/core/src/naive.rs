@@ -5,11 +5,11 @@
 //! characterises.
 
 use crate::lemma1::{child_extends, mu_subtree};
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, TripleIndex};
 use wdsparql_tree::{subtree_children, Wdpf, Wdpt};
 
 /// `µ ∈ ⟦T⟧_G` by Lemma 1 with exact homomorphism tests.
-pub fn check_tree(t: &Wdpt, g: &RdfGraph, mu: &Mapping) -> bool {
+pub fn check_tree(t: &Wdpt, g: &dyn TripleIndex, mu: &Mapping) -> bool {
     match mu_subtree(t, g, mu) {
         None => false,
         Some(st) => subtree_children(t, &st)
@@ -19,7 +19,7 @@ pub fn check_tree(t: &Wdpt, g: &RdfGraph, mu: &Mapping) -> bool {
 }
 
 /// `µ ∈ ⟦F⟧_G = ⟦T_1⟧_G ∪ ··· ∪ ⟦T_m⟧_G`.
-pub fn check_forest(f: &Wdpf, g: &RdfGraph, mu: &Mapping) -> bool {
+pub fn check_forest(f: &Wdpf, g: &dyn TripleIndex, mu: &Mapping) -> bool {
     f.trees.iter().any(|t| check_tree(t, g, mu))
 }
 
@@ -27,6 +27,7 @@ pub fn check_forest(f: &Wdpf, g: &RdfGraph, mu: &Mapping) -> bool {
 mod tests {
     use super::*;
     use wdsparql_algebra::{eval, parse_pattern};
+    use wdsparql_rdf::RdfGraph;
     use wdsparql_rdf::Triple;
 
     fn forest(text: &str) -> Wdpf {

@@ -14,12 +14,12 @@
 use crate::lemma1::mu_subtree;
 use wdsparql_hom::GenTGraph;
 use wdsparql_pebble::duplicator_wins;
-use wdsparql_rdf::{Mapping, RdfGraph};
+use wdsparql_rdf::{Mapping, TripleIndex};
 use wdsparql_tree::{subtree_children, subtree_pat, subtree_vars, Wdpf, Wdpt};
 
 /// One tree of the Theorem 1 loop. `k` is the domination-width bound; the
 /// pebble game is played with `k + 1` pebbles.
-pub fn check_tree_pebble(t: &Wdpt, g: &RdfGraph, mu: &Mapping, k: usize) -> bool {
+pub fn check_tree_pebble(t: &Wdpt, g: &dyn TripleIndex, mu: &Mapping, k: usize) -> bool {
     let Some(st) = mu_subtree(t, g, mu) else {
         return false;
     };
@@ -33,7 +33,7 @@ pub fn check_tree_pebble(t: &Wdpt, g: &RdfGraph, mu: &Mapping, k: usize) -> bool
 
 /// The full Theorem 1 algorithm on a forest: `µ ∈ ⟦F⟧_G`, correct whenever
 /// `dw(F) ≤ k`; always sound (accepting implies membership).
-pub fn check_forest_pebble(f: &Wdpf, g: &RdfGraph, mu: &Mapping, k: usize) -> bool {
+pub fn check_forest_pebble(f: &Wdpf, g: &dyn TripleIndex, mu: &Mapping, k: usize) -> bool {
     f.trees.iter().any(|t| check_tree_pebble(t, g, mu, k))
 }
 
@@ -42,6 +42,7 @@ mod tests {
     use super::*;
     use crate::naive::check_forest;
     use wdsparql_algebra::parse_pattern;
+    use wdsparql_rdf::RdfGraph;
     use wdsparql_rdf::Triple;
 
     fn forest(text: &str) -> Wdpf {

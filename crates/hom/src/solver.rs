@@ -15,14 +15,14 @@
 
 use crate::tgraph::{GenTGraph, TGraph, VarMap};
 use std::collections::{BTreeMap, HashMap};
-use wdsparql_rdf::{Mapping, RdfGraph, Term, TriplePattern, Variable};
+use wdsparql_rdf::{Mapping, Term, TripleIndex, TriplePattern, Variable};
 
 /// A homomorphism target: either a t-graph (variables may map to terms) or
 /// an RDF graph (variables map to IRIs).
 #[derive(Clone, Copy)]
 pub enum Target<'a> {
     TGraph(&'a TGraph),
-    Rdf(&'a RdfGraph),
+    Rdf(&'a dyn TripleIndex),
 }
 
 /// A positional index over a t-graph target: for each position, the triple
@@ -85,7 +85,7 @@ impl TGraphIndex {
 
 enum TargetIndex<'a> {
     TGraph(TGraphIndex),
-    Rdf(&'a RdfGraph),
+    Rdf(&'a dyn TripleIndex),
 }
 
 impl<'a> TargetIndex<'a> {
@@ -309,7 +309,11 @@ pub fn maps_to(src: &GenTGraph, dst: &GenTGraph) -> bool {
 /// `fixed` may bind additional variables beyond `X` (they are treated as
 /// further fixed points); bindings on variables not occurring in `S` are
 /// ignored. Returns the full mapping on `vars(S)`.
-pub fn find_hom_into_graph(src: &GenTGraph, g: &RdfGraph, fixed: &Mapping) -> Option<Mapping> {
+pub fn find_hom_into_graph(
+    src: &GenTGraph,
+    g: &dyn TripleIndex,
+    fixed: &Mapping,
+) -> Option<Mapping> {
     let mut out: Option<Mapping> = None;
     enumerate_homs_into_graph(&src.s, g, fixed, &mut |mu| {
         out = Some(mu);
@@ -323,7 +327,7 @@ pub fn find_hom_into_graph(src: &GenTGraph, g: &RdfGraph, fixed: &Mapping) -> Op
 /// Both orders are exhaustive, so the *answer* never depends on the order.
 pub fn find_hom_into_graph_with(
     src: &GenTGraph,
-    g: &RdfGraph,
+    g: &dyn TripleIndex,
     fixed: &Mapping,
     order: SearchOrder,
 ) -> Option<Mapping> {
@@ -343,7 +347,7 @@ pub fn find_hom_into_graph_with(
 }
 
 /// `(S, X) →µ G`?
-pub fn maps_into_graph(src: &GenTGraph, g: &RdfGraph, mu: &Mapping) -> bool {
+pub fn maps_into_graph(src: &GenTGraph, g: &dyn TripleIndex, mu: &Mapping) -> bool {
     debug_assert!(
         src.x.iter().all(|&v| mu.contains(v)),
         "µ must be defined on X"
@@ -356,7 +360,7 @@ pub fn maps_into_graph(src: &GenTGraph, g: &RdfGraph, mu: &Mapping) -> bool {
 /// to continue; the function returns `false` iff the callback aborted.
 pub fn enumerate_homs_into_graph(
     src: &TGraph,
-    g: &RdfGraph,
+    g: &dyn TripleIndex,
     fixed: &Mapping,
     cb: &mut dyn FnMut(Mapping) -> bool,
 ) -> bool {
@@ -374,7 +378,7 @@ pub fn enumerate_homs_into_graph(
 }
 
 /// Collects all homomorphisms from `src` into `g` extending `fixed`.
-pub fn all_homs_into_graph(src: &TGraph, g: &RdfGraph, fixed: &Mapping) -> Vec<Mapping> {
+pub fn all_homs_into_graph(src: &TGraph, g: &dyn TripleIndex, fixed: &Mapping) -> Vec<Mapping> {
     let mut out = Vec::new();
     enumerate_homs_into_graph(src, g, fixed, &mut |mu| {
         out.push(mu);
@@ -420,6 +424,7 @@ mod tests {
     use super::*;
     use std::collections::BTreeSet;
     use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::RdfGraph;
     use wdsparql_rdf::{tp, Iri};
 
     fn v(n: &str) -> Variable {

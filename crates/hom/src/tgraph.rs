@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple, TriplePattern, Variable};
+use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern, Variable};
 
 /// A partial substitution `h : V → I ∪ V`, the witness type for
 /// homomorphisms between t-graphs.
@@ -130,7 +130,7 @@ impl TGraph {
     }
 
     /// Whether `µ` (with `vars(S) ⊆ dom(µ)`) maps every triple into `G`.
-    pub fn maps_into_under(&self, mu: &Mapping, g: &RdfGraph) -> bool {
+    pub fn maps_into_under(&self, mu: &Mapping, g: &dyn TripleIndex) -> bool {
         self.triples.iter().all(|t| match t.apply(mu) {
             Some(ground) => g.contains(&ground),
             None => false,

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use wdsparql_hom::{GenTGraph, TGraph};
-use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, TriplePattern, Variable};
+use wdsparql_rdf::{Iri, Mapping, Term, TripleIndex, TriplePattern, Variable};
 
 /// Statistics from one run of the game, for the experiment harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,12 +20,17 @@ pub struct PebbleStats {
 ///
 /// Requires `k ≥ 2` (the paper's setting). When `vars(S) \ X = ∅` the game
 /// degenerates to the direct check `(S, X) →µ G` (property (1) in §3).
-pub fn duplicator_wins(src: &GenTGraph, g: &RdfGraph, mu: &Mapping, k: usize) -> bool {
+pub fn duplicator_wins(src: &GenTGraph, g: &dyn TripleIndex, mu: &Mapping, k: usize) -> bool {
     pebble_game(src, g, mu, k).0
 }
 
 /// As [`duplicator_wins`], also returning statistics.
-pub fn pebble_game(src: &GenTGraph, g: &RdfGraph, mu: &Mapping, k: usize) -> (bool, PebbleStats) {
+pub fn pebble_game(
+    src: &GenTGraph,
+    g: &dyn TripleIndex,
+    mu: &Mapping,
+    k: usize,
+) -> (bool, PebbleStats) {
     assert!(k >= 2, "the existential pebble game needs k ≥ 2");
     debug_assert!(
         src.x.iter().all(|&v| mu.contains(v)),
@@ -70,7 +75,7 @@ struct SubsetEntry {
 }
 
 struct Consistency<'a> {
-    g: &'a RdfGraph,
+    g: &'a dyn TripleIndex,
     k: usize,
     vars: Vec<Variable>,
     domain_values: Vec<Iri>,
@@ -81,7 +86,7 @@ struct Consistency<'a> {
 impl<'a> Consistency<'a> {
     fn new(
         src: &GenTGraph,
-        g: &'a RdfGraph,
+        g: &'a dyn TripleIndex,
         mu: &Mapping,
         k: usize,
         vars: Vec<Variable>,
@@ -325,6 +330,7 @@ mod tests {
     use wdsparql_hom::{find_hom_into_graph, GenTGraph, TGraph};
     use wdsparql_rdf::term::{iri, var};
     use wdsparql_rdf::tp;
+    use wdsparql_rdf::RdfGraph;
 
     fn v(n: &str) -> Variable {
         Variable::new(n)

@@ -1,0 +1,118 @@
+//! The [`TripleIndex`] abstraction: the pattern-matching surface every
+//! evaluation algorithm in the workspace consumes.
+//!
+//! The algorithms of the paper — reference semantics, the Lemma 1
+//! machinery, the homomorphism solver's fail-first search, the pebble
+//! game — never look at *how* a graph indexes its triples; they only ask
+//! four questions: "which triples match this pattern?", "roughly how
+//! many?" (for search ordering), "is this ground triple present?", and
+//! "what is `dom(G)`?". This trait captures exactly that surface, so the
+//! same algorithms run unchanged against [`RdfGraph`]'s hash indexes or
+//! against `wdsparql-store`'s dictionary-encoded sorted permutations.
+//!
+//! The trait is dyn-compatible on purpose: call sites take
+//! `&dyn TripleIndex`, and `&RdfGraph` coerces implicitly, so existing
+//! callers did not have to change.
+
+use crate::graph::{binding_of, RdfGraph};
+use crate::mapping::Mapping;
+use crate::term::Iri;
+use crate::triple::{Triple, TriplePattern};
+
+/// Read-only access to an indexed set of ground triples.
+pub trait TripleIndex {
+    /// Number of triples.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is the ground triple present?
+    fn contains(&self, t: &Triple) -> bool;
+
+    /// All triples, in implementation order.
+    fn triples(&self) -> Box<dyn Iterator<Item = Triple> + '_>;
+
+    /// `dom(G)`: the IRIs appearing in any position, ascending by id.
+    fn dom(&self) -> Box<dyn Iterator<Item = Iri> + '_>;
+
+    /// Does `i` appear in the graph (in any position)?
+    fn dom_contains(&self, i: Iri) -> bool;
+
+    /// Number of triples matching the pattern's *constant* positions — an
+    /// upper bound on the matches of the pattern itself, used by the
+    /// homomorphism solver's fail-first heuristic. Must be cheap
+    /// (constant or logarithmic).
+    fn candidate_count(&self, pat: &TriplePattern) -> usize;
+
+    /// All triples matching `pat`, honouring repeated variables (e.g.
+    /// `(?x, p, ?x)` only matches triples with `s = o`).
+    fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple>;
+
+    /// The solutions of a single triple pattern: `⟦t⟧_G = {µ | dom(µ) =
+    /// vars(t) and µ(t) ∈ G}` (Pérez et al., rule 1).
+    fn solutions(&self, pat: &TriplePattern) -> Vec<Mapping> {
+        self.match_pattern(pat)
+            .into_iter()
+            .filter_map(|t| binding_of(pat, &t))
+            .collect()
+    }
+}
+
+impl TripleIndex for RdfGraph {
+    fn len(&self) -> usize {
+        RdfGraph::len(self)
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        RdfGraph::contains(self, t)
+    }
+
+    fn triples(&self) -> Box<dyn Iterator<Item = Triple> + '_> {
+        Box::new(self.iter().copied())
+    }
+
+    fn dom(&self) -> Box<dyn Iterator<Item = Iri> + '_> {
+        Box::new(RdfGraph::dom(self))
+    }
+
+    fn dom_contains(&self, i: Iri) -> bool {
+        RdfGraph::dom_contains(self, i)
+    }
+
+    fn candidate_count(&self, pat: &TriplePattern) -> usize {
+        RdfGraph::candidate_count(self, pat)
+    }
+
+    fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple> {
+        RdfGraph::match_pattern(self, pat)
+    }
+
+    fn solutions(&self, pat: &TriplePattern) -> Vec<Mapping> {
+        RdfGraph::solutions(self, pat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{iri, var};
+    use crate::triple::tp;
+
+    #[test]
+    fn rdf_graph_implements_the_trait_consistently() {
+        let g = RdfGraph::from_strs([("a", "p", "b"), ("b", "p", "c"), ("b", "q", "a")]);
+        let ix: &dyn TripleIndex = &g;
+        assert_eq!(ix.len(), 3);
+        assert!(!ix.is_empty());
+        assert!(ix.contains(&Triple::from_strs("a", "p", "b")));
+        assert_eq!(ix.triples().count(), 3);
+        assert_eq!(ix.dom().count(), 5);
+        assert!(ix.dom_contains(Iri::new("q")));
+        let pat = tp(var("x"), iri("p"), var("y"));
+        assert_eq!(ix.match_pattern(&pat).len(), 2);
+        assert!(ix.candidate_count(&pat) >= 2);
+        assert_eq!(ix.solutions(&pat).len(), 2);
+    }
+}

@@ -10,18 +10,22 @@
 //! * ground [`Triple`]s and SPARQL [`TriplePattern`]s ([`triple`]),
 //! * partial mappings `µ : V → I` with compatibility/union ([`mapping`]),
 //! * indexed [`RdfGraph`]s with triple-pattern matching ([`graph`]),
+//! * the [`TripleIndex`] trait — the pattern-matching surface shared by
+//!   every graph backend ([`index`]),
 //! * a small N-Triples-style reader/writer ([`ntriples`]).
 //!
 //! Everything here is deliberately *ground* (no blank nodes, no literals):
 //! the paper's setting is ground RDF graphs over IRIs.
 
 pub mod graph;
+pub mod index;
 pub mod mapping;
 pub mod ntriples;
 pub mod term;
 pub mod triple;
 
 pub use graph::{binding_of, pattern_matches, RdfGraph};
+pub use index::TripleIndex;
 pub use mapping::Mapping;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use term::{iri, var, Iri, Term, Variable};

@@ -1,0 +1,127 @@
+//! The term dictionary: a two-way map between [`Iri`]s and dense local
+//! ids.
+//!
+//! `wdsparql-rdf` already interns IRIs process-globally, so an [`Iri`] is
+//! a `Copy` 32-bit id — but those ids are *sparse* from any one graph's
+//! point of view (they are assigned in global first-use order, across all
+//! graphs and queries in the process). The dictionary re-numbers the
+//! terms of one graph into the dense range `0..terms`, which is what lets
+//! [`crate::EncodedGraph`] index its permutation offsets by plain array
+//! position instead of hashing.
+//!
+//! Both directions are plain array loads: local→global through the term
+//! table, global→local through a direct-indexed table over the global id
+//! space (4 bytes per global id up to the largest term this dictionary
+//! holds — no hashing on the hot path).
+
+use wdsparql_rdf::Iri;
+
+/// A dense local id for a term of one encoded graph.
+pub type TermId = u32;
+
+/// Sentinel for "global id not interned here".
+const ABSENT: TermId = TermId::MAX;
+
+/// Interns [`Iri`]s to dense [`TermId`]s with O(1) two-way lookup.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    /// Local id → term.
+    terms: Vec<Iri>,
+    /// Global interner id → local id ([`ABSENT`] when not interned).
+    by_global: Vec<TermId>,
+}
+
+impl Dictionary {
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns `term`, returning its dense id. Idempotent per term.
+    pub fn encode(&mut self, term: Iri) -> TermId {
+        let g = term.id() as usize;
+        if g >= self.by_global.len() {
+            self.by_global.resize(g + 1, ABSENT);
+        }
+        if self.by_global[g] != ABSENT {
+            return self.by_global[g];
+        }
+        let id = TermId::try_from(self.terms.len()).expect("dictionary overflow");
+        assert!(id != ABSENT, "dictionary overflow");
+        self.terms.push(term);
+        self.by_global[g] = id;
+        id
+    }
+
+    /// The id of `term`, if it has been interned.
+    pub fn lookup(&self, term: Iri) -> Option<TermId> {
+        match self.by_global.get(term.id() as usize) {
+            Some(&id) if id != ABSENT => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The term with id `id`.
+    ///
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn decode(&self, id: TermId) -> Iri {
+        self.terms[id as usize]
+    }
+
+    /// All interned terms, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Iri> + '_ {
+        self.terms.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.encode(Iri::new("a"));
+        let b = d.encode(Iri::new("b"));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(d.encode(Iri::new("a")), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn two_way_lookup_round_trips() {
+        let mut d = Dictionary::new();
+        for name in ["x", "y", "z"] {
+            let id = d.encode(Iri::new(name));
+            assert_eq!(d.lookup(Iri::new(name)), Some(id));
+            assert_eq!(d.decode(id), Iri::new(name));
+        }
+        assert_eq!(d.lookup(Iri::new("not-interned-here")), None);
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn local_ids_are_dense_even_when_global_ids_are_not() {
+        // Interleave with fresh global interning to spread global ids.
+        let mut d = Dictionary::new();
+        let mut locals = Vec::new();
+        for i in 0..10 {
+            let _gap = Iri::new(&format!("dict-gap-{i}"));
+            locals.push(d.encode(Iri::new(&format!("dict-kept-{i}"))));
+        }
+        assert_eq!(locals, (0..10).collect::<Vec<TermId>>());
+        for (i, &l) in locals.iter().enumerate() {
+            assert_eq!(d.decode(l), Iri::new(&format!("dict-kept-{i}")));
+            assert_eq!(d.lookup(Iri::new(&format!("dict-gap-{i}"))), None);
+        }
+    }
+}

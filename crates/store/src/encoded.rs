@@ -1,0 +1,704 @@
+//! [`EncodedGraph`]: the triple set as three sorted permutation arrays.
+//!
+//! Every triple is dictionary-encoded into a `[TermId; 3]` row and stored
+//! three times, each copy sorted lexicographically under a different
+//! component rotation:
+//!
+//! ```text
+//! SPO  rows are (s, p, o)   answers  (s ? ?) (s p ?) (s p o) (? ? ?)
+//! POS  rows are (p, o, s)   answers  (? p ?) (? p o)
+//! OSP  rows are (o, s, p)   answers  (? ? o) (s ? o)
+//! ```
+//!
+//! Because dictionary ids are dense, each permutation also carries an
+//! offset array indexed by leading term id, so a bound *first* component
+//! resolves to its contiguous row range in O(1); further bound components
+//! narrow the range by binary search (O(log n)). Every bound-prefix
+//! access pattern therefore reads one contiguous slice — no hashing, no
+//! per-triple pointer chasing.
+
+use crate::dict::{Dictionary, TermId};
+use wdsparql_rdf::{binding_of, Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern};
+
+/// Which permutation a row slice came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Perm {
+    Spo,
+    Pos,
+    Osp,
+}
+
+impl Perm {
+    /// Row position of each original component (s, p, o) in this
+    /// permutation's rows.
+    fn layout(self) -> [usize; 3] {
+        match self {
+            Perm::Spo => [0, 1, 2],
+            Perm::Pos => [2, 0, 1],
+            Perm::Osp => [1, 2, 0],
+        }
+    }
+
+    /// Reassembles a row of this permutation into (s, p, o) ids.
+    fn spo_of(self, row: [TermId; 3]) -> [TermId; 3] {
+        let [s, p, o] = self.layout();
+        [row[s], row[p], row[o]]
+    }
+}
+
+/// A dictionary-encoded, permutation-indexed set of ground triples.
+#[derive(Clone, Debug, Default)]
+pub struct EncodedGraph {
+    dict: Dictionary,
+    spo: Vec<[TermId; 3]>,
+    pos: Vec<[TermId; 3]>,
+    osp: Vec<[TermId; 3]>,
+    spo_off: Vec<u32>,
+    pos_off: Vec<u32>,
+    osp_off: Vec<u32>,
+    dom_sorted: Vec<Iri>,
+}
+
+/// The resolution of a pattern against the indexes: the rows that can
+/// match, how they are permuted, and any bound components that could not
+/// be narrowed by sorted prefix and must be checked per row instead.
+struct Scan<'a> {
+    perm: Perm,
+    rows: &'a [[TermId; 3]],
+    /// Per row position: a required id the sort order could not enforce.
+    residual: [Option<TermId>; 3],
+}
+
+impl Scan<'_> {
+    fn row_matches(&self, row: &[TermId; 3]) -> bool {
+        self.residual
+            .iter()
+            .zip(row)
+            .all(|(req, &id)| req.is_none_or(|want| want == id))
+    }
+
+    fn is_exact(&self) -> bool {
+        self.residual.iter().all(Option::is_none)
+    }
+}
+
+impl EncodedGraph {
+    pub fn new() -> EncodedGraph {
+        EncodedGraph::default()
+    }
+
+    pub fn from_triples<I>(triples: I) -> EncodedGraph
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let mut g = EncodedGraph::new();
+        g.insert_batch(triples);
+        g
+    }
+
+    /// Re-encodes an [`RdfGraph`].
+    pub fn from_rdf(g: &RdfGraph) -> EncodedGraph {
+        EncodedGraph::from_triples(g.iter().copied())
+    }
+
+    /// Bulk insert: encodes, sorts and merges `triples` into all three
+    /// permutations in one pass each. Returns the number of triples that
+    /// were not already present. This is the only mutation path — the
+    /// store favours batched loads over per-triple inserts.
+    pub fn insert_batch<I>(&mut self, triples: I) -> usize
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let mut batch: Vec<[TermId; 3]> = triples
+            .into_iter()
+            .map(|t| {
+                [
+                    self.dict.encode(t.s),
+                    self.dict.encode(t.p),
+                    self.dict.encode(t.o),
+                ]
+            })
+            .collect();
+        batch.sort_unstable();
+        batch.dedup();
+        batch.retain(|row| !self.contains_ids(*row));
+        let added = batch.len();
+        if added == 0 && !self.spo_off.is_empty() {
+            // Every batch triple was already present, so every term it
+            // interned was already in the dictionary: the permutations
+            // and offsets are unchanged, and the (built) derived arrays
+            // can be kept as-is.
+            return 0;
+        }
+        if added > 0 {
+            self.spo = merge_sorted(&self.spo, &batch);
+            let mut rot: Vec<[TermId; 3]> = batch.iter().map(|&[s, p, o]| [p, o, s]).collect();
+            rot.sort_unstable();
+            self.pos = merge_sorted(&self.pos, &rot);
+            rot = batch.iter().map(|&[s, p, o]| [o, s, p]).collect();
+            rot.sort_unstable();
+            self.osp = merge_sorted(&self.osp, &rot);
+        }
+        let terms = self.dict.len();
+        self.spo_off = offsets(&self.spo, terms);
+        self.pos_off = offsets(&self.pos, terms);
+        self.osp_off = offsets(&self.osp, terms);
+        self.dom_sorted = self.dict.iter().collect();
+        self.dom_sorted.sort_unstable();
+        added
+    }
+
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct terms (= `|dom(G)|`).
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    pub fn contains(&self, t: &Triple) -> bool {
+        let Some(row) = self.encode_triple(t) else {
+            return false;
+        };
+        self.contains_ids(row)
+    }
+
+    fn encode_triple(&self, t: &Triple) -> Option<[TermId; 3]> {
+        Some([
+            self.dict.lookup(t.s)?,
+            self.dict.lookup(t.p)?,
+            self.dict.lookup(t.o)?,
+        ])
+    }
+
+    fn contains_ids(&self, row: [TermId; 3]) -> bool {
+        self.leading_range(&self.spo, &self.spo_off, row[0])
+            .binary_search(&row)
+            .is_ok()
+    }
+
+    fn decode_triple(&self, row: [TermId; 3]) -> Triple {
+        Triple::new(
+            self.dict.decode(row[0]),
+            self.dict.decode(row[1]),
+            self.dict.decode(row[2]),
+        )
+    }
+
+    /// The contiguous row range of permutation `rows` whose leading
+    /// component is `id` — O(1) through the offset array. Empty when the
+    /// id is out of range (the offsets always cover the dictionary, so
+    /// this is purely defensive).
+    fn leading_range<'a>(
+        &self,
+        rows: &'a [[TermId; 3]],
+        off: &[u32],
+        id: TermId,
+    ) -> &'a [[TermId; 3]] {
+        let i = id as usize;
+        if i + 1 >= off.len() {
+            return &[];
+        }
+        &rows[off[i] as usize..off[i + 1] as usize]
+    }
+
+    /// Narrows a sorted row slice to the rows with `row[pos] == key` by
+    /// binary search. Valid whenever the slice is sorted on `pos` (i.e.
+    /// all earlier row positions are constant on the slice).
+    fn narrow(slice: &[[TermId; 3]], pos: usize, key: TermId) -> &[[TermId; 3]] {
+        let lo = slice.partition_point(|r| r[pos] < key);
+        let hi = slice.partition_point(|r| r[pos] <= key);
+        &slice[lo..hi]
+    }
+
+    /// Picks the permutation and row range for the pattern's bound
+    /// positions. `None` means a bound term is not in the dictionary, so
+    /// nothing can match.
+    ///
+    /// The choice is adaptive: among the permutations whose *leading*
+    /// component is bound, the smallest O(1) leading range wins (all
+    /// range lengths are two offset loads each). Further bound
+    /// components narrow that range by binary search while they form a
+    /// sorted prefix, and become per-row residual filters otherwise —
+    /// on real data the chosen leading range is already tiny, so a
+    /// linear residual check beats binary-searching a huge block.
+    fn scan(&self, pat: &TriplePattern) -> Option<Scan<'_>> {
+        let resolve = |term: Term| -> Result<Option<TermId>, ()> {
+            match term {
+                Term::Var(_) => Ok(None),
+                Term::Iri(i) => self.dict.lookup(i).map(Some).ok_or(()),
+            }
+        };
+        let spo = [
+            resolve(pat.s).ok()?,
+            resolve(pat.p).ok()?,
+            resolve(pat.o).ok()?,
+        ];
+        // Candidate leading ranges: one per permutation with a bound
+        // leading component. A range this small is taken immediately —
+        // probing the remaining offset arrays costs more than scanning
+        // the few extra rows it might save.
+        const SMALL_ENOUGH: usize = 16;
+        let options = [
+            (Perm::Spo, spo[0], &self.spo, &self.spo_off),
+            (Perm::Osp, spo[2], &self.osp, &self.osp_off),
+            (Perm::Pos, spo[1], &self.pos, &self.pos_off),
+        ];
+        let mut best: Option<(Perm, &[[TermId; 3]])> = None;
+        for (perm, lead, rows, off) in options {
+            let Some(lead) = lead else { continue };
+            let range = self.leading_range(rows, off, lead);
+            if range.len() <= SMALL_ENOUGH {
+                best = Some((perm, range));
+                break;
+            }
+            if best.is_none_or(|(_, b)| range.len() < b.len()) {
+                best = Some((perm, range));
+            }
+        }
+        let (perm, mut rows) = best.unwrap_or((Perm::Spo, &self.spo));
+        // Bound components in the chosen permutation's row order: narrow
+        // while the prefix stays sorted, filter residually afterwards.
+        let layout = perm.layout();
+        let mut keys = [None; 3];
+        for (component, id) in spo.into_iter().enumerate() {
+            keys[layout[component]] = id;
+        }
+        let mut residual = [None; 3];
+        let mut prefix_sorted = true;
+        for (row_pos, key) in keys.into_iter().enumerate().skip(1) {
+            let Some(key) = key else {
+                prefix_sorted = false;
+                continue;
+            };
+            if prefix_sorted {
+                rows = Self::narrow(rows, row_pos, key);
+            } else {
+                residual[row_pos] = Some(key);
+            }
+        }
+        Some(Scan {
+            perm,
+            rows,
+            residual,
+        })
+    }
+
+    /// Row-position pairs (in `perm`'s layout) that must hold equal ids
+    /// because the pattern repeats a variable there.
+    fn repeat_constraints(pat: &TriplePattern, perm: Perm) -> Vec<(usize, usize)> {
+        let layout = perm.layout();
+        let terms = pat.positions();
+        let mut out = Vec::new();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                if let (Term::Var(a), Term::Var(b)) = (terms[i], terms[j]) {
+                    if a == b {
+                        out.push((layout[i], layout[j]));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Upper bound on the triples matching the pattern's constant
+    /// positions: the chosen bound-prefix range length, O(1)/O(log n).
+    /// Exact whenever the access path needed no residual filter (every
+    /// single-constant pattern and all sorted-prefix combinations).
+    pub fn candidate_count(&self, pat: &TriplePattern) -> usize {
+        self.scan(pat).map_or(0, |s| s.rows.len())
+    }
+
+    /// All triples matching `pat`, honouring repeated variables.
+    pub fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple> {
+        let Some(scan) = self.scan(pat) else {
+            return Vec::new();
+        };
+        let eqs = Self::repeat_constraints(pat, scan.perm);
+        let exact = scan.is_exact() && eqs.is_empty();
+        // Bound positions already carry their IRI in the pattern — only
+        // the variable positions go through the decode table.
+        let fixed = pat.positions().map(Term::as_iri);
+        let mut out = Vec::with_capacity(if exact { scan.rows.len() } else { 0 });
+        for &row in scan.rows {
+            if scan.row_matches(&row) && eqs.iter().all(|&(i, j)| row[i] == row[j]) {
+                let [s, p, o] = scan.perm.spo_of(row);
+                out.push(Triple::new(
+                    fixed[0].unwrap_or_else(|| self.dict.decode(s)),
+                    fixed[1].unwrap_or_else(|| self.dict.decode(p)),
+                    fixed[2].unwrap_or_else(|| self.dict.decode(o)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Single-pattern solutions (Pérez et al., rule 1).
+    pub fn solutions(&self, pat: &TriplePattern) -> Vec<Mapping> {
+        self.match_pattern(pat)
+            .into_iter()
+            .filter_map(|t| binding_of(pat, &t))
+            .collect()
+    }
+
+    /// The sorted, deduplicated ids that variable `v` can take in a match
+    /// of `pat` — the merge-join input. `None` when `v` does not occur in
+    /// `pat`.
+    pub fn candidate_ids(
+        &self,
+        pat: &TriplePattern,
+        v: wdsparql_rdf::Variable,
+    ) -> Option<Vec<TermId>> {
+        let positions: Vec<usize> = pat
+            .positions()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, t)| t == Term::Var(v))
+            .map(|(i, _)| i)
+            .collect();
+        if positions.is_empty() {
+            return None;
+        }
+        let Some(scan) = self.scan(pat) else {
+            return Some(Vec::new());
+        };
+        let eqs = Self::repeat_constraints(pat, scan.perm);
+        let take = scan.perm.layout()[positions[0]];
+        let mut ids: Vec<TermId> = scan
+            .rows
+            .iter()
+            .filter(|row| scan.row_matches(row) && eqs.iter().all(|&(i, j)| row[i] == row[j]))
+            .map(|row| row[take])
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
+    }
+
+    /// Sorted-merge intersection of the candidate id lists of a variable
+    /// shared by two patterns — the classic merge join on one join
+    /// variable. `None` when `v` is missing from either pattern.
+    pub fn merge_join_ids(
+        &self,
+        a: &TriplePattern,
+        b: &TriplePattern,
+        v: wdsparql_rdf::Variable,
+    ) -> Option<Vec<TermId>> {
+        let xs = self.candidate_ids(a, v)?;
+        let ys = self.candidate_ids(b, v)?;
+        Some(intersect_sorted(&xs, &ys))
+    }
+
+    /// As [`EncodedGraph::merge_join_ids`], decoded back to IRIs.
+    pub fn merge_join_values(
+        &self,
+        a: &TriplePattern,
+        b: &TriplePattern,
+        v: wdsparql_rdf::Variable,
+    ) -> Option<Vec<Iri>> {
+        Some(
+            self.merge_join_ids(a, b, v)?
+                .into_iter()
+                .map(|id| self.dict.decode(id))
+                .collect(),
+        )
+    }
+
+    /// Distinct predicates with their cardinalities, descending — the
+    /// selectivity statistics behind the service's query planner.
+    pub fn predicate_cardinalities(&self) -> Vec<(Iri, usize)> {
+        let mut out: Vec<(Iri, usize)> = (0..self.dict.len())
+            .filter_map(|id| {
+                let (lo, hi) = (self.pos_off[id] as usize, self.pos_off[id + 1] as usize);
+                (hi > lo).then(|| (self.dict.decode(id as TermId), hi - lo))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of distinct terms occurring as subjects / predicates /
+    /// objects, read off the offset arrays.
+    pub fn position_cardinalities(&self) -> (usize, usize, usize) {
+        let distinct = |off: &[u32]| off.windows(2).filter(|w| w[1] > w[0]).count();
+        (
+            distinct(&self.spo_off),
+            distinct(&self.pos_off),
+            distinct(&self.osp_off),
+        )
+    }
+
+    /// All triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&row| self.decode_triple(row))
+    }
+
+    /// Decodes the whole store back into an [`RdfGraph`].
+    pub fn to_rdf(&self) -> RdfGraph {
+        self.iter().collect()
+    }
+}
+
+impl TripleIndex for EncodedGraph {
+    fn len(&self) -> usize {
+        EncodedGraph::len(self)
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        EncodedGraph::contains(self, t)
+    }
+
+    fn triples(&self) -> Box<dyn Iterator<Item = Triple> + '_> {
+        Box::new(self.iter())
+    }
+
+    fn dom(&self) -> Box<dyn Iterator<Item = Iri> + '_> {
+        Box::new(self.dom_sorted.iter().copied())
+    }
+
+    fn dom_contains(&self, i: Iri) -> bool {
+        self.dict.lookup(i).is_some()
+    }
+
+    fn candidate_count(&self, pat: &TriplePattern) -> usize {
+        EncodedGraph::candidate_count(self, pat)
+    }
+
+    fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple> {
+        EncodedGraph::match_pattern(self, pat)
+    }
+
+    fn solutions(&self, pat: &TriplePattern) -> Vec<Mapping> {
+        EncodedGraph::solutions(self, pat)
+    }
+}
+
+impl FromIterator<Triple> for EncodedGraph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> EncodedGraph {
+        EncodedGraph::from_triples(iter)
+    }
+}
+
+impl PartialEq for EncodedGraph {
+    /// Set equality up to dictionary numbering: both graphs hold the same
+    /// ground triples.
+    fn eq(&self, other: &EncodedGraph) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(&t))
+    }
+}
+
+impl Eq for EncodedGraph {}
+
+/// Merges two sorted, disjoint row runs into one sorted vector.
+fn merge_sorted(a: &[[TermId; 3]], b: &[[TermId; 3]]) -> Vec<[TermId; 3]> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Leading-component offsets: `off[id]..off[id+1]` is the row range whose
+/// first component is `id`.
+fn offsets(rows: &[[TermId; 3]], terms: usize) -> Vec<u32> {
+    u32::try_from(rows.len()).expect("store too large: triple count exceeds u32 offsets");
+    let mut off = vec![0u32; terms + 1];
+    for row in rows {
+        off[row[0] as usize + 1] += 1;
+    }
+    for i in 1..off.len() {
+        off[i] += off[i - 1];
+    }
+    off
+}
+
+/// Two-pointer intersection of sorted id lists.
+fn intersect_sorted(a: &[TermId], b: &[TermId]) -> Vec<TermId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::{tp, Variable};
+
+    fn sample() -> EncodedGraph {
+        EncodedGraph::from_triples(
+            [
+                ("a", "p", "b"),
+                ("a", "p", "c"),
+                ("b", "p", "c"),
+                ("b", "q", "a"),
+                ("c", "q", "a"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        )
+    }
+
+    #[test]
+    fn build_deduplicates_and_sorts() {
+        let g = EncodedGraph::from_triples([
+            Triple::from_strs("x", "r", "y"),
+            Triple::from_strs("x", "r", "y"),
+        ]);
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&Triple::from_strs("x", "r", "y")));
+        assert!(!g.contains(&Triple::from_strs("y", "r", "x")));
+    }
+
+    #[test]
+    fn every_access_pattern_matches_the_rdf_graph() {
+        let g = sample();
+        let r = RdfGraph::from_strs([
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("b", "p", "c"),
+            ("b", "q", "a"),
+            ("c", "q", "a"),
+        ]);
+        let pats = [
+            tp(iri("a"), iri("p"), iri("b")),
+            tp(iri("a"), iri("p"), var("y")),
+            tp(iri("a"), var("x"), iri("b")),
+            tp(iri("a"), var("x"), var("y")),
+            tp(var("x"), iri("p"), iri("c")),
+            tp(var("x"), iri("q"), var("y")),
+            tp(var("x"), var("y"), iri("a")),
+            tp(var("x"), var("y"), var("z")),
+        ];
+        for pat in pats {
+            let mut got = g.match_pattern(&pat);
+            let mut want = r.match_pattern(&pat);
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "pattern {pat}");
+            assert!(g.candidate_count(&pat) >= got.len());
+            assert_eq!(g.solutions(&pat).len(), r.solutions(&pat).len());
+        }
+    }
+
+    #[test]
+    fn repeated_variables_constrain_matches() {
+        let mut g = sample();
+        g.insert_batch([Triple::from_strs("d", "p", "d")]);
+        let loops = g.match_pattern(&tp(var("x"), iri("p"), var("x")));
+        assert_eq!(loops, vec![Triple::from_strs("d", "p", "d")]);
+        assert!(g
+            .match_pattern(&tp(var("x"), var("x"), var("x")))
+            .is_empty());
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let g = sample();
+        assert!(g
+            .match_pattern(&tp(iri("zzz"), var("x"), var("y")))
+            .is_empty());
+        assert_eq!(g.candidate_count(&tp(var("x"), iri("zzz"), var("y"))), 0);
+        assert!(!g.contains(&Triple::from_strs("a", "p", "zzz")));
+    }
+
+    #[test]
+    fn incremental_batches_agree_with_one_shot_build() {
+        let all: Vec<Triple> = (0..40)
+            .map(|i| {
+                Triple::from_strs(
+                    &format!("s{}", i % 7),
+                    &format!("p{}", i % 3),
+                    &format!("o{i}"),
+                )
+            })
+            .collect();
+        let one_shot = EncodedGraph::from_triples(all.iter().copied());
+        let mut incremental = EncodedGraph::new();
+        for chunk in all.chunks(9) {
+            incremental.insert_batch(chunk.iter().copied());
+        }
+        assert_eq!(one_shot, incremental);
+        // Re-inserting is a no-op.
+        assert_eq!(incremental.insert_batch(all), 0);
+    }
+
+    #[test]
+    fn merge_join_intersects_shared_variable() {
+        let g = EncodedGraph::from_triples(
+            [
+                ("a", "p", "x"),
+                ("b", "p", "x"),
+                ("c", "p", "x"),
+                ("b", "q", "y"),
+                ("c", "q", "y"),
+                ("d", "q", "y"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        );
+        let p1 = tp(var("s"), iri("p"), var("o1"));
+        let p2 = tp(var("s"), iri("q"), var("o2"));
+        let shared = g.merge_join_values(&p1, &p2, Variable::new("s")).unwrap();
+        let mut names: Vec<&str> = shared.iter().map(|i| i.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["b", "c"]);
+        assert!(g.merge_join_ids(&p1, &p2, Variable::new("nope")).is_none());
+    }
+
+    #[test]
+    fn stats_read_off_the_offsets() {
+        let g = sample();
+        let cards = g.predicate_cardinalities();
+        assert_eq!(cards.len(), 2);
+        assert_eq!(cards[0].1, 3); // p
+        assert_eq!(cards[1].1, 2); // q
+        let (s, p, o) = g.position_cardinalities();
+        assert_eq!((s, p, o), (3, 2, 3)); // {a,b,c}, {p,q}, {a,b,c}
+    }
+
+    #[test]
+    fn trait_view_agrees_with_inherent_api() {
+        let g = sample();
+        let ix: &dyn TripleIndex = &g;
+        assert_eq!(ix.len(), 5);
+        assert_eq!(ix.dom().count(), 5);
+        assert!(ix.dom_contains(Iri::new("q")));
+        assert_eq!(ix.triples().count(), 5);
+        assert_eq!(ix.match_pattern(&tp(var("x"), iri("p"), var("y"))).len(), 3);
+    }
+
+    #[test]
+    fn round_trips_through_rdf() {
+        let g = sample();
+        assert_eq!(EncodedGraph::from_rdf(&g.to_rdf()), g);
+    }
+}

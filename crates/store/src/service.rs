@@ -1,0 +1,567 @@
+//! [`TripleStore`]: the concurrent query service over an
+//! [`EncodedGraph`].
+//!
+//! The store keeps the encoded graph in an `Arc` behind a reader-writer
+//! lock: queries clone the `Arc` under a brief read lock and evaluate
+//! lock-free against that snapshot, while bulk loads mutate via
+//! copy-on-write under the write lock — so a slow query never blocks a
+//! load, and a load never blocks queries. An LRU result cache is keyed
+//! by `(query, graph epoch)` — a bulk load bumps the epoch, so stale
+//! entries can never be served — and a [`StoreStats`] snapshot's
+//! per-predicate cardinalities drive most-selective-first,
+//! connectivity-aware ordering of multi-pattern (BGP) queries.
+
+use crate::encoded::EncodedGraph;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wdsparql_rdf::{binding_of, Iri, Mapping, RdfGraph, Term, Triple, TriplePattern, Variable};
+
+/// A snapshot of the store's contents, taken under the read lock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Triples in the store.
+    pub triples: usize,
+    /// Distinct terms (= `|dom(G)|`).
+    pub terms: usize,
+    /// Distinct subjects / predicates / objects.
+    pub subjects: usize,
+    pub predicates: usize,
+    pub objects: usize,
+    /// Per-predicate cardinalities, descending.
+    pub predicate_cardinalities: Vec<(Iri, usize)>,
+    /// Bulk-load generation; queries are cached per epoch.
+    pub epoch: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} triple(s) over {} term(s) | {} subject(s), {} predicate(s), {} object(s) | epoch {}",
+            self.triples, self.terms, self.subjects, self.predicates, self.objects, self.epoch
+        )?;
+        write!(f, "predicate cardinalities:")?;
+        for (p, n) in &self.predicate_cardinalities {
+            write!(f, " {p}={n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Cache hit/miss counters (monotonic over the store's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// Cache key: query text plus the epoch it was computed under.
+type CacheKey = (String, u64);
+/// Cached value with its last-use stamp.
+type CacheEntry = (Arc<Vec<Mapping>>, u64);
+
+/// A small LRU keyed by `(query text, epoch)`. Recency is tracked by a
+/// logical clock; eviction scans for the stalest entry, which is linear
+/// but cheap at the configured capacities.
+struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<Mapping>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            Arc::clone(v)
+        })
+    }
+
+    fn put(&mut self, key: CacheKey, value: Arc<Vec<Mapping>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+struct Inner {
+    /// The current graph snapshot. Readers clone the `Arc` under a brief
+    /// read lock and evaluate lock-free against the snapshot, so a slow
+    /// query never blocks a bulk load (or, behind a writer-preferring
+    /// lock, other queries). `bulk_load` mutates via [`Arc::make_mut`] —
+    /// in place when no query holds the snapshot, copy-on-write
+    /// otherwise.
+    graph: Arc<EncodedGraph>,
+    epoch: u64,
+}
+
+/// The concurrent triple-store service.
+///
+/// Shareable across threads behind an [`Arc`]; reads (queries, stats)
+/// evaluate against a cheap `Arc` snapshot of the graph,
+/// [`TripleStore::bulk_load`] takes the write lock and bumps the epoch.
+pub struct TripleStore {
+    inner: RwLock<Inner>,
+    cache: Mutex<LruCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for TripleStore {
+    fn default() -> TripleStore {
+        TripleStore::new()
+    }
+}
+
+impl TripleStore {
+    /// An empty store with the default cache capacity (128 queries).
+    pub fn new() -> TripleStore {
+        TripleStore::with_cache_capacity(128)
+    }
+
+    pub fn with_cache_capacity(capacity: usize) -> TripleStore {
+        TripleStore {
+            inner: RwLock::new(Inner {
+                graph: Arc::new(EncodedGraph::new()),
+                epoch: 0,
+            }),
+            cache: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn from_triples<I>(triples: I) -> TripleStore
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let store = TripleStore::new();
+        store.bulk_load(triples);
+        store
+    }
+
+    pub fn from_rdf(g: &RdfGraph) -> TripleStore {
+        TripleStore::from_triples(g.iter().copied())
+    }
+
+    /// Bulk-loads a batch of triples under the write lock. Returns the
+    /// number of new triples; bumps the epoch (invalidating cached
+    /// results) when anything changed.
+    pub fn bulk_load<I>(&self, triples: I) -> usize
+    where
+        I: IntoIterator<Item = Triple>,
+    {
+        let batch: Vec<Triple> = triples.into_iter().collect();
+        let mut inner = self.inner.write();
+        // A no-op batch must not pay `Arc::make_mut`: with any query
+        // snapshot alive that would deep-clone the whole graph only to
+        // change nothing (e.g. an idempotent ingest retry).
+        if batch.iter().all(|t| inner.graph.contains(t)) {
+            return 0;
+        }
+        let added = Arc::make_mut(&mut inner.graph).insert_batch(batch);
+        if added > 0 {
+            inner.epoch += 1;
+            // Every cached entry is keyed to an older epoch and is now
+            // unreachable — drop them so the result sets free their
+            // memory immediately instead of lingering until evicted.
+            self.cache.lock().map.clear();
+        }
+        added
+    }
+
+    /// The current graph snapshot and its epoch (one brief read lock).
+    fn snapshot(&self) -> (Arc<EncodedGraph>, u64) {
+        let inner = self.inner.read();
+        (Arc::clone(&inner.graph), inner.epoch)
+    }
+
+    pub fn len(&self) -> usize {
+        self.snapshot().0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().epoch
+    }
+
+    /// Runs `f` against a snapshot of the encoded graph — the hook the
+    /// evaluation engine uses to borrow the store as a
+    /// [`wdsparql_rdf::TripleIndex`]. `f` runs lock-free: a long
+    /// evaluation never blocks concurrent bulk loads or other queries.
+    pub fn with_index<R>(&self, f: impl FnOnce(&EncodedGraph) -> R) -> R {
+        f(&self.snapshot().0)
+    }
+
+    /// A consistent stats snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let (graph, epoch) = self.snapshot();
+        let (subjects, predicates, objects) = graph.position_cardinalities();
+        StoreStats {
+            triples: graph.len(),
+            terms: graph.term_count(),
+            subjects,
+            predicates,
+            objects,
+            predicate_cardinalities: graph.predicate_cardinalities(),
+            epoch,
+        }
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().map.len(),
+        }
+    }
+
+    /// Evaluation order for a conjunctive (BGP) query: pattern indexes
+    /// most-selective-first. Selectivity is the bound-prefix range length
+    /// — exact for every bound combination, and identical to the
+    /// [`StoreStats`] predicate cardinality when only the predicate is
+    /// bound.
+    pub fn plan(&self, patterns: &[TriplePattern]) -> Vec<usize> {
+        Self::plan_order(&self.snapshot().0, patterns)
+    }
+
+    /// The one source of truth for BGP evaluation order, shared by
+    /// [`TripleStore::plan`] (what callers display) and `eval_bgp` (what
+    /// actually runs) so the two can never diverge.
+    ///
+    /// Greedy: seed with the most selective pattern, then repeatedly take
+    /// the most selective pattern sharing a variable with what is already
+    /// bound. A disconnected pattern (Cartesian product) is chosen only
+    /// when nothing connected remains — deferring it keeps the bind-join
+    /// loop's intermediate result linear in the joined component instead
+    /// of multiplying unrelated match sets.
+    fn plan_order(graph: &EncodedGraph, patterns: &[TriplePattern]) -> Vec<usize> {
+        let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+        remaining.sort_by_key(|&i| graph.candidate_count(&patterns[i]));
+        let mut order = Vec::with_capacity(patterns.len());
+        let mut bound: HashSet<Variable> = HashSet::new();
+        while !remaining.is_empty() {
+            let pick = remaining
+                .iter()
+                .position(|&i| patterns[i].vars().iter().any(|v| bound.contains(v)))
+                .unwrap_or(0);
+            let i = remaining.remove(pick);
+            bound.extend(patterns[i].vars());
+            order.push(i);
+        }
+        order
+    }
+
+    /// Collision-free cache key: every term is rendered as its kind tag
+    /// plus interned id (stable for the process lifetime of the cache).
+    /// The `Display` form would not do — an IRI's spelling is arbitrary
+    /// text, so two distinct pattern lists could print identically.
+    fn cache_key(patterns: &[TriplePattern]) -> String {
+        use std::fmt::Write;
+        let mut key = String::new();
+        for pat in patterns {
+            for term in pat.positions() {
+                let (kind, id) = match term {
+                    Term::Var(v) => ('v', v.id()),
+                    Term::Iri(i) => ('i', i.id()),
+                };
+                write!(key, "{kind}{id},").expect("writing to a String cannot fail");
+            }
+        }
+        key
+    }
+
+    /// Cached single-pattern solutions.
+    pub fn solutions(&self, pat: &TriplePattern) -> Arc<Vec<Mapping>> {
+        self.cached(Self::cache_key(std::slice::from_ref(pat)), |graph| {
+            graph.solutions(pat)
+        })
+    }
+
+    /// Evaluates the conjunction of `patterns` (a BGP: the AND-only
+    /// fragment) with most-selective-first ordering, a sorted-merge
+    /// semi-join on the first shared variable, and index-nested-loop
+    /// (bind) joins for the rest. Results are cached per epoch.
+    pub fn query(&self, patterns: &[TriplePattern]) -> Arc<Vec<Mapping>> {
+        self.cached(Self::cache_key(patterns), |graph| {
+            Self::eval_bgp(graph, patterns)
+        })
+    }
+
+    fn eval_bgp(graph: &EncodedGraph, patterns: &[TriplePattern]) -> Vec<Mapping> {
+        if patterns.is_empty() {
+            return vec![Mapping::new()];
+        }
+        let order = Self::plan_order(graph, patterns);
+        let first = &patterns[order[0]];
+        let mut sols = graph.solutions(first);
+        // Semi-join: when the two most selective patterns share a
+        // variable, drop seed solutions whose value for it cannot occur
+        // in the second pattern. The first pattern's side is already in
+        // hand (`sols` was just enumerated), so only the second
+        // pattern's sorted candidate ids are scanned.
+        if let Some(&second) = order.get(1) {
+            let shared = first
+                .vars()
+                .intersection(&patterns[second].vars())
+                .copied()
+                .next();
+            if let Some(v) = shared {
+                if let Some(ids) = graph.candidate_ids(&patterns[second], v) {
+                    sols.retain(|mu| {
+                        mu.get(v).is_some_and(|i| {
+                            graph
+                                .dictionary()
+                                .lookup(i)
+                                .is_some_and(|id| ids.binary_search(&id).is_ok())
+                        })
+                    });
+                }
+            }
+        }
+        for &i in &order[1..] {
+            let pat = &patterns[i];
+            let mut next = Vec::new();
+            for mu in &sols {
+                let bound = pat.apply_partial(mu);
+                for t in graph.match_pattern(&bound) {
+                    let nu = binding_of(&bound, &t)
+                        .expect("match_pattern returns only matching triples");
+                    let merged = mu
+                        .union(&nu)
+                        .expect("bound pattern cannot rebind branch variables");
+                    next.push(merged);
+                }
+            }
+            sols = next;
+        }
+        sols
+    }
+
+    /// Shared variables helper for callers composing their own joins.
+    pub fn shared_vars(a: &TriplePattern, b: &TriplePattern) -> Vec<Variable> {
+        a.vars().intersection(&b.vars()).copied().collect()
+    }
+
+    fn cached(
+        &self,
+        key: String,
+        compute: impl FnOnce(&EncodedGraph) -> Vec<Mapping>,
+    ) -> Arc<Vec<Mapping>> {
+        let (graph, epoch) = self.snapshot();
+        let key = (key, epoch);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Computed lock-free on the snapshot. Skip the insert when a
+        // bulk load landed meanwhile: the entry would be keyed to the
+        // old epoch — correct but unreachable, so only dead weight. (A
+        // load racing in between the check and the put can still leave
+        // one such entry; the next load's cache clear removes it.)
+        let value = Arc::new(compute(&graph));
+        if self.inner.read().epoch == epoch {
+            self.cache.lock().put(key, Arc::clone(&value));
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdsparql_rdf::term::{iri, var};
+    use wdsparql_rdf::tp;
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(
+            [
+                ("a", "p", "b"),
+                ("b", "p", "c"),
+                ("c", "p", "d"),
+                ("b", "q", "x"),
+                ("c", "q", "x"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        )
+    }
+
+    #[test]
+    fn bulk_load_bumps_epoch_only_on_change() {
+        let s = store();
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.bulk_load([Triple::from_strs("a", "p", "b")]), 0);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.bulk_load([Triple::from_strs("z", "p", "z")]), 1);
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn stats_snapshot_reports_cardinalities() {
+        let s = store();
+        let st = s.stats();
+        assert_eq!(st.triples, 5);
+        assert_eq!(st.predicates, 2);
+        assert_eq!(st.predicate_cardinalities[0], (Iri::new("p"), 3));
+        assert!(st.to_string().contains("p=3"));
+    }
+
+    #[test]
+    fn plan_orders_most_selective_first() {
+        let s = store();
+        let pats = [
+            tp(var("x"), iri("p"), var("y")), // 3 candidates
+            tp(var("y"), iri("q"), iri("x")), // 2 candidates
+            tp(iri("a"), iri("p"), var("y")), // 1 candidate
+        ];
+        assert_eq!(s.plan(&pats), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn plan_defers_disconnected_patterns() {
+        // p: 2 triples, q: 3, r: 4 — by selectivity alone the order would
+        // be [p, q, r], but q shares no variable with p, so the planner
+        // must bridge through r to avoid a Cartesian product.
+        let s = TripleStore::from_triples(
+            [
+                ("a1", "p", "b1"),
+                ("a2", "p", "b2"),
+                ("c1", "q", "d1"),
+                ("c2", "q", "d2"),
+                ("c3", "q", "d3"),
+                ("b1", "r", "c1"),
+                ("b2", "r", "c2"),
+                ("b3", "r", "c3"),
+                ("b4", "r", "c4"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        );
+        let pats = [
+            tp(var("a"), iri("p"), var("b")),
+            tp(var("c"), iri("q"), var("d")),
+            tp(var("b"), iri("r"), var("c")),
+        ];
+        assert_eq!(s.plan(&pats), vec![0, 2, 1]);
+        // The reordered evaluation still yields the full join.
+        assert_eq!(s.query(&pats).len(), 2);
+    }
+
+    #[test]
+    fn query_joins_and_caches() {
+        let s = store();
+        let pats = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+        ];
+        let sols = s.query(&pats);
+        // (a,b) with b q x; (b,c) with c q x.
+        assert_eq!(sols.len(), 2);
+        for mu in sols.iter() {
+            assert_eq!(mu.get(Variable::new("z")), Some(Iri::new("x")));
+        }
+        let before = s.cache_stats();
+        let again = s.query(&pats);
+        let after = s.cache_stats();
+        assert_eq!(sols, again);
+        assert_eq!(after.hits, before.hits + 1);
+        // A load invalidates: the stale entries are dropped outright and
+        // the next query recomputes.
+        s.bulk_load([Triple::from_strs("d", "q", "x")]);
+        assert_eq!(s.cache_stats().entries, 0);
+        let fresh = s.query(&pats);
+        assert_eq!(fresh.len(), 3);
+    }
+
+    #[test]
+    fn query_agrees_with_reference_join_order_independence() {
+        let s = store();
+        let a = tp(var("x"), iri("p"), var("y"));
+        let b = tp(var("y"), iri("q"), var("z"));
+        let ab = s.query(&[a, b]);
+        let ba = s.query(&[b, a]);
+        let mut xs: Vec<Mapping> = ab.iter().cloned().collect();
+        let mut ys: Vec<Mapping> = ba.iter().cloned().collect();
+        xs.sort();
+        ys.sort();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn empty_query_yields_the_empty_mapping() {
+        let s = store();
+        let sols = s.query(&[]);
+        assert_eq!(sols.as_slice(), &[Mapping::new()]);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let s = TripleStore::with_cache_capacity(2);
+        s.bulk_load([Triple::from_strs("a", "p", "b")]);
+        let p1 = tp(var("x"), iri("p"), var("y"));
+        let p2 = tp(iri("a"), var("w"), var("y"));
+        let p3 = tp(var("x"), var("w"), iri("b"));
+        s.solutions(&p1);
+        s.solutions(&p2);
+        s.solutions(&p1); // refresh p1
+        s.solutions(&p3); // evicts p2
+        assert_eq!(s.cache_stats().entries, 2);
+        let before = s.cache_stats().hits;
+        s.solutions(&p1);
+        assert_eq!(s.cache_stats().hits, before + 1);
+        s.solutions(&p2); // miss: was evicted
+        assert_eq!(s.cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let s = Arc::new(store());
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..50 {
+                    if i == 0 && j % 10 == 0 {
+                        s.bulk_load([Triple::from_strs(&format!("w{j}"), "p", "b")]);
+                    }
+                    let sols = s.query(&[tp(var("x"), iri("p"), var("y"))]);
+                    assert!(sols.len() >= 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(s.len() > 5);
+    }
+}

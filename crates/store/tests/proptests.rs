@@ -1,0 +1,126 @@
+//! Property tests for the store: dictionary round-trips, and full
+//! access-pattern equivalence between [`EncodedGraph`]'s sorted
+//! permutation ranges and [`RdfGraph`]'s hash indexes.
+
+use proptest::prelude::*;
+use wdsparql_rdf::{tp, Iri, RdfGraph, Triple, TripleIndex, Variable};
+use wdsparql_store::{Dictionary, EncodedGraph, TripleStore};
+
+fn arb_graph() -> impl Strategy<Value = RdfGraph> {
+    proptest::collection::vec((0..6usize, 0..3usize, 0..6usize), 0..20).prop_map(|ts| {
+        RdfGraph::from_triples(ts.into_iter().map(|(s, p, o)| {
+            Triple::from_strs(&format!("sn{s}"), &format!("sp{p}"), &format!("sn{o}"))
+        }))
+    })
+}
+
+/// One of the nine interesting term choices per position: a present
+/// constant, a maybe-absent constant, or one of two variables (repeats
+/// exercise the repeated-variable constraints).
+fn term_of(choice: usize, prefix: &str) -> wdsparql_rdf::Term {
+    use wdsparql_rdf::{iri, var};
+    match choice {
+        0..=5 => iri(&format!("{prefix}{choice}")),
+        6 => iri("absent-term"),
+        7 => var("a"),
+        _ => var("b"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dictionary encode/decode/lookup round-trips, with dense ids.
+    #[test]
+    fn dictionary_round_trips(names in proptest::collection::vec("[a-z]{1,6}", 1..20)) {
+        let mut d = Dictionary::new();
+        let ids: Vec<u32> = names.iter().map(|n| d.encode(Iri::new(n))).collect();
+        for (name, &id) in names.iter().zip(&ids) {
+            prop_assert_eq!(d.decode(id), Iri::new(name));
+            prop_assert_eq!(d.lookup(Iri::new(name)), Some(id));
+            prop_assert_eq!(d.encode(Iri::new(name)), id, "re-encode must be stable");
+        }
+        // Ids are dense: 0..distinct-names.
+        let distinct: std::collections::BTreeSet<&String> = names.iter().collect();
+        prop_assert_eq!(d.len(), distinct.len());
+        let max = ids.iter().copied().max().unwrap() as usize;
+        prop_assert_eq!(max + 1, d.len());
+    }
+
+    /// EncodedGraph agrees with RdfGraph on every access pattern,
+    /// including repeated variables and absent constants.
+    #[test]
+    fn encoded_matches_rdf_graph(g in arb_graph(), s in 0..9usize, p in 0..9usize, o in 0..9usize) {
+        let enc = EncodedGraph::from_rdf(&g);
+        prop_assert_eq!(enc.len(), g.len());
+        let pat = tp(term_of(s, "sn"), term_of(p, "sp"), term_of(o, "sn"));
+        let mut got = enc.match_pattern(&pat);
+        let mut want = g.match_pattern(&pat);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(&got, &want, "pattern {}", pat);
+        prop_assert!(enc.candidate_count(&pat) >= got.len());
+        // Solutions agree as sets.
+        let mut gs = enc.solutions(&pat);
+        let mut ws = g.solutions(&pat);
+        gs.sort();
+        ws.sort();
+        prop_assert_eq!(gs, ws);
+        // The TripleIndex views agree on the global surface too.
+        let ei: &dyn TripleIndex = &enc;
+        let gi: &dyn TripleIndex = &g;
+        prop_assert_eq!(ei.dom().collect::<Vec<_>>(), gi.dom().collect::<Vec<_>>());
+        for t in gi.triples() {
+            prop_assert!(ei.contains(&t));
+        }
+    }
+
+    /// Incremental bulk loads converge to the one-shot build, and the
+    /// service's BGP join agrees with the reference pairwise join.
+    #[test]
+    fn service_join_agrees_with_reference(g in arb_graph(), chunk in 1..7usize) {
+        let triples: Vec<Triple> = g.iter().copied().collect();
+        let store = TripleStore::new();
+        for batch in triples.chunks(chunk) {
+            store.bulk_load(batch.iter().copied());
+        }
+        prop_assert_eq!(store.len(), g.len());
+        let pats = [
+            tp(wdsparql_rdf::var("x"), wdsparql_rdf::iri("sp0"), wdsparql_rdf::var("y")),
+            tp(wdsparql_rdf::var("y"), wdsparql_rdf::iri("sp1"), wdsparql_rdf::var("z")),
+        ];
+        let mut got: Vec<_> = store.query(&pats).iter().cloned().collect();
+        got.sort();
+        // Reference: nested-loop join over RdfGraph solutions.
+        let mut want = Vec::new();
+        for a in g.solutions(&pats[0]) {
+            for b in g.solutions(&pats[1]) {
+                if let Some(u) = a.union(&b) {
+                    want.push(u);
+                }
+            }
+        }
+        want.sort();
+        want.dedup();
+        prop_assert_eq!(got, want);
+        let _ = store.cache_stats();
+    }
+
+    /// merge_join_ids equals the set intersection of the per-pattern
+    /// candidate bindings.
+    #[test]
+    fn merge_join_is_set_intersection(g in arb_graph(), p1 in 0..3usize, p2 in 0..3usize) {
+        let enc = EncodedGraph::from_rdf(&g);
+        let v = Variable::new("j");
+        let a = tp(wdsparql_rdf::var("j"), wdsparql_rdf::iri(&format!("sp{p1}")), wdsparql_rdf::var("o1"));
+        let b = tp(wdsparql_rdf::var("j"), wdsparql_rdf::iri(&format!("sp{p2}")), wdsparql_rdf::var("o2"));
+        let joined: std::collections::BTreeSet<Iri> =
+            enc.merge_join_values(&a, &b, v).unwrap().into_iter().collect();
+        let sa: std::collections::BTreeSet<Iri> =
+            g.solutions(&a).into_iter().filter_map(|m| m.get(v)).collect();
+        let sb: std::collections::BTreeSet<Iri> =
+            g.solutions(&b).into_iter().filter_map(|m| m.get(v)).collect();
+        let want: std::collections::BTreeSet<Iri> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(joined, want);
+    }
+}

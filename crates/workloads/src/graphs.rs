@@ -214,6 +214,29 @@ pub fn university(n_depts: usize, seed: u64) -> RdfGraph {
     g
 }
 
+/// A streaming bulk-load workload: `n_triples` pseudo-random triple
+/// draws over `n_nodes` node IRIs and `n_predicates` predicates,
+/// deterministic in `seed`. Unlike [`random_graph`] nothing is
+/// materialised or deduplicated — the iterator feeds
+/// `wdsparql-store`-style batched loaders at million-triple scale
+/// without an intermediate [`RdfGraph`] (duplicates are the loader's
+/// problem, as with any real ingest feed).
+pub fn triple_stream(
+    n_nodes: usize,
+    n_triples: usize,
+    n_predicates: usize,
+    seed: u64,
+) -> impl Iterator<Item = Triple> {
+    assert!(n_nodes > 0 && n_predicates > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_triples).map(move |_| {
+        let s = format!("n{}", rng.gen_range(0..n_nodes));
+        let p = format!("p{}", rng.gen_range(0..n_predicates));
+        let o = format!("n{}", rng.gen_range(0..n_nodes));
+        Triple::from_strs(&s, &p, &o)
+    })
+}
+
 /// A preferential-attachment ("scale-free") graph: each new vertex
 /// attaches `m` out-edges, preferring endpoints that already have many
 /// edges (Barabási–Albert flavour, over a single predicate). Produces the
@@ -320,6 +343,20 @@ mod tests {
         // Deterministic in the seed.
         assert_eq!(university(4, 11), university(4, 11));
         assert_ne!(university(4, 11), university(4, 12));
+    }
+
+    #[test]
+    fn triple_stream_is_deterministic_and_lazy() {
+        let a: Vec<Triple> = triple_stream(50, 1000, 3, 9).collect();
+        let b: Vec<Triple> = triple_stream(50, 1000, 3, 9).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1000);
+        let c: Vec<Triple> = triple_stream(50, 1000, 3, 10).collect();
+        assert_ne!(a, c);
+        // The stream (unlike random_graph) may repeat triples; a set
+        // build of the same draws is therefore no larger.
+        let g = RdfGraph::from_triples(a.iter().copied());
+        assert!(g.len() <= 1000);
     }
 
     #[test]

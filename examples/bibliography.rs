@@ -50,7 +50,8 @@ fn main() {
     println!("   {} theory papers", sols3.len());
 
     // Cross-validate enumeration against the reference semantics on Q1.
-    let reference = wdsparql::algebra::eval(q1.pattern(), engine.graph());
+    let reference =
+        wdsparql::algebra::eval(q1.pattern(), engine.graph().expect("memory-backed engine"));
     assert_eq!(sols1, reference);
     println!("\nEnumeration matches the reference Pérez-et-al. semantics on Q1.");
 }

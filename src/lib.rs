@@ -36,6 +36,8 @@
 //! The crates are re-exported as modules:
 //!
 //! * [`rdf`] — terms, triples, mappings, indexed graphs, N-Triples I/O;
+//! * [`store`] — the dictionary-encoded triple store: sorted permutation
+//!   indexes, merge joins, and the concurrent [`TripleStore`] service;
 //! * [`algebra`] — patterns, parser, well-designedness, reference semantics;
 //! * [`tree`] — wdPTs/wdPFs, `wdpf` translation, NR normal form;
 //! * [`hom`] — t-graphs, homomorphisms, cores, Gaifman graphs, treewidth;
@@ -57,6 +59,7 @@ pub use wdsparql_hom as hom;
 pub use wdsparql_pebble as pebble;
 pub use wdsparql_project as project;
 pub use wdsparql_rdf as rdf;
+pub use wdsparql_store as store;
 pub use wdsparql_tree as tree;
 pub use wdsparql_width as width;
 pub use wdsparql_workloads as workloads;
@@ -64,3 +67,4 @@ pub use wdsparql_workloads as workloads;
 pub use wdsparql_contain::{decide_containment, decide_equivalence, SearchBudget, Verdict};
 pub use wdsparql_core::{Engine, Query, QueryError, Strategy, WidthReport};
 pub use wdsparql_project::ProjectedQuery;
+pub use wdsparql_store::{EncodedGraph, TripleStore};

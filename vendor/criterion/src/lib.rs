@@ -14,10 +14,136 @@
 //! `--test` and filter arguments from `cargo bench` are accepted;
 //! `--test` (used by `cargo test` over bench targets) runs each
 //! benchmark body exactly once, keeping `cargo test -q` fast.
+//!
+//! Besides the stdout report, `criterion_main!` writes the measured
+//! medians as machine-readable JSON (`BENCH_<target>.json` in the
+//! working directory, a path the target pinned with
+//! [`set_bench_json_path`], or the path in `$BENCH_JSON_PATH`), so the
+//! perf trajectory can be tracked across PRs. Set `BENCH_JSON=0` to disable;
+//! nothing is written in `--test` mode.
 
 use std::fmt::Display;
 use std::hint;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One measured benchmark, accumulated across every group of the
+/// running bench target.
+#[derive(Clone, Debug)]
+struct JsonEntry {
+    name: String,
+    median_ns: u128,
+    samples: usize,
+}
+
+fn json_entries() -> &'static Mutex<Vec<JsonEntry>> {
+    static ENTRIES: OnceLock<Mutex<Vec<JsonEntry>>> = OnceLock::new();
+    ENTRIES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_default_path() -> &'static Mutex<Option<String>> {
+    static PATH: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Sets the default JSON output path for this bench target, overriding
+/// the `BENCH_<target>.json`-in-cwd fallback. Lets a target pin its
+/// report to a stable, committed location regardless of the directory
+/// `cargo bench` runs it from; `$BENCH_JSON_PATH` still wins.
+pub fn set_bench_json_path(path: impl Into<String>) {
+    *json_default_path()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = Some(path.into());
+}
+
+/// The bench target name, recovered from the executable path by
+/// stripping cargo's trailing `-<hash>` disambiguator.
+fn target_name() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&exe)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() >= 8 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// True when the invocation carries a substring filter (a free harness
+/// argument), i.e. only a subset of the target's benchmarks ran and the
+/// accumulated entries would be a partial — misleading — baseline.
+fn filtered_run() -> bool {
+    std::env::args().skip(1).any(|a| !a.starts_with('-'))
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the accumulated measurements as the `BENCH_*.json` document.
+fn render_bench_json(target: &str, entries: &[JsonEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"target\": \"{}\",\n", json_escape(target)));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"samples\": {}}}{comma}\n",
+            json_escape(&e.name),
+            e.median_ns,
+            e.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the measurements collected so far to the `BENCH_*.json`
+/// location (see the crate docs). Called by `criterion_main!` after all
+/// groups have run; a no-op when nothing was measured (e.g. `--test`
+/// mode), when `BENCH_JSON=0`, or on a filtered run without an explicit
+/// `$BENCH_JSON_PATH` (a partial run must not overwrite the baseline).
+pub fn write_bench_json() {
+    if std::env::var("BENCH_JSON").as_deref() == Ok("0") {
+        return;
+    }
+    let entries = json_entries().lock().unwrap_or_else(|e| e.into_inner());
+    if entries.is_empty() {
+        return;
+    }
+    let explicit = std::env::var("BENCH_JSON_PATH").ok();
+    if explicit.is_none() && filtered_run() {
+        eprintln!(
+            "note: filtered bench run; not updating the BENCH_*.json baseline \
+             (set BENCH_JSON_PATH to capture a partial run)"
+        );
+        return;
+    }
+    let target = target_name();
+    let path = explicit
+        .or_else(|| {
+            json_default_path()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+        })
+        .unwrap_or_else(|| format!("BENCH_{target}.json"));
+    let doc = render_bench_json(&target, &entries);
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -199,7 +325,17 @@ impl Criterion {
     fn report(&self, name: &str, samples: usize, median: Option<Duration>) {
         match median {
             _ if self.test_mode => println!("test {name} ... ok"),
-            Some(d) => println!("{name:<56} median {d:>12.3?} ({samples} samples)"),
+            Some(d) => {
+                println!("{name:<56} median {d:>12.3?} ({samples} samples)");
+                json_entries()
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(JsonEntry {
+                        name: name.to_string(),
+                        median_ns: d.as_nanos(),
+                        samples,
+                    });
+            }
             None => println!("{name:<56} (no measurement: b.iter not called)"),
         }
     }
@@ -223,6 +359,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }
@@ -251,6 +388,37 @@ mod tests {
     fn benchmark_ids_format_like_criterion() {
         assert_eq!(BenchmarkId::new("clique", 8).to_string(), "clique/8");
         assert_eq!(BenchmarkId::from_parameter("3x4").to_string(), "3x4");
+    }
+
+    #[test]
+    fn bench_json_renders_valid_entries() {
+        let entries = vec![
+            JsonEntry {
+                name: "g/one".into(),
+                median_ns: 1500,
+                samples: 10,
+            },
+            JsonEntry {
+                name: "g/two \"quoted\"".into(),
+                median_ns: 7,
+                samples: 3,
+            },
+        ];
+        let doc = render_bench_json("store_scan", &entries);
+        assert!(doc.contains("\"target\": \"store_scan\""));
+        assert!(doc.contains("{\"name\": \"g/one\", \"median_ns\": 1500, \"samples\": 10},"));
+        assert!(doc.contains("\\\"quoted\\\""));
+        // The last entry carries no trailing comma.
+        assert!(doc.contains("\"samples\": 3}\n"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb"), "a\\u000ab");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! Differences from upstream, deliberately accepted: no shrinking (a
 //! failing case reports its replay seed instead of a minimal one), and
 //! the RNG is deterministic per test name so CI runs are reproducible.
+//! Set `PROPTEST_SEED=<u64>` to perturb every property's case sequence
+//! at once (failures report the seed to replay with); unset or `0` is
+//! the canonical sequence.
 
 pub mod collection;
 mod macros;

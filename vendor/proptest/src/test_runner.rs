@@ -32,18 +32,43 @@ impl Default for ProptestConfig {
 /// `rand` stand-in). Seeded from the property's name so every run and
 /// every machine explores the same sequence — failures are reproducible
 /// by construction, which replaces upstream's persisted failure seeds.
+///
+/// Setting `PROPTEST_SEED=<u64>` perturbs every property's sequence at
+/// once, letting CI runs explore different cases over time; a failure
+/// replays with the same value. `PROPTEST_SEED=0` (or unset) is the
+/// canonical per-name sequence.
 pub struct TestRng {
     inner: rand::rngs::StdRng,
 }
 
+/// The run-wide seed perturbation from `PROPTEST_SEED`, 0 when unset.
+/// Panics on an unparseable value — silently ignoring it would fake
+/// reproducibility.
+pub fn env_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => 0,
+    }
+}
+
 impl TestRng {
     pub fn from_name(name: &str) -> TestRng {
+        TestRng::from_name_and_seed(name, env_seed())
+    }
+
+    pub fn from_name_and_seed(name: &str, seed: u64) -> TestRng {
         // FNV-1a over the test name.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
+        // Golden-ratio mix keeps seed 0 the identity, so the default
+        // sequence is unchanged.
+        h ^= seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
         TestRng {
             inner: rand::SeedableRng::seed_from_u64(h),
         }
@@ -122,9 +147,44 @@ where
             Err(TestCaseError::Fail(msg)) => {
                 panic!(
                     "proptest stand-in: property {name} falsified at case #{accepted} \
-                     (attempt {attempt}): {msg}"
+                     (attempt {attempt}, replay with PROPTEST_SEED={}): {msg}",
+                    env_seed()
                 );
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draws(name: &str, seed: u64) -> Vec<u64> {
+        let mut rng = TestRng::from_name_and_seed(name, seed);
+        (0..8).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn sequences_are_deterministic_per_name_and_seed() {
+        assert_eq!(draws("prop_x", 0), draws("prop_x", 0));
+        assert_eq!(draws("prop_x", 7), draws("prop_x", 7));
+        assert_ne!(draws("prop_x", 0), draws("prop_y", 0));
+    }
+
+    #[test]
+    fn seed_perturbs_the_sequence() {
+        assert_ne!(draws("prop_x", 0), draws("prop_x", 1));
+        assert_ne!(draws("prop_x", 1), draws("prop_x", 2));
+    }
+
+    #[test]
+    fn seed_zero_is_the_canonical_sequence() {
+        // `from_name` with no PROPTEST_SEED in the environment must match
+        // the explicit zero seed (the pre-seed behaviour).
+        if env_seed() == 0 {
+            let mut rng = TestRng::from_name("prop_x");
+            let named: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+            assert_eq!(named, draws("prop_x", 0));
         }
     }
 }
