@@ -2,9 +2,14 @@
 //! [`RdfGraph`]'s hash-indexed pattern matching vs [`EncodedGraph`]'s
 //! dictionary-encoded sorted-permutation ranges, on a ≥100k-triple
 //! workload graph, plus join throughput (hash bind join vs sorted-merge
-//! intersection). Medians land in the workspace-root `BENCH_store.json`
-//! (the committed cross-PR baseline; `$BENCH_JSON_PATH` overrides) via
-//! the vendored criterion's JSON writer.
+//! intersection). The workload mixes a uniform stream with type-like
+//! hub objects (every node carries a `type` triple into one of a few
+//! classes), so the pair-bound `(? p o)` sweep exercises both tiny
+//! object blocks and the hub fan-in where index choice actually
+//! matters. Medians land in the workspace-root `BENCH_store.json` (the
+//! committed cross-PR baseline, shared with the `store_write` target;
+//! `$BENCH_JSON_PATH` overrides) via the vendored criterion's JSON
+//! writer.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::OnceLock;
@@ -16,6 +21,9 @@ use wdsparql_workloads::triple_stream;
 const NODES: usize = 20_000;
 const DRAWS: usize = 110_000;
 const PREDICATES: usize = 8;
+/// Hub classes for the `type` triples: each class collects
+/// `NODES / CLASSES` subjects, the fan-in that makes `(? p o)` hard.
+const CLASSES: usize = 24;
 
 /// `cargo test` runs bench targets with `--test` (each body once); a
 /// token workload keeps that pass fast while still exercising every
@@ -36,12 +44,16 @@ fn workload() -> &'static (RdfGraph, EncodedGraph) {
             env!("CARGO_MANIFEST_DIR"),
             "/../../BENCH_store.json"
         ));
-        let (nodes, draws) = if test_mode() {
-            (200, 1_000)
+        let (nodes, draws, classes) = if test_mode() {
+            (200, 1_000, 4)
         } else {
-            (NODES, DRAWS)
+            (NODES, DRAWS, CLASSES)
         };
-        let rdf: RdfGraph = triple_stream(nodes, draws, PREDICATES, 42).collect();
+        let rdf: RdfGraph = triple_stream(nodes, draws, PREDICATES, 42)
+            .chain((0..nodes).map(|i| {
+                Triple::from_strs(&format!("n{i}"), "type", &format!("class{}", i % classes))
+            }))
+            .collect();
         assert!(
             test_mode() || rdf.len() >= 100_000,
             "workload too small: {}",
@@ -75,19 +87,23 @@ fn sweep(
     });
 }
 
+type PatternOf = fn(&Triple) -> TriplePattern;
+
+/// One pattern shape per bound-prefix access path.
+const SHAPES: [(&str, PatternOf); 5] = [
+    ("s??", |t| TriplePattern::new(t.s, var("x"), var("y"))),
+    ("sp?", |t| TriplePattern::new(t.s, t.p, var("y"))),
+    ("?p?", |t| TriplePattern::new(var("x"), t.p, var("y"))),
+    ("?po", |t| TriplePattern::new(var("x"), t.p, t.o)),
+    ("s?o", |t| TriplePattern::new(t.s, var("x"), t.o)),
+];
+
 fn bench_bound_prefix_matching(c: &mut Criterion) {
     let (rdf, enc) = workload();
     let probes = probes(rdf, 97);
-    type PatternOf = fn(&Triple) -> TriplePattern;
-    let shapes: [(&str, PatternOf); 4] = [
-        ("s??", |t| TriplePattern::new(t.s, var("x"), var("y"))),
-        ("sp?", |t| TriplePattern::new(t.s, t.p, var("y"))),
-        ("?p?", |t| TriplePattern::new(var("x"), t.p, var("y"))),
-        ("?po", |t| TriplePattern::new(var("x"), t.p, t.o)),
-    ];
     let mut group = c.benchmark_group("store_scan");
     group.sample_size(10);
-    for (shape, pattern_of) in shapes {
+    for (shape, pattern_of) in SHAPES {
         group.bench_with_input(
             BenchmarkId::new("rdf_match", shape),
             &probes,
@@ -99,12 +115,12 @@ fn bench_bound_prefix_matching(c: &mut Criterion) {
             |b, probes| sweep(b, probes, pattern_of, |p| enc.match_pattern(p)),
         );
     }
-    // The headline number: one sweep over all four bound-prefix shapes
+    // The headline number: one sweep over all five bound-prefix shapes
     // together, per backend.
     let all_shapes = |matcher: &dyn Fn(&TriplePattern) -> Vec<Triple>| -> usize {
         let mut total = 0usize;
         for t in &probes {
-            for pattern_of in shapes.map(|(_, f)| f) {
+            for pattern_of in SHAPES.map(|(_, f)| f) {
                 total += matcher(black_box(&pattern_of(t))).len();
             }
         }
@@ -138,6 +154,40 @@ fn bench_bound_prefix_matching(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pair-bound sweep on its own: both fully-bound-pair shapes,
+/// `(? p o)` (the ROADMAP gap: hash stores precompute every (p, o)
+/// list) and `(s ? o)`, over the same probe set. Both backends are
+/// asserted to agree on the total before timing.
+fn bench_pair_bound(c: &mut Criterion) {
+    let (rdf, enc) = workload();
+    let probes = probes(rdf, 97);
+    let pair_shapes: [(&str, PatternOf); 2] =
+        [(SHAPES[3].0, SHAPES[3].1), (SHAPES[4].0, SHAPES[4].1)];
+    let total_of = |matcher: &dyn Fn(&TriplePattern) -> Vec<Triple>| -> usize {
+        let mut total = 0usize;
+        for t in &probes {
+            for (_, pattern_of) in pair_shapes {
+                total += matcher(black_box(&pattern_of(t))).len();
+            }
+        }
+        total
+    };
+    assert_eq!(
+        total_of(&|p| rdf.match_pattern(p)),
+        total_of(&|p| enc.match_pattern(p)),
+        "pair-bound sweeps disagree between backends"
+    );
+    let mut group = c.benchmark_group("store_pair");
+    group.sample_size(10);
+    group.bench_function("rdf_match/pair_bound", |b| {
+        b.iter(|| black_box(total_of(&|p| rdf.match_pattern(p))))
+    });
+    group.bench_function("enc_match/pair_bound", |b| {
+        b.iter(|| black_box(total_of(&|p| enc.match_pattern(p))))
+    });
+    group.finish();
+}
+
 fn bench_join_throughput(c: &mut Criterion) {
     let (rdf, enc) = workload();
     let vx = Variable::new("x");
@@ -165,7 +215,8 @@ fn bench_join_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_join");
     group.sample_size(10);
     // Subject-subject join candidates: hash-set intersection over the
-    // hash indexes vs the store's sorted-merge intersection.
+    // hash indexes vs the store's sorted-merge intersection (whose
+    // candidate lists come subject-sorted off the PSO permutation).
     group.bench_function("rdf_hash_intersect", |b| {
         b.iter(|| black_box(hash_intersect()))
     });
@@ -199,5 +250,10 @@ fn bench_join_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bound_prefix_matching, bench_join_throughput);
+criterion_group!(
+    benches,
+    bench_bound_prefix_matching,
+    bench_pair_bound,
+    bench_join_throughput
+);
 criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! store_write — write amplification of the store's log-structured
+//! write path: ingesting one workload as many small batches under the
+//! default adaptive compaction (delta segments, folded geometrically)
+//! vs the pre-delta **full-rewrite baseline**
+//! ([`CompactionPolicy::EveryBatch`]: every batch merges into all base
+//! permutations, exactly the old `insert_batch`), plus the same load
+//! through the [`TripleStore`] service (snapshot pre-scan + write
+//! lock). Before anything is timed, query results are asserted
+//! identical with deltas pending, after compaction, and across both
+//! builds. Medians merge into the workspace-root `BENCH_store.json`
+//! (shared with the `store_scan` target).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use wdsparql_rdf::term::var;
+use wdsparql_rdf::{tp, Triple, TriplePattern};
+use wdsparql_store::{CompactionPolicy, EncodedGraph, TripleStore};
+use wdsparql_workloads::batched_triple_stream;
+
+const NODES: usize = 15_000;
+const DRAWS: usize = 110_000;
+const PREDICATES: usize = 8;
+const BATCH: usize = 200;
+
+/// `cargo test` runs bench targets with `--test` (each body once); a
+/// token workload keeps that pass fast while still exercising every
+/// bench path end to end.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// The pre-materialised ingest feed: batches of triples, interned once
+/// so the timed loops measure the store, not the string interner. Also
+/// pins the JSON report to the committed workspace-root baseline.
+fn batches() -> &'static Vec<Vec<Triple>> {
+    static BATCHES: OnceLock<Vec<Vec<Triple>>> = OnceLock::new();
+    BATCHES.get_or_init(|| {
+        criterion::set_bench_json_path(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_store.json"
+        ));
+        let (nodes, draws, batch) = if test_mode() {
+            (200, 2_000, 250)
+        } else {
+            (NODES, DRAWS, BATCH)
+        };
+        batched_triple_stream(nodes, draws, PREDICATES, batch, 42).collect()
+    })
+}
+
+/// Query shapes asserted identical across layouts (one per access path).
+fn check_patterns() -> Vec<TriplePattern> {
+    vec![
+        tp(var("x"), wdsparql_rdf::iri("p0"), var("y")),
+        tp(wdsparql_rdf::iri("n7"), var("q"), var("y")),
+        tp(var("x"), wdsparql_rdf::iri("p1"), wdsparql_rdf::iri("n3")),
+        tp(var("x"), var("q"), wdsparql_rdf::iri("n11")),
+        tp(var("x"), var("q"), var("y")),
+    ]
+}
+
+fn sorted_matches(g: &EncodedGraph, pats: &[TriplePattern]) -> Vec<Vec<Triple>> {
+    pats.iter()
+        .map(|p| {
+            let mut m = g.match_pattern(p);
+            m.sort();
+            m
+        })
+        .collect()
+}
+
+fn build(policy: CompactionPolicy) -> EncodedGraph {
+    let mut g = EncodedGraph::with_compaction_policy(policy);
+    for batch in batches() {
+        g.insert_batch(batch.iter().copied())
+            .expect("workload is far below MAX_TRIPLES");
+    }
+    g.compact();
+    g
+}
+
+/// Correctness gate, run once before timing: the log-structured build
+/// answers every check pattern identically with deltas pending and
+/// after compaction, and agrees with the full-rewrite baseline.
+fn assert_layouts_agree() {
+    let pats = check_patterns();
+    let mut staged = EncodedGraph::with_compaction_policy(CompactionPolicy::Manual);
+    for batch in batches() {
+        staged
+            .insert_batch(batch.iter().copied())
+            .expect("workload is far below MAX_TRIPLES");
+    }
+    assert!(staged.segment_count() > 0, "deltas must be pending");
+    let with_deltas = sorted_matches(&staged, &pats);
+    staged.compact();
+    assert_eq!(staged.segment_count(), 0);
+    let compacted = sorted_matches(&staged, &pats);
+    assert_eq!(with_deltas, compacted, "compaction changed query results");
+    let rewritten = build(CompactionPolicy::EveryBatch);
+    assert_eq!(staged.len(), rewritten.len());
+    assert_eq!(
+        compacted,
+        sorted_matches(&rewritten, &pats),
+        "log-structured and full-rewrite builds disagree"
+    );
+}
+
+fn bench_write_amplification(c: &mut Criterion) {
+    assert_layouts_agree();
+    let mut group = c.benchmark_group("store_write");
+    group.sample_size(10);
+    // The log-structured default: batches append sorted delta segments;
+    // the adaptive policy folds them geometrically; one final compact
+    // leaves the same fully-indexed end state as the baseline.
+    group.bench_function("log_structured", |b| {
+        b.iter(|| black_box(build(CompactionPolicy::Adaptive).len()))
+    });
+    // The baseline this PR retired: every batch rewrites every base
+    // permutation end to end.
+    group.bench_function("full_rewrite", |b| {
+        b.iter(|| black_box(build(CompactionPolicy::EveryBatch).len()))
+    });
+    // The same incremental load through the service: snapshot no-op
+    // pre-scan, write-lock insert, epoch bump, final explicit compact.
+    group.bench_function("service_bulk_load", |b| {
+        b.iter(|| {
+            let store = TripleStore::new();
+            for batch in batches() {
+                store.bulk_load(batch.iter().copied());
+            }
+            store.compact();
+            black_box(store.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_amplification);
+criterion_main!(benches);

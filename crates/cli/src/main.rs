@@ -145,8 +145,27 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "store" => {
             let graph = load_graph(args.get(1))?;
-            let store = std::sync::Arc::new(wdsparql_store::TripleStore::from_rdf(&graph));
-            println!("{}", store.stats());
+            let store = std::sync::Arc::new(wdsparql_store::TripleStore::new());
+            // Load in batches, as an ingest pipeline would: each batch
+            // appends a sorted delta segment; the explicit compact folds
+            // whatever the adaptive policy left pending (and builds the
+            // PSO permutation). The stats line reports the lifecycle.
+            let mut stream = graph.iter().copied();
+            loop {
+                let batch: Vec<_> = stream.by_ref().take(4096).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                store.bulk_load(batch);
+            }
+            let staged = store.stats();
+            store.compact();
+            let stats = store.stats();
+            println!("{stats}");
+            println!(
+                "(ingest staged {} delta row(s) in {} segment(s); {} compaction(s) total)",
+                staged.delta_rows, staged.segments, stats.compactions
+            );
             let Some(text) = args.get(2) else {
                 return Ok(());
             };
@@ -162,18 +181,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("  ... ({} more)", sols.len() - 10);
             }
             // AND-only queries additionally go through the service's
-            // planned, cached BGP path; a second run shows the cache.
+            // planned, cached BGP path — plan and solutions from one
+            // snapshot; a second run shows the cache.
             if let Some(pats) = bgp_patterns(query.pattern()) {
-                let order = store.plan(&pats);
-                let plan: Vec<String> = order.iter().map(|&i| pats[i].to_string()).collect();
+                let planned = store.query_with_plan(&pats);
+                let plan: Vec<String> = planned.plan.iter().map(|&i| pats[i].to_string()).collect();
                 println!("service plan (most selective first): {}", plan.join(" ⋈ "));
-                let served = store.query(&pats);
                 let again = store.query(&pats);
-                assert_eq!(served.len(), again.len());
+                assert_eq!(planned.solutions.len(), again.len());
                 let cs = store.cache_stats();
                 println!(
-                    "service BGP path: {} solution(s); cache {} hit(s) / {} miss(es)",
-                    served.len(),
+                    "service BGP path: {} solution(s) at epoch {}; cache {} hit(s) / {} miss(es)",
+                    planned.solutions.len(),
+                    planned.epoch,
                     cs.hits,
                     cs.misses
                 );

@@ -1,39 +1,50 @@
 //! # wdsparql-store
 //!
-//! A dictionary-encoded triple store with sorted permutation indexes and
-//! a concurrent query service — the production-path substrate behind the
-//! evaluation engine, replacing [`RdfGraph`](wdsparql_rdf::RdfGraph)'s
-//! string-interned hash indexes on the hot path.
+//! A dictionary-encoded triple store with sorted permutation indexes, a
+//! log-structured write path and a concurrent query service — the
+//! production-path substrate behind the evaluation engine, replacing
+//! [`RdfGraph`](wdsparql_rdf::RdfGraph)'s string-interned hash indexes
+//! on the hot path.
 //!
 //! ## Index layout
 //!
 //! Triples are interned through a [`Dictionary`] into dense `u32` ids and
-//! stored as three sorted arrays of `[TermId; 3]` rows — the SPO, POS and
-//! OSP component rotations — each with an offset array indexed by leading
-//! id, so every bound-prefix lookup lands on one contiguous slice and the
-//! sorted blocks double as merge-join inputs
-//! ([`EncodedGraph::merge_join_ids`]). The layout diagram and the
-//! per-access-pattern index-choice table live in this crate's
-//! `README.md` (the single copy, so the two cannot drift).
+//! stored as sorted arrays of `[TermId; 3]` rows — the SPO, POS and OSP
+//! component rotations, plus a base-only PSO rotation for subject-sorted
+//! merge-join inputs — each base array with an offset table indexed by
+//! leading id, so every bound-prefix lookup lands on one contiguous
+//! slice and the sorted blocks double as merge-join inputs
+//! ([`EncodedGraph::merge_join_ids`]). Writes append small sorted delta
+//! segments instead of rewriting the base; reads merge base + deltas
+//! behind the same bounded-prefix narrowing, and a [`CompactionPolicy`]
+//! (or an explicit [`TripleStore::compact`]) folds the deltas back. The
+//! layout diagram, the per-access-pattern index-choice table and the
+//! segment lifecycle live in this crate's `README.md` (the single copy,
+//! so the two cannot drift).
 //!
 //! ## Layers
 //!
 //! * [`Dictionary`] — dense two-way term interning;
-//! * [`EncodedGraph`] — the permutation arrays; implements
+//! * [`EncodedGraph`] — the permutation arrays and segments; implements
 //!   [`wdsparql_rdf::TripleIndex`], so every evaluation algorithm in the
 //!   workspace (naive, pebble, enumeration, reference semantics) runs
 //!   against it unchanged;
 //! * [`TripleStore`] — the service: queries run lock-free on `Arc`
 //!   snapshots of the graph, batched
-//!   [`bulk_load`](TripleStore::bulk_load) mutates copy-on-write under
-//!   the write lock with epoch bumping, an LRU result cache is keyed by
-//!   `(query, epoch)`, and [`StoreStats`] selectivity statistics drive
-//!   most-selective-first, connectivity-aware BGP planning.
+//!   [`bulk_load`](TripleStore::bulk_load) appends delta segments
+//!   copy-on-write under the write lock with epoch bumping, an LRU
+//!   result cache keyed by `(query, epoch)` deduplicates concurrent
+//!   misses in flight, and [`StoreStats`] selectivity statistics drive
+//!   most-selective-first, connectivity-aware BGP planning —
+//!   [`TripleStore::query_with_plan`] returns the executed plan from the
+//!   same snapshot as the answers.
 
 pub mod dict;
 pub mod encoded;
+mod segment;
 pub mod service;
 
 pub use dict::{Dictionary, TermId};
-pub use encoded::EncodedGraph;
-pub use service::{CacheStats, StoreStats, TripleStore};
+pub use encoded::{CompactionPolicy, EncodedGraph};
+pub use segment::{CapacityError, MAX_TRIPLES};
+pub use service::{CacheStats, PlannedQuery, StoreStats, TripleStore};

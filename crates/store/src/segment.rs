@@ -1,0 +1,369 @@
+//! Row-run plumbing for the log-structured [`EncodedGraph`]: permutation
+//! rotations, immutable sorted delta segments, k-way merges, offset
+//! tables and the `u32` capacity guard.
+//!
+//! A [`Segment`] is the unit of the write path: one `insert_batch`
+//! becomes one segment holding the batch's rows sorted under the SPO,
+//! POS and OSP rotations (the PSO permutation exists only in the
+//! compacted base — see [`Perm::Pso`]). Segments are immutable once
+//! built; compaction folds them back into the base arrays with one
+//! k-way merge per permutation.
+//!
+//! [`EncodedGraph`]: crate::EncodedGraph
+
+use crate::dict::TermId;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// One dictionary-encoded row: a triple's ids under some rotation.
+pub(crate) type Row = [TermId; 3];
+
+/// Which permutation a row slice came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Perm {
+    Spo,
+    Pos,
+    Osp,
+    /// Predicate-led, subject-sorted — the merge-join permutation.
+    /// Unlike the other three it is *base-only*: delta segments carry no
+    /// PSO run, so the scan planner consults it only when the graph is
+    /// fully compacted.
+    Pso,
+}
+
+impl Perm {
+    /// Row position of each original component (s, p, o) in this
+    /// permutation's rows.
+    pub(crate) fn layout(self) -> [usize; 3] {
+        match self {
+            Perm::Spo => [0, 1, 2],
+            Perm::Pos => [2, 0, 1],
+            Perm::Osp => [1, 2, 0],
+            Perm::Pso => [1, 0, 2],
+        }
+    }
+
+    /// Rotates an `(s, p, o)` row into this permutation's order.
+    pub(crate) fn rotate(self, [s, p, o]: Row) -> Row {
+        match self {
+            Perm::Spo => [s, p, o],
+            Perm::Pos => [p, o, s],
+            Perm::Osp => [o, s, p],
+            Perm::Pso => [p, s, o],
+        }
+    }
+
+    /// Reassembles a row of this permutation into (s, p, o) ids.
+    pub(crate) fn spo_of(self, row: Row) -> Row {
+        let [s, p, o] = self.layout();
+        [row[s], row[p], row[o]]
+    }
+}
+
+/// Hard capacity of one [`EncodedGraph`]: the per-permutation offset
+/// tables hold `u32` row indexes, so the triple count must stay
+/// representable — at most `u32::MAX` rows.
+///
+/// [`EncodedGraph`]: crate::EncodedGraph
+pub const MAX_TRIPLES: usize = u32::MAX as usize;
+
+/// An insert was refused because it would push the store past
+/// [`MAX_TRIPLES`] rows and silently truncate the `u32` offset tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The row count the rejected insert would have produced.
+    pub attempted: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store capacity exceeded: {} triples would overflow the u32 \
+             offset tables (max {MAX_TRIPLES})",
+            self.attempted
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Guards the boundary arithmetic behind [`MAX_TRIPLES`]: `Ok` exactly
+/// when a store of `total_rows` triples still indexes with `u32`
+/// offsets.
+pub(crate) fn check_capacity(total_rows: usize) -> Result<(), CapacityError> {
+    if total_rows > MAX_TRIPLES {
+        return Err(CapacityError {
+            attempted: total_rows,
+        });
+    }
+    debug_assert!(u32::try_from(total_rows).is_ok());
+    Ok(())
+}
+
+/// One immutable delta segment: the new rows of a single `insert_batch`,
+/// sorted in SPO order. The POS and OSP rotations are derived lazily on
+/// the first scan that needs them — an ingest-only workload (batch after
+/// batch, compact, never read between) pays for exactly one sort per
+/// batch. Bounded-prefix scans over a segment run use binary search
+/// directly — the runs are small, so they carry no offset tables — and
+/// compaction consumes only the SPO run (the merged base re-derives the
+/// other permutations by counting scatters, see [`scatter_by`]).
+#[derive(Clone, Debug)]
+pub(crate) struct Segment {
+    spo: Vec<Row>,
+    pos: OnceLock<Vec<Row>>,
+    osp: OnceLock<Vec<Row>>,
+}
+
+impl Segment {
+    /// Builds a segment from rows already sorted in SPO order.
+    pub(crate) fn from_sorted_spo(spo: Vec<Row>) -> Segment {
+        debug_assert!(spo.is_sorted());
+        Segment {
+            spo,
+            pos: OnceLock::new(),
+            osp: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    fn rotated(&self, perm: Perm) -> Vec<Row> {
+        let mut rows: Vec<Row> = self.spo.iter().map(|&r| perm.rotate(r)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// The segment's sorted run under `perm`. Panics for [`Perm::Pso`]:
+    /// deltas carry no PSO run by design (the planner never asks).
+    pub(crate) fn rows(&self, perm: Perm) -> &[Row] {
+        match perm {
+            Perm::Spo => &self.spo,
+            Perm::Pos => self.pos.get_or_init(|| self.rotated(Perm::Pos)),
+            Perm::Osp => self.osp.get_or_init(|| self.rotated(Perm::Osp)),
+            Perm::Pso => unreachable!("delta segments carry no PSO run"),
+        }
+    }
+
+    /// Consumes the segment into its SPO run — the compaction hand-off
+    /// (the base rebuilds every other permutation from the merged SPO).
+    pub(crate) fn into_spo(self) -> Vec<Row> {
+        self.spo
+    }
+}
+
+/// Stable counting sort of `rows` by the component at `key`, each row
+/// rotated by `rotate` on its way out. Because counting sort is stable,
+/// feeding rows already sorted by a secondary order yields the full
+/// lexicographic order of the rotated rows in **O(rows + terms)** — no
+/// comparisons: SPO scattered by `o` is OSP, OSP scattered by `p` is
+/// POS, SPO scattered by `p` is PSO. Also returns the leading-id offset
+/// table of the result (the scatter computes it anyway).
+pub(crate) fn scatter_by(
+    rows: &[Row],
+    key: usize,
+    terms: usize,
+    rotate: impl Fn(Row) -> Row,
+) -> (Vec<Row>, Vec<u32>) {
+    debug_assert!(u32::try_from(rows.len()).is_ok(), "capacity guard bypassed");
+    let mut off = vec![0u32; terms + 1];
+    for row in rows {
+        off[row[key] as usize + 1] += 1;
+    }
+    for i in 1..off.len() {
+        off[i] += off[i - 1];
+    }
+    let mut cursor: Vec<u32> = off.clone();
+    let mut out = vec![[0 as TermId; 3]; rows.len()];
+    for &row in rows {
+        let slot = &mut cursor[row[key] as usize];
+        out[*slot as usize] = rotate(row);
+        *slot += 1;
+    }
+    (out, off)
+}
+
+/// Merges two sorted, disjoint runs into one sorted vector (rows during
+/// compaction, terms for the sorted domain).
+pub(crate) fn merge_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// K-way merge of sorted, pairwise-disjoint row runs into one sorted
+/// vector — the compaction primitive. Tournament rounds merge runs
+/// pairwise (similar sizes first), so total work is `O(rows · log runs)`
+/// rather than the quadratic left fold.
+pub(crate) fn merge_many(runs: Vec<Vec<Row>>) -> Vec<Row> {
+    let mut runs: Vec<Vec<Row>> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    runs.sort_by_key(Vec::len);
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_sorted(&a, &b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Leading-component offsets: `off[id]..off[id+1]` is the row range whose
+/// first component is `id`. The caller guarantees (via
+/// [`check_capacity`]) that the row count fits `u32`.
+pub(crate) fn offsets(rows: &[Row], terms: usize) -> Vec<u32> {
+    debug_assert!(u32::try_from(rows.len()).is_ok(), "capacity guard bypassed");
+    let mut off = vec![0u32; terms + 1];
+    for row in rows {
+        off[row[0] as usize + 1] += 1;
+    }
+    for i in 1..off.len() {
+        off[i] += off[i - 1];
+    }
+    off
+}
+
+/// Lazy k-way merge over sorted, disjoint row runs, yielding globally
+/// sorted rows — the read-side counterpart of [`merge_many`], used by
+/// `EncodedGraph::iter` to present base + deltas in SPO order without
+/// materialising the merge.
+pub(crate) struct MergedRows<'a> {
+    /// The remaining suffix of every source run.
+    heads: Vec<&'a [Row]>,
+}
+
+impl<'a> MergedRows<'a> {
+    pub(crate) fn new(sources: impl IntoIterator<Item = &'a [Row]>) -> MergedRows<'a> {
+        MergedRows {
+            heads: sources.into_iter().filter(|s| !s.is_empty()).collect(),
+        }
+    }
+}
+
+impl Iterator for MergedRows<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        // Linear min over the run heads: the run count is small (one base
+        // + a bounded number of segments), so a heap would cost more than
+        // it saves.
+        let (pos, _) = self
+            .heads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, run)| run[0])?;
+        let run = &mut self.heads[pos];
+        let row = run[0];
+        *run = &run[1..];
+        if run.is_empty() {
+            self.heads.swap_remove(pos);
+        }
+        Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotations_round_trip() {
+        let row: Row = [1, 2, 3];
+        for perm in [Perm::Spo, Perm::Pos, Perm::Osp, Perm::Pso] {
+            assert_eq!(perm.spo_of(perm.rotate(row)), row, "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_guard_boundary_arithmetic() {
+        assert_eq!(check_capacity(0), Ok(()));
+        assert_eq!(check_capacity(MAX_TRIPLES), Ok(()));
+        let err = check_capacity(MAX_TRIPLES + 1).unwrap_err();
+        assert_eq!(err.attempted, MAX_TRIPLES + 1);
+        assert!(err.to_string().contains("capacity exceeded"));
+        // The guard is exactly the u32 representability bound the offset
+        // tables rely on.
+        assert_eq!(MAX_TRIPLES, u32::MAX as usize);
+    }
+
+    #[test]
+    fn segment_runs_are_sorted_rotations() {
+        let seg = Segment::from_sorted_spo(vec![[0, 1, 2], [1, 0, 0], [1, 2, 0]]);
+        assert_eq!(seg.len(), 3);
+        for perm in [Perm::Spo, Perm::Pos, Perm::Osp] {
+            let rows = seg.rows(perm);
+            assert!(rows.is_sorted(), "{perm:?}");
+            let mut back: Vec<Row> = rows.iter().map(|&r| perm.spo_of(r)).collect();
+            back.sort_unstable();
+            assert_eq!(back, seg.rows(Perm::Spo));
+        }
+    }
+
+    #[test]
+    fn scatters_derive_the_other_permutations() {
+        // A small but irregular SPO-sorted set.
+        let mut spo: Vec<Row> = vec![
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 0],
+            [1, 1, 2],
+            [2, 0, 1],
+            [2, 2, 2],
+        ];
+        spo.sort_unstable();
+        let sorted_rotation = |perm: Perm| {
+            let mut rows: Vec<Row> = spo.iter().map(|&r| perm.rotate(r)).collect();
+            rows.sort_unstable();
+            rows
+        };
+        let (osp, osp_off) = scatter_by(&spo, 2, 3, |[s, p, o]| [o, s, p]);
+        assert_eq!(osp, sorted_rotation(Perm::Osp));
+        assert_eq!(osp_off, offsets(&osp, 3));
+        let (pos, pos_off) = scatter_by(&osp, 2, 3, |[o, s, p]| [p, o, s]);
+        assert_eq!(pos, sorted_rotation(Perm::Pos));
+        assert_eq!(pos_off, offsets(&pos, 3));
+        let (pso, pso_off) = scatter_by(&spo, 1, 3, |[s, p, o]| [p, s, o]);
+        assert_eq!(pso, sorted_rotation(Perm::Pso));
+        assert_eq!(pso_off, pos_off);
+    }
+
+    #[test]
+    fn merges_agree_with_sorting() {
+        let a = vec![[0, 0, 0], [2, 0, 0], [4, 0, 0]];
+        let b = vec![[1, 0, 0], [3, 0, 0]];
+        let c = vec![[5, 0, 0]];
+        let mut want: Vec<Row> = [a.clone(), b.clone(), c.clone()].concat();
+        want.sort_unstable();
+        assert_eq!(merge_sorted(&a, &b), merge_many(vec![a.clone(), b.clone()]));
+        assert_eq!(merge_many(vec![a.clone(), b.clone(), c.clone()]), want);
+        assert_eq!(merge_many(vec![]), Vec::<Row>::new());
+        let merged: Vec<Row> =
+            MergedRows::new([a.as_slice(), b.as_slice(), c.as_slice()]).collect();
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn offsets_partition_by_leading_id() {
+        let rows = vec![[0, 9, 9], [0, 9, 9], [2, 1, 1]];
+        let off = offsets(&rows, 3);
+        assert_eq!(off, vec![0, 2, 2, 3]);
+    }
+}

@@ -7,16 +7,20 @@
 //! copy-on-write under the write lock — so a slow query never blocks a
 //! load, and a load never blocks queries. An LRU result cache is keyed
 //! by `(query, graph epoch)` — a bulk load bumps the epoch, so stale
-//! entries can never be served — and a [`StoreStats`] snapshot's
-//! per-predicate cardinalities drive most-selective-first,
-//! connectivity-aware ordering of multi-pattern (BGP) queries.
+//! entries can never be served — with per-key in-flight deduplication so
+//! concurrent misses of the same query compute it once. A [`StoreStats`]
+//! snapshot's per-predicate cardinalities drive most-selective-first,
+//! connectivity-aware ordering of multi-pattern (BGP) queries, and
+//! [`TripleStore::query_with_plan`] threads one snapshot through both
+//! planning and execution so the displayed plan is always the executed
+//! one.
 
-use crate::encoded::EncodedGraph;
+use crate::encoded::{CapacityError, EncodedGraph};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use wdsparql_rdf::{binding_of, Iri, Mapping, RdfGraph, Term, Triple, TriplePattern, Variable};
 
 /// A snapshot of the store's contents, taken under the read lock.
@@ -34,6 +38,14 @@ pub struct StoreStats {
     pub predicate_cardinalities: Vec<(Iri, usize)>,
     /// Bulk-load generation; queries are cached per epoch.
     pub epoch: u64,
+    /// Rows in the compacted base arrays.
+    pub base_rows: usize,
+    /// Rows pending in delta segments.
+    pub delta_rows: usize,
+    /// Pending delta segments.
+    pub segments: usize,
+    /// Lifetime count of delta folds.
+    pub compactions: u64,
 }
 
 impl fmt::Display for StoreStats {
@@ -42,6 +54,11 @@ impl fmt::Display for StoreStats {
             f,
             "{} triple(s) over {} term(s) | {} subject(s), {} predicate(s), {} object(s) | epoch {}",
             self.triples, self.terms, self.subjects, self.predicates, self.objects, self.epoch
+        )?;
+        writeln!(
+            f,
+            "segments: {} base row(s) + {} delta row(s) in {} segment(s), {} compaction(s)",
+            self.base_rows, self.delta_rows, self.segments, self.compactions
         )?;
         write!(f, "predicate cardinalities:")?;
         for (p, n) in &self.predicate_cardinalities {
@@ -52,6 +69,9 @@ impl fmt::Display for StoreStats {
 }
 
 /// Cache hit/miss counters (monotonic over the store's lifetime).
+/// `hits` counts results served without a computation — from the LRU or
+/// by joining another thread's in-flight computation; `misses` counts
+/// actual BGP evaluations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
@@ -59,10 +79,24 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// A BGP answered together with the plan that produced it — both derived
+/// from one graph snapshot, so they can never diverge.
+#[derive(Clone, Debug)]
+pub struct PlannedQuery {
+    /// Pattern indexes in evaluation order, most selective first.
+    pub plan: Vec<usize>,
+    /// The solution mappings.
+    pub solutions: Arc<Vec<Mapping>>,
+    /// The epoch of the snapshot both were computed on.
+    pub epoch: u64,
+}
+
 /// Cache key: query text plus the epoch it was computed under.
 type CacheKey = (String, u64);
 /// Cached value with its last-use stamp.
 type CacheEntry = (Arc<Vec<Mapping>>, u64);
+/// In-flight computation slot: filled exactly once, everyone else waits.
+type PendingSlot = Arc<OnceLock<Arc<Vec<Mapping>>>>;
 
 /// A small LRU keyed by `(query text, epoch)`. Recency is tracked by a
 /// logical clock; eviction scans for the stalest entry, which is linear
@@ -125,10 +159,17 @@ struct Inner {
 ///
 /// Shareable across threads behind an [`Arc`]; reads (queries, stats)
 /// evaluate against a cheap `Arc` snapshot of the graph,
-/// [`TripleStore::bulk_load`] takes the write lock and bumps the epoch.
+/// [`TripleStore::bulk_load`] takes the write lock and bumps the epoch,
+/// [`TripleStore::compact`] folds the graph's delta segments without
+/// changing its contents (so the epoch — and every cached result —
+/// survives).
 pub struct TripleStore {
     inner: RwLock<Inner>,
     cache: Mutex<LruCache>,
+    /// In-flight computations keyed like the cache: concurrent misses of
+    /// the same `(query, epoch)` join the first thread's slot instead of
+    /// re-evaluating the BGP.
+    pending: Mutex<HashMap<CacheKey, PendingSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -152,6 +193,7 @@ impl TripleStore {
                 epoch: 0,
             }),
             cache: Mutex::new(LruCache::new(capacity)),
+            pending: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -163,6 +205,7 @@ impl TripleStore {
     {
         let store = TripleStore::new();
         store.bulk_load(triples);
+        store.compact();
         store
     }
 
@@ -170,22 +213,56 @@ impl TripleStore {
         TripleStore::from_triples(g.iter().copied())
     }
 
-    /// Bulk-loads a batch of triples under the write lock. Returns the
-    /// number of new triples; bumps the epoch (invalidating cached
-    /// results) when anything changed.
+    /// Bulk-loads a batch of triples. Returns the number of new triples;
+    /// bumps the epoch (invalidating cached results) when anything
+    /// changed.
+    ///
+    /// The all-contains no-op pre-scan (an idempotent ingest retry must
+    /// not deep-clone the graph under [`Arc::make_mut`]) runs against a
+    /// read-lock snapshot, so it never stalls readers behind the
+    /// write-lock queue; only the epoch re-validation and the actual
+    /// insert hold the write lock.
+    ///
+    /// Panics if the store would exceed [`crate::MAX_TRIPLES`] rows —
+    /// use [`TripleStore::try_bulk_load`] to handle that case.
     pub fn bulk_load<I>(&self, triples: I) -> usize
     where
         I: IntoIterator<Item = Triple>,
     {
+        self.try_bulk_load(triples)
+            .expect("bulk_load exceeds the store's MAX_TRIPLES capacity")
+    }
+
+    /// As [`TripleStore::bulk_load`], but surfaces the capacity guard as
+    /// an error instead of panicking. On `Err` the store is unchanged.
+    pub fn try_bulk_load<I>(&self, triples: I) -> Result<usize, CapacityError>
+    where
+        I: IntoIterator<Item = Triple>,
+    {
         let batch: Vec<Triple> = triples.into_iter().collect();
-        let mut inner = self.inner.write();
-        // A no-op batch must not pay `Arc::make_mut`: with any query
-        // snapshot alive that would deep-clone the whole graph only to
-        // change nothing (e.g. an idempotent ingest retry).
-        if batch.iter().all(|t| inner.graph.contains(t)) {
-            return 0;
+        if batch.is_empty() {
+            return Ok(0);
         }
-        let added = Arc::make_mut(&mut inner.graph).insert_batch(batch);
+        // No-op pre-scan on a lock-free snapshot: O(batch · log n) of
+        // dictionary lookups and containment probes happens with no lock
+        // held at all. The snapshot `Arc` must drop before the write
+        // lock, or `Arc::make_mut` below would see it and deep-clone the
+        // whole graph on every load.
+        let (all_present, epoch) = {
+            let (snapshot, epoch) = self.snapshot();
+            (batch.iter().all(|t| snapshot.contains(t)), epoch)
+        };
+        let mut inner = self.inner.write();
+        if all_present {
+            // Re-validate under the write lock: the snapshot may be
+            // stale. Same epoch — nothing changed since the pre-scan, so
+            // the verdict stands. Epoch moved — re-check against the
+            // current graph (rare, and still cheaper than a deep clone).
+            if inner.epoch == epoch || batch.iter().all(|t| inner.graph.contains(t)) {
+                return Ok(0);
+            }
+        }
+        let added = Arc::make_mut(&mut inner.graph).insert_batch(batch)?;
         if added > 0 {
             inner.epoch += 1;
             // Every cached entry is keyed to an older epoch and is now
@@ -193,7 +270,39 @@ impl TripleStore {
             // memory immediately instead of lingering until evicted.
             self.cache.lock().map.clear();
         }
-        added
+        Ok(added)
+    }
+
+    /// Folds the graph's pending delta segments into its base arrays
+    /// (rebuilding the PSO permutation). The triple set is unchanged, so
+    /// the epoch — and every cached result — stays valid. Returns `false`
+    /// when there was nothing to fold.
+    pub fn compact(&self) -> bool {
+        // The fold is O(rows + terms): doing it under the write lock
+        // would stall every new snapshot for the duration. Instead,
+        // clone and fold off-lock against a snapshot, then swap the
+        // result in under a brief write lock if no load raced in
+        // (same epoch ⟹ same contents, so the swap is invisible).
+        // After a few lost races, fold in place to guarantee progress.
+        for _ in 0..3 {
+            let (snapshot, epoch) = self.snapshot();
+            if snapshot.is_compacted() {
+                return false;
+            }
+            let mut folded = (*snapshot).clone();
+            drop(snapshot);
+            folded.compact();
+            let mut inner = self.inner.write();
+            if inner.epoch == epoch {
+                inner.graph = Arc::new(folded);
+                return true;
+            }
+        }
+        let mut inner = self.inner.write();
+        if inner.graph.is_compacted() {
+            return false;
+        }
+        Arc::make_mut(&mut inner.graph).compact()
     }
 
     /// The current graph snapshot and its epoch (one brief read lock).
@@ -234,6 +343,10 @@ impl TripleStore {
             objects,
             predicate_cardinalities: graph.predicate_cardinalities(),
             epoch,
+            base_rows: graph.base_len(),
+            delta_rows: graph.delta_len(),
+            segments: graph.segment_count(),
+            compactions: graph.compactions(),
         }
     }
 
@@ -246,17 +359,18 @@ impl TripleStore {
     }
 
     /// Evaluation order for a conjunctive (BGP) query: pattern indexes
-    /// most-selective-first. Selectivity is the bound-prefix range length
-    /// — exact for every bound combination, and identical to the
-    /// [`StoreStats`] predicate cardinality when only the predicate is
-    /// bound.
+    /// most-selective-first, computed on the current snapshot. For a
+    /// plan guaranteed to match an execution, use
+    /// [`TripleStore::query_with_plan`] — between a bare `plan` and a
+    /// later `query`, a bulk load may land and change the snapshot.
     pub fn plan(&self, patterns: &[TriplePattern]) -> Vec<usize> {
         Self::plan_order(&self.snapshot().0, patterns)
     }
 
     /// The one source of truth for BGP evaluation order, shared by
-    /// [`TripleStore::plan`] (what callers display) and `eval_bgp` (what
-    /// actually runs) so the two can never diverge.
+    /// [`TripleStore::plan`], [`TripleStore::query_with_plan`] and
+    /// `eval_bgp` (what actually runs) so displayed and executed plans
+    /// only ever come from one computation on one graph.
     ///
     /// Greedy: seed with the most selective pattern, then repeatedly take
     /// the most selective pattern sharing a variable with what is already
@@ -302,9 +416,13 @@ impl TripleStore {
 
     /// Cached single-pattern solutions.
     pub fn solutions(&self, pat: &TriplePattern) -> Arc<Vec<Mapping>> {
-        self.cached(Self::cache_key(std::slice::from_ref(pat)), |graph| {
-            graph.solutions(pat)
-        })
+        let (graph, epoch) = self.snapshot();
+        self.cached(
+            &graph,
+            epoch,
+            Self::cache_key(std::slice::from_ref(pat)),
+            |graph| graph.solutions(pat),
+        )
     }
 
     /// Evaluates the conjunction of `patterns` (a BGP: the AND-only
@@ -312,9 +430,41 @@ impl TripleStore {
     /// semi-join on the first shared variable, and index-nested-loop
     /// (bind) joins for the rest. Results are cached per epoch.
     pub fn query(&self, patterns: &[TriplePattern]) -> Arc<Vec<Mapping>> {
-        self.cached(Self::cache_key(patterns), |graph| {
+        let (graph, epoch) = self.snapshot();
+        self.cached(&graph, epoch, Self::cache_key(patterns), |graph| {
             Self::eval_bgp(graph, patterns)
         })
+    }
+
+    /// As [`TripleStore::query`], but also returns the evaluation order —
+    /// plan and solutions computed on the *same* snapshot, taken once.
+    /// A bulk load landing between planning and execution cannot make
+    /// the displayed plan diverge from the executed one (the epoch field
+    /// names the snapshot both came from).
+    pub fn query_with_plan(&self, patterns: &[TriplePattern]) -> PlannedQuery {
+        self.query_with_plan_interleaved(patterns, || ())
+    }
+
+    /// [`TripleStore::query_with_plan`] with an injection point between
+    /// planning and execution — the regression hook for the epoch race
+    /// (tests interleave a `bulk_load` there and assert plan/solution
+    /// consistency).
+    fn query_with_plan_interleaved(
+        &self,
+        patterns: &[TriplePattern],
+        between: impl FnOnce(),
+    ) -> PlannedQuery {
+        let (graph, epoch) = self.snapshot();
+        let plan = Self::plan_order(&graph, patterns);
+        between();
+        let solutions = self.cached(&graph, epoch, Self::cache_key(patterns), |graph| {
+            Self::eval_bgp(graph, patterns)
+        });
+        PlannedQuery {
+            plan,
+            solutions,
+            epoch,
+        }
     }
 
     fn eval_bgp(graph: &EncodedGraph, patterns: &[TriplePattern]) -> Vec<Mapping> {
@@ -372,26 +522,65 @@ impl TripleStore {
         a.vars().intersection(&b.vars()).copied().collect()
     }
 
+    /// Serves `key` from the cache, or computes it on `graph` — at most
+    /// once across concurrent callers: the first miss installs an
+    /// in-flight slot, later misses of the same `(key, epoch)` block on
+    /// that slot instead of re-running `compute`.
     fn cached(
         &self,
+        graph: &EncodedGraph,
+        epoch: u64,
         key: String,
         compute: impl FnOnce(&EncodedGraph) -> Vec<Mapping>,
     ) -> Arc<Vec<Mapping>> {
-        let (graph, epoch) = self.snapshot();
         let key = (key, epoch);
         if let Some(hit) = self.cache.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Computed lock-free on the snapshot. Skip the insert when a
-        // bulk load landed meanwhile: the entry would be keyed to the
-        // old epoch — correct but unreachable, so only dead weight. (A
-        // load racing in between the check and the put can still leave
-        // one such entry; the next load's cache clear removes it.)
-        let value = Arc::new(compute(&graph));
-        if self.inner.read().epoch == epoch {
-            self.cache.lock().put(key, Arc::clone(&value));
+        let (slot, leader) = {
+            let mut pending = self.pending.lock();
+            match pending.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // Double-check the cache while holding the pending
+                    // lock: a leader that published and unregistered
+                    // between our cache miss and this point must not
+                    // trigger a second computation. (Lock order is
+                    // pending → cache here; no path nests them the other
+                    // way round.)
+                    if let Some(hit) = self.cache.lock().get(&key) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return hit;
+                    }
+                    let slot: PendingSlot = Arc::new(OnceLock::new());
+                    e.insert(Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        // Exactly one closure runs per slot; every other caller blocks
+        // inside `get_or_init` until the value lands. The miss counter
+        // therefore counts computations, not callers.
+        let mut computed_here = false;
+        let value = Arc::clone(slot.get_or_init(|| {
+            computed_here = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute(graph))
+        }));
+        if !computed_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if leader {
+            // Publish before unregistering, so a racer either sees the
+            // cache entry or the pending slot. Skip the insert when a
+            // bulk load landed meanwhile: the entry would be keyed to
+            // the old epoch — correct but unreachable, so only dead
+            // weight.
+            if self.inner.read().epoch == epoch {
+                self.cache.lock().put(key.clone(), Arc::clone(&value));
+            }
+            self.pending.lock().remove(&key);
         }
         value
     }
@@ -435,6 +624,27 @@ mod tests {
         assert_eq!(st.predicates, 2);
         assert_eq!(st.predicate_cardinalities[0], (Iri::new("p"), 3));
         assert!(st.to_string().contains("p=3"));
+        // from_triples compacts: everything in the base, no deltas.
+        assert_eq!((st.base_rows, st.delta_rows, st.segments), (5, 0, 0));
+        assert!(st.to_string().contains("5 base row(s)"));
+    }
+
+    #[test]
+    fn compact_folds_segments_and_keeps_the_cache() {
+        let s = store();
+        s.bulk_load([Triple::from_strs("d", "p", "e")]);
+        let pats = [tp(var("x"), iri("p"), var("y"))];
+        let before = s.query(&pats);
+        assert!(s.stats().delta_rows > 0, "bulk_load should stage a delta");
+        assert!(s.compact());
+        assert!(!s.compact(), "second compact is a no-op");
+        let st = s.stats();
+        assert_eq!((st.delta_rows, st.segments), (0, 0));
+        // Same epoch, same cached entry — and the same answers.
+        let hits_before = s.cache_stats().hits;
+        let after = s.query(&pats);
+        assert_eq!(before, after);
+        assert_eq!(s.cache_stats().hits, hits_before + 1);
     }
 
     #[test]
@@ -475,6 +685,64 @@ mod tests {
         assert_eq!(s.plan(&pats), vec![0, 2, 1]);
         // The reordered evaluation still yields the full join.
         assert_eq!(s.query(&pats).len(), 2);
+    }
+
+    #[test]
+    fn planned_query_survives_an_interleaved_bulk_load() {
+        // Before the fix, `plan` and `query` took separate snapshots: a
+        // bulk load in between made the displayed plan and the executed
+        // one come from different epochs. `query_with_plan` threads one
+        // snapshot through both; the injected interleave lands exactly
+        // in the old race window.
+        let s = store();
+        let pats = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+        ];
+        let epoch_before = s.epoch();
+        let out = s.query_with_plan_interleaved(&pats, || {
+            // Make the load change both the plan input (q outgrows p, so
+            // selectivity flips) and the answer set (d q x joins c p d).
+            s.bulk_load((0..6).map(|i| Triple::from_strs(&format!("n{i}"), "q", "x")));
+            s.bulk_load([Triple::from_strs("d", "q", "x")]);
+        });
+        // Plan and solutions both reflect the pre-load snapshot ...
+        assert_eq!(out.epoch, epoch_before);
+        assert_eq!(out.plan, vec![1, 0], "plan of the pre-load graph");
+        assert_eq!(out.solutions.len(), 2, "solutions of the pre-load graph");
+        // ... while a fresh call sees the post-load world, consistently.
+        let fresh = s.query_with_plan(&pats);
+        assert_eq!(fresh.epoch, s.epoch());
+        assert_eq!(fresh.plan, vec![0, 1], "plan of the post-load graph");
+        assert_eq!(fresh.solutions.len(), 3);
+    }
+
+    #[test]
+    fn noop_bulk_load_revalidates_under_the_write_lock() {
+        let s = store();
+        let epoch = s.epoch();
+        // All-present batches are detected on the snapshot and re-validated
+        // under the write lock — no epoch bump, no cache clear.
+        let pats = [tp(var("x"), iri("p"), var("y"))];
+        s.query(&pats);
+        let entries = s.cache_stats().entries;
+        assert_eq!(s.bulk_load(store_triples()), 0);
+        assert_eq!(s.epoch(), epoch);
+        assert_eq!(s.cache_stats().entries, entries, "cache survived the no-op");
+        // An empty batch takes no locks at all.
+        assert_eq!(s.bulk_load(std::iter::empty::<Triple>()), 0);
+    }
+
+    fn store_triples() -> Vec<Triple> {
+        [
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "p", "d"),
+            ("b", "q", "x"),
+            ("c", "q", "x"),
+        ]
+        .map(|(s, p, o)| Triple::from_strs(s, p, o))
+        .to_vec()
     }
 
     #[test]
@@ -544,6 +812,42 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_misses_compute_once() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let s = Arc::new(store());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            let calls = Arc::clone(&calls);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let (graph, epoch) = s.snapshot();
+                barrier.wait();
+                let value = s.cached(&graph, epoch, "dedup-key".into(), |_| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    // Hold the slot long enough that every thread passes
+                    // its cache-miss check while the computation is still
+                    // in flight.
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                    vec![Mapping::new()]
+                });
+                value.len()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one computation");
+        let cs = s.cache_stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.hits, 7, "joiners count as hits");
+        assert!(s.pending.lock().is_empty(), "slot unregistered");
+    }
+
+    #[test]
     fn concurrent_readers_and_writers() {
         let s = Arc::new(store());
         let mut handles = Vec::new();
@@ -553,6 +857,9 @@ mod tests {
                 for j in 0..50 {
                     if i == 0 && j % 10 == 0 {
                         s.bulk_load([Triple::from_strs(&format!("w{j}"), "p", "b")]);
+                    }
+                    if i == 1 && j % 25 == 0 {
+                        s.compact();
                     }
                     let sols = s.query(&[tp(var("x"), iri("p"), var("y"))]);
                     assert!(sols.len() >= 3);

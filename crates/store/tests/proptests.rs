@@ -1,10 +1,14 @@
-//! Property tests for the store: dictionary round-trips, and full
+//! Property tests for the store: dictionary round-trips, full
 //! access-pattern equivalence between [`EncodedGraph`]'s sorted
-//! permutation ranges and [`RdfGraph`]'s hash indexes.
+//! permutation ranges and [`RdfGraph`]'s hash indexes — with delta
+//! segments pending, absent, and interleaved with compaction — and
+//! service-level queries racing compaction. All properties replay under
+//! `PROPTEST_SEED=<u64>` (reported on failure by the vendored
+//! proptest).
 
 use proptest::prelude::*;
 use wdsparql_rdf::{tp, Iri, RdfGraph, Triple, TripleIndex, Variable};
-use wdsparql_store::{Dictionary, EncodedGraph, TripleStore};
+use wdsparql_store::{CompactionPolicy, Dictionary, EncodedGraph, TripleStore};
 
 fn arb_graph() -> impl Strategy<Value = RdfGraph> {
     proptest::collection::vec((0..6usize, 0..3usize, 0..6usize), 0..20).prop_map(|ts| {
@@ -104,6 +108,101 @@ proptest! {
         want.dedup();
         prop_assert_eq!(got, want);
         let _ = store.cache_stats();
+    }
+
+    /// Interleaved `insert_batch`/`compact` sequences agree with the
+    /// hash indexes on every access pattern, whether the probed rows
+    /// live in the base, in pending delta segments, or both. The
+    /// `compact_mask` drives when compaction strikes, so the property
+    /// covers deltas-present and deltas-absent states of the same data.
+    #[test]
+    fn interleaved_batches_and_compactions_match_rdf_graph(
+        g in arb_graph(),
+        chunk in 1..6usize,
+        compact_mask in 0u32..64,
+        s in 0..9usize,
+        p in 0..9usize,
+        o in 0..9usize,
+    ) {
+        let triples: Vec<Triple> = g.iter().copied().collect();
+        let mut enc = EncodedGraph::with_compaction_policy(CompactionPolicy::Manual);
+        for (i, batch) in triples.chunks(chunk).enumerate() {
+            enc.insert_batch(batch.iter().copied()).expect("tiny batch");
+            if compact_mask & (1 << (i % 6)) != 0 {
+                enc.compact();
+            }
+        }
+        prop_assert_eq!(enc.len(), g.len());
+        prop_assert_eq!(enc.base_len() + enc.delta_len(), enc.len());
+        let pat = tp(term_of(s, "sn"), term_of(p, "sp"), term_of(o, "sn"));
+        let mut got = enc.match_pattern(&pat);
+        let mut want = g.match_pattern(&pat);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(&got, &want, "pattern {} (segments: {})", pat, enc.segment_count());
+        prop_assert!(enc.candidate_count(&pat) >= got.len());
+        let mut gs = enc.solutions(&pat);
+        let mut ws = g.solutions(&pat);
+        gs.sort();
+        ws.sort();
+        prop_assert_eq!(gs, ws);
+        // Compacting afterwards changes the layout only.
+        let before_iter: Vec<Triple> = enc.iter().collect();
+        enc.compact();
+        prop_assert_eq!(enc.segment_count(), 0);
+        let mut got_after = enc.match_pattern(&pat);
+        got_after.sort();
+        prop_assert_eq!(got_after, want);
+        prop_assert_eq!(enc.iter().collect::<Vec<Triple>>(), before_iter);
+        // The TripleIndex dom view survives the whole interleaving.
+        let ei: &dyn TripleIndex = &enc;
+        let gi: &dyn TripleIndex = &g;
+        prop_assert_eq!(ei.dom().collect::<Vec<_>>(), gi.dom().collect::<Vec<_>>());
+    }
+
+    /// Queries racing a compaction see exactly the same answers: the
+    /// service's snapshot isolation makes the fold invisible. The inputs
+    /// (graph, chunking, query epoch) replay under `PROPTEST_SEED`; the
+    /// thread interleaving is free, which is the point — every
+    /// interleaving must yield the reference answer.
+    #[test]
+    fn service_queries_during_compaction_are_snapshot_consistent(
+        g in arb_graph(),
+        chunk in 1..6usize,
+        rounds in 1..4usize,
+    ) {
+        let triples: Vec<Triple> = g.iter().copied().collect();
+        let store = std::sync::Arc::new(TripleStore::new());
+        for batch in triples.chunks(chunk) {
+            store.bulk_load(batch.iter().copied());
+        }
+        let pats = [
+            tp(wdsparql_rdf::var("x"), wdsparql_rdf::iri("sp0"), wdsparql_rdf::var("y")),
+            tp(wdsparql_rdf::var("y"), wdsparql_rdf::iri("sp1"), wdsparql_rdf::var("z")),
+        ];
+        let mut want: Vec<_> = store.query(&pats).iter().cloned().collect();
+        want.sort();
+        let compactor = {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    store.compact();
+                }
+            })
+        };
+        let epoch = store.epoch();
+        for _ in 0..rounds {
+            let out = store.query_with_plan(&pats);
+            prop_assert_eq!(out.epoch, epoch, "compaction must not bump the epoch");
+            let mut got: Vec<_> = out.solutions.iter().cloned().collect();
+            got.sort();
+            prop_assert_eq!(&got, &want, "query racing compaction diverged");
+        }
+        compactor.join().expect("compactor thread");
+        prop_assert_eq!(store.stats().delta_rows, 0);
+        let mut after: Vec<_> = store.query(&pats).iter().cloned().collect();
+        after.sort();
+        prop_assert_eq!(after, want);
     }
 
     /// merge_join_ids equals the set intersection of the per-pattern

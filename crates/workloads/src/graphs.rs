@@ -237,6 +237,26 @@ pub fn triple_stream(
     })
 }
 
+/// An incremental-ingest workload: the draws of [`triple_stream`]
+/// delivered as ready-made batches of `batch_size` triples — the shape
+/// the store's log-structured write path (and its write-amplification
+/// bench) consumes. The concatenation of all batches equals the stream;
+/// the final batch may be short. Deterministic in `seed`.
+pub fn batched_triple_stream(
+    n_nodes: usize,
+    n_triples: usize,
+    n_predicates: usize,
+    batch_size: usize,
+    seed: u64,
+) -> impl Iterator<Item = Vec<Triple>> {
+    assert!(batch_size > 0);
+    let mut stream = triple_stream(n_nodes, n_triples, n_predicates, seed);
+    std::iter::from_fn(move || {
+        let batch: Vec<Triple> = stream.by_ref().take(batch_size).collect();
+        (!batch.is_empty()).then_some(batch)
+    })
+}
+
 /// A preferential-attachment ("scale-free") graph: each new vertex
 /// attaches `m` out-edges, preferring endpoints that already have many
 /// edges (Barabási–Albert flavour, over a single predicate). Produces the
@@ -357,6 +377,19 @@ mod tests {
         // build of the same draws is therefore no larger.
         let g = RdfGraph::from_triples(a.iter().copied());
         assert!(g.len() <= 1000);
+    }
+
+    #[test]
+    fn batched_stream_concatenates_to_the_stream() {
+        let flat: Vec<Triple> = triple_stream(40, 500, 3, 5).collect();
+        let batches: Vec<Vec<Triple>> = batched_triple_stream(40, 500, 3, 64, 5).collect();
+        assert_eq!(batches.len(), 500usize.div_ceil(64));
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 64));
+        let joined: Vec<Triple> = batches.concat();
+        assert_eq!(joined, flat);
+        // An exact multiple leaves no short tail.
+        let even: Vec<Vec<Triple>> = batched_triple_stream(40, 500, 3, 100, 5).collect();
+        assert!(even.iter().all(|b| b.len() == 100));
     }
 
     #[test]

@@ -12,8 +12,9 @@ use wdsparql::{Engine, Query, TripleStore};
 
 fn main() {
     // 1. Bulk-load a generated workload in batches, as an ingest
-    //    pipeline would: the store sorts each batch and merges it into
-    //    its three permutation indexes in one pass.
+    //    pipeline would: each batch appends one sorted delta segment
+    //    (no base rewrite); the adaptive compaction policy folds the
+    //    segments back into the base as they accumulate.
     let store = Arc::new(TripleStore::new());
     let mut stream = triple_stream(2_000, 50_000, 6, 7);
     let mut batch_no = 0;
@@ -24,11 +25,18 @@ fn main() {
         }
         batch_no += 1;
         let added = store.bulk_load(batch);
+        let st = store.stats();
         println!(
-            "batch {batch_no}: +{added} new triples (epoch {})",
-            store.epoch()
+            "batch {batch_no}: +{added} new triples (epoch {}, {} delta row(s) in {} segment(s))",
+            store.epoch(),
+            st.delta_rows,
+            st.segments
         );
     }
+    // Fold whatever is still pending (and build the PSO permutation for
+    // subject-sorted merge joins). Contents are unchanged, so cached
+    // results — keyed by epoch — survive.
+    store.compact();
 
     // 2. The stats snapshot drives the planner: per-predicate
     //    cardinalities, read straight off the POS offsets.
@@ -56,15 +64,18 @@ fn main() {
     }
 
     // 4. The service's conjunctive (BGP) path: planned
-    //    most-selective-first, answered from the cache on repeats.
+    //    most-selective-first — plan and solutions from one snapshot,
+    //    so they can never diverge — answered from the cache on repeats.
     let patterns = [
         tp(var("x"), iri("p0"), var("y")),
         tp(var("y"), iri("p1"), var("z")),
     ];
-    let order = store.plan(&patterns);
+    let planned = store.query_with_plan(&patterns);
     println!(
-        "\nBGP plan: {}",
-        order
+        "\nBGP plan (epoch {}): {}",
+        planned.epoch,
+        planned
+            .plan
             .iter()
             .map(|&i| patterns[i].to_string())
             .collect::<Vec<_>>()

@@ -90,11 +90,95 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+fn json_unescape(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                        out.push(c);
+                    }
+                }
+                Some(c) => out.push(c),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Pulls the string value of `"key": "..."` out of one JSON line — the
+/// tolerant, line-oriented reader for documents this module wrote itself.
+fn line_str_field(line: &str, key: &str) -> Option<String> {
+    let rest = line.split_once(&format!("\"{key}\":"))?.1.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    // The value ends at the first unescaped quote.
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => break,
+            _ => end += 1,
+        }
+    }
+    Some(json_unescape(rest.get(..end)?))
+}
+
+/// Pulls the integer value of `"key": 123` out of one JSON line.
+fn line_int_field(line: &str, key: &str) -> Option<u128> {
+    let rest = line.split_once(&format!("\"{key}\":"))?.1.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses a `BENCH_*.json` document written by [`render_bench_json`]
+/// (or its single-target predecessor): the contributing target names and
+/// the measured entries. Tolerant and line-oriented — anything it cannot
+/// read it drops.
+fn parse_bench_json(doc: &str) -> (Vec<String>, Vec<JsonEntry>) {
+    let mut targets = Vec::new();
+    let mut entries = Vec::new();
+    for line in doc.lines() {
+        if let Some(t) = line_str_field(line, "target") {
+            targets.push(t);
+        } else if let Some((_, rest)) = line.split_once("\"targets\":") {
+            // Quote-delimited items of the array: after splitting on `"`,
+            // the values sit at the odd positions.
+            for part in rest.split('"').skip(1).step_by(2) {
+                targets.push(json_unescape(part));
+            }
+        } else if let (Some(name), Some(median_ns), Some(samples)) = (
+            line_str_field(line, "name"),
+            line_int_field(line, "median_ns"),
+            line_int_field(line, "samples"),
+        ) {
+            entries.push(JsonEntry {
+                name,
+                median_ns,
+                samples: samples as usize,
+            });
+        }
+    }
+    targets.sort();
+    targets.dedup();
+    (targets, entries)
+}
+
 /// Renders the accumulated measurements as the `BENCH_*.json` document.
-fn render_bench_json(target: &str, entries: &[JsonEntry]) -> String {
+fn render_bench_json(targets: &[String], entries: &[JsonEntry]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str(&format!("  \"target\": \"{}\",\n", json_escape(target)));
+    let names: Vec<String> = targets
+        .iter()
+        .map(|t| format!("\"{}\"", json_escape(t)))
+        .collect();
+    out.push_str(&format!("  \"targets\": [{}],\n", names.join(", ")));
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -109,8 +193,35 @@ fn render_bench_json(target: &str, entries: &[JsonEntry]) -> String {
     out
 }
 
+/// Merges this run's measurements into any `existing` document at the
+/// same path: entries from other targets (and from groups this run did
+/// not touch) are kept, entries in re-measured groups are replaced —
+/// which is how several bench targets share one committed baseline file
+/// without clobbering each other.
+fn merge_bench_json(
+    existing: Option<&str>,
+    target: &str,
+    run: &[JsonEntry],
+) -> (Vec<String>, Vec<JsonEntry>) {
+    let (mut targets, mut merged) = existing.map(parse_bench_json).unwrap_or_default();
+    if !targets.iter().any(|t| t == target) {
+        targets.push(target.to_string());
+        targets.sort();
+    }
+    // Prune entries of every group re-measured this run, so renamed or
+    // removed benchmarks do not linger in the baseline forever.
+    let groups: std::collections::BTreeSet<&str> = run
+        .iter()
+        .filter_map(|e| e.name.split('/').next())
+        .collect();
+    merged.retain(|e| e.name.split('/').next().is_none_or(|g| !groups.contains(g)));
+    merged.extend(run.iter().cloned());
+    (targets, merged)
+}
+
 /// Writes the measurements collected so far to the `BENCH_*.json`
-/// location (see the crate docs). Called by `criterion_main!` after all
+/// location (see the crate docs), merging with whatever other bench
+/// targets already recorded there. Called by `criterion_main!` after all
 /// groups have run; a no-op when nothing was measured (e.g. `--test`
 /// mode), when `BENCH_JSON=0`, or on a filtered run without an explicit
 /// `$BENCH_JSON_PATH` (a partial run must not overwrite the baseline).
@@ -139,7 +250,9 @@ pub fn write_bench_json() {
                 .clone()
         })
         .unwrap_or_else(|| format!("BENCH_{target}.json"));
-    let doc = render_bench_json(&target, &entries);
+    let existing = std::fs::read_to_string(&path).ok();
+    let (targets, merged) = merge_bench_json(existing.as_deref(), &target, &entries);
+    let doc = render_bench_json(&targets, &merged);
     if let Err(e) = std::fs::write(&path, doc) {
         eprintln!("warning: could not write {path}: {e}");
     }
@@ -404,13 +517,83 @@ mod tests {
                 samples: 3,
             },
         ];
-        let doc = render_bench_json("store_scan", &entries);
-        assert!(doc.contains("\"target\": \"store_scan\""));
+        let doc = render_bench_json(&["store_scan".into()], &entries);
+        assert!(doc.contains("\"targets\": [\"store_scan\"]"));
         assert!(doc.contains("{\"name\": \"g/one\", \"median_ns\": 1500, \"samples\": 10},"));
         assert!(doc.contains("\\\"quoted\\\""));
         // The last entry carries no trailing comma.
         assert!(doc.contains("\"samples\": 3}\n"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        // The document round-trips through the tolerant parser.
+        let (targets, parsed) = parse_bench_json(&doc);
+        assert_eq!(targets, vec!["store_scan".to_string()]);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "g/one");
+        assert_eq!((parsed[0].median_ns, parsed[0].samples), (1500, 10));
+        assert_eq!(parsed[1].name, "g/two \"quoted\"");
+    }
+
+    #[test]
+    fn parse_accepts_the_single_target_predecessor_schema() {
+        let legacy = "{\n  \"target\": \"store_scan\",\n  \"entries\": [\n    \
+                      {\"name\": \"a/x\", \"median_ns\": 42, \"samples\": 10}\n  ]\n}\n";
+        let (targets, entries) = parse_bench_json(legacy);
+        assert_eq!(targets, vec!["store_scan".to_string()]);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].median_ns, 42);
+    }
+
+    #[test]
+    fn merge_keeps_other_targets_and_replaces_remeasured_groups() {
+        let existing = render_bench_json(
+            &["store_scan".into()],
+            &[
+                JsonEntry {
+                    name: "scan/a".into(),
+                    median_ns: 10,
+                    samples: 10,
+                },
+                JsonEntry {
+                    name: "scan/renamed-away".into(),
+                    median_ns: 11,
+                    samples: 10,
+                },
+                JsonEntry {
+                    name: "join/b".into(),
+                    median_ns: 20,
+                    samples: 10,
+                },
+            ],
+        );
+        // A different target re-measures the `scan` group and adds a
+        // `write` group: `join` survives untouched, `scan` is replaced
+        // wholesale (the stale renamed entry is pruned).
+        let run = [
+            JsonEntry {
+                name: "scan/a".into(),
+                median_ns: 15,
+                samples: 10,
+            },
+            JsonEntry {
+                name: "write/c".into(),
+                median_ns: 30,
+                samples: 10,
+            },
+        ];
+        let (targets, merged) = merge_bench_json(Some(&existing), "store_write", &run);
+        assert_eq!(
+            targets,
+            vec!["store_scan".to_string(), "store_write".to_string()]
+        );
+        let find = |n: &str| merged.iter().find(|e| e.name == n).map(|e| e.median_ns);
+        assert_eq!(find("join/b"), Some(20));
+        assert_eq!(find("scan/a"), Some(15));
+        assert_eq!(find("write/c"), Some(30));
+        assert_eq!(find("scan/renamed-away"), None);
+        // No prior file: the run alone is the baseline.
+        let (t, m) = merge_bench_json(None, "store_write", &run);
+        assert_eq!(t, vec!["store_write".to_string()]);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]
