@@ -8,7 +8,9 @@
 //! wdsparql select   <data.nt> <select-q>    projected (SELECT) evaluation
 //! wdsparql contain  <query1> <query2>       containment verdicts, both ways
 //! wdsparql forest   <query>                 print the wdPF translation
-//! wdsparql store    <data.nt> [query]       bulk-load into the triple store,
+//! wdsparql store [--shards N] [--max-triples N]
+//!                   <data.nt> [query]       bulk-load into the triple store
+//!                                           (hash-sharded when N > 1),
 //!                                           report stats, run the query
 //!                                           through the service
 //! wdsparql demo                             run a tiny built-in scenario
@@ -46,7 +48,7 @@ const USAGE: &str = "usage:
   wdsparql select  <data.nt> <select-query>       (e.g. \"SELECT ?x WHERE { ... }\")
   wdsparql contain <query1> <query2>
   wdsparql forest  <query>
-  wdsparql store   <data.nt> [query]
+  wdsparql store   [--shards N] [--max-triples N] <data.nt> [query]
   wdsparql demo";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -143,68 +145,160 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        "store" => {
-            let graph = load_graph(args.get(1))?;
-            let store = std::sync::Arc::new(wdsparql_store::TripleStore::new());
-            // Load in batches, as an ingest pipeline would: each batch
-            // appends a sorted delta segment; the explicit compact folds
-            // whatever the adaptive policy left pending (and builds the
-            // PSO permutation). The stats line reports the lifecycle.
-            let mut stream = graph.iter().copied();
-            loop {
-                let batch: Vec<_> = stream.by_ref().take(4096).collect();
-                if batch.is_empty() {
-                    break;
-                }
-                store.bulk_load(batch);
-            }
-            let staged = store.stats();
-            store.compact();
-            let stats = store.stats();
-            println!("{stats}");
-            println!(
-                "(ingest staged {} delta row(s) in {} segment(s); {} compaction(s) total)",
-                staged.delta_rows, staged.segments, stats.compactions
-            );
-            let Some(text) = args.get(2) else {
-                return Ok(());
-            };
-            let query = Query::parse(text).map_err(|e| e.to_string())?;
-            let engine = Engine::from_store(std::sync::Arc::clone(&store));
-            let sols = engine.evaluate(&query);
-            println!("\nquery: {query}");
-            println!("{} solution(s) via the store-backed engine:", sols.len());
-            for mu in sols.iter().take(10) {
-                println!("  {mu}");
-            }
-            if sols.len() > 10 {
-                println!("  ... ({} more)", sols.len() - 10);
-            }
-            // AND-only queries additionally go through the service's
-            // planned, cached BGP path — plan and solutions from one
-            // snapshot; a second run shows the cache.
-            if let Some(pats) = bgp_patterns(query.pattern()) {
-                let planned = store.query_with_plan(&pats);
-                let plan: Vec<String> = planned.plan.iter().map(|&i| pats[i].to_string()).collect();
-                println!("service plan (most selective first): {}", plan.join(" ⋈ "));
-                let again = store.query(&pats);
-                assert_eq!(planned.solutions.len(), again.len());
-                let cs = store.cache_stats();
-                println!(
-                    "service BGP path: {} solution(s) at epoch {}; cache {} hit(s) / {} miss(es)",
-                    planned.solutions.len(),
-                    planned.epoch,
-                    cs.hits,
-                    cs.misses
-                );
-            }
-            Ok(())
-        }
+        "store" => run_store(&args[1..]),
         "demo" => {
             demo();
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// The `store` subcommand: bulk-load an N-Triples file into the triple
+/// store — one [`wdsparql_store::TripleStore`] by default, a
+/// hash-by-subject [`wdsparql_store::ShardedStore`] under `--shards N` —
+/// report the ingest lifecycle, and run an optional query through the
+/// store-backed engine and the service's planned BGP path.
+/// `--max-triples N` caps ingest (per shard when sharded); the capacity
+/// guard surfaces as a clean error instead of a panic.
+fn run_store(args: &[String]) -> Result<(), String> {
+    let mut shards = 1usize;
+    let mut max_triples: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--shards" => shards = flag("--shards")?,
+            "--max-triples" => max_triples = Some(flag("--max-triples")?),
+            _ => positional.push(arg),
+        }
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let graph = load_graph(positional.first().copied())?;
+    let query_text = positional.get(1).copied();
+    // Load in batches, as an ingest pipeline would: each batch appends
+    // sorted delta segments (scattered across the shards when sharded);
+    // the explicit compact folds whatever the adaptive policy left
+    // pending. Capacity exhaustion is a clean error, not a panic.
+    let mut stream = graph.iter().copied();
+    let mut batches = std::iter::from_fn(|| {
+        let batch: Vec<_> = stream.by_ref().take(4096).collect();
+        (!batch.is_empty()).then_some(batch)
+    });
+    if shards > 1 {
+        let store = std::sync::Arc::new(wdsparql_store::ShardedStore::new(shards));
+        store.set_capacity_limit(max_triples);
+        for batch in batches {
+            store.try_bulk_load(batch).map_err(|e| e.to_string())?;
+        }
+        let staged = store.stats();
+        store.compact();
+        let stats = store.stats();
+        print!("{stats}");
+        report_ingest_lifecycle(
+            staged.shards.iter().map(|s| s.delta_rows).sum(),
+            staged.shards.iter().map(|s| s.segments).sum(),
+            stats.shards.iter().map(|s| s.compactions).sum(),
+        );
+        let Some(text) = query_text else {
+            return Ok(());
+        };
+        let query = Query::parse(text).map_err(|e| e.to_string())?;
+        let engine = Engine::from_sharded_store(std::sync::Arc::clone(&store));
+        print_solutions(&query, &engine.evaluate(&query));
+        if let Some(pats) = bgp_patterns(query.pattern()) {
+            let planned = store.query_with_plan(&pats);
+            let again = store.query(&pats);
+            assert_eq!(planned.solutions.len(), again.len());
+            report_bgp_service(
+                &pats,
+                &planned.plan,
+                planned.solutions.len(),
+                &format!("epochs {:?}", planned.read),
+                store.cache_stats(),
+            );
+        }
+        return Ok(());
+    }
+    let store = std::sync::Arc::new(wdsparql_store::TripleStore::new());
+    store.set_capacity_limit(max_triples);
+    batches.try_for_each(|batch| {
+        store
+            .try_bulk_load(batch)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    })?;
+    let staged = store.stats();
+    store.compact();
+    let stats = store.stats();
+    println!("{stats}");
+    report_ingest_lifecycle(staged.delta_rows, staged.segments, stats.compactions);
+    let Some(text) = query_text else {
+        return Ok(());
+    };
+    let query = Query::parse(text).map_err(|e| e.to_string())?;
+    let engine = Engine::from_store(std::sync::Arc::clone(&store));
+    print_solutions(&query, &engine.evaluate(&query));
+    // AND-only queries additionally go through the service's planned,
+    // cached BGP path — plan and solutions from one snapshot; a second
+    // run shows the cache.
+    if let Some(pats) = bgp_patterns(query.pattern()) {
+        let planned = store.query_with_plan(&pats);
+        let again = store.query(&pats);
+        assert_eq!(planned.solutions.len(), again.len());
+        report_bgp_service(
+            &pats,
+            &planned.plan,
+            planned.solutions.len(),
+            &format!("epoch {}", planned.epoch),
+            store.cache_stats(),
+        );
+    }
+    Ok(())
+}
+
+fn report_ingest_lifecycle(staged_deltas: usize, staged_segments: usize, compactions: u64) {
+    println!(
+        "(ingest staged {staged_deltas} delta row(s) in {staged_segments} segment(s); \
+         {compactions} compaction(s) total)"
+    );
+}
+
+/// The shared tail of both `store` flavours: the executed plan and the
+/// cached-service summary, with the epoch provenance rendered by the
+/// caller (`epoch N` for the single store, the `(shard, epoch)` read
+/// vector for the sharded facade).
+fn report_bgp_service(
+    pats: &[wdsparql_rdf::TriplePattern],
+    plan: &[usize],
+    solutions: usize,
+    provenance: &str,
+    cs: wdsparql_store::CacheStats,
+) {
+    let plan: Vec<String> = plan.iter().map(|&i| pats[i].to_string()).collect();
+    println!("service plan (most selective first): {}", plan.join(" ⋈ "));
+    println!(
+        "service BGP path: {solutions} solution(s) at {provenance}; cache {} hit(s) / {} miss(es)",
+        cs.hits, cs.misses
+    );
+}
+
+fn print_solutions(query: &Query, sols: &std::collections::BTreeSet<Mapping>) {
+    println!("\nquery: {query}");
+    println!("{} solution(s) via the store-backed engine:", sols.len());
+    for mu in sols.iter().take(10) {
+        println!("  {mu}");
+    }
+    if sols.len() > 10 {
+        println!("  ... ({} more)", sols.len() - 10);
     }
 }
 
@@ -351,6 +445,45 @@ mod tests {
         assert!(run(&s(&["store", &p, "(?x, p, ?y) AND (?y, q, ?z)"])).is_ok());
         assert!(run(&s(&["store", "/nonexistent.nt"])).is_err());
         assert!(run(&s(&["store", &p, "(?x, p"])).is_err());
+    }
+
+    #[test]
+    fn store_subcommand_shards_and_caps() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb q c .\nd p e .\ne q a .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        // Sharded ingest + engine query + service BGP path.
+        assert!(run(&s(&["store", "--shards", "2", &p])).is_ok());
+        assert!(run(&s(&[
+            "store",
+            "--shards",
+            "3",
+            &p,
+            "(?x, p, ?y) AND (?y, q, ?z)"
+        ]))
+        .is_ok());
+        assert!(run(&s(&[
+            "store",
+            "--shards",
+            "2",
+            &p,
+            "(?x, p, ?y) OPT (?y, q, ?z)"
+        ]))
+        .is_ok());
+        // Flag validation.
+        assert!(run(&s(&["store", "--shards", "0", &p])).is_err());
+        assert!(run(&s(&["store", "--shards", "two", &p])).is_err());
+        assert!(run(&s(&["store", &p, "--shards"])).is_err());
+        // The capacity guard is a clean error (was: a panic), sharded or
+        // not.
+        let err = run(&s(&["store", "--max-triples", "1", &p])).unwrap_err();
+        assert!(err.contains("capacity"), "unexpected error: {err}");
+        let err = run(&s(&["store", "--shards", "2", "--max-triples", "1", &p])).unwrap_err();
+        assert!(err.contains("capacity"), "unexpected error: {err}");
+        // A generous cap passes.
+        assert!(run(&s(&["store", "--max-triples", "100", &p])).is_ok());
     }
 
     #[test]

@@ -168,3 +168,48 @@ fn store_reports_stats_and_serves_queries() {
     let out = wdsparql(&["store", "/nonexistent.nt"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn store_shards_scatter_and_answer_queries() {
+    let data = fixture_nt("store_shards");
+    let out = wdsparql(&["store", "--shards", "2", data.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("3 triple(s)") && text.contains("2 shard(s)"),
+        "unexpected output: {text}"
+    );
+    assert!(text.contains("shard 1:"), "unexpected output: {text}");
+
+    // The same AND-only query runs through the sharded engine and the
+    // facade's planned BGP path, epoch vector and all.
+    let out = wdsparql(&[
+        "store",
+        "--shards",
+        "2",
+        data.to_str().unwrap(),
+        "(?x, knows, ?y) AND (?y, knows, ?z)",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("service plan"), "unexpected output: {text}");
+    assert!(text.contains("epochs ["), "unexpected output: {text}");
+}
+
+#[test]
+fn store_capacity_guard_is_a_clean_error() {
+    // Before the fix this path hit the panicking `bulk_load`; now the
+    // guard surfaces as a normal CLI error with a non-zero exit.
+    let data = fixture_nt("store_cap");
+    let out = wdsparql(&["store", "--max-triples", "1", data.to_str().unwrap()]);
+    assert!(!out.status.success(), "capacity overflow must fail");
+    let err = stderr(&out);
+    assert!(
+        err.contains("capacity exceeded") && err.contains("configured limit"),
+        "unexpected stderr: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must be an error, not a panic: {err}"
+    );
+}

@@ -11,7 +11,7 @@ use wdsparql_algebra::{
     eval as reference_eval, filter_solutions, parse_pattern, FilterExpr, GraphPattern, SolutionSet,
 };
 use wdsparql_rdf::{Mapping, RdfGraph, TripleIndex};
-use wdsparql_store::TripleStore;
+use wdsparql_store::{ShardedStore, TripleStore};
 use wdsparql_tree::{TranslateError, Wdpf};
 use wdsparql_width::{branch_treewidth_forest, domination_width, local_width_forest};
 
@@ -155,6 +155,11 @@ enum Backend {
     /// dictionary-encoded sorted-permutation ranges, under the store's
     /// read lock.
     Store(Arc<TripleStore>),
+    /// A shared [`ShardedStore`]: the matcher scatter-gathers over the
+    /// hash-partitioned shards through a
+    /// [`wdsparql_store::ShardedSnapshot`] — subject-bound patterns
+    /// route to one shard, the rest fan out.
+    Sharded(Arc<ShardedStore>),
 }
 
 /// An RDF data backend together with evaluation entry points.
@@ -180,30 +185,50 @@ impl Engine {
         }
     }
 
+    /// A sharded-store-backed engine: triple-pattern matches resolve
+    /// through a scatter-gather snapshot of the hash-partitioned shards
+    /// (subject-bound patterns touch exactly one shard). The store stays
+    /// shared — concurrent queries and scattered bulk loads through
+    /// other handles remain possible.
+    pub fn from_sharded_store(store: Arc<ShardedStore>) -> Engine {
+        Engine {
+            backend: Backend::Sharded(store),
+        }
+    }
+
     /// The in-memory graph of a [`Engine::new`]-built engine, or `None`
-    /// for a store-backed one — use [`Engine::with_index`] or
-    /// [`Engine::store`] there.
+    /// for a store-backed one — use [`Engine::with_index`],
+    /// [`Engine::store`] or [`Engine::sharded_store`] there.
     pub fn graph(&self) -> Option<&RdfGraph> {
         match &self.backend {
             Backend::Memory(g) => Some(g),
-            Backend::Store(_) => None,
+            Backend::Store(_) | Backend::Sharded(_) => None,
         }
     }
 
     /// The shared store of a [`Engine::from_store`]-built engine.
     pub fn store(&self) -> Option<&Arc<TripleStore>> {
         match &self.backend {
-            Backend::Memory(_) => None,
+            Backend::Memory(_) | Backend::Sharded(_) => None,
             Backend::Store(s) => Some(s),
         }
     }
 
+    /// The shared store of a [`Engine::from_sharded_store`]-built engine.
+    pub fn sharded_store(&self) -> Option<&Arc<ShardedStore>> {
+        match &self.backend {
+            Backend::Memory(_) | Backend::Store(_) => None,
+            Backend::Sharded(s) => Some(s),
+        }
+    }
+
     /// Runs `f` against the backend's [`TripleIndex`] view (for a store
-    /// backend, under the store's read lock).
+    /// backend, on a lock-free snapshot).
     pub fn with_index<R>(&self, f: impl FnOnce(&dyn TripleIndex) -> R) -> R {
         match &self.backend {
             Backend::Memory(g) => f(g.as_ref()),
             Backend::Store(s) => s.with_index(|g| f(g)),
+            Backend::Sharded(s) => s.with_index(|snap| f(snap)),
         }
     }
 
@@ -423,6 +448,38 @@ mod tests {
         // A bulk load through the shared store is visible immediately.
         store.bulk_load([wdsparql_rdf::Triple::from_strs("g", "p", "h")]);
         assert_eq!(via_store.count(&q), mem.count(&q) + 1);
+    }
+
+    #[test]
+    fn sharded_backed_engine_agrees_with_memory_backend() {
+        let graph = engine().graph().expect("memory-backed engine").clone();
+        let store = Arc::new(ShardedStore::from_rdf(3, &graph));
+        let mem = Engine::new(graph);
+        let via_sharded = Engine::from_sharded_store(Arc::clone(&store));
+        assert!(via_sharded.sharded_store().is_some());
+        assert!(via_sharded.store().is_none());
+        assert!(via_sharded.graph().is_none());
+        let q =
+            Query::parse("(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))")
+                .unwrap();
+        let sols = via_sharded.evaluate(&q);
+        assert_eq!(sols, mem.evaluate(&q));
+        assert!(!sols.is_empty());
+        for mu in &sols {
+            for s in [
+                Strategy::Reference,
+                Strategy::Naive,
+                Strategy::Pebble { k: 1 },
+                Strategy::Auto,
+            ] {
+                assert!(via_sharded.check(&q, mu, s), "{s:?} rejected {mu}");
+            }
+        }
+        assert_eq!(via_sharded.count(&q), mem.count(&q));
+        // A scattered bulk load through the shared store is visible
+        // immediately.
+        store.bulk_load([wdsparql_rdf::Triple::from_strs("g", "p", "h")]);
+        assert_eq!(via_sharded.count(&q), mem.count(&q) + 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::graph::{binding_of, RdfGraph};
 use crate::mapping::Mapping;
-use crate::term::Iri;
+use crate::term::{Iri, Variable};
 use crate::triple::{Triple, TriplePattern};
 
 /// Read-only access to an indexed set of ground triples.
@@ -57,6 +57,18 @@ pub trait TripleIndex {
             .into_iter()
             .filter_map(|t| binding_of(pat, &t))
             .collect()
+    }
+
+    /// The sorted, deduplicated values variable `v` can take in a match
+    /// of `pat` — a semi-join / merge-join input. `None` when the
+    /// backend has no cheap way to produce it (the default), or when `v`
+    /// does not occur in `pat`; callers must treat `None` as "filter
+    /// unavailable", never as "no values". Implementations must return
+    /// the list ascending in [`Iri`]'s order so callers can probe it by
+    /// binary search.
+    fn candidate_values(&self, pat: &TriplePattern, v: Variable) -> Option<Vec<Iri>> {
+        let _ = (pat, v);
+        None
     }
 }
 

@@ -1,0 +1,335 @@
+//! The shared result cache behind [`TripleStore`] and [`ShardedStore`]:
+//! an LRU keyed by an arbitrary key type (query text plus whatever epoch
+//! shape the owner validates against), with per-key in-flight
+//! deduplication so N concurrent misses of the same key compute the
+//! result once.
+//!
+//! Recency is tracked by a logical clock plus a tick-ordered index
+//! ([`std::collections::BTreeMap`]), so eviction pops the stalest entry
+//! in `O(log n)` instead of scanning the whole map — the scan was fine
+//! at a 128-entry default but not for the service-sized caches the
+//! sharded facade fronts.
+//!
+//! [`TripleStore`]: crate::TripleStore
+//! [`ShardedStore`]: crate::ShardedStore
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use wdsparql_rdf::Mapping;
+
+/// Cache hit/miss counters (monotonic over the cache's lifetime).
+/// `hits` counts results served without a computation — from the LRU or
+/// by joining another thread's in-flight computation; `misses` counts
+/// actual evaluations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+}
+
+/// In-flight computation slot: filled exactly once, everyone else waits.
+type PendingSlot = Arc<OnceLock<Arc<Vec<Mapping>>>>;
+
+/// A small LRU over solution sets. Recency is a logical clock; the
+/// tick-ordered index makes eviction `O(log n)` (pop the smallest
+/// stamp) while preserving exactly the old full-scan eviction order:
+/// the entry with the stalest stamp goes first.
+pub(crate) struct LruCache<K> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (Arc<Vec<Mapping>>, u64)>,
+    /// stamp → key, mirror of `map`'s stamps (stamps are unique: the
+    /// clock advances on every touch).
+    order: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone> LruCache<K> {
+    pub(crate) fn new(capacity: usize) -> LruCache<K> {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn get(&mut self, key: &K) -> Option<Arc<Vec<Mapping>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, stamp) = self.map.get_mut(key)?;
+        self.order.remove(stamp);
+        *stamp = tick;
+        self.order.insert(tick, key.clone());
+        Some(Arc::clone(value))
+    }
+
+    pub(crate) fn put(&mut self, key: K, value: Arc<Vec<Mapping>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((_, stamp)) = self.map.get(&key) {
+            self.order.remove(stamp);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, oldest)) = self.order.pop_first() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.insert(self.tick, key.clone());
+        self.map.insert(key, (value, self.tick));
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Drops every entry whose key fails the predicate (the sharded
+    /// facade's selective invalidation: only results that read a bumped
+    /// shard go).
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        let doomed: Vec<(K, u64)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !keep(k))
+            .map(|(k, (_, stamp))| (k.clone(), *stamp))
+            .collect();
+        for (k, stamp) in doomed {
+            self.map.remove(&k);
+            self.order.remove(&stamp);
+        }
+    }
+}
+
+/// An LRU result cache with per-key in-flight deduplication, generic
+/// over the key (the owner decides what "epoch" means: a single counter
+/// for [`TripleStore`], a per-shard epoch vector for [`ShardedStore`]).
+///
+/// [`TripleStore`]: crate::TripleStore
+/// [`ShardedStore`]: crate::ShardedStore
+pub(crate) struct ResultCache<K> {
+    cache: Mutex<LruCache<K>>,
+    /// In-flight computations keyed like the cache: concurrent misses of
+    /// the same key join the first thread's slot instead of re-running
+    /// the evaluation.
+    pending: Mutex<HashMap<K, PendingSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone> ResultCache<K> {
+    pub(crate) fn new(capacity: usize) -> ResultCache<K> {
+        ResultCache {
+            cache: Mutex::new(LruCache::new(capacity)),
+            pending: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().len(),
+        }
+    }
+
+    /// Drops every cached entry (the single-epoch owner's invalidation:
+    /// after an epoch bump all old entries are unreachable, so freeing
+    /// their result sets immediately beats waiting for eviction).
+    pub(crate) fn clear(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Selectively drops entries whose key fails the predicate.
+    pub(crate) fn retain(&self, keep: impl FnMut(&K) -> bool) {
+        self.cache.lock().retain(keep);
+    }
+
+    /// Serves `key` from the cache, or computes it — at most once across
+    /// concurrent callers: the first miss installs an in-flight slot,
+    /// later misses of the same key block on that slot instead of
+    /// re-running `compute`. The leader publishes to the LRU only when
+    /// `still_valid` holds (the owner re-checks its epochs there), so a
+    /// result computed on a snapshot that has since been superseded is
+    /// returned to callers but never cached.
+    pub(crate) fn get_or_compute(
+        &self,
+        key: K,
+        still_valid: impl FnOnce() -> bool,
+        compute: impl FnOnce() -> Vec<Mapping>,
+    ) -> Arc<Vec<Mapping>> {
+        if let Some(hit) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let (slot, leader) = {
+            let mut pending = self.pending.lock();
+            match pending.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    // Double-check the cache while holding the pending
+                    // lock: a leader that published and unregistered
+                    // between our cache miss and this point must not
+                    // trigger a second computation. (Lock order is
+                    // pending → cache here; no path nests them the other
+                    // way round.)
+                    if let Some(hit) = self.cache.lock().get(&key) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return hit;
+                    }
+                    let slot: PendingSlot = Arc::new(OnceLock::new());
+                    e.insert(Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        // Exactly one closure runs per slot; every other caller blocks
+        // inside `get_or_init` until the value lands. The miss counter
+        // therefore counts computations, not callers.
+        let mut computed_here = false;
+        let value = Arc::clone(slot.get_or_init(|| {
+            computed_here = true;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        }));
+        if !computed_here {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if leader {
+            // Publish before unregistering, so a racer either sees the
+            // cache entry or the pending slot. Skip the insert when the
+            // owner's epochs moved meanwhile: the entry would be keyed
+            // to a stale epoch — correct but unreachable, so only dead
+            // weight.
+            if still_valid() {
+                self.cache.lock().put(key.clone(), Arc::clone(&value));
+            }
+            self.pending.lock().remove(&key);
+        }
+        value
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pending_is_empty(&self) -> bool {
+        self.pending.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: usize) -> Arc<Vec<Mapping>> {
+        Arc::new(vec![Mapping::new(); n])
+    }
+
+    /// The tick-ordered index evicts exactly what the old full-scan
+    /// `min_by_key` eviction evicted: the entry with the stalest stamp,
+    /// where both `get` and `put` refresh a key's stamp.
+    #[test]
+    fn eviction_order_is_unchanged() {
+        let mut lru: LruCache<&str> = LruCache::new(2);
+        lru.put("a", val(1));
+        lru.put("b", val(2));
+        assert!(lru.get(&"a").is_some()); // refresh a → b is stalest
+        lru.put("c", val(3)); // evicts b
+        assert!(lru.get(&"b").is_none());
+        assert!(lru.get(&"a").is_some());
+        assert!(lru.get(&"c").is_some());
+
+        // Re-putting an existing key refreshes it without evicting.
+        lru.put("a", val(4)); // a newest, c stalest
+        lru.put("d", val(5)); // evicts c
+        assert!(lru.get(&"c").is_none());
+        assert_eq!(lru.get(&"a").unwrap().len(), 4);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut lru: LruCache<&str> = LruCache::new(0);
+        lru.put("a", val(1));
+        assert!(lru.get(&"a").is_none());
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn retain_drops_only_failing_keys() {
+        let mut lru: LruCache<u32> = LruCache::new(8);
+        for k in 0..6 {
+            lru.put(k, val(k as usize));
+        }
+        lru.retain(|k| k % 2 == 0);
+        assert_eq!(lru.len(), 3);
+        assert!(lru.get(&1).is_none());
+        assert!(lru.get(&2).is_some());
+        // The order index stayed in sync: filling to capacity evicts the
+        // stalest survivor, not a ghost of a retained-away key.
+        for k in 10..15 {
+            lru.put(k, val(1));
+        }
+        assert_eq!(lru.len(), 8);
+    }
+
+    #[test]
+    fn invalid_results_are_returned_but_not_cached() {
+        let cache: ResultCache<&str> = ResultCache::new(8);
+        let out = cache.get_or_compute("k", || false, || vec![Mapping::new()]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(cache.stats().entries, 0, "stale result must not land");
+        assert_eq!(cache.stats().misses, 1);
+        let again = cache.get_or_compute("k", || true, || vec![Mapping::new()]);
+        assert_eq!(again.len(), 1);
+        assert_eq!(cache.stats().misses, 2, "recomputed, not served stale");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn concurrent_misses_compute_once() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let cache: Arc<ResultCache<String>> = Arc::new(ResultCache::new(8));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let value = cache.get_or_compute(
+                    "dedup-key".to_string(),
+                    || true,
+                    || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Hold the slot long enough that every thread
+                        // passes its cache-miss check while the
+                        // computation is still in flight.
+                        std::thread::sleep(std::time::Duration::from_millis(200));
+                        vec![Mapping::new()]
+                    },
+                );
+                value.len()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one computation");
+        let cs = cache.stats();
+        assert_eq!(cs.misses, 1);
+        assert_eq!(cs.hits, 7, "joiners count as hits");
+        assert!(cache.pending_is_empty(), "slot unregistered");
+    }
+}

@@ -173,6 +173,21 @@ impl EncodedGraph {
     where
         I: IntoIterator<Item = Triple>,
     {
+        self.insert_batch_capped(triples, MAX_TRIPLES)
+    }
+
+    /// [`EncodedGraph::insert_batch`] under a row-count `limit` (clamped
+    /// to [`MAX_TRIPLES`]) — the hook the service layer uses to enforce
+    /// its configurable ingest cap. The limit is a parameter, not graph
+    /// state, so configuring it never touches the copy-on-write payload.
+    pub(crate) fn insert_batch_capped<I>(
+        &mut self,
+        triples: I,
+        limit: usize,
+    ) -> Result<usize, CapacityError>
+    where
+        I: IntoIterator<Item = Triple>,
+    {
         // Phase 1, read-only: drop triples already present *before*
         // interning anything, so a refused batch cannot leave terms in
         // the dictionary that no triple uses. A triple with any unknown
@@ -220,10 +235,10 @@ impl EncodedGraph {
         // brings no new terms. The capacity pre-check therefore uses the
         // conservative count, and only a batch failing it pays for an
         // exact triple-level dedup and a re-check.
-        if check_capacity(self.len() + fresh.len()).is_err() {
+        if check_capacity(self.len() + fresh.len(), limit).is_err() {
             fresh.sort_unstable();
             fresh.dedup();
-            check_capacity(self.len() + fresh.len())?;
+            check_capacity(self.len() + fresh.len(), limit)?;
         }
         // Phase 2: intern, sort into one delta segment, fold the newly
         // interned terms into the sorted domain.
@@ -463,21 +478,31 @@ impl EncodedGraph {
     /// whole OSP block. PSO joins the candidates only when the graph is
     /// fully compacted (segments carry no PSO run), listed before POS so
     /// a predicate-led tie lands on the subject-sorted block.
+    /// Resolves the pattern's bound positions to dictionary ids. `None`
+    /// when a bound term is not interned (nothing can match).
     #[inline]
-    fn scan(&self, pat: &TriplePattern) -> Option<Scan<'_>> {
+    fn resolve_ids(&self, pat: &TriplePattern) -> Option<[Option<TermId>; 3]> {
         let resolve = |term: Term| -> Result<Option<TermId>, ()> {
             match term {
                 Term::Var(_) => Ok(None),
                 Term::Iri(i) => self.dict.lookup(i).map(Some).ok_or(()),
             }
         };
-        let spo_ids = [
+        Some([
             resolve(pat.s).ok()?,
             resolve(pat.p).ok()?,
             resolve(pat.o).ok()?,
-        ];
-        const SMALL_ENOUGH: usize = 16;
-        let options: [Candidate<'_>; 4] = [
+        ])
+    }
+
+    /// The candidate permutations for a pattern with the given bound
+    /// ids, in the fixed comparison order. PSO joins the candidates only
+    /// when the graph is fully compacted (segments carry no PSO run),
+    /// listed before POS so a predicate-led tie lands on the
+    /// subject-sorted block.
+    #[inline]
+    fn scan_candidates(&self, spo_ids: [Option<TermId>; 3]) -> [Candidate<'_>; 4] {
+        [
             (Perm::Spo, spo_ids[0], &self.spo, &self.spo_off),
             (Perm::Osp, spo_ids[2], &self.osp, &self.osp_off),
             (
@@ -491,7 +516,14 @@ impl EncodedGraph {
                 &self.pso_off,
             ),
             (Perm::Pos, spo_ids[1], &self.pos, &self.pos_off),
-        ];
+        ]
+    }
+
+    #[inline]
+    fn scan(&self, pat: &TriplePattern) -> Option<Scan<'_>> {
+        let spo_ids = self.resolve_ids(pat)?;
+        const SMALL_ENOUGH: usize = 16;
+        let options = self.scan_candidates(spo_ids);
         let mut best: Option<Scan<'_>> = None;
         let mut best_total = usize::MAX;
         for (perm, lead, rows, off) in options {
@@ -559,8 +591,76 @@ impl EncodedGraph {
     /// positions: the chosen bound-prefix run lengths, O(1)/O(log n).
     /// Exact whenever the access path needed no residual filter (every
     /// single-constant pattern and all sorted-prefix combinations).
+    ///
+    /// Counting takes a leading-range-only fast path: candidates are
+    /// compared by their leading run alone (two offset loads each, plus
+    /// one binary search per pending segment) and only the winner is
+    /// prefix-narrowed. When that narrowing consumes every bound
+    /// component the count is exact — the minimum any candidate could
+    /// produce — so skipping the other candidates cannot change the
+    /// result, only the cost (the hom solver's fail-first loop calls
+    /// this per search node). Residual-filtered shapes (`(? p o)` on a
+    /// hub object, `(s ? o)`) fall back to the full adaptive comparison
+    /// of [`EncodedGraph::scan`], which is what keeps their estimates
+    /// tight.
     pub fn candidate_count(&self, pat: &TriplePattern) -> usize {
-        self.scan(pat).map_or(0, |s| s.total())
+        let Some(spo_ids) = self.resolve_ids(pat) else {
+            return 0;
+        };
+        if spo_ids.iter().all(Option::is_none) {
+            return self.len();
+        }
+        let mut best: Option<(Perm, TermId, &[Row], usize)> = None;
+        for (perm, lead, rows, off) in self.scan_candidates(spo_ids) {
+            let Some(lead) = lead else { continue };
+            let base = self.leading_range(rows, off, lead);
+            let mut total = base.len();
+            for seg in &self.segments {
+                total += Self::narrow(seg.rows(perm), 0, lead).len();
+            }
+            if best.as_ref().is_none_or(|&(.., t)| total < t) {
+                best = Some((perm, lead, base, total));
+            }
+        }
+        let Some((perm, lead, base, total)) = best else {
+            // At least one component is bound, so some candidate leads
+            // with it; this arm is unreachable but harmless.
+            return self.scan(pat).map_or(0, |s| s.total());
+        };
+        if total == 0 {
+            return 0;
+        }
+        // Would prefix-narrowing the winner consume every bound
+        // component? A bound key after an unbound row position would be
+        // a residual filter — the shapes where comparing the *other*
+        // narrowed candidates can genuinely pick a smaller run.
+        let layout = perm.layout();
+        let mut keys = [None; 3];
+        for (component, id) in spo_ids.into_iter().enumerate() {
+            keys[layout[component]] = id;
+        }
+        let mut gap = false;
+        for key in &keys[1..] {
+            match key {
+                Some(_) if gap => return self.scan(pat).map_or(0, |s| s.total()),
+                Some(_) => {}
+                None => gap = true,
+            }
+        }
+        let narrowed = |mut run: &[Row]| {
+            for (pos, key) in keys.iter().enumerate().skip(1) {
+                match key {
+                    Some(key) => run = Self::narrow(run, pos, *key),
+                    None => break,
+                }
+            }
+            run.len()
+        };
+        let mut count = narrowed(base);
+        for seg in &self.segments {
+            count += narrowed(Self::narrow(seg.rows(perm), 0, lead));
+        }
+        count
     }
 
     /// All triples matching `pat`, honouring repeated variables.
@@ -648,6 +748,22 @@ impl EncodedGraph {
         }
         ids.dedup();
         Some(ids)
+    }
+
+    /// As [`EncodedGraph::candidate_ids`], decoded back to IRIs and
+    /// re-sorted in [`Iri`] order — the backend-independent semi-join
+    /// input behind [`TripleIndex::candidate_values`] (local ids mean
+    /// nothing outside this graph's dictionary, so cross-backend callers
+    /// get values).
+    pub fn candidate_values(
+        &self,
+        pat: &TriplePattern,
+        v: wdsparql_rdf::Variable,
+    ) -> Option<Vec<Iri>> {
+        let ids = self.candidate_ids(pat, v)?;
+        let mut vals: Vec<Iri> = ids.into_iter().map(|id| self.dict.decode(id)).collect();
+        vals.sort_unstable();
+        Some(vals)
     }
 
     /// Sorted-merge intersection of the candidate id lists of a variable
@@ -781,6 +897,10 @@ impl TripleIndex for EncodedGraph {
     fn solutions(&self, pat: &TriplePattern) -> Vec<Mapping> {
         EncodedGraph::solutions(self, pat)
     }
+
+    fn candidate_values(&self, pat: &TriplePattern, v: wdsparql_rdf::Variable) -> Option<Vec<Iri>> {
+        EncodedGraph::candidate_values(self, pat, v)
+    }
 }
 
 impl FromIterator<Triple> for EncodedGraph {
@@ -909,6 +1029,117 @@ mod tests {
         assert!(g
             .match_pattern(&tp(var("x"), var("x"), var("x")))
             .is_empty());
+    }
+
+    /// The leading-range-only counting fast path returns the exact
+    /// constant-match count on every sorted-prefix shape — with rows in
+    /// the base, in pending segments, and split across both — and stays
+    /// an upper bound on the residual-filtered shapes it falls back on.
+    #[test]
+    fn candidate_count_fast_path_is_exact_on_prefix_shapes() {
+        let strs = [
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("a", "q", "b"),
+            ("b", "p", "c"),
+            ("b", "q", "a"),
+            ("c", "q", "a"),
+        ];
+        let compacted =
+            EncodedGraph::from_triples(strs.map(|(s, p, o)| Triple::from_strs(s, p, o)));
+        let mut staged = EncodedGraph::with_compaction_policy(CompactionPolicy::Manual);
+        for t in strs {
+            staged
+                .insert_batch([Triple::from_strs(t.0, t.1, t.2)])
+                .unwrap();
+        }
+        let mut half = EncodedGraph::with_compaction_policy(CompactionPolicy::Manual);
+        half.insert_batch(strs[..3].iter().map(|t| Triple::from_strs(t.0, t.1, t.2)))
+            .unwrap();
+        half.compact();
+        half.insert_batch(strs[3..].iter().map(|t| Triple::from_strs(t.0, t.1, t.2)))
+            .unwrap();
+        // (constant prefix shapes, expected exact counts)
+        let exact = [
+            (tp(iri("a"), var("x"), var("y")), 3),
+            (tp(iri("a"), iri("p"), var("y")), 2),
+            (tp(iri("a"), iri("p"), iri("c")), 1),
+            (tp(var("x"), iri("q"), var("y")), 3),
+            (tp(var("x"), var("w"), iri("a")), 2),
+            (tp(var("x"), var("w"), var("y")), 6),
+        ];
+        for (label, g) in [
+            ("compacted", &compacted),
+            ("staged", &staged),
+            ("half", &half),
+        ] {
+            for (pat, want) in &exact {
+                assert_eq!(g.candidate_count(pat), *want, "{label}: {pat}");
+            }
+            // Fallback shapes: an upper bound that still dominates the
+            // true match count.
+            for pat in [
+                tp(var("x"), iri("q"), iri("a")),
+                tp(iri("a"), var("w"), iri("b")),
+            ] {
+                assert!(
+                    g.candidate_count(&pat) >= g.match_pattern(&pat).len(),
+                    "{label}: {pat}"
+                );
+            }
+        }
+        // Unknown constants still count zero through the fast path.
+        assert_eq!(
+            compacted.candidate_count(&tp(iri("zz"), iri("p"), var("y"))),
+            0
+        );
+    }
+
+    #[test]
+    fn capped_inserts_refuse_cleanly() {
+        let mut g = EncodedGraph::new();
+        g.insert_batch_capped([Triple::from_strs("a", "p", "b")], 2)
+            .unwrap();
+        let err = g
+            .insert_batch_capped(
+                [
+                    Triple::from_strs("c", "p", "d"),
+                    Triple::from_strs("e", "p", "f"),
+                ],
+                2,
+            )
+            .unwrap_err();
+        assert_eq!((err.attempted, err.limit), (3, 2));
+        assert_eq!(g.len(), 1, "refused batch leaves the graph unchanged");
+        assert_eq!(g.term_count(), 3, "refused batch interns nothing");
+        // Exactly at the limit is fine; duplicates never count twice.
+        g.insert_batch_capped(
+            [
+                Triple::from_strs("a", "p", "b"),
+                Triple::from_strs("c", "p", "d"),
+            ],
+            2,
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+        // The plain insert path is uncapped (up to MAX_TRIPLES).
+        g.insert_batch([Triple::from_strs("e", "p", "f")]).unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn candidate_values_are_sorted_iris() {
+        let g = sample();
+        let pat = tp(var("s"), iri("q"), var("o"));
+        let vals = g.candidate_values(&pat, Variable::new("s")).unwrap();
+        assert!(vals.is_sorted());
+        let mut names: Vec<&str> = vals.iter().map(|i| i.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["b", "c"]);
+        assert!(g.candidate_values(&pat, Variable::new("nope")).is_none());
+        // The trait view serves the same list.
+        let ix: &dyn TripleIndex = &g;
+        assert_eq!(ix.candidate_values(&pat, Variable::new("s")), Some(vals));
     }
 
     #[test]

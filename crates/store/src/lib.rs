@@ -37,14 +37,28 @@
 //!   misses in flight, and [`StoreStats`] selectivity statistics drive
 //!   most-selective-first, connectivity-aware BGP planning —
 //!   [`TripleStore::query_with_plan`] returns the executed plan from the
-//!   same snapshot as the answers.
+//!   same snapshot as the answers, planned exactly once;
+//! * [`ShardedStore`] — write scaling: N hash-partitioned-by-subject
+//!   [`TripleStore`] shards behind one facade. Bulk loads scatter to
+//!   per-shard write locks (parallel on multi-core hosts, and a reader's
+//!   snapshot pins one shard, not the dataset), subject-bound patterns
+//!   route to exactly one shard, unbound ones fan out and k-way-merge,
+//!   and the facade's result cache is keyed by the epoch vector of the
+//!   shards each query read — so routed results survive writes to other
+//!   shards. [`ShardedSnapshot`] implements
+//!   [`wdsparql_rdf::TripleIndex`], so every evaluator runs unchanged on
+//!   the sharded layout.
 
+mod cache;
 pub mod dict;
 pub mod encoded;
 mod segment;
 pub mod service;
+pub mod shard;
 
+pub use cache::CacheStats;
 pub use dict::{Dictionary, TermId};
 pub use encoded::{CompactionPolicy, EncodedGraph};
 pub use segment::{CapacityError, MAX_TRIPLES};
-pub use service::{CacheStats, PlannedQuery, StoreStats, TripleStore};
+pub use service::{PlannedQuery, StoreSnapshot, StoreStats, TripleStore};
+pub use shard::{ShardedPlannedQuery, ShardedSnapshot, ShardedStats, ShardedStore};

@@ -67,34 +67,51 @@ impl Perm {
 /// [`EncodedGraph`]: crate::EncodedGraph
 pub const MAX_TRIPLES: usize = u32::MAX as usize;
 
-/// An insert was refused because it would push the store past
-/// [`MAX_TRIPLES`] rows and silently truncate the `u32` offset tables.
+/// An insert was refused because it would push the store past its
+/// capacity: [`MAX_TRIPLES`] rows (above which the `u32` offset tables
+/// would silently truncate), or a lower limit configured with
+/// `EncodedGraph::set_capacity_limit` / `TripleStore::set_capacity_limit`
+/// (an ingest guard for operators and tests).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CapacityError {
     /// The row count the rejected insert would have produced.
     pub attempted: usize,
+    /// The capacity it tripped: [`MAX_TRIPLES`] or the configured limit.
+    pub limit: usize,
 }
 
 impl fmt::Display for CapacityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "store capacity exceeded: {} triples would overflow the u32 \
-             offset tables (max {MAX_TRIPLES})",
-            self.attempted
-        )
+        if self.limit < MAX_TRIPLES {
+            write!(
+                f,
+                "store capacity exceeded: {} triples over the configured \
+                 limit of {}",
+                self.attempted, self.limit
+            )
+        } else {
+            write!(
+                f,
+                "store capacity exceeded: {} triples would overflow the u32 \
+                 offset tables (max {MAX_TRIPLES})",
+                self.attempted
+            )
+        }
     }
 }
 
 impl std::error::Error for CapacityError {}
 
-/// Guards the boundary arithmetic behind [`MAX_TRIPLES`]: `Ok` exactly
-/// when a store of `total_rows` triples still indexes with `u32`
-/// offsets.
-pub(crate) fn check_capacity(total_rows: usize) -> Result<(), CapacityError> {
-    if total_rows > MAX_TRIPLES {
+/// Guards the boundary arithmetic behind [`MAX_TRIPLES`] (or a lower
+/// configured `limit`): `Ok` exactly when a store of `total_rows`
+/// triples stays within the limit — and therefore still indexes with
+/// `u32` offsets, since `limit` is clamped to [`MAX_TRIPLES`].
+pub(crate) fn check_capacity(total_rows: usize, limit: usize) -> Result<(), CapacityError> {
+    let limit = limit.min(MAX_TRIPLES);
+    if total_rows > limit {
         return Err(CapacityError {
             attempted: total_rows,
+            limit,
         });
     }
     debug_assert!(u32::try_from(total_rows).is_ok());
@@ -294,11 +311,24 @@ mod tests {
 
     #[test]
     fn capacity_guard_boundary_arithmetic() {
-        assert_eq!(check_capacity(0), Ok(()));
-        assert_eq!(check_capacity(MAX_TRIPLES), Ok(()));
-        let err = check_capacity(MAX_TRIPLES + 1).unwrap_err();
+        assert_eq!(check_capacity(0, MAX_TRIPLES), Ok(()));
+        assert_eq!(check_capacity(MAX_TRIPLES, MAX_TRIPLES), Ok(()));
+        let err = check_capacity(MAX_TRIPLES + 1, MAX_TRIPLES).unwrap_err();
         assert_eq!(err.attempted, MAX_TRIPLES + 1);
+        assert_eq!(err.limit, MAX_TRIPLES);
         assert!(err.to_string().contains("capacity exceeded"));
+        // A configured limit trips earlier, names itself, and is clamped
+        // to the hard u32 bound.
+        assert_eq!(check_capacity(10, 10), Ok(()));
+        let err = check_capacity(11, 10).unwrap_err();
+        assert_eq!((err.attempted, err.limit), (11, 10));
+        assert!(err.to_string().contains("configured limit of 10"));
+        assert_eq!(
+            check_capacity(MAX_TRIPLES + 1, usize::MAX)
+                .unwrap_err()
+                .limit,
+            MAX_TRIPLES
+        );
         // The guard is exactly the u32 representability bound the offset
         // tables rely on.
         assert_eq!(MAX_TRIPLES, u32::MAX as usize);

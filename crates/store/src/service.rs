@@ -11,17 +11,26 @@
 //! concurrent misses of the same query compute it once. A [`StoreStats`]
 //! snapshot's per-predicate cardinalities drive most-selective-first,
 //! connectivity-aware ordering of multi-pattern (BGP) queries, and
-//! [`TripleStore::query_with_plan`] threads one snapshot through both
-//! planning and execution so the displayed plan is always the executed
-//! one.
+//! [`TripleStore::query_with_plan`] threads one snapshot *and one plan*
+//! through planning and execution: the displayed plan is always the
+//! executed one, computed exactly once.
+//!
+//! The BGP machinery ([`plan_order`], [`eval_bgp_planned`]) is generic
+//! over [`TripleIndex`], which is what lets the sharded facade
+//! ([`crate::ShardedStore`]) run the identical planner and join pipeline
+//! over its scatter-gather snapshot.
 
+use crate::cache::ResultCache;
 use crate::encoded::{CapacityError, EncodedGraph};
-use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use parking_lot::RwLock;
+use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use wdsparql_rdf::{binding_of, Iri, Mapping, RdfGraph, Term, Triple, TriplePattern, Variable};
+use wdsparql_rdf::{
+    binding_of, Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern, Variable,
+};
+
+pub use crate::cache::CacheStats;
 
 /// A snapshot of the store's contents, taken under the read lock.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,15 +77,24 @@ impl fmt::Display for StoreStats {
     }
 }
 
-/// Cache hit/miss counters (monotonic over the store's lifetime).
-/// `hits` counts results served without a computation — from the LRU or
-/// by joining another thread's in-flight computation; `misses` counts
-/// actual BGP evaluations.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub entries: usize,
+/// Builds a [`StoreStats`] from one graph snapshot and its epoch — the
+/// single construction shared by [`TripleStore::stats`] and the sharded
+/// facade's per-shard stats.
+pub(crate) fn stats_of(graph: &EncodedGraph, epoch: u64) -> StoreStats {
+    let (subjects, predicates, objects) = graph.position_cardinalities();
+    StoreStats {
+        triples: graph.len(),
+        terms: graph.term_count(),
+        subjects,
+        predicates,
+        objects,
+        predicate_cardinalities: graph.predicate_cardinalities(),
+        epoch,
+        base_rows: graph.base_len(),
+        delta_rows: graph.delta_len(),
+        segments: graph.segment_count(),
+        compactions: graph.compactions(),
+    }
 }
 
 /// A BGP answered together with the plan that produced it — both derived
@@ -93,55 +111,160 @@ pub struct PlannedQuery {
 
 /// Cache key: query text plus the epoch it was computed under.
 type CacheKey = (String, u64);
-/// Cached value with its last-use stamp.
-type CacheEntry = (Arc<Vec<Mapping>>, u64);
-/// In-flight computation slot: filled exactly once, everyone else waits.
-type PendingSlot = Arc<OnceLock<Arc<Vec<Mapping>>>>;
 
-/// A small LRU keyed by `(query text, epoch)`. Recency is tracked by a
-/// logical clock; eviction scans for the stalest entry, which is linear
-/// but cheap at the configured capacities.
-struct LruCache {
-    capacity: usize,
-    tick: u64,
-    map: HashMap<CacheKey, CacheEntry>,
+/// An owned, lock-free view of the store's graph at one epoch: the
+/// `Arc`'d snapshot a query evaluates against, handed out by
+/// [`TripleStore::read_snapshot`]. Holding one pins the graph version —
+/// concurrent bulk loads proceed copy-on-write and become visible on the
+/// next snapshot. Dereferences to [`EncodedGraph`], so the whole
+/// [`TripleIndex`] surface is available on it.
+#[derive(Clone)]
+pub struct StoreSnapshot {
+    graph: Arc<EncodedGraph>,
+    epoch: u64,
 }
 
-impl LruCache {
-    fn new(capacity: usize) -> LruCache {
-        LruCache {
-            capacity,
-            tick: 0,
-            map: HashMap::new(),
-        }
+impl StoreSnapshot {
+    /// The epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    fn get(&mut self, key: &CacheKey) -> Option<Arc<Vec<Mapping>>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|(v, stamp)| {
-            *stamp = tick;
-            Arc::clone(v)
-        })
+    /// The snapshot's graph.
+    pub fn graph(&self) -> &EncodedGraph {
+        &self.graph
     }
 
-    fn put(&mut self, key: CacheKey, value: Arc<Vec<Mapping>>) {
-        if self.capacity == 0 {
-            return;
+    /// A shared empty snapshot (epoch 0) — the placeholder the sharded
+    /// facade puts in the slots a routed query provably never reads, so
+    /// holding the snapshot pins nothing there. One static graph backs
+    /// every placeholder; no per-query allocation.
+    pub(crate) fn empty() -> StoreSnapshot {
+        static EMPTY: OnceLock<Arc<EncodedGraph>> = OnceLock::new();
+        StoreSnapshot {
+            graph: Arc::clone(EMPTY.get_or_init(|| Arc::new(EncodedGraph::new()))),
+            epoch: 0,
         }
-        self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&oldest);
+    }
+}
+
+impl std::ops::Deref for StoreSnapshot {
+    type Target = EncodedGraph;
+
+    fn deref(&self) -> &EncodedGraph {
+        &self.graph
+    }
+}
+
+/// The one source of truth for BGP evaluation order, shared by
+/// [`TripleStore::plan`], [`TripleStore::query_with_plan`], the sharded
+/// facade and [`eval_bgp`] (what actually runs) so displayed and
+/// executed plans only ever come from one computation on one graph.
+///
+/// Greedy: seed with the most selective pattern, then repeatedly take
+/// the most selective pattern sharing a variable with what is already
+/// bound. A disconnected pattern (Cartesian product) is chosen only
+/// when nothing connected remains — deferring it keeps the bind-join
+/// loop's intermediate result linear in the joined component instead
+/// of multiplying unrelated match sets.
+pub(crate) fn plan_order(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    // `sort_by_cached_key`: exactly one candidate_count per pattern —
+    // the planning cost callers pay once per planned query.
+    remaining.sort_by_cached_key(|&i| ix.candidate_count(&patterns[i]));
+    let mut order = Vec::with_capacity(patterns.len());
+    let mut bound: HashSet<Variable> = HashSet::new();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&i| patterns[i].vars().iter().any(|v| bound.contains(v)))
+            .unwrap_or(0);
+        let i = remaining.remove(pick);
+        bound.extend(patterns[i].vars());
+        order.push(i);
+    }
+    order
+}
+
+/// Plans and evaluates a BGP in one call — the unplanned entry point
+/// ([`TripleStore::query`] on a cache miss). Callers that already hold
+/// the order (the `query_with_plan` path, which must return it anyway)
+/// use [`eval_bgp_planned`] directly so each planned query plans once.
+pub(crate) fn eval_bgp(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Vec<Mapping> {
+    let order = plan_order(ix, patterns);
+    eval_bgp_planned(ix, patterns, &order)
+}
+
+/// Evaluates the conjunction of `patterns` in the given `order` with a
+/// sorted semi-join on the first shared variable and index-nested-loop
+/// (bind) joins for the rest. Does **not** re-plan: `order` is the plan.
+pub(crate) fn eval_bgp_planned(
+    ix: &dyn TripleIndex,
+    patterns: &[TriplePattern],
+    order: &[usize],
+) -> Vec<Mapping> {
+    if patterns.is_empty() {
+        return vec![Mapping::new()];
+    }
+    debug_assert_eq!(order.len(), patterns.len());
+    let first = &patterns[order[0]];
+    let mut sols = ix.solutions(first);
+    // Semi-join: when the two most selective patterns share a variable,
+    // drop seed solutions whose value for it cannot occur in the second
+    // pattern. The first pattern's side is already in hand (`sols` was
+    // just enumerated), so only the second pattern's sorted candidate
+    // values are scanned.
+    if let Some(&second) = order.get(1) {
+        let shared = first
+            .vars()
+            .intersection(&patterns[second].vars())
+            .copied()
+            .next();
+        if let Some(v) = shared {
+            if let Some(vals) = ix.candidate_values(&patterns[second], v) {
+                sols.retain(|mu| {
+                    mu.get(v)
+                        .is_some_and(|val| vals.binary_search(&val).is_ok())
+                });
             }
         }
-        self.map.insert(key, (value, self.tick));
     }
+    for &i in &order[1..] {
+        let pat = &patterns[i];
+        let mut next = Vec::new();
+        for mu in &sols {
+            let bound = pat.apply_partial(mu);
+            for t in ix.match_pattern(&bound) {
+                let nu =
+                    binding_of(&bound, &t).expect("match_pattern returns only matching triples");
+                let merged = mu
+                    .union(&nu)
+                    .expect("bound pattern cannot rebind branch variables");
+                next.push(merged);
+            }
+        }
+        sols = next;
+    }
+    sols
+}
+
+/// Collision-free cache key: every term is rendered as its kind tag
+/// plus interned id (stable for the process lifetime of the cache).
+/// The `Display` form would not do — an IRI's spelling is arbitrary
+/// text, so two distinct pattern lists could print identically.
+pub(crate) fn bgp_cache_key(patterns: &[TriplePattern]) -> String {
+    use std::fmt::Write;
+    let mut key = String::new();
+    for pat in patterns {
+        for term in pat.positions() {
+            let (kind, id) = match term {
+                Term::Var(v) => ('v', v.id()),
+                Term::Iri(i) => ('i', i.id()),
+            };
+            write!(key, "{kind}{id},").expect("writing to a String cannot fail");
+        }
+    }
+    key
 }
 
 struct Inner {
@@ -153,6 +276,10 @@ struct Inner {
     /// otherwise.
     graph: Arc<EncodedGraph>,
     epoch: u64,
+    /// Service-level ingest cap (see [`TripleStore::set_capacity_limit`]).
+    /// Lives here — not in the graph — so configuring it never pays the
+    /// copy-on-write bill of [`Arc::make_mut`] on a pinned dataset.
+    capacity_limit: Option<usize>,
 }
 
 /// The concurrent triple-store service.
@@ -162,16 +289,11 @@ struct Inner {
 /// [`TripleStore::bulk_load`] takes the write lock and bumps the epoch,
 /// [`TripleStore::compact`] folds the graph's delta segments without
 /// changing its contents (so the epoch — and every cached result —
-/// survives).
+/// survives). For write scaling beyond one write lock, front N of these
+/// with [`crate::ShardedStore`].
 pub struct TripleStore {
     inner: RwLock<Inner>,
-    cache: Mutex<LruCache>,
-    /// In-flight computations keyed like the cache: concurrent misses of
-    /// the same `(query, epoch)` join the first thread's slot instead of
-    /// re-evaluating the BGP.
-    pending: Mutex<HashMap<CacheKey, PendingSlot>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    cache: ResultCache<CacheKey>,
 }
 
 impl Default for TripleStore {
@@ -191,11 +313,9 @@ impl TripleStore {
             inner: RwLock::new(Inner {
                 graph: Arc::new(EncodedGraph::new()),
                 epoch: 0,
+                capacity_limit: None,
             }),
-            cache: Mutex::new(LruCache::new(capacity)),
-            pending: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache: ResultCache::new(capacity),
         }
     }
 
@@ -213,6 +333,14 @@ impl TripleStore {
         TripleStore::from_triples(g.iter().copied())
     }
 
+    /// Caps the store at `limit` rows: loads that would exceed it fail
+    /// with [`CapacityError`] (`None` restores the hard
+    /// [`crate::MAX_TRIPLES`] bound). An ingest guard for operators —
+    /// the store itself always stops at the `u32` offset-table bound.
+    pub fn set_capacity_limit(&self, limit: Option<usize>) {
+        self.inner.write().capacity_limit = limit;
+    }
+
     /// Bulk-loads a batch of triples. Returns the number of new triples;
     /// bumps the epoch (invalidating cached results) when anything
     /// changed.
@@ -223,14 +351,15 @@ impl TripleStore {
     /// write-lock queue; only the epoch re-validation and the actual
     /// insert hold the write lock.
     ///
-    /// Panics if the store would exceed [`crate::MAX_TRIPLES`] rows —
-    /// use [`TripleStore::try_bulk_load`] to handle that case.
+    /// Panics if the store would exceed [`crate::MAX_TRIPLES`] rows (or
+    /// the configured [`TripleStore::set_capacity_limit`]) — use
+    /// [`TripleStore::try_bulk_load`] to handle that case.
     pub fn bulk_load<I>(&self, triples: I) -> usize
     where
         I: IntoIterator<Item = Triple>,
     {
         self.try_bulk_load(triples)
-            .expect("bulk_load exceeds the store's MAX_TRIPLES capacity")
+            .expect("bulk_load exceeds the store's capacity")
     }
 
     /// As [`TripleStore::bulk_load`], but surfaces the capacity guard as
@@ -262,13 +391,14 @@ impl TripleStore {
                 return Ok(0);
             }
         }
-        let added = Arc::make_mut(&mut inner.graph).insert_batch(batch)?;
+        let limit = inner.capacity_limit.unwrap_or(crate::MAX_TRIPLES);
+        let added = Arc::make_mut(&mut inner.graph).insert_batch_capped(batch, limit)?;
         if added > 0 {
             inner.epoch += 1;
             // Every cached entry is keyed to an older epoch and is now
             // unreachable — drop them so the result sets free their
             // memory immediately instead of lingering until evicted.
-            self.cache.lock().map.clear();
+            self.cache.clear();
         }
         Ok(added)
     }
@@ -311,6 +441,14 @@ impl TripleStore {
         (Arc::clone(&inner.graph), inner.epoch)
     }
 
+    /// An owned, lock-free snapshot of the store: the graph `Arc` and
+    /// its epoch. Long analytical reads run on it without blocking loads
+    /// (which proceed copy-on-write while the snapshot is held).
+    pub fn read_snapshot(&self) -> StoreSnapshot {
+        let (graph, epoch) = self.snapshot();
+        StoreSnapshot { graph, epoch }
+    }
+
     pub fn len(&self) -> usize {
         self.snapshot().0.len()
     }
@@ -334,28 +472,11 @@ impl TripleStore {
     /// A consistent stats snapshot.
     pub fn stats(&self) -> StoreStats {
         let (graph, epoch) = self.snapshot();
-        let (subjects, predicates, objects) = graph.position_cardinalities();
-        StoreStats {
-            triples: graph.len(),
-            terms: graph.term_count(),
-            subjects,
-            predicates,
-            objects,
-            predicate_cardinalities: graph.predicate_cardinalities(),
-            epoch,
-            base_rows: graph.base_len(),
-            delta_rows: graph.delta_len(),
-            segments: graph.segment_count(),
-            compactions: graph.compactions(),
-        }
+        stats_of(&graph, epoch)
     }
 
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().map.len(),
-        }
+        self.cache.stats()
     }
 
     /// Evaluation order for a conjunctive (BGP) query: pattern indexes
@@ -364,83 +485,34 @@ impl TripleStore {
     /// [`TripleStore::query_with_plan`] — between a bare `plan` and a
     /// later `query`, a bulk load may land and change the snapshot.
     pub fn plan(&self, patterns: &[TriplePattern]) -> Vec<usize> {
-        Self::plan_order(&self.snapshot().0, patterns)
-    }
-
-    /// The one source of truth for BGP evaluation order, shared by
-    /// [`TripleStore::plan`], [`TripleStore::query_with_plan`] and
-    /// `eval_bgp` (what actually runs) so displayed and executed plans
-    /// only ever come from one computation on one graph.
-    ///
-    /// Greedy: seed with the most selective pattern, then repeatedly take
-    /// the most selective pattern sharing a variable with what is already
-    /// bound. A disconnected pattern (Cartesian product) is chosen only
-    /// when nothing connected remains — deferring it keeps the bind-join
-    /// loop's intermediate result linear in the joined component instead
-    /// of multiplying unrelated match sets.
-    fn plan_order(graph: &EncodedGraph, patterns: &[TriplePattern]) -> Vec<usize> {
-        let mut remaining: Vec<usize> = (0..patterns.len()).collect();
-        remaining.sort_by_key(|&i| graph.candidate_count(&patterns[i]));
-        let mut order = Vec::with_capacity(patterns.len());
-        let mut bound: HashSet<Variable> = HashSet::new();
-        while !remaining.is_empty() {
-            let pick = remaining
-                .iter()
-                .position(|&i| patterns[i].vars().iter().any(|v| bound.contains(v)))
-                .unwrap_or(0);
-            let i = remaining.remove(pick);
-            bound.extend(patterns[i].vars());
-            order.push(i);
-        }
-        order
-    }
-
-    /// Collision-free cache key: every term is rendered as its kind tag
-    /// plus interned id (stable for the process lifetime of the cache).
-    /// The `Display` form would not do — an IRI's spelling is arbitrary
-    /// text, so two distinct pattern lists could print identically.
-    fn cache_key(patterns: &[TriplePattern]) -> String {
-        use std::fmt::Write;
-        let mut key = String::new();
-        for pat in patterns {
-            for term in pat.positions() {
-                let (kind, id) = match term {
-                    Term::Var(v) => ('v', v.id()),
-                    Term::Iri(i) => ('i', i.id()),
-                };
-                write!(key, "{kind}{id},").expect("writing to a String cannot fail");
-            }
-        }
-        key
+        plan_order(&*self.snapshot().0, patterns)
     }
 
     /// Cached single-pattern solutions.
     pub fn solutions(&self, pat: &TriplePattern) -> Arc<Vec<Mapping>> {
         let (graph, epoch) = self.snapshot();
-        self.cached(
-            &graph,
-            epoch,
-            Self::cache_key(std::slice::from_ref(pat)),
-            |graph| graph.solutions(pat),
-        )
+        self.cached(epoch, bgp_cache_key(std::slice::from_ref(pat)), || {
+            graph.solutions(pat)
+        })
     }
 
     /// Evaluates the conjunction of `patterns` (a BGP: the AND-only
-    /// fragment) with most-selective-first ordering, a sorted-merge
-    /// semi-join on the first shared variable, and index-nested-loop
-    /// (bind) joins for the rest. Results are cached per epoch.
+    /// fragment) with most-selective-first ordering, a sorted semi-join
+    /// on the first shared variable, and index-nested-loop (bind) joins
+    /// for the rest. Results are cached per epoch.
     pub fn query(&self, patterns: &[TriplePattern]) -> Arc<Vec<Mapping>> {
         let (graph, epoch) = self.snapshot();
-        self.cached(&graph, epoch, Self::cache_key(patterns), |graph| {
-            Self::eval_bgp(graph, patterns)
+        self.cached(epoch, bgp_cache_key(patterns), || {
+            eval_bgp(&*graph, patterns)
         })
     }
 
     /// As [`TripleStore::query`], but also returns the evaluation order —
-    /// plan and solutions computed on the *same* snapshot, taken once.
-    /// A bulk load landing between planning and execution cannot make
-    /// the displayed plan diverge from the executed one (the epoch field
-    /// names the snapshot both came from).
+    /// plan and solutions computed on the *same* snapshot, taken once,
+    /// and the plan computed exactly once (execution receives the order
+    /// instead of re-deriving it). A bulk load landing between planning
+    /// and execution cannot make the displayed plan diverge from the
+    /// executed one (the epoch field names the snapshot both came from).
     pub fn query_with_plan(&self, patterns: &[TriplePattern]) -> PlannedQuery {
         self.query_with_plan_interleaved(patterns, || ())
     }
@@ -455,10 +527,10 @@ impl TripleStore {
         between: impl FnOnce(),
     ) -> PlannedQuery {
         let (graph, epoch) = self.snapshot();
-        let plan = Self::plan_order(&graph, patterns);
+        let plan = plan_order(&*graph, patterns);
         between();
-        let solutions = self.cached(&graph, epoch, Self::cache_key(patterns), |graph| {
-            Self::eval_bgp(graph, patterns)
+        let solutions = self.cached(epoch, bgp_cache_key(patterns), || {
+            eval_bgp_planned(&*graph, patterns, &plan)
         });
         PlannedQuery {
             plan,
@@ -467,128 +539,30 @@ impl TripleStore {
         }
     }
 
-    fn eval_bgp(graph: &EncodedGraph, patterns: &[TriplePattern]) -> Vec<Mapping> {
-        if patterns.is_empty() {
-            return vec![Mapping::new()];
-        }
-        let order = Self::plan_order(graph, patterns);
-        let first = &patterns[order[0]];
-        let mut sols = graph.solutions(first);
-        // Semi-join: when the two most selective patterns share a
-        // variable, drop seed solutions whose value for it cannot occur
-        // in the second pattern. The first pattern's side is already in
-        // hand (`sols` was just enumerated), so only the second
-        // pattern's sorted candidate ids are scanned.
-        if let Some(&second) = order.get(1) {
-            let shared = first
-                .vars()
-                .intersection(&patterns[second].vars())
-                .copied()
-                .next();
-            if let Some(v) = shared {
-                if let Some(ids) = graph.candidate_ids(&patterns[second], v) {
-                    sols.retain(|mu| {
-                        mu.get(v).is_some_and(|i| {
-                            graph
-                                .dictionary()
-                                .lookup(i)
-                                .is_some_and(|id| ids.binary_search(&id).is_ok())
-                        })
-                    });
-                }
-            }
-        }
-        for &i in &order[1..] {
-            let pat = &patterns[i];
-            let mut next = Vec::new();
-            for mu in &sols {
-                let bound = pat.apply_partial(mu);
-                for t in graph.match_pattern(&bound) {
-                    let nu = binding_of(&bound, &t)
-                        .expect("match_pattern returns only matching triples");
-                    let merged = mu
-                        .union(&nu)
-                        .expect("bound pattern cannot rebind branch variables");
-                    next.push(merged);
-                }
-            }
-            sols = next;
-        }
-        sols
-    }
-
     /// Shared variables helper for callers composing their own joins.
     pub fn shared_vars(a: &TriplePattern, b: &TriplePattern) -> Vec<Variable> {
         a.vars().intersection(&b.vars()).copied().collect()
     }
 
-    /// Serves `key` from the cache, or computes it on `graph` — at most
-    /// once across concurrent callers: the first miss installs an
-    /// in-flight slot, later misses of the same `(key, epoch)` block on
-    /// that slot instead of re-running `compute`.
+    /// Serves `(key, epoch)` from the cache, or computes it — at most
+    /// once across concurrent callers (see
+    /// [`ResultCache::get_or_compute`]). A result whose epoch has been
+    /// superseded by the time it lands is returned but not cached.
     fn cached(
         &self,
-        graph: &EncodedGraph,
         epoch: u64,
         key: String,
-        compute: impl FnOnce(&EncodedGraph) -> Vec<Mapping>,
+        compute: impl FnOnce() -> Vec<Mapping>,
     ) -> Arc<Vec<Mapping>> {
-        let key = (key, epoch);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
-        }
-        let (slot, leader) = {
-            let mut pending = self.pending.lock();
-            match pending.entry(key.clone()) {
-                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    // Double-check the cache while holding the pending
-                    // lock: a leader that published and unregistered
-                    // between our cache miss and this point must not
-                    // trigger a second computation. (Lock order is
-                    // pending → cache here; no path nests them the other
-                    // way round.)
-                    if let Some(hit) = self.cache.lock().get(&key) {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return hit;
-                    }
-                    let slot: PendingSlot = Arc::new(OnceLock::new());
-                    e.insert(Arc::clone(&slot));
-                    (slot, true)
-                }
-            }
-        };
-        // Exactly one closure runs per slot; every other caller blocks
-        // inside `get_or_init` until the value lands. The miss counter
-        // therefore counts computations, not callers.
-        let mut computed_here = false;
-        let value = Arc::clone(slot.get_or_init(|| {
-            computed_here = true;
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            Arc::new(compute(graph))
-        }));
-        if !computed_here {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        if leader {
-            // Publish before unregistering, so a racer either sees the
-            // cache entry or the pending slot. Skip the insert when a
-            // bulk load landed meanwhile: the entry would be keyed to
-            // the old epoch — correct but unreachable, so only dead
-            // weight.
-            if self.inner.read().epoch == epoch {
-                self.cache.lock().put(key.clone(), Arc::clone(&value));
-            }
-            self.pending.lock().remove(&key);
-        }
-        value
+        self.cache
+            .get_or_compute((key, epoch), || self.inner.read().epoch == epoch, compute)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
     use wdsparql_rdf::term::{iri, var};
     use wdsparql_rdf::tp;
 
@@ -648,6 +622,40 @@ mod tests {
     }
 
     #[test]
+    fn capacity_limit_guards_loads_and_reports_cleanly() {
+        let s = TripleStore::new();
+        s.set_capacity_limit(Some(3));
+        assert_eq!(s.bulk_load([Triple::from_strs("a", "p", "b")]), 1);
+        let err = s
+            .try_bulk_load((0..4).map(|i| Triple::from_strs(&format!("s{i}"), "p", "o")))
+            .unwrap_err();
+        assert_eq!((err.attempted, err.limit), (5, 3));
+        assert!(err.to_string().contains("configured limit of 3"));
+        assert_eq!(s.len(), 1, "refused load leaves the store unchanged");
+        // Lifting the limit lets the same batch in.
+        s.set_capacity_limit(None);
+        assert_eq!(
+            s.bulk_load((0..4).map(|i| Triple::from_strs(&format!("s{i}"), "p", "o"))),
+            4
+        );
+    }
+
+    #[test]
+    fn read_snapshot_pins_an_epoch() {
+        let s = store();
+        let snap = s.read_snapshot();
+        assert_eq!(snap.epoch(), s.epoch());
+        let before = snap.len();
+        s.bulk_load([Triple::from_strs("zz", "p", "zz")]);
+        // The held snapshot still sees the old world; a fresh one moves.
+        assert_eq!(snap.len(), before);
+        assert!(!snap.contains(&Triple::from_strs("zz", "p", "zz")));
+        let fresh = s.read_snapshot();
+        assert_eq!(fresh.len(), before + 1);
+        assert_eq!(fresh.epoch(), snap.epoch() + 1);
+    }
+
+    #[test]
     fn plan_orders_most_selective_first() {
         let s = store();
         let pats = [
@@ -685,6 +693,80 @@ mod tests {
         assert_eq!(s.plan(&pats), vec![0, 2, 1]);
         // The reordered evaluation still yields the full join.
         assert_eq!(s.query(&pats).len(), 2);
+    }
+
+    /// A [`TripleIndex`] wrapper that counts planner probes — the
+    /// regression harness for double planning: execution receives the
+    /// order and must never call `candidate_count` again.
+    struct CountingIndex<'a> {
+        inner: &'a EncodedGraph,
+        count_calls: Cell<usize>,
+    }
+
+    impl TripleIndex for CountingIndex<'_> {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        fn contains(&self, t: &Triple) -> bool {
+            self.inner.contains(t)
+        }
+
+        fn triples(&self) -> Box<dyn Iterator<Item = Triple> + '_> {
+            Box::new(self.inner.iter())
+        }
+
+        fn dom(&self) -> Box<dyn Iterator<Item = Iri> + '_> {
+            TripleIndex::dom(self.inner)
+        }
+
+        fn dom_contains(&self, i: Iri) -> bool {
+            TripleIndex::dom_contains(self.inner, i)
+        }
+
+        fn candidate_count(&self, pat: &TriplePattern) -> usize {
+            self.count_calls.set(self.count_calls.get() + 1);
+            self.inner.candidate_count(pat)
+        }
+
+        fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple> {
+            self.inner.match_pattern(pat)
+        }
+    }
+
+    #[test]
+    fn planned_execution_does_not_replan() {
+        let g = EncodedGraph::from_triples(
+            [
+                ("a", "p", "b"),
+                ("b", "p", "c"),
+                ("b", "q", "x"),
+                ("c", "q", "x"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        );
+        let ix = CountingIndex {
+            inner: &g,
+            count_calls: Cell::new(0),
+        };
+        let pats = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+        ];
+        let order = plan_order(&ix, &pats);
+        assert_eq!(
+            ix.count_calls.get(),
+            pats.len(),
+            "planning probes each pattern exactly once"
+        );
+        ix.count_calls.set(0);
+        let sols = eval_bgp_planned(&ix, &pats, &order);
+        assert_eq!(sols.len(), 2);
+        assert_eq!(
+            ix.count_calls.get(),
+            0,
+            "execution with a plan in hand must not re-plan"
+        );
     }
 
     #[test]
@@ -809,42 +891,6 @@ mod tests {
         assert_eq!(s.cache_stats().hits, before + 1);
         s.solutions(&p2); // miss: was evicted
         assert_eq!(s.cache_stats().misses, 4);
-    }
-
-    #[test]
-    fn concurrent_misses_compute_once() {
-        use std::sync::atomic::AtomicUsize;
-        use std::sync::Barrier;
-        let s = Arc::new(store());
-        let calls = Arc::new(AtomicUsize::new(0));
-        let barrier = Arc::new(Barrier::new(8));
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let s = Arc::clone(&s);
-            let calls = Arc::clone(&calls);
-            let barrier = Arc::clone(&barrier);
-            handles.push(std::thread::spawn(move || {
-                let (graph, epoch) = s.snapshot();
-                barrier.wait();
-                let value = s.cached(&graph, epoch, "dedup-key".into(), |_| {
-                    calls.fetch_add(1, Ordering::SeqCst);
-                    // Hold the slot long enough that every thread passes
-                    // its cache-miss check while the computation is still
-                    // in flight.
-                    std::thread::sleep(std::time::Duration::from_millis(200));
-                    vec![Mapping::new()]
-                });
-                value.len()
-            }));
-        }
-        for h in handles {
-            assert_eq!(h.join().unwrap(), 1);
-        }
-        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one computation");
-        let cs = s.cache_stats();
-        assert_eq!(cs.misses, 1);
-        assert_eq!(cs.hits, 7, "joiners count as hits");
-        assert!(s.pending.lock().is_empty(), "slot unregistered");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use wdsparql_rdf::{tp, Iri, RdfGraph, Triple, TripleIndex, Variable};
-use wdsparql_store::{CompactionPolicy, Dictionary, EncodedGraph, TripleStore};
+use wdsparql_store::{CompactionPolicy, Dictionary, EncodedGraph, ShardedStore, TripleStore};
 
 fn arb_graph() -> impl Strategy<Value = RdfGraph> {
     proptest::collection::vec((0..6usize, 0..3usize, 0..6usize), 0..20).prop_map(|ts| {
@@ -203,6 +203,93 @@ proptest! {
         let mut after: Vec<_> = store.query(&pats).iter().cloned().collect();
         after.sort();
         prop_assert_eq!(after, want);
+    }
+
+    /// A hash-sharded store is indistinguishable from a single
+    /// `TripleStore` on every access pattern — chunked loads interleaved
+    /// with *per-shard* compactions (driven by `compact_mask`, so some
+    /// shards answer from delta segments while others are freshly
+    /// folded), the full `TripleIndex` surface through the scatter-gather
+    /// snapshot, and the facade's cached BGP path. Replays under
+    /// `PROPTEST_SEED`.
+    #[test]
+    fn sharded_store_matches_single_store(
+        g in arb_graph(),
+        shards in 1..5usize,
+        chunk in 1..6usize,
+        compact_mask in 0u32..64,
+        s in 0..9usize,
+        p in 0..9usize,
+        o in 0..9usize,
+    ) {
+        let triples: Vec<Triple> = g.iter().copied().collect();
+        let single = TripleStore::new();
+        let sharded = ShardedStore::new(shards);
+        for (i, batch) in triples.chunks(chunk).enumerate() {
+            single.bulk_load(batch.iter().copied());
+            sharded.bulk_load(batch.iter().copied());
+            if compact_mask & (1 << (i % 6)) != 0 {
+                // Fold one shard only: the layouts diverge across
+                // shards, the contents must not.
+                sharded.shards()[i % shards].compact();
+            }
+        }
+        prop_assert_eq!(sharded.len(), single.len());
+        prop_assert_eq!(sharded.epochs().len(), shards);
+
+        let snap = sharded.snapshot();
+        let sref = single.read_snapshot();
+        let pat = tp(term_of(s, "sn"), term_of(p, "sp"), term_of(o, "sn"));
+        // The TripleIndex surface agrees: matches, bounds, solutions,
+        // membership, domain.
+        let mut got = TripleIndex::match_pattern(&snap, &pat);
+        let mut want = sref.match_pattern(&pat);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(&got, &want, "{} shards, pattern {}", shards, pat);
+        prop_assert!(TripleIndex::candidate_count(&snap, &pat) >= got.len());
+        let mut gs = TripleIndex::solutions(&snap, &pat);
+        let mut ws = sref.solutions(&pat);
+        gs.sort();
+        ws.sort();
+        prop_assert_eq!(gs, ws);
+        for t in &triples {
+            prop_assert!(TripleIndex::contains(&snap, t));
+        }
+        prop_assert_eq!(
+            TripleIndex::dom(&snap).collect::<Vec<_>>(),
+            TripleIndex::dom(sref.graph()).collect::<Vec<_>>()
+        );
+
+        // The facade's cached, planned BGP path agrees with the single
+        // service — for the fan-out join and for a routed point query.
+        let join = [
+            tp(wdsparql_rdf::var("x"), wdsparql_rdf::iri("sp0"), wdsparql_rdf::var("y")),
+            tp(wdsparql_rdf::var("y"), wdsparql_rdf::iri("sp1"), wdsparql_rdf::var("z")),
+        ];
+        let mut got: Vec<_> = sharded.query(&join).iter().cloned().collect();
+        let mut want: Vec<_> = single.query(&join).iter().cloned().collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want, "facade join diverged at {} shards", shards);
+        let routed = [tp(wdsparql_rdf::iri("sn0"), wdsparql_rdf::var("a"), wdsparql_rdf::var("b"))];
+        let mut got: Vec<_> = sharded.query(&routed).iter().cloned().collect();
+        let mut want: Vec<_> = single.query(&routed).iter().cloned().collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want, "routed query diverged at {} shards", shards);
+
+        // A full compact is invisible to queries, like the single store's.
+        sharded.compact();
+        let snap = sharded.snapshot();
+        let mut after = TripleIndex::match_pattern(&snap, &pat);
+        after.sort();
+        let mut want = sref.match_pattern(&pat);
+        want.sort();
+        prop_assert_eq!(after, want);
+        for st in sharded.stats().shards {
+            prop_assert_eq!((st.delta_rows, st.segments), (0, 0));
+        }
     }
 
     /// merge_join_ids equals the set intersection of the per-pattern

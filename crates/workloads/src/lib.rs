@@ -17,8 +17,8 @@ pub mod paper;
 pub mod queries;
 
 pub use graphs::{
-    batched_triple_stream, bibliography, random_graph, scale_free, social_network, triple_stream,
-    turan_class, turan_graph, university,
+    batched_triple_stream, bibliography, random_graph, scale_free, skewed_triple_stream,
+    social_network, triple_stream, turan_class, turan_graph, university,
 };
 pub use instances::{
     clique_instance, fk_instance, fk_instance_negative, path_instance, tprime_instance, Instance,

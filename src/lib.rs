@@ -67,4 +67,4 @@ pub use wdsparql_workloads as workloads;
 pub use wdsparql_contain::{decide_containment, decide_equivalence, SearchBudget, Verdict};
 pub use wdsparql_core::{Engine, Query, QueryError, Strategy, WidthReport};
 pub use wdsparql_project::ProjectedQuery;
-pub use wdsparql_store::{EncodedGraph, TripleStore};
+pub use wdsparql_store::{EncodedGraph, ShardedStore, TripleStore};
