@@ -1,0 +1,166 @@
+//! store_wcoj — the worst-case-optimal join vs the pairwise pipeline on
+//! cyclic query cores.
+//!
+//! The workload is a ~110k-triple uniform stream over two predicates:
+//! the `p0` edge relation (~55k edges over 6k nodes) is exactly the
+//! regime where pairwise triangle evaluation drowns — the bind-join
+//! materialises every length-2 path (≈ |E|²/|V| ≈ 500k intermediates)
+//! before the closing edge filters them down to the triangles — while
+//! the leapfrog join intersects adjacency runs straight off the PSO/POS
+//! permutations and never materialises an intermediate. Three cyclic
+//! cores are timed: the triangle, the 4-clique and a triangle with a
+//! star arm on `p1`.
+//!
+//! Before anything is timed, every query is asserted to produce the
+//! identical solution set across {pairwise, wco} × {TripleStore,
+//! ShardedStore} (snapshot evaluators and the cached facade paths), and
+//! `JoinStrategy::Auto` is asserted to resolve each cyclic core to the
+//! WCOJ. Medians merge into the workspace-root `BENCH_store.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use wdsparql_rdf::term::var;
+use wdsparql_rdf::{tp, Iri, Mapping, TriplePattern};
+use wdsparql_store::{
+    eval_bgp_pairwise, eval_bgp_wco, resolve_strategy, JoinStrategy, ShardedStore, TripleStore,
+};
+use wdsparql_workloads::triple_stream;
+
+const NODES: usize = 6_000;
+const DRAWS: usize = 110_000;
+const PREDICATES: usize = 2;
+const SHARDS: usize = 4;
+
+/// `cargo test` runs bench targets with `--test` (each body once); a
+/// token workload keeps that pass fast while still exercising every
+/// bench path end to end.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Both store layouts over the same stream, built once. Also pins the
+/// JSON report to the committed workspace-root baseline.
+fn stores() -> &'static (TripleStore, ShardedStore) {
+    static STORES: OnceLock<(TripleStore, ShardedStore)> = OnceLock::new();
+    STORES.get_or_init(|| {
+        criterion::set_bench_json_path(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_store.json"
+        ));
+        let (nodes, draws) = if test_mode() {
+            (60, 600)
+        } else {
+            (NODES, DRAWS)
+        };
+        let single = TripleStore::from_triples(triple_stream(nodes, draws, PREDICATES, 42));
+        assert!(
+            test_mode() || single.len() >= 100_000,
+            "workload too small: {}",
+            single.len()
+        );
+        let sharded =
+            ShardedStore::from_triples(SHARDS, triple_stream(nodes, draws, PREDICATES, 42));
+        (single, sharded)
+    })
+}
+
+fn p0(s: &str, o: &str) -> TriplePattern {
+    tp(var(s), Iri::new("p0"), var(o))
+}
+
+/// The cyclic cores under test.
+fn queries() -> Vec<(&'static str, Vec<TriplePattern>)> {
+    let triangle = vec![p0("x", "y"), p0("y", "z"), p0("x", "z")];
+    let clique4 = vec![
+        p0("w", "x"),
+        p0("w", "y"),
+        p0("w", "z"),
+        p0("x", "y"),
+        p0("x", "z"),
+        p0("y", "z"),
+    ];
+    let mut star_cycle = triangle.clone();
+    star_cycle.push(tp(var("x"), Iri::new("p1"), var("arm")));
+    vec![
+        ("triangle", triangle),
+        ("clique4", clique4),
+        ("star_cycle", star_cycle),
+    ]
+}
+
+fn sorted(mut sols: Vec<Mapping>) -> Vec<Mapping> {
+    sols.sort();
+    sols
+}
+
+/// Correctness gate, run once before timing: identical solution sets
+/// across both strategies and both backends — snapshot evaluators and
+/// the cached facade paths — and `Auto` resolving each core to the
+/// WCOJ.
+fn assert_strategies_and_backends_agree() {
+    let (single, sharded) = stores();
+    let snap = single.read_snapshot();
+    let ssnap = sharded.snapshot();
+    for (name, pats) in queries() {
+        let want = sorted(eval_bgp_pairwise(snap.graph(), &pats));
+        assert_eq!(
+            sorted(eval_bgp_wco(snap.graph(), &pats)),
+            want,
+            "{name}: wco vs pairwise on TripleStore"
+        );
+        assert_eq!(
+            sorted(eval_bgp_pairwise(&ssnap, &pats)),
+            want,
+            "{name}: pairwise on ShardedStore"
+        );
+        assert_eq!(
+            sorted(eval_bgp_wco(&ssnap, &pats)),
+            want,
+            "{name}: wco on ShardedStore"
+        );
+        assert_eq!(
+            resolve_strategy(snap.graph(), &pats, JoinStrategy::Auto),
+            JoinStrategy::Wco,
+            "{name}: Auto must route the cyclic core to the WCOJ"
+        );
+        // The cached service paths agree under every knob setting.
+        for strategy in [JoinStrategy::Pairwise, JoinStrategy::Wco] {
+            single.set_join_strategy(strategy);
+            sharded.set_join_strategy(strategy);
+            assert_eq!(
+                sorted(single.query(&pats).iter().cloned().collect()),
+                want,
+                "{name}: single facade under {strategy}"
+            );
+            assert_eq!(
+                sorted(sharded.query(&pats).iter().cloned().collect()),
+                want,
+                "{name}: sharded facade under {strategy}"
+            );
+        }
+    }
+}
+
+fn bench_wcoj(c: &mut Criterion) {
+    assert_strategies_and_backends_agree();
+    let (single, sharded) = stores();
+    let snap = single.read_snapshot();
+    let ssnap = sharded.snapshot();
+    let mut group = c.benchmark_group("store_wcoj");
+    group.sample_size(10);
+    for (name, pats) in queries() {
+        group.bench_function(format!("{name}/pairwise"), |b| {
+            b.iter(|| eval_bgp_pairwise(snap.graph(), black_box(&pats)).len())
+        });
+        group.bench_function(format!("{name}/wco"), |b| {
+            b.iter(|| eval_bgp_wco(snap.graph(), black_box(&pats)).len())
+        });
+        group.bench_function(format!("{name}/wco_sharded{SHARDS}"), |b| {
+            b.iter(|| eval_bgp_wco(&ssnap, black_box(&pats)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wcoj);
+criterion_main!(benches);

@@ -9,10 +9,12 @@
 //! wdsparql contain  <query1> <query2>       containment verdicts, both ways
 //! wdsparql forest   <query>                 print the wdPF translation
 //! wdsparql store [--shards N] [--max-triples N]
+//!                [--join-strategy pairwise|wco|auto]
 //!                   <data.nt> [query]       bulk-load into the triple store
 //!                                           (hash-sharded when N > 1),
 //!                                           report stats, run the query
-//!                                           through the service
+//!                                           through the service with the
+//!                                           chosen BGP join strategy
 //! wdsparql demo                             run a tiny built-in scenario
 //! ```
 //!
@@ -48,7 +50,8 @@ const USAGE: &str = "usage:
   wdsparql select  <data.nt> <select-query>       (e.g. \"SELECT ?x WHERE { ... }\")
   wdsparql contain <query1> <query2>
   wdsparql forest  <query>
-  wdsparql store   [--shards N] [--max-triples N] <data.nt> [query]
+  wdsparql store   [--shards N] [--max-triples N]
+                   [--join-strategy pairwise|wco|auto] <data.nt> [query]
   wdsparql demo";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -160,10 +163,14 @@ fn run(args: &[String]) -> Result<(), String> {
 /// report the ingest lifecycle, and run an optional query through the
 /// store-backed engine and the service's planned BGP path.
 /// `--max-triples N` caps ingest (per shard when sharded); the capacity
-/// guard surfaces as a clean error instead of a panic.
+/// guard surfaces as a clean error instead of a panic. `--join-strategy`
+/// picks how the service joins BGPs: `pairwise`, `wco` (the
+/// worst-case-optimal leapfrog join) or `auto` (the default: cyclic
+/// cores take the WCOJ).
 fn run_store(args: &[String]) -> Result<(), String> {
     let mut shards = 1usize;
     let mut max_triples: Option<usize> = None;
+    let mut strategy = wdsparql_store::JoinStrategy::default();
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -176,6 +183,12 @@ fn run_store(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--shards" => shards = flag("--shards")?,
             "--max-triples" => max_triples = Some(flag("--max-triples")?),
+            "--join-strategy" => {
+                let value = it.next().ok_or("--join-strategy needs a value")?;
+                strategy = wdsparql_store::JoinStrategy::parse(value).ok_or_else(|| {
+                    format!("--join-strategy: {value:?} is not pairwise, wco or auto")
+                })?;
+            }
             _ => positional.push(arg),
         }
     }
@@ -196,6 +209,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
     if shards > 1 {
         let store = std::sync::Arc::new(wdsparql_store::ShardedStore::new(shards));
         store.set_capacity_limit(max_triples);
+        store.set_join_strategy(strategy);
         for batch in batches {
             store.try_bulk_load(batch).map_err(|e| e.to_string())?;
         }
@@ -212,7 +226,8 @@ fn run_store(args: &[String]) -> Result<(), String> {
             return Ok(());
         };
         let query = Query::parse(text).map_err(|e| e.to_string())?;
-        let engine = Engine::from_sharded_store(std::sync::Arc::clone(&store));
+        let engine =
+            Engine::from_sharded_store(std::sync::Arc::clone(&store)).with_join_strategy(strategy);
         print_solutions(&query, &engine.evaluate(&query));
         if let Some(pats) = bgp_patterns(query.pattern()) {
             let planned = store.query_with_plan(&pats);
@@ -221,6 +236,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
             report_bgp_service(
                 &pats,
                 &planned.plan,
+                planned.strategy,
                 planned.solutions.len(),
                 &format!("epochs {:?}", planned.read),
                 store.cache_stats(),
@@ -230,6 +246,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
     }
     let store = std::sync::Arc::new(wdsparql_store::TripleStore::new());
     store.set_capacity_limit(max_triples);
+    store.set_join_strategy(strategy);
     batches.try_for_each(|batch| {
         store
             .try_bulk_load(batch)
@@ -245,7 +262,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let query = Query::parse(text).map_err(|e| e.to_string())?;
-    let engine = Engine::from_store(std::sync::Arc::clone(&store));
+    let engine = Engine::from_store(std::sync::Arc::clone(&store)).with_join_strategy(strategy);
     print_solutions(&query, &engine.evaluate(&query));
     // AND-only queries additionally go through the service's planned,
     // cached BGP path — plan and solutions from one snapshot; a second
@@ -257,6 +274,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
         report_bgp_service(
             &pats,
             &planned.plan,
+            planned.strategy,
             planned.solutions.len(),
             &format!("epoch {}", planned.epoch),
             store.cache_stats(),
@@ -279,12 +297,14 @@ fn report_ingest_lifecycle(staged_deltas: usize, staged_segments: usize, compact
 fn report_bgp_service(
     pats: &[wdsparql_rdf::TriplePattern],
     plan: &[usize],
+    strategy: wdsparql_store::JoinStrategy,
     solutions: usize,
     provenance: &str,
     cs: wdsparql_store::CacheStats,
 ) {
     let plan: Vec<String> = plan.iter().map(|&i| pats[i].to_string()).collect();
     println!("service plan (most selective first): {}", plan.join(" ⋈ "));
+    println!("service join strategy: {strategy}");
     println!(
         "service BGP path: {solutions} solution(s) at {provenance}; cache {} hit(s) / {} miss(es)",
         cs.hits, cs.misses
@@ -484,6 +504,33 @@ mod tests {
         assert!(err.contains("capacity"), "unexpected error: {err}");
         // A generous cap passes.
         assert!(run(&s(&["store", "--max-triples", "100", &p])).is_ok());
+    }
+
+    #[test]
+    fn store_subcommand_join_strategies() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb p c .\na p c .\nc p a .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        let triangle = "((?x, p, ?y) AND (?y, p, ?z)) AND (?x, p, ?z)";
+        for strategy in ["pairwise", "wco", "auto"] {
+            assert!(run(&s(&["store", "--join-strategy", strategy, &p, triangle])).is_ok());
+            assert!(run(&s(&[
+                "store",
+                "--shards",
+                "2",
+                "--join-strategy",
+                strategy,
+                &p,
+                triangle
+            ]))
+            .is_ok());
+        }
+        // Flag validation.
+        let err = run(&s(&["store", "--join-strategy", "bogus", &p])).unwrap_err();
+        assert!(err.contains("join-strategy"), "unexpected error: {err}");
+        assert!(run(&s(&["store", &p, "--join-strategy"])).is_err());
     }
 
     #[test]

@@ -196,6 +196,97 @@ fn store_shards_scatter_and_answer_queries() {
     assert!(text.contains("epochs ["), "unexpected output: {text}");
 }
 
+/// A fixture holding a `p`-triangle, for the cyclic-core queries.
+fn triangle_nt(name: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("wdsparql_smoke_{}_{name}.nt", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create fixture");
+    writeln!(f, "<a> <p> <b> .").unwrap();
+    writeln!(f, "<b> <p> <c> .").unwrap();
+    writeln!(f, "<a> <p> <c> .").unwrap();
+    writeln!(f, "<c> <p> <d> .").unwrap();
+    path
+}
+
+const TRIANGLE_QUERY: &str = "((?x, p, ?y) AND (?y, p, ?z)) AND (?x, p, ?z)";
+
+#[test]
+fn store_join_strategy_wco_end_to_end() {
+    let data = triangle_nt("wco");
+    // The WCOJ answers the triangle through the service and the
+    // store-backed engine...
+    let wco = wdsparql(&[
+        "store",
+        "--join-strategy",
+        "wco",
+        data.to_str().unwrap(),
+        TRIANGLE_QUERY,
+    ]);
+    assert!(wco.status.success(), "stderr: {}", stderr(&wco));
+    let wco_text = stdout(&wco);
+    assert!(
+        wco_text.contains("service join strategy: wco"),
+        "unexpected output: {wco_text}"
+    );
+    assert!(
+        wco_text.contains("1 solution(s) via the store-backed engine"),
+        "unexpected output: {wco_text}"
+    );
+    // ...and agrees with the pairwise pipeline on the same data.
+    let pairwise = wdsparql(&[
+        "store",
+        "--join-strategy",
+        "pairwise",
+        data.to_str().unwrap(),
+        TRIANGLE_QUERY,
+    ]);
+    assert!(pairwise.status.success(), "stderr: {}", stderr(&pairwise));
+    let pair_text = stdout(&pairwise);
+    assert!(
+        pair_text.contains("service join strategy: pairwise"),
+        "unexpected output: {pair_text}"
+    );
+    let solutions = |text: &str| -> String {
+        text.lines()
+            .find(|l| l.contains("service BGP path:"))
+            .expect("service summary line")
+            .split(';')
+            .next()
+            .expect("solution count segment")
+            .to_string()
+    };
+    assert_eq!(solutions(&wco_text), solutions(&pair_text));
+    // `auto` resolves the cyclic core to the WCOJ — on the sharded
+    // facade too.
+    let auto = wdsparql(&[
+        "store",
+        "--shards",
+        "2",
+        data.to_str().unwrap(),
+        TRIANGLE_QUERY,
+    ]);
+    assert!(auto.status.success(), "stderr: {}", stderr(&auto));
+    let auto_text = stdout(&auto);
+    assert!(
+        auto_text.contains("service join strategy: wco"),
+        "auto must resolve the triangle to wco: {auto_text}"
+    );
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn store_join_strategy_flag_validates() {
+    let data = triangle_nt("wco_flag");
+    let out = wdsparql(&["store", "--join-strategy", "bogus", data.to_str().unwrap()]);
+    assert!(!out.status.success(), "bogus strategy must fail");
+    assert!(
+        stderr(&out).contains("join-strategy"),
+        "unexpected stderr: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_file(&data);
+}
+
 #[test]
 fn store_capacity_guard_is_a_clean_error() {
     // Before the fix this path hit the panicking `bulk_load`; now the

@@ -2,7 +2,7 @@
 //! well-designed pattern) and [`Engine`] (an RDF graph with evaluation
 //! strategies).
 
-use crate::enumerate::enumerate_forest;
+use crate::enumerate::enumerate_forest_with;
 use crate::naive::check_forest;
 use crate::pebble_eval::check_forest_pebble;
 use std::fmt;
@@ -11,7 +11,7 @@ use wdsparql_algebra::{
     eval as reference_eval, filter_solutions, parse_pattern, FilterExpr, GraphPattern, SolutionSet,
 };
 use wdsparql_rdf::{Mapping, RdfGraph, TripleIndex};
-use wdsparql_store::{ShardedStore, TripleStore};
+use wdsparql_store::{JoinStrategy, ShardedStore, TripleStore};
 use wdsparql_tree::{TranslateError, Wdpf};
 use wdsparql_width::{branch_treewidth_forest, domination_width, local_width_forest};
 
@@ -165,12 +165,18 @@ enum Backend {
 /// An RDF data backend together with evaluation entry points.
 pub struct Engine {
     backend: Backend,
+    /// How each tree node's query core is joined during enumeration
+    /// ([`JoinStrategy::Auto`] by default: cyclic cores take the
+    /// worst-case-optimal leapfrog join, acyclic ones the hom solver's
+    /// fail-first search).
+    strategy: JoinStrategy,
 }
 
 impl Engine {
     pub fn new(graph: RdfGraph) -> Engine {
         Engine {
             backend: Backend::Memory(Box::new(graph)),
+            strategy: JoinStrategy::default(),
         }
     }
 
@@ -182,6 +188,7 @@ impl Engine {
     pub fn from_store(store: Arc<TripleStore>) -> Engine {
         Engine {
             backend: Backend::Store(store),
+            strategy: JoinStrategy::default(),
         }
     }
 
@@ -193,7 +200,25 @@ impl Engine {
     pub fn from_sharded_store(store: Arc<ShardedStore>) -> Engine {
         Engine {
             backend: Backend::Sharded(store),
+            strategy: JoinStrategy::default(),
         }
+    }
+
+    /// Builder-style [`JoinStrategy`] override for [`Engine::evaluate`] /
+    /// [`Engine::count`]'s per-node query cores.
+    pub fn with_join_strategy(mut self, strategy: JoinStrategy) -> Engine {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets how enumeration joins each node's query core.
+    pub fn set_join_strategy(&mut self, strategy: JoinStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The configured per-node [`JoinStrategy`].
+    pub fn join_strategy(&self) -> JoinStrategy {
+        self.strategy
     }
 
     /// The in-memory graph of a [`Engine::new`]-built engine, or `None`
@@ -245,9 +270,12 @@ impl Engine {
         })
     }
 
-    /// Enumerates all solutions `⟦P⟧_G`.
+    /// Enumerates all solutions `⟦P⟧_G`. Each tree node's query core is
+    /// joined per the engine's [`JoinStrategy`] — under the default
+    /// `Auto`, cyclic cores (triangles, cliques) run through the
+    /// worst-case-optimal leapfrog join over the backend's tries.
     pub fn evaluate(&self, q: &Query) -> SolutionSet {
-        self.with_index(|g| enumerate_forest(q.forest(), g))
+        self.with_index(|g| enumerate_forest_with(q.forest(), g, self.strategy))
     }
 
     /// Enumerates `⟦P FILTER R⟧_G` for a top-level filter (error-as-false

@@ -9,39 +9,96 @@
 //! cartesian product.
 
 use wdsparql_algebra::SolutionSet;
-use wdsparql_hom::all_homs_into_graph;
-use wdsparql_rdf::{Mapping, TripleIndex};
+use wdsparql_hom::{all_homs_into_graph, TGraph};
+use wdsparql_rdf::{Mapping, TripleIndex, TriplePattern};
+use wdsparql_store::{bgp_is_cyclic, eval_bgp_wco, JoinStrategy};
 use wdsparql_tree::{NodeId, Wdpf, Wdpt};
 
-/// Enumerates `⟦T⟧_G`.
+/// Enumerates `⟦T⟧_G` (pairwise node joins — the hom solver's
+/// fail-first search).
 pub fn enumerate_tree(t: &Wdpt, g: &dyn TripleIndex) -> SolutionSet {
-    solutions_below(t, g, t.root(), &Mapping::new())
+    enumerate_tree_with(t, g, JoinStrategy::Pairwise)
+}
+
+/// Enumerates `⟦F⟧_G = ⋃_i ⟦T_i⟧_G` (pairwise node joins).
+pub fn enumerate_forest(f: &Wdpf, g: &dyn TripleIndex) -> SolutionSet {
+    enumerate_forest_with(f, g, JoinStrategy::Pairwise)
+}
+
+/// As [`enumerate_tree`], with a [`JoinStrategy`] for the per-node query
+/// cores (see [`enumerate_forest_with`]).
+pub fn enumerate_tree_with(t: &Wdpt, g: &dyn TripleIndex, strategy: JoinStrategy) -> SolutionSet {
+    solutions_below(t, g, t.root(), &Mapping::new(), strategy)
         .into_iter()
         .collect()
 }
 
-/// Enumerates `⟦F⟧_G = ⋃_i ⟦T_i⟧_G`.
-pub fn enumerate_forest(f: &Wdpf, g: &dyn TripleIndex) -> SolutionSet {
+/// As [`enumerate_forest`], with a [`JoinStrategy`] knob for the
+/// per-node query cores: each node's pattern set is a BGP, and under
+/// `Wco`/`Auto` the ones whose *bound* core is cyclic evaluate through
+/// the store's worst-case-optimal leapfrog join instead of the hom
+/// solver's backtracking search. The branch bindings shrink the core
+/// first — a triangle with one variable already bound is no longer
+/// cyclic, so `Auto` leaves it on the fail-first path.
+pub fn enumerate_forest_with(f: &Wdpf, g: &dyn TripleIndex, strategy: JoinStrategy) -> SolutionSet {
     let mut out = SolutionSet::new();
     for t in &f.trees {
-        out.extend(enumerate_tree(t, g));
+        out.extend(enumerate_tree_with(t, g, strategy));
     }
     out
+}
+
+/// The homomorphisms of one node's pattern set extending `base`, routed
+/// by `strategy`: the hom solver (pairwise), or the WCOJ on the bound
+/// core. Both return the full mapping on `vars(pat)` — the WCOJ path
+/// joins the unbound variables and re-attaches the fixed ones.
+///
+/// `Auto` here routes on cyclicity of the bound shape *alone* — a pure
+/// structural check (no index probes), because this runs once per
+/// branch extension: the service planner's pairwise blow-up estimate
+/// would re-walk candidate counts for every base mapping to guard a
+/// case the fail-first hom search already handles well.
+fn node_homs(
+    pat: &TGraph,
+    g: &dyn TripleIndex,
+    base: &Mapping,
+    strategy: JoinStrategy,
+) -> Vec<Mapping> {
+    if strategy != JoinStrategy::Pairwise {
+        let bound: Vec<TriplePattern> = pat.iter().map(|t| t.apply_partial(base)).collect();
+        if strategy == JoinStrategy::Wco || bgp_is_cyclic(&bound) {
+            let fixed = base.restrict(pat.vars());
+            return eval_bgp_wco(g, &bound)
+                .into_iter()
+                .map(|mu| {
+                    mu.union(&fixed)
+                        .expect("bound patterns cannot rebind fixed variables")
+                })
+                .collect();
+        }
+    }
+    all_homs_into_graph(pat, g, base)
 }
 
 /// All maximal solutions of the subtree rooted at `n`, each including the
 /// bindings of `base` (the mapping accumulated along the branch) plus the
 /// bindings of `n`'s own pattern and of every extendable descendant.
-fn solutions_below(t: &Wdpt, g: &dyn TripleIndex, n: NodeId, base: &Mapping) -> Vec<Mapping> {
+fn solutions_below(
+    t: &Wdpt,
+    g: &dyn TripleIndex,
+    n: NodeId,
+    base: &Mapping,
+    strategy: JoinStrategy,
+) -> Vec<Mapping> {
     let mut out = Vec::new();
-    for nu in all_homs_into_graph(t.pat(n), g, base) {
+    for nu in node_homs(t.pat(n), g, base, strategy) {
         let combined = base
             .union(&nu)
             .expect("solver extensions agree with their fixed bindings");
         // Children combine by product; a child with no extension is absent.
         let mut partials = vec![combined.clone()];
         for &c in t.children(n) {
-            let exts = solutions_below(t, g, c, &combined);
+            let exts = solutions_below(t, g, c, &combined, strategy);
             if exts.is_empty() {
                 continue;
             }
@@ -140,5 +197,45 @@ mod tests {
     fn empty_graph_has_no_solutions() {
         let f = Wdpf::from_pattern(&parse_pattern("(?x, p, ?y)").unwrap()).unwrap();
         assert!(enumerate_forest(&f, &RdfGraph::new()).is_empty());
+    }
+
+    /// Every join strategy enumerates the same solution sets — on
+    /// cyclic node cores (where `Auto` and `Wco` route through the
+    /// leapfrog join) and on OPT trees whose branch bindings shrink the
+    /// core.
+    #[test]
+    fn join_strategies_agree_on_cyclic_cores() {
+        let g = RdfGraph::from_strs([
+            ("1", "r", "2"),
+            ("2", "r", "3"),
+            ("1", "r", "3"),
+            ("3", "r", "1"),
+            ("2", "r", "4"),
+            ("3", "q", "x"),
+        ]);
+        for text in [
+            // A triangle core in the root.
+            "((?a, r, ?b) AND (?b, r, ?c)) AND (?a, r, ?c)",
+            // Triangle root with an OPT arm.
+            "(((?a, r, ?b) AND (?b, r, ?c)) AND (?a, r, ?c)) OPT (?c, q, ?w)",
+            // Acyclic chain under OPT (Auto keeps the hom solver).
+            "(?a, r, ?b) OPT ((?b, r, ?c) AND (?c, q, ?w))",
+        ] {
+            let p = parse_pattern(text).unwrap();
+            let f = Wdpf::from_pattern(&p).unwrap();
+            let want = eval(&p, &g);
+            assert!(!want.is_empty(), "{text} should have solutions");
+            for strategy in [
+                wdsparql_store::JoinStrategy::Pairwise,
+                wdsparql_store::JoinStrategy::Wco,
+                wdsparql_store::JoinStrategy::Auto,
+            ] {
+                assert_eq!(
+                    enumerate_forest_with(&f, &g, strategy),
+                    want,
+                    "{strategy} diverges on {text}"
+                );
+            }
+        }
     }
 }

@@ -17,6 +17,7 @@
 use crate::graph::{binding_of, RdfGraph};
 use crate::mapping::Mapping;
 use crate::term::{Iri, Variable};
+use crate::trie::{MaterializedTrie, TrieCursor};
 use crate::triple::{Triple, TriplePattern};
 
 /// Read-only access to an indexed set of ground triples.
@@ -69,6 +70,25 @@ pub trait TripleIndex {
     fn candidate_values(&self, pat: &TriplePattern, v: Variable) -> Option<Vec<Iri>> {
         let _ = (pat, v);
         None
+    }
+
+    /// A seekable trie view over the matches of `pat`, with one level
+    /// per variable of `vars` — which must list `vars(pat)` exactly,
+    /// each once, in the caller's (join) order. The worst-case-optimal
+    /// join opens one of these per pattern and intersects levels with
+    /// galloping [`TrieCursor::seek`].
+    ///
+    /// Keys ascend in a total order that is consistent across every
+    /// cursor this index produces, but is otherwise backend-private (the
+    /// default uses [`Iri`] interner ids; `wdsparql-store` serves its
+    /// dictionary ids straight off the sorted permutation arrays).
+    /// [`TrieCursor::value`] decodes keys when bindings are emitted.
+    fn trie_cursor<'a>(
+        &'a self,
+        pat: &TriplePattern,
+        vars: &[Variable],
+    ) -> Box<dyn TrieCursor + 'a> {
+        Box::new(MaterializedTrie::from_solutions(&self.solutions(pat), vars))
     }
 }
 

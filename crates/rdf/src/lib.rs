@@ -22,6 +22,7 @@ pub mod index;
 pub mod mapping;
 pub mod ntriples;
 pub mod term;
+pub mod trie;
 pub mod triple;
 
 pub use graph::{binding_of, pattern_matches, RdfGraph};
@@ -29,4 +30,5 @@ pub use index::TripleIndex;
 pub use mapping::Mapping;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use term::{iri, var, Iri, Term, Variable};
+pub use trie::{gallop, MaterializedTrie, TrieCursor};
 pub use triple::{tp, Triple, TriplePattern};

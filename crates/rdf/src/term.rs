@@ -69,6 +69,13 @@ impl Iri {
     pub fn id(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an [`Iri`] from an id previously obtained via
+    /// [`Iri::id`]. Crate-internal: only ids that came out of the
+    /// interner are valid.
+    pub(crate) fn from_raw(id: u32) -> Iri {
+        Iri(id)
+    }
 }
 
 impl fmt::Display for Iri {

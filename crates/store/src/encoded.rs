@@ -79,44 +79,44 @@ pub struct EncodedGraph {
     dom_sorted: Vec<Iri>,
 }
 
-/// The resolution of a pattern against the indexes: the row runs that
-/// can match (one base range plus one per segment, all under the same
-/// permutation), and any bound components that could not be narrowed by
-/// sorted prefix and must be checked per row instead.
-struct Scan<'a> {
-    perm: Perm,
-    base: &'a [Row],
-    deltas: Vec<&'a [Row]>,
-    /// Per row position: a required id the sort order could not enforce.
-    residual: [Option<TermId>; 3],
+/// The narrowed row runs answering one pattern: the base range plus one
+/// run per pending delta segment, all under the same permutation. The
+/// base is held apart from the deltas so the common fully-compacted case
+/// allocates nothing (an empty `Vec` has no heap block).
+pub(crate) struct PatternRuns<'a> {
+    pub(crate) base: &'a [Row],
+    pub(crate) deltas: Vec<&'a [Row]>,
 }
 
-/// One candidate permutation for a scan: the permutation, its (maybe
-/// unbound) leading id, and its base rows + offset table.
-type Candidate<'a> = (Perm, Option<TermId>, &'a [Row], &'a [u32]);
-
-/// The outcome of prefix-narrowing a candidate: narrowed base run,
-/// narrowed delta runs, residual filters, and total rows left to scan.
-type NarrowedSources<'a> = (&'a [Row], Vec<&'a [Row]>, [Option<TermId>; 3], usize);
-
-impl<'a> Scan<'a> {
-    fn sources(&self) -> impl Iterator<Item = &'a [Row]> + '_ {
-        std::iter::once(self.base).chain(self.deltas.iter().copied())
+impl<'a> PatternRuns<'a> {
+    /// The non-empty runs, base first.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &'a [Row]> + '_ {
+        std::iter::once(self.base)
+            .chain(self.deltas.iter().copied())
+            .filter(|r| !r.is_empty())
     }
 
     fn total(&self) -> usize {
         self.base.len() + self.deltas.iter().map(|d| d.len()).sum::<usize>()
     }
+}
 
-    fn row_matches(&self, row: &Row) -> bool {
-        self.residual
-            .iter()
-            .zip(row)
-            .all(|(req, &id)| req.is_none_or(|want| want == id))
-    }
+/// The resolution of a pattern against the indexes: the permutation
+/// whose sorted prefix covers the bound positions, and the narrowed
+/// runs. `residual` is `None` on every shape but one — the `(s ? o)`
+/// hybrid, where a tiny subject block is scanned with the object as a
+/// per-row filter instead of binary-searching a hub object's block.
+struct Scan<'a> {
+    perm: Perm,
+    runs: PatternRuns<'a>,
+    /// At most one `(row position, required id)` filter.
+    residual: Option<(usize, TermId)>,
+}
 
-    fn is_exact(&self) -> bool {
-        self.residual.iter().all(Option::is_none)
+impl Scan<'_> {
+    #[inline]
+    fn row_passes(&self, row: &Row) -> bool {
+        self.residual.is_none_or(|(pos, id)| row[pos] == id)
     }
 }
 
@@ -427,61 +427,10 @@ impl EncodedGraph {
         &slice[lo..hi]
     }
 
-    /// Prefix-narrows every source of a candidate permutation with the
-    /// pattern's bound ids and splits the rest into residual filters.
-    /// Returns the narrowed sources, the residuals, and the total row
-    /// count left to scan.
-    #[inline]
-    fn narrow_sources<'a>(
-        perm: Perm,
-        mut base: &'a [Row],
-        mut deltas: Vec<&'a [Row]>,
-        spo_ids: [Option<TermId>; 3],
-    ) -> NarrowedSources<'a> {
-        let layout = perm.layout();
-        let mut keys = [None; 3];
-        for (component, id) in spo_ids.into_iter().enumerate() {
-            keys[layout[component]] = id;
-        }
-        let mut residual = [None; 3];
-        let mut prefix_sorted = true;
-        for (row_pos, key) in keys.into_iter().enumerate().skip(1) {
-            let Some(key) = key else {
-                prefix_sorted = false;
-                continue;
-            };
-            if prefix_sorted {
-                base = Self::narrow(base, row_pos, key);
-                for d in &mut deltas {
-                    *d = Self::narrow(d, row_pos, key);
-                }
-            } else {
-                residual[row_pos] = Some(key);
-            }
-        }
-        deltas.retain(|d| !d.is_empty());
-        let total = base.len() + deltas.iter().map(|d| d.len()).sum::<usize>();
-        (base, deltas, residual, total)
-    }
-
-    /// Picks the permutation and row runs for the pattern's bound
-    /// positions. `None` means a bound term is not in the dictionary, so
-    /// nothing can match.
-    ///
-    /// The choice is adaptive. A candidate permutation whose *leading*
-    /// component is bound resolves its base range through the offset
-    /// table in O(1) and each segment run by binary search; a leading
-    /// range small enough is taken on the spot. Otherwise every candidate
-    /// is prefix-narrowed with the remaining bound components before
-    /// comparing — which is what routes the pair-bound `(? p o)` to POS's
-    /// exact `(p, o)` run instead of residual-filtering a hub object's
-    /// whole OSP block. PSO joins the candidates only when the graph is
-    /// fully compacted (segments carry no PSO run), listed before POS so
-    /// a predicate-led tie lands on the subject-sorted block.
     /// Resolves the pattern's bound positions to dictionary ids. `None`
     /// when a bound term is not interned (nothing can match).
     #[inline]
-    fn resolve_ids(&self, pat: &TriplePattern) -> Option<[Option<TermId>; 3]> {
+    pub(crate) fn resolve_ids(&self, pat: &TriplePattern) -> Option<[Option<TermId>; 3]> {
         let resolve = |term: Term| -> Result<Option<TermId>, ()> {
             match term {
                 Term::Var(_) => Ok(None),
@@ -495,78 +444,137 @@ impl EncodedGraph {
         ])
     }
 
-    /// The candidate permutations for a pattern with the given bound
-    /// ids, in the fixed comparison order. PSO joins the candidates only
-    /// when the graph is fully compacted (segments carry no PSO run),
-    /// listed before POS so a predicate-led tie lands on the
-    /// subject-sorted block.
+    /// The permutation whose sorted prefix covers every bound position —
+    /// the **exact-run dispatch**: with four permutations every bound
+    /// shape has one, so the matching rows always form contiguous runs
+    /// (O(1) through the base offset table plus one binary search per
+    /// pending segment), with no residual filtering and no candidate
+    /// comparison. An exact run *is* the constant-match set, hence
+    /// minimal — the adaptive comparison the pre-PSO layout needed would
+    /// only re-derive this choice at three times the probe cost (the
+    /// `sp?` / `s?o` / `enc_count` gap against `RdfGraph` in
+    /// `BENCH_store.json` was exactly that overhead). `None` when no
+    /// position is bound. `(? p ?)` prefers the subject-sorted PSO block
+    /// (sort-free merge-join candidates), which exists only in the
+    /// compacted base — with segments pending it uses POS.
     #[inline]
-    fn scan_candidates(&self, spo_ids: [Option<TermId>; 3]) -> [Candidate<'_>; 4] {
-        [
-            (Perm::Spo, spo_ids[0], &self.spo, &self.spo_off),
-            (Perm::Osp, spo_ids[2], &self.osp, &self.osp_off),
-            (
-                Perm::Pso,
-                if self.segments.is_empty() {
-                    spo_ids[1]
-                } else {
-                    None
-                },
-                &self.pso,
-                &self.pso_off,
-            ),
-            (Perm::Pos, spo_ids[1], &self.pos, &self.pos_off),
-        ]
+    fn exact_perm(&self, spo_ids: [Option<TermId>; 3]) -> Option<Perm> {
+        match spo_ids.map(|id| id.is_some()) {
+            [false, false, false] => None,
+            [true, true, _] | [true, false, false] => Some(Perm::Spo),
+            [true, false, true] | [false, false, true] => Some(Perm::Osp),
+            [false, true, true] => Some(Perm::Pos),
+            [false, true, false] => Some(if self.segments.is_empty() {
+                Perm::Pso
+            } else {
+                Perm::Pos
+            }),
+        }
+    }
+
+    /// Base rows and leading-id offset table of a permutation.
+    #[inline]
+    fn perm_base(&self, perm: Perm) -> (&[Row], &[u32]) {
+        match perm {
+            Perm::Spo => (&self.spo, &self.spo_off),
+            Perm::Pos => (&self.pos, &self.pos_off),
+            Perm::Osp => (&self.osp, &self.osp_off),
+            Perm::Pso => (&self.pso, &self.pso_off),
+        }
+    }
+
+    /// The bound ids of `spo_ids` rotated into `perm`'s row positions.
+    /// For a serving permutation they occupy a prefix.
+    #[inline]
+    fn prefix_keys(perm: Perm, spo_ids: [Option<TermId>; 3]) -> [Option<TermId>; 3] {
+        let layout = perm.layout();
+        let mut keys = [None; 3];
+        for (component, id) in spo_ids.into_iter().enumerate() {
+            keys[layout[component]] = id;
+        }
+        debug_assert!(
+            keys.windows(2).all(|w| w[0].is_some() || w[1].is_none()),
+            "bound ids must form a sorted prefix of {perm:?}"
+        );
+        keys
+    }
+
+    /// Narrows one already-lead-resolved run by the remaining prefix
+    /// keys, binary search per bound position.
+    #[inline]
+    fn narrow_prefix<'a>(mut run: &'a [Row], keys: &[Option<TermId>; 3], from: usize) -> &'a [Row] {
+        for (pos, key) in keys.iter().enumerate().skip(from) {
+            match key {
+                Some(k) => run = Self::narrow(run, pos, *k),
+                None => break,
+            }
+        }
+        run
+    }
+
+    /// The narrowed row runs of `perm` holding exactly the rows whose
+    /// leading components equal the bound ids of `spo_ids`. The bound
+    /// positions must form a prefix of `perm`'s layout (what
+    /// [`EncodedGraph::exact_perm`] and the WCOJ trie planner both
+    /// guarantee), and `perm` must not be the base-only PSO while
+    /// segments are pending. Allocation-free when no segments are
+    /// pending.
+    pub(crate) fn pattern_runs(&self, perm: Perm, spo_ids: [Option<TermId>; 3]) -> PatternRuns<'_> {
+        debug_assert!(perm != Perm::Pso || self.segments.is_empty());
+        let keys = Self::prefix_keys(perm, spo_ids);
+        let (rows, off) = self.perm_base(perm);
+        let base = match keys[0] {
+            Some(lead) => self.leading_range(rows, off, lead),
+            None => rows,
+        };
+        let base = Self::narrow_prefix(base, &keys, 1);
+        let deltas: Vec<&[Row]> = self
+            .segments
+            .iter()
+            .map(|seg| Self::narrow_prefix(seg.rows(perm), &keys, 0))
+            .filter(|run| !run.is_empty())
+            .collect();
+        PatternRuns { base, deltas }
     }
 
     #[inline]
     fn scan(&self, pat: &TriplePattern) -> Option<Scan<'_>> {
         let spo_ids = self.resolve_ids(pat)?;
-        const SMALL_ENOUGH: usize = 16;
-        let options = self.scan_candidates(spo_ids);
-        let mut best: Option<Scan<'_>> = None;
-        let mut best_total = usize::MAX;
-        for (perm, lead, rows, off) in options {
-            let Some(lead) = lead else { continue };
-            let base = self.leading_range(rows, off, lead);
-            let deltas: Vec<&[Row]> = self
-                .segments
-                .iter()
-                .map(|s| Self::narrow(s.rows(perm), 0, lead))
-                .filter(|d| !d.is_empty())
-                .collect();
-            let (base, deltas, residual, total) = Self::narrow_sources(perm, base, deltas, spo_ids);
-            if total < best_total {
-                best_total = total;
-                best = Some(Scan {
-                    perm,
-                    base,
-                    deltas,
-                    residual,
-                });
-            }
-            // A candidate this small is taken on the spot: probing the
-            // remaining permutations (and binary-searching their huge
-            // leading blocks) costs more than the few rows it might save.
-            if total <= SMALL_ENOUGH {
-                break;
+        let Some(perm) = self.exact_perm(spo_ids) else {
+            // No bound component: full scan over SPO, base + all deltas.
+            return Some(Scan {
+                perm: Perm::Spo,
+                runs: PatternRuns {
+                    base: &self.spo,
+                    deltas: self.segments.iter().map(|s| s.rows(Perm::Spo)).collect(),
+                },
+                residual: None,
+            });
+        };
+        // `(s ? o)` hybrid: both leading block lengths are two offset
+        // loads away; when the subject's block is no bigger than the
+        // object's, a linear scan of it with the object as a residual
+        // filter beats binary-searching a hub object's block (a subject
+        // emits a handful of triples; a type-like object collects
+        // thousands).
+        if perm == Perm::Osp && spo_ids[1].is_none() {
+            if let (Some(s), Some(o)) = (spo_ids[0], spo_ids[2]) {
+                let s_len = self.leading_range(&self.spo, &self.spo_off, s).len();
+                let o_len = self.leading_range(&self.osp, &self.osp_off, o).len();
+                if s_len <= o_len {
+                    return Some(Scan {
+                        perm: Perm::Spo,
+                        runs: self.pattern_runs(Perm::Spo, [Some(s), None, None]),
+                        residual: Some((2, o)),
+                    });
+                }
             }
         }
-        Some(best.unwrap_or_else(|| {
-            // No bound component: full scan over SPO, base + all deltas.
-            let (base, deltas, residual, _) = Self::narrow_sources(
-                Perm::Spo,
-                &self.spo,
-                self.segments.iter().map(|s| s.rows(Perm::Spo)).collect(),
-                spo_ids,
-            );
-            Scan {
-                perm: Perm::Spo,
-                base,
-                deltas,
-                residual,
-            }
-        }))
+        Some(Scan {
+            perm,
+            runs: self.pattern_runs(perm, spo_ids),
+            residual: None,
+        })
     }
 
     /// Row-position pairs (in `perm`'s layout) that must hold equal ids
@@ -587,78 +595,35 @@ impl EncodedGraph {
         out
     }
 
-    /// Upper bound on the triples matching the pattern's constant
-    /// positions: the chosen bound-prefix run lengths, O(1)/O(log n).
-    /// Exact whenever the access path needed no residual filter (every
-    /// single-constant pattern and all sorted-prefix combinations).
-    ///
-    /// Counting takes a leading-range-only fast path: candidates are
-    /// compared by their leading run alone (two offset loads each, plus
-    /// one binary search per pending segment) and only the winner is
-    /// prefix-narrowed. When that narrowing consumes every bound
-    /// component the count is exact — the minimum any candidate could
-    /// produce — so skipping the other candidates cannot change the
-    /// result, only the cost (the hom solver's fail-first loop calls
-    /// this per search node). Residual-filtered shapes (`(? p o)` on a
-    /// hub object, `(s ? o)`) fall back to the full adaptive comparison
-    /// of [`EncodedGraph::scan`], which is what keeps their estimates
-    /// tight.
+    /// The **exact** number of triples matching the pattern's constant
+    /// positions: the bound-prefix run lengths of the exact permutation —
+    /// two offset loads on the base plus one binary search per pending
+    /// segment, cheap enough for the hom solver's per-node fail-first
+    /// probes and the BGP planner's selectivity estimates. With the PSO
+    /// permutation in place every bound shape resolves to an exact run
+    /// (see [`EncodedGraph::exact_perm`]), so this is no longer merely an
+    /// upper bound. Repeated variables are not constants: `(?x p ?x)`
+    /// counts every `p`-triple.
     pub fn candidate_count(&self, pat: &TriplePattern) -> usize {
         let Some(spo_ids) = self.resolve_ids(pat) else {
             return 0;
         };
-        if spo_ids.iter().all(Option::is_none) {
+        let Some(perm) = self.exact_perm(spo_ids) else {
             return self.len();
-        }
-        let mut best: Option<(Perm, TermId, &[Row], usize)> = None;
-        for (perm, lead, rows, off) in self.scan_candidates(spo_ids) {
-            let Some(lead) = lead else { continue };
-            let base = self.leading_range(rows, off, lead);
-            let mut total = base.len();
-            for seg in &self.segments {
-                total += Self::narrow(seg.rows(perm), 0, lead).len();
-            }
-            if best.as_ref().is_none_or(|&(.., t)| total < t) {
-                best = Some((perm, lead, base, total));
-            }
-        }
-        let Some((perm, lead, base, total)) = best else {
-            // At least one component is bound, so some candidate leads
-            // with it; this arm is unreachable but harmless.
-            return self.scan(pat).map_or(0, |s| s.total());
         };
-        if total == 0 {
-            return 0;
-        }
-        // Would prefix-narrowing the winner consume every bound
-        // component? A bound key after an unbound row position would be
-        // a residual filter — the shapes where comparing the *other*
-        // narrowed candidates can genuinely pick a smaller run.
-        let layout = perm.layout();
-        let mut keys = [None; 3];
-        for (component, id) in spo_ids.into_iter().enumerate() {
-            keys[layout[component]] = id;
-        }
-        let mut gap = false;
-        for key in &keys[1..] {
-            match key {
-                Some(_) if gap => return self.scan(pat).map_or(0, |s| s.total()),
-                Some(_) => {}
-                None => gap = true,
-            }
-        }
-        let narrowed = |mut run: &[Row]| {
-            for (pos, key) in keys.iter().enumerate().skip(1) {
-                match key {
-                    Some(key) => run = Self::narrow(run, pos, *key),
-                    None => break,
-                }
-            }
-            run.len()
+        // Inlined run arithmetic (no `PatternRuns` value): this is the
+        // hom solver's per-node probe, called millions of times — it
+        // must stay a handful of loads and binary searches with zero
+        // allocation.
+        let keys = Self::prefix_keys(perm, spo_ids);
+        let (rows, off) = self.perm_base(perm);
+        let base = match keys[0] {
+            Some(lead) => self.leading_range(rows, off, lead),
+            None => rows,
         };
-        let mut count = narrowed(base);
+        let mut count = Self::narrow_prefix(base, &keys, 1).len();
         for seg in &self.segments {
-            count += narrowed(Self::narrow(seg.rows(perm), 0, lead));
+            count += Self::narrow_prefix(seg.rows(perm), &keys, 0).len();
         }
         count
     }
@@ -669,7 +634,6 @@ impl EncodedGraph {
             return Vec::new();
         };
         let eqs = Self::repeat_constraints(pat, scan.perm);
-        let exact = scan.is_exact() && eqs.is_empty();
         // Bound positions already carry their IRI in the pattern — only
         // the variable positions go through the decode table.
         let fixed = pat.positions().map(Term::as_iri);
@@ -681,19 +645,39 @@ impl EncodedGraph {
                 fixed[2].unwrap_or_else(|| self.dict.decode(o)),
             ));
         };
-        let mut out = Vec::with_capacity(if exact { scan.total() } else { 0 });
+        let exact = eqs.is_empty() && scan.residual.is_none();
+        let mut out = Vec::with_capacity(if exact { scan.runs.total() } else { 0 });
         if exact {
-            for src in scan.sources() {
+            for src in scan.runs.iter() {
                 for &row in src {
                     decode(row, &mut out);
                 }
             }
         } else {
-            for src in scan.sources() {
+            for src in scan.runs.iter() {
                 for &row in src {
-                    if scan.row_matches(&row) && eqs.iter().all(|&(i, j)| row[i] == row[j]) {
+                    if scan.row_passes(&row) && eqs.iter().all(|&(i, j)| row[i] == row[j]) {
                         decode(row, &mut out);
                     }
+                }
+            }
+        }
+        out
+    }
+
+    /// All rows matching `pat` (honouring repeated variables), as
+    /// `(s, p, o)` id triples — the input of the WCOJ's materialised
+    /// fallback trie when no permutation fits a variable order.
+    pub(crate) fn matching_rows(&self, pat: &TriplePattern) -> Vec<Row> {
+        let Some(scan) = self.scan(pat) else {
+            return Vec::new();
+        };
+        let eqs = Self::repeat_constraints(pat, scan.perm);
+        let mut out = Vec::new();
+        for src in scan.runs.iter() {
+            for &row in src {
+                if scan.row_passes(&row) && eqs.iter().all(|&(i, j)| row[i] == row[j]) {
+                    out.push(scan.perm.spo_of(row));
                 }
             }
         }
@@ -734,11 +718,11 @@ impl EncodedGraph {
         let eqs = Self::repeat_constraints(pat, scan.perm);
         let take = scan.perm.layout()[positions[0]];
         let mut ids: Vec<TermId> = Vec::new();
-        for src in scan.sources() {
+        for src in scan.runs.iter() {
             ids.extend(
                 src.iter()
                     .filter(|row| {
-                        scan.row_matches(row) && eqs.iter().all(|&(i, j)| row[i] == row[j])
+                        scan.row_passes(row) && eqs.iter().all(|&(i, j)| row[i] == row[j])
                     })
                     .map(|row| row[take]),
             );
@@ -901,6 +885,19 @@ impl TripleIndex for EncodedGraph {
     fn candidate_values(&self, pat: &TriplePattern, v: wdsparql_rdf::Variable) -> Option<Vec<Iri>> {
         EncodedGraph::candidate_values(self, pat, v)
     }
+
+    /// The WCOJ trie view: zero-copy over the permutation whose prefix
+    /// matches the pattern's bound positions and variable order (base +
+    /// delta segment runs, dictionary ids as keys), falling back to a
+    /// materialised projection when no permutation fits — see
+    /// [`crate::wcoj`].
+    fn trie_cursor<'a>(
+        &'a self,
+        pat: &TriplePattern,
+        vars: &[wdsparql_rdf::Variable],
+    ) -> Box<dyn wdsparql_rdf::TrieCursor + 'a> {
+        crate::wcoj::encoded_trie(self, pat, vars)
+    }
 }
 
 impl FromIterator<Triple> for EncodedGraph {
@@ -1031,12 +1028,12 @@ mod tests {
             .is_empty());
     }
 
-    /// The leading-range-only counting fast path returns the exact
-    /// constant-match count on every sorted-prefix shape — with rows in
-    /// the base, in pending segments, and split across both — and stays
-    /// an upper bound on the residual-filtered shapes it falls back on.
+    /// The exact-run dispatch counts the constant-match set exactly on
+    /// **every** bound shape — with rows in the base, in pending
+    /// segments, and split across both (the pre-PSO layout could only
+    /// upper-bound the residual-filtered shapes).
     #[test]
-    fn candidate_count_fast_path_is_exact_on_prefix_shapes() {
+    fn candidate_count_is_exact_on_every_bound_shape() {
         let strs = [
             ("a", "p", "b"),
             ("a", "p", "c"),
@@ -1059,7 +1056,9 @@ mod tests {
         half.compact();
         half.insert_batch(strs[3..].iter().map(|t| Triple::from_strs(t.0, t.1, t.2)))
             .unwrap();
-        // (constant prefix shapes, expected exact counts)
+        // (bound shape, expected exact count) — every access path,
+        // including the pair-bound shapes the old adaptive comparison
+        // could only upper-bound.
         let exact = [
             (tp(iri("a"), var("x"), var("y")), 3),
             (tp(iri("a"), iri("p"), var("y")), 2),
@@ -1067,6 +1066,8 @@ mod tests {
             (tp(var("x"), iri("q"), var("y")), 3),
             (tp(var("x"), var("w"), iri("a")), 2),
             (tp(var("x"), var("w"), var("y")), 6),
+            (tp(var("x"), iri("q"), iri("a")), 2),
+            (tp(iri("a"), var("w"), iri("b")), 2),
         ];
         for (label, g) in [
             ("compacted", &compacted),
@@ -1075,16 +1076,10 @@ mod tests {
         ] {
             for (pat, want) in &exact {
                 assert_eq!(g.candidate_count(pat), *want, "{label}: {pat}");
-            }
-            // Fallback shapes: an upper bound that still dominates the
-            // true match count.
-            for pat in [
-                tp(var("x"), iri("q"), iri("a")),
-                tp(iri("a"), var("w"), iri("b")),
-            ] {
-                assert!(
-                    g.candidate_count(&pat) >= g.match_pattern(&pat).len(),
-                    "{label}: {pat}"
+                assert_eq!(
+                    g.candidate_count(pat),
+                    g.match_pattern(pat).len(),
+                    "{label}: {pat} count must equal the match set"
                 );
             }
         }

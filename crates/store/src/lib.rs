@@ -42,12 +42,20 @@
 //!   [`TripleStore`] shards behind one facade. Bulk loads scatter to
 //!   per-shard write locks (parallel on multi-core hosts, and a reader's
 //!   snapshot pins one shard, not the dataset), subject-bound patterns
-//!   route to exactly one shard, unbound ones fan out and k-way-merge,
-//!   and the facade's result cache is keyed by the epoch vector of the
-//!   shards each query read — so routed results survive writes to other
-//!   shards. [`ShardedSnapshot`] implements
-//!   [`wdsparql_rdf::TripleIndex`], so every evaluator runs unchanged on
-//!   the sharded layout.
+//!   route to exactly one shard, unbound ones scatter (on scoped threads
+//!   when the host and the run sizes warrant it) and concatenate the
+//!   disjoint per-shard runs lazily, and the facade's result cache is
+//!   keyed by the epoch vector of the shards each query read — so routed
+//!   results survive writes to other shards. [`ShardedSnapshot`]
+//!   implements [`wdsparql_rdf::TripleIndex`], so every evaluator runs
+//!   unchanged on the sharded layout;
+//! * [`wcoj`] — worst-case-optimal multiway joins: a leapfrog triejoin
+//!   over seekable tries ([`wdsparql_rdf::TrieCursor`]) served zero-copy
+//!   from the sorted permutations, behind the
+//!   [`JoinStrategy`]`::{Pairwise, Wco, Auto}` knob on both services and
+//!   the engine — under `Auto`, cyclic query cores (triangles,
+//!   k-cliques) route to the WCOJ instead of blowing up the pairwise
+//!   pipeline's intermediates.
 
 mod cache;
 pub mod dict;
@@ -55,10 +63,15 @@ pub mod encoded;
 mod segment;
 pub mod service;
 pub mod shard;
+pub mod wcoj;
 
 pub use cache::CacheStats;
 pub use dict::{Dictionary, TermId};
 pub use encoded::{CompactionPolicy, EncodedGraph};
 pub use segment::{CapacityError, MAX_TRIPLES};
-pub use service::{PlannedQuery, StoreSnapshot, StoreStats, TripleStore};
+pub use service::{eval_bgp_pairwise, PlannedQuery, StoreSnapshot, StoreStats, TripleStore};
 pub use shard::{ShardedPlannedQuery, ShardedSnapshot, ShardedStats, ShardedStore};
+pub use wcoj::{
+    bgp_is_cyclic, eval_bgp_wco, eval_bgp_with_strategy, resolve_strategy, wco_variable_order,
+    JoinStrategy,
+};

@@ -22,6 +22,7 @@
 
 use crate::cache::ResultCache;
 use crate::encoded::{CapacityError, EncodedGraph};
+use crate::wcoj::{eval_bgp_wco, eval_bgp_with_strategy, resolve_with_order, JoinStrategy};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::fmt;
@@ -101,12 +102,16 @@ pub(crate) fn stats_of(graph: &EncodedGraph, epoch: u64) -> StoreStats {
 /// from one graph snapshot, so they can never diverge.
 #[derive(Clone, Debug)]
 pub struct PlannedQuery {
-    /// Pattern indexes in evaluation order, most selective first.
+    /// Pattern indexes in selectivity order (the pairwise evaluation
+    /// order; the WCOJ consumes it only as a selectivity signal).
     pub plan: Vec<usize>,
     /// The solution mappings.
     pub solutions: Arc<Vec<Mapping>>,
     /// The epoch of the snapshot both were computed on.
     pub epoch: u64,
+    /// The join strategy that actually ran (`Auto` already resolved to
+    /// [`JoinStrategy::Pairwise`] or [`JoinStrategy::Wco`]).
+    pub strategy: JoinStrategy,
 }
 
 /// Cache key: query text plus the epoch it was computed under.
@@ -195,6 +200,13 @@ pub(crate) fn eval_bgp(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Vec<
     eval_bgp_planned(ix, patterns, &order)
 }
 
+/// The pairwise pipeline as a public entry point (plan + semi-join +
+/// bind joins on one snapshot) — the baseline the WCOJ benches and
+/// equivalence tests compare [`crate::wcoj::eval_bgp_wco`] against.
+pub fn eval_bgp_pairwise(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Vec<Mapping> {
+    eval_bgp(ix, patterns)
+}
+
 /// Evaluates the conjunction of `patterns` in the given `order` with a
 /// sorted semi-join on the first shared variable and index-nested-loop
 /// (bind) joins for the rest. Does **not** re-plan: `order` is the plan.
@@ -253,8 +265,30 @@ pub(crate) fn eval_bgp_planned(
 /// The `Display` form would not do — an IRI's spelling is arbitrary
 /// text, so two distinct pattern lists could print identically.
 pub(crate) fn bgp_cache_key(patterns: &[TriplePattern]) -> String {
+    strategy_cache_key(patterns, None)
+}
+
+/// [`bgp_cache_key`] prefixed with the *configured* [`JoinStrategy`]
+/// (when one shapes the computation): entries produced under different
+/// knob settings can never serve each other — even mid-flight across a
+/// concurrent [`TripleStore::set_join_strategy`], whose cache clear
+/// alone could not stop an in-flight compute from landing its result
+/// under a key the new strategy would then hit. Single-pattern lookups
+/// pass `None` — their results are strategy-independent.
+pub(crate) fn strategy_cache_key(
+    patterns: &[TriplePattern],
+    strategy: Option<JoinStrategy>,
+) -> String {
     use std::fmt::Write;
     let mut key = String::new();
+    if let Some(strategy) = strategy {
+        let tag = match strategy {
+            JoinStrategy::Pairwise => 'p',
+            JoinStrategy::Wco => 'w',
+            JoinStrategy::Auto => 'a',
+        };
+        write!(key, "{tag}|").expect("writing to a String cannot fail");
+    }
     for pat in patterns {
         for term in pat.positions() {
             let (kind, id) = match term {
@@ -294,6 +328,9 @@ struct Inner {
 pub struct TripleStore {
     inner: RwLock<Inner>,
     cache: ResultCache<CacheKey>,
+    /// How BGPs are joined (see [`JoinStrategy`]); separate from `inner`
+    /// so reading it never queues behind a bulk load.
+    strategy: RwLock<JoinStrategy>,
 }
 
 impl Default for TripleStore {
@@ -316,7 +353,25 @@ impl TripleStore {
                 capacity_limit: None,
             }),
             cache: ResultCache::new(capacity),
+            strategy: RwLock::new(JoinStrategy::default()),
         }
+    }
+
+    /// The configured [`JoinStrategy`] ([`JoinStrategy::Auto`] by
+    /// default).
+    pub fn join_strategy(&self) -> JoinStrategy {
+        *self.strategy.read()
+    }
+
+    /// Sets how BGPs are joined. Correctness does not depend on this
+    /// call's cache clear — BGP entries are keyed by the strategy that
+    /// computed them (see [`strategy_cache_key`]), so strategies can
+    /// never serve each other's runs, in-flight computations included —
+    /// the clear just frees result sets the old setting will no longer
+    /// reach.
+    pub fn set_join_strategy(&self, strategy: JoinStrategy) {
+        *self.strategy.write() = strategy;
+        self.cache.clear();
     }
 
     pub fn from_triples<I>(triples: I) -> TripleStore
@@ -497,13 +552,17 @@ impl TripleStore {
     }
 
     /// Evaluates the conjunction of `patterns` (a BGP: the AND-only
-    /// fragment) with most-selective-first ordering, a sorted semi-join
-    /// on the first shared variable, and index-nested-loop (bind) joins
-    /// for the rest. Results are cached per epoch.
+    /// fragment) under the configured [`JoinStrategy`]: the pairwise
+    /// pipeline (most-selective-first ordering, a sorted semi-join on
+    /// the first shared variable, bind joins for the rest), the
+    /// worst-case-optimal leapfrog join over the sorted permutations, or
+    /// — under `Auto` — whichever the core's shape calls for. Results
+    /// are cached per epoch.
     pub fn query(&self, patterns: &[TriplePattern]) -> Arc<Vec<Mapping>> {
         let (graph, epoch) = self.snapshot();
-        self.cached(epoch, bgp_cache_key(patterns), || {
-            eval_bgp(&*graph, patterns)
+        let strategy = self.join_strategy();
+        self.cached(epoch, strategy_cache_key(patterns, Some(strategy)), || {
+            eval_bgp_with_strategy(&*graph, patterns, strategy)
         })
     }
 
@@ -527,15 +586,20 @@ impl TripleStore {
         between: impl FnOnce(),
     ) -> PlannedQuery {
         let (graph, epoch) = self.snapshot();
+        let configured = self.join_strategy();
         let plan = plan_order(&*graph, patterns);
+        let strategy = resolve_with_order(&*graph, patterns, configured, &plan);
         between();
-        let solutions = self.cached(epoch, bgp_cache_key(patterns), || {
-            eval_bgp_planned(&*graph, patterns, &plan)
+        let key = strategy_cache_key(patterns, Some(configured));
+        let solutions = self.cached(epoch, key, || match strategy {
+            JoinStrategy::Wco => eval_bgp_wco(&*graph, patterns),
+            _ => eval_bgp_planned(&*graph, patterns, &plan),
         });
         PlannedQuery {
             plan,
             solutions,
             epoch,
+            strategy,
         }
     }
 
@@ -825,6 +889,60 @@ mod tests {
         ]
         .map(|(s, p, o)| Triple::from_strs(s, p, o))
         .to_vec()
+    }
+
+    #[test]
+    fn join_strategy_knob_routes_and_agrees() {
+        let s = TripleStore::from_triples(
+            [
+                ("a", "p", "b"),
+                ("b", "p", "c"),
+                ("a", "p", "c"),
+                ("c", "p", "d"),
+                ("b", "p", "d"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        );
+        let triangle = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("z")),
+            tp(var("x"), iri("p"), var("z")),
+        ];
+        let chain = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("z")),
+        ];
+        // Auto (the default) resolves the cyclic core to the WCOJ and
+        // the chain to the pairwise pipeline.
+        assert_eq!(s.join_strategy(), crate::JoinStrategy::Auto);
+        let auto = s.query_with_plan(&triangle);
+        assert_eq!(auto.strategy, crate::JoinStrategy::Wco);
+        assert_eq!(
+            s.query_with_plan(&chain).strategy,
+            crate::JoinStrategy::Pairwise
+        );
+        // Forcing pairwise agrees on the solution set, and flipping the
+        // knob clears the cache (no stale cross-strategy hits).
+        s.set_join_strategy(crate::JoinStrategy::Pairwise);
+        assert_eq!(s.cache_stats().entries, 0, "knob flip clears the cache");
+        let pairwise = s.query_with_plan(&triangle);
+        assert_eq!(pairwise.strategy, crate::JoinStrategy::Pairwise);
+        let sorted = |sols: &Arc<Vec<Mapping>>| {
+            let mut v: Vec<Mapping> = sols.iter().cloned().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sorted(&auto.solutions), sorted(&pairwise.solutions));
+        assert!(!auto.solutions.is_empty());
+        // And the forced-WCO knob serves the plain query path too.
+        s.set_join_strategy(crate::JoinStrategy::Wco);
+        assert_eq!(
+            sorted(&s.query(&chain)),
+            sorted(&{
+                s.set_join_strategy(crate::JoinStrategy::Pairwise);
+                s.query(&chain)
+            })
+        );
     }
 
     #[test]
