@@ -6,6 +6,8 @@
 //! `⟦P⟧_G` used as executable ground truth by every optimised evaluator
 //! in the workspace.
 
+#![forbid(unsafe_code)]
+
 pub mod filter;
 pub mod parser;
 pub mod pattern;

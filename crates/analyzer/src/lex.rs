@@ -1,0 +1,453 @@
+//! A minimal Rust lexer: just enough structure for the invariant lints —
+//! identifiers, punctuation, delimiters and literal skipping with
+//! correct line numbers, plus the line comments the allow-comment escape
+//! hatches live in.
+//!
+//! Deliberately not a full Rust lexer (no keyword table, no numeric
+//! value parsing, no rustc plumbing — the same offline-stand-in spirit
+//! as the vendored crates): the lints only match identifier sequences
+//! and delimiter structure, so correctly *skipping* strings, chars, raw
+//! strings and comments is the whole contract. Known approximations are
+//! listed in the crate README.
+
+/// What a token is, as far as the lints care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`fn`, `self`, `unwrap`, ...).
+    Ident,
+    /// A single punctuation character, except `::` which is one token.
+    Punct,
+    /// `(`, `[` or `{`.
+    Open(Delim),
+    /// `)`, `]` or `}`.
+    Close(Delim),
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+}
+
+/// Delimiter class for [`Kind::Open`]/[`Kind::Close`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A comment, keyed by the line it starts on. Line comments carry their
+/// text (after `//`, trimmed) — that is where the escape hatches live;
+/// block comments are recorded too so a hatch may be written either way.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// A lexed file: the token stream plus the comment sidecar.
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Token {
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == Kind::Ident && self.text == text
+    }
+
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == Kind::Punct && self.text == text
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unexpected bytes
+/// become single-character punctuation, unterminated literals run to end
+/// of file — a lint pass should report what it saw, not abort the scan.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        src,
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                b'(' => self.delim(Kind::Open(Delim::Paren), "("),
+                b')' => self.delim(Kind::Close(Delim::Paren), ")"),
+                b'[' => self.delim(Kind::Open(Delim::Bracket), "["),
+                b']' => self.delim(Kind::Close(Delim::Bracket), "]"),
+                b'{' => self.delim(Kind::Open(Delim::Brace), "{"),
+                b'}' => self.delim(Kind::Close(Delim::Brace), "}"),
+                b':' if self.peek(1) == Some(b':') => {
+                    self.push(Kind::Punct, "::");
+                    self.i += 2;
+                }
+                _ => {
+                    let text = &self.src[self.i..self.i + 1];
+                    self.push(Kind::Punct, text);
+                    self.i += 1;
+                }
+            }
+        }
+        Lexed {
+            tokens: self.tokens,
+            comments: self.comments,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: Kind, text: &str) {
+        self.tokens.push(Token {
+            kind,
+            text: text.to_string(),
+            line: self.line,
+        });
+    }
+
+    fn delim(&mut self, kind: Kind, text: &str) {
+        self.push(kind, text);
+        self.i += 1;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i + 2;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        // Strip doc-comment markers too: `/// text` and `//! text` hatch
+        // the same way as `// text`.
+        let text = self.src[start..self.i]
+            .trim_start_matches(['/', '!'])
+            .trim();
+        self.comments.push(Comment {
+            line: self.line,
+            text: text.to_string(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.i + 2;
+        self.i += 2;
+        let mut depth = 1usize;
+        let mut end = self.b.len();
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    end = self.i - 2;
+                    break;
+                }
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        self.comments.push(Comment {
+            line: start_line,
+            text: self.src[start..end.max(start)].trim().to_string(),
+        });
+    }
+
+    /// A `"..."` string with `\` escapes; newlines inside advance the
+    /// line counter so following tokens stay correctly located.
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    /// `r"..."`, `r#"..."#`, `br##"..."##` — no escapes, closes on `"`
+    /// followed by the opening number of `#`s.
+    fn raw_string(&mut self, hashes: usize) {
+        let line = self.line;
+        self.i += hashes + 1; // past the `#`s and the opening quote
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.b[self.i] == b'"' {
+                let close = &self.b[self.i + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&c| c == b'#') {
+                    self.i += 1 + hashes;
+                    break;
+                }
+            }
+            self.i += 1;
+        }
+        self.tokens.push(Token {
+            kind: Kind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip the escape, then to the quote.
+                self.i += 3; // ', \, escaped char
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    self.i += 1;
+                }
+                self.i += 1;
+                self.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char only when a quote follows immediately;
+                // `'abc` (no closing quote after the ident) is a lifetime.
+                let mut j = self.i + 1;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if j == self.i + 2 && self.b.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.tokens.push(Token {
+                        kind: Kind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    let text = &self.src[self.i..j];
+                    self.push(Kind::Lifetime, text);
+                    self.i = j;
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '(' or ' '.
+                self.i += 2;
+                if self.peek(0) == Some(b'\'') {
+                    self.i += 1;
+                }
+                self.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            None => self.i += 1,
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            let fractional_dot = c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            let exponent_sign = (c == b'+' || c == b'-')
+                && matches!(self.b.get(self.i - 1), Some(b'e') | Some(b'E'));
+            if is_ident_continue(c) || fractional_dot || exponent_sign {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: Kind::Literal,
+            text: String::new(),
+            line,
+        });
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = &self.src[start..self.i];
+        match (text, self.peek(0)) {
+            ("r" | "br", Some(b'"')) => self.raw_string(0),
+            ("r" | "br", Some(b'#')) => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    self.raw_string(hashes);
+                } else {
+                    // Raw identifier `r#ident`: emit the ident itself.
+                    self.i += hashes; // past the `#`
+                    let id_start = self.i;
+                    while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    let id = self.src[id_start..self.i].to_string();
+                    self.tokens.push(Token {
+                        kind: Kind::Ident,
+                        text: id,
+                        line: self.line,
+                    });
+                }
+            }
+            ("b", Some(b'"')) => self.string_with_line_of_prefix(),
+            ("b", Some(b'\'')) => self.char_or_lifetime(),
+            _ => self.push(Kind::Ident, text),
+        }
+    }
+
+    fn string_with_line_of_prefix(&mut self) {
+        self.string();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_survive_literals() {
+        let src = r####"
+            fn f(x: &str) -> u32 {
+                let s = "quoted .unwrap() is not code";
+                let r = r#"raw "quoted" .expect() either"#;
+                let c = 'x';
+                let lt: &'static str = s;
+                x.parse().unwrap()
+            }
+        "####;
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"parse".to_string()));
+        // The unwrap/expect inside string literals must not tokenize.
+        assert_eq!(ids.iter().filter(|t| *t == "unwrap").count(), 1);
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1; // relaxed-ok: counters only\n// line two\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].text, "relaxed-ok: counters only");
+        assert_eq!(lexed.comments[1].line, 2);
+        // Tokens on line 3 are located after the comment lines.
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("Ordering::Relaxed").tokens;
+        assert_eq!(toks.len(), 3);
+        assert!(toks[0].is_ident("Ordering"));
+        assert!(toks[1].is_punct("::"));
+        assert!(toks[2].is_ident("Relaxed"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }").tokens;
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Literal).collect();
+        assert_eq!(lits.len(), 1, "'z' is the only literal");
+    }
+
+    #[test]
+    fn block_comments_nest_and_track_lines() {
+        let src = "/* a /* nested */ b\nmore */ fn after() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        let f = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after");
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = lex("let r#type = 1;").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+}

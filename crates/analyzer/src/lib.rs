@@ -1,0 +1,25 @@
+//! Project-invariant static analysis and deterministic-schedule race
+//! detection for the wdsparql workspace.
+//!
+//! Two passes, one crate:
+//!
+//! * [`lints`] — a token-level walker (hand-rolled lexer in [`lex`], no
+//!   rustc plumbing) enforcing the store's concurrency invariants:
+//!   snapshot discipline, lock-scope hygiene, justified relaxed
+//!   orderings, `#[must_use]` on pin-like types, and a service-layer
+//!   panic ban. Run it via `cargo run -p wdsparql-analyzer -- --check`.
+//! * [`sched`] — loom/shuttle-style cooperative scheduling shims
+//!   (`Mutex`, `RwLock`, `AtomicU64`, `OnceLock`, `thread`) plus a DFS
+//!   explorer with bounded preemptions, used by the model tests under
+//!   `tests/` to exhaustively check the store's epoch/cache protocols.
+//!
+//! The two passes are complementary: the lints stop new code from
+//! *writing* the bug classes we have already fixed, and the scheduler
+//! proves the protocol fixes themselves hold under every interleaving
+//! within the bound.
+
+#![forbid(unsafe_code)]
+
+pub mod lex;
+pub mod lints;
+pub mod sched;

@@ -1,0 +1,943 @@
+//! The invariant lints: project rules clippy cannot express, encoded as
+//! token-stream walks over the workspace source.
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `no-unwrap-in-service`  | no `.unwrap()`/`.expect()` in non-test service-layer code |
+//! | `one-snapshot-per-path` | at most one snapshot acquisition per function body |
+//! | `relaxed-ok-comment`    | every `Ordering::Relaxed` carries a `// relaxed-ok:` justification |
+//! | `no-lock-reentry`       | an exclusive-lock scope must not re-enter the same lock |
+//! | `must-use-snapshot`     | snapshot / plan / guard types must be `#[must_use]` |
+//!
+//! Every lint has an inline escape hatch: a comment on the flagged line,
+//! or in the contiguous comment block immediately above it, of the form
+//! `// analyzer-allow: <lint-name> <reason>`. The reason is mandatory —
+//! an allow without a justification is itself a violation.
+
+use crate::lex::{self, Comment, Delim, Kind, Token};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The marker that silences any lint on its line (reason required).
+const ALLOW_MARKER: &str = "analyzer-allow:";
+/// The justification marker [`RELAXED`] requires.
+const RELAXED_MARKER: &str = "relaxed-ok:";
+
+pub const NO_UNWRAP: &str = "no-unwrap-in-service";
+pub const ONE_SNAPSHOT: &str = "one-snapshot-per-path";
+pub const RELAXED: &str = "relaxed-ok-comment";
+pub const LOCK_REENTRY: &str = "no-lock-reentry";
+pub const MUST_USE: &str = "must-use-snapshot";
+
+/// Method names whose call acquires a store snapshot.
+const SNAPSHOT_FNS: [&str; 4] = [
+    "read_snapshot",
+    "snapshot",
+    "read_snapshot_for",
+    "subject_snapshot",
+];
+
+/// Type-name suffixes [`MUST_USE`] requires `#[must_use]` on.
+const MUST_USE_SUFFIXES: [&str; 3] = ["Snapshot", "Guard", "PlannedQuery"];
+
+/// One lint violation, pointing at a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: &'static str,
+    /// Path relative to the scan root.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Which paths each path-scoped lint applies to. Matching is by suffix
+/// (service files) or substring (lock files), so the same config covers
+/// both the real workspace layout and the seeded test fixtures.
+pub struct Config {
+    /// Files under the service-layer unwrap ban.
+    pub service_files: Vec<String>,
+    /// Path fragment selecting the files under the lock-reentry rule.
+    pub lock_fragment: String,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            service_files: vec![
+                "store/src/service.rs".to_string(),
+                "store/src/shard.rs".to_string(),
+                "store/src/cache.rs".to_string(),
+            ],
+            lock_fragment: "store/src/".to_string(),
+        }
+    }
+}
+
+/// Scans a directory tree and returns every finding, sorted by file and
+/// line. When `root` looks like the workspace (has a `crates/` child),
+/// only `src/` and `crates/*/src/` are scanned — tests, benches,
+/// examples and the vendored stand-ins are out of scope by design (the
+/// lints enforce *production-path* invariants). Any other root is walked
+/// whole, which is how the fixture tests point the scanner at seeded
+/// violations.
+pub fn scan_root(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        collect_rs(&root.join("src"), &mut files)?;
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), &mut files)?;
+        }
+    } else {
+        collect_rs(root, &mut files)?;
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(scan_source(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file's source text. `rel` is the path reported in findings
+/// and matched against the path-scoped lint config.
+pub fn scan_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lex::lex(src);
+    let ctx = FileCtx::new(rel, &lexed.tokens, &lexed.comments);
+    let mut findings = Vec::new();
+    if cfg
+        .service_files
+        .iter()
+        .any(|suffix| rel.ends_with(suffix.as_str()))
+    {
+        lint_no_unwrap(&ctx, &mut findings);
+    }
+    lint_one_snapshot(&ctx, &mut findings);
+    lint_relaxed(&ctx, &mut findings);
+    if rel.contains(cfg.lock_fragment.as_str()) {
+        lint_lock_reentry(&ctx, &mut findings);
+    }
+    lint_must_use(&ctx, &mut findings);
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Shared per-file machinery
+// ---------------------------------------------------------------------
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    toks: &'a [Token],
+    /// line → comment text (last comment wins; one per line in practice).
+    comment_lines: HashMap<u32, &'a str>,
+    /// Open-delimiter token index → matching close index.
+    delims: HashMap<usize, usize>,
+    /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(rel: &'a str, toks: &'a [Token], comments: &'a [Comment]) -> FileCtx<'a> {
+        let delims = match_delims(toks);
+        let test_ranges = test_ranges(toks, &delims);
+        FileCtx {
+            rel,
+            toks,
+            comment_lines: comments.iter().map(|c| (c.line, c.text.as_str())).collect(),
+            delims,
+            test_ranges,
+        }
+    }
+
+    fn in_tests(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when `line` carries (or sits under) a hatch comment whose
+    /// text starts with `marker` followed by a non-empty tail containing
+    /// `required` (the lint name, or "" for markers like `relaxed-ok:`
+    /// whose tail is free-form justification).
+    fn hatched(&self, marker: &str, required: &str, line: u32) -> bool {
+        let check = |l: u32| {
+            self.comment_lines.get(&l).is_some_and(|text| {
+                let text = text.trim_start();
+                text.strip_prefix(marker).is_some_and(|tail| {
+                    let tail = tail.trim();
+                    !tail.is_empty() && tail.starts_with(required) && tail.len() > required.len()
+                })
+            })
+        };
+        if check(line) {
+            return true;
+        }
+        // Walk up through the contiguous comment block above the line.
+        let mut l = line;
+        while l > 1 && self.comment_lines.contains_key(&(l - 1)) {
+            l -= 1;
+            if check(l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn allowed(&self, lint: &'static str, line: u32) -> bool {
+        self.hatched(ALLOW_MARKER, lint, line)
+    }
+
+    /// The line the statement containing token `idx` starts on — where
+    /// a hatch comment above a multi-line statement actually sits.
+    fn stmt_start_line(&self, idx: usize) -> u32 {
+        let mut j = idx;
+        while j > 0 {
+            let t = &self.toks[j - 1];
+            if t.is_punct(";")
+                || matches!(t.kind, Kind::Open(Delim::Brace) | Kind::Close(Delim::Brace))
+            {
+                break;
+            }
+            j -= 1;
+        }
+        self.toks[j].line
+    }
+
+    /// [`FileCtx::allowed`], also accepting a hatch above the start of
+    /// the (possibly multi-line) statement the token belongs to.
+    fn allowed_tok(&self, lint: &'static str, idx: usize) -> bool {
+        self.allowed(lint, self.toks[idx].line) || self.allowed(lint, self.stmt_start_line(idx))
+    }
+
+    fn finding(&self, lint: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            lint,
+            file: self.rel.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+fn match_delims(toks: &[Token]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack: Vec<(Delim, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            Kind::Open(d) => stack.push((d, i)),
+            Kind::Close(d) => {
+                // Tolerate imbalance (the lexer is approximate): unwind
+                // to the nearest open of the same class.
+                while let Some((k, j)) = stack.pop() {
+                    if k == d {
+                        map.insert(j, i);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Line ranges of items behind `#[cfg(test)]` or `#[test]`: from the
+/// attribute to the close of the item's body. Test code is out of scope
+/// for every lint — tests exercise panics and orderings on purpose.
+fn test_ranges(toks: &[Token], delims: &HashMap<usize, usize>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct("#") && toks[i + 1].kind == Kind::Open(Delim::Bracket) {
+            let close = match delims.get(&(i + 1)) {
+                Some(&c) => c,
+                None => break,
+            };
+            let inner = &toks[i + 2..close];
+            // `#[test]` exactly, or `cfg` immediately followed by `(test`.
+            let bare_test = inner.len() == 1 && inner[0].is_ident("test");
+            let cfg_test = inner.windows(3).any(|w| {
+                w[0].is_ident("cfg")
+                    && w[1].kind == Kind::Open(Delim::Paren)
+                    && w[2].is_ident("test")
+            });
+            if bare_test || cfg_test {
+                // Skip any further attributes, then span the item body.
+                let mut j = close + 1;
+                while j + 1 < toks.len()
+                    && toks[j].is_punct("#")
+                    && toks[j + 1].kind == Kind::Open(Delim::Bracket)
+                {
+                    match delims.get(&(j + 1)) {
+                        Some(&c) => j = c + 1,
+                        None => break,
+                    }
+                }
+                let mut depth_guard = j;
+                let mut body = None;
+                while depth_guard < toks.len() {
+                    match toks[depth_guard].kind {
+                        Kind::Open(Delim::Brace) => {
+                            body = delims.get(&depth_guard).copied();
+                            break;
+                        }
+                        Kind::Open(_) => {
+                            depth_guard =
+                                delims.get(&depth_guard).copied().unwrap_or(depth_guard) + 1;
+                        }
+                        Kind::Punct if toks[depth_guard].text == ";" => break,
+                        _ => depth_guard += 1,
+                    }
+                }
+                if let Some(body_close) = body {
+                    out.push((toks[i].line, toks[body_close].line));
+                    i = body_close + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A function item: its name and body token span (open/close indices).
+struct FnSpan {
+    name: String,
+    body: (usize, usize),
+}
+
+fn fn_spans(toks: &[Token], delims: &HashMap<usize, usize>) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            continue; // `fn(...)` pointer type, not an item
+        }
+        let mut j = i + 2;
+        while j < toks.len() {
+            match toks[j].kind {
+                Kind::Open(Delim::Brace) => {
+                    if let Some(&close) = delims.get(&j) {
+                        out.push(FnSpan {
+                            name: name_tok.text.clone(),
+                            body: (j, close),
+                        });
+                    }
+                    break;
+                }
+                // Skip parameter lists, generics-adjacent groups, return
+                // types in brackets — none of them open the body.
+                Kind::Open(_) => j = delims.get(&j).copied().unwrap_or(j) + 1,
+                Kind::Punct if toks[j].text == ";" => break, // trait decl
+                _ => j += 1,
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Lint: no-unwrap-in-service
+// ---------------------------------------------------------------------
+
+fn lint_no_unwrap(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for w in windows3(ctx.toks) {
+        let (a, b, c) = w;
+        if ctx.toks[a].is_punct(".")
+            && (ctx.toks[b].is_ident("unwrap") || ctx.toks[b].is_ident("expect"))
+            && ctx.toks[c].kind == Kind::Open(Delim::Paren)
+        {
+            let line = ctx.toks[b].line;
+            if ctx.in_tests(line) || ctx.allowed_tok(NO_UNWRAP, b) {
+                continue;
+            }
+            findings.push(ctx.finding(
+                NO_UNWRAP,
+                line,
+                format!(
+                    "`.{}()` in service-layer non-test code: convert to a typed error, or \
+                     justify the invariant with `// {} {} <why it cannot fail>`",
+                    ctx.toks[b].text, ALLOW_MARKER, NO_UNWRAP
+                ),
+            ));
+        }
+    }
+}
+
+fn windows3(toks: &[Token]) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+    (0..toks.len().saturating_sub(2)).map(|i| (i, i + 1, i + 2))
+}
+
+// ---------------------------------------------------------------------
+// Lint: one-snapshot-per-path
+// ---------------------------------------------------------------------
+
+fn lint_one_snapshot(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for f in fn_spans(ctx.toks, &ctx.delims) {
+        let (open, close) = f.body;
+        if ctx.in_tests(ctx.toks[open].line) {
+            continue;
+        }
+        let mut sites: Vec<u32> = Vec::new();
+        for i in open + 1..close {
+            let tok = &ctx.toks[i];
+            if tok.kind != Kind::Ident || !SNAPSHOT_FNS.contains(&tok.text.as_str()) {
+                continue;
+            }
+            // A call (next token `(`) through a receiver or path (prev
+            // token `.` or `::`) — declarations and bare fn references
+            // do not acquire.
+            let is_call = ctx.toks.get(i + 1).map(|t| t.kind) == Some(Kind::Open(Delim::Paren));
+            let through = ctx
+                .toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct(".") || t.is_punct("::"));
+            if !is_call || !through {
+                continue;
+            }
+            let line = tok.line;
+            if ctx.in_tests(line) || ctx.allowed_tok(ONE_SNAPSHOT, i) {
+                continue;
+            }
+            sites.push(line);
+        }
+        if sites.len() >= 2 {
+            findings.push(ctx.finding(
+                ONE_SNAPSHOT,
+                sites[1],
+                format!(
+                    "fn `{}` acquires {} snapshots; plan and execution must share one snapshot \
+                     (the PR 3 epoch-race class) — thread a single snapshot through, or justify \
+                     disjoint branches with `// {} {} <reason>`",
+                    f.name,
+                    sites.len(),
+                    ALLOW_MARKER,
+                    ONE_SNAPSHOT
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint: relaxed-ok-comment
+// ---------------------------------------------------------------------
+
+fn lint_relaxed(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for i in 1..ctx.toks.len() {
+        if ctx.toks[i].is_ident("Relaxed") && ctx.toks[i - 1].is_punct("::") {
+            let line = ctx.toks[i].line;
+            if ctx.in_tests(line)
+                || ctx.hatched(RELAXED_MARKER, "", line)
+                || ctx.hatched(RELAXED_MARKER, "", ctx.stmt_start_line(i))
+                || ctx.allowed_tok(RELAXED, i)
+            {
+                continue;
+            }
+            findings.push(ctx.finding(
+                RELAXED,
+                line,
+                format!(
+                    "`Ordering::Relaxed` without a `// {} <why no ordering is needed>` \
+                     justification",
+                    RELAXED_MARKER
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint: no-lock-reentry
+// ---------------------------------------------------------------------
+
+const ACQUIRE_METHODS: [&str; 3] = ["read", "write", "lock"];
+const EXCLUSIVE_METHODS: [&str; 2] = ["write", "lock"];
+
+/// `self . FIELD . {read|write|lock} (` starting at token `i`; returns
+/// the field name.
+fn acquisition_at<'a>(toks: &'a [Token], i: usize, methods: &[&str]) -> Option<&'a str> {
+    if toks.len() < i + 6 {
+        return None;
+    }
+    (toks[i].is_ident("self")
+        && toks[i + 1].is_punct(".")
+        && toks[i + 2].kind == Kind::Ident
+        && toks[i + 3].is_punct(".")
+        && toks[i + 4].kind == Kind::Ident
+        && methods.contains(&toks[i + 4].text.as_str())
+        && toks[i + 5].kind == Kind::Open(Delim::Paren))
+    .then(|| toks[i + 2].text.as_str())
+}
+
+/// `self . METHOD (` starting at token `i`; returns the method name.
+fn self_call_at(toks: &[Token], i: usize) -> Option<&str> {
+    if toks.len() < i + 4 {
+        return None;
+    }
+    (toks[i].is_ident("self")
+        && toks[i + 1].is_punct(".")
+        && toks[i + 2].kind == Kind::Ident
+        && toks[i + 3].kind == Kind::Open(Delim::Paren))
+    .then(|| toks[i + 2].text.as_str())
+}
+
+fn lint_lock_reentry(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    let spans = fn_spans(ctx.toks, &ctx.delims);
+    // Phase A: which lock fields does each method acquire, directly or
+    // through other same-file methods (transitive closure — one file is
+    // the unit; cross-type calls are out of scope).
+    let mut locks: HashMap<String, Vec<String>> = HashMap::new();
+    for f in &spans {
+        let entry = locks.entry(f.name.clone()).or_default();
+        for i in f.body.0 + 1..f.body.1 {
+            if let Some(field) = acquisition_at(ctx.toks, i, &ACQUIRE_METHODS) {
+                if !entry.iter().any(|f| f == field) {
+                    entry.push(field.to_string());
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for f in &spans {
+            let mut inherited: Vec<String> = Vec::new();
+            for i in f.body.0 + 1..f.body.1 {
+                if let Some(callee) = self_call_at(ctx.toks, i) {
+                    if let Some(fields) = locks.get(callee) {
+                        inherited.extend(fields.iter().cloned());
+                    }
+                }
+            }
+            let entry = locks.entry(f.name.clone()).or_default();
+            for field in inherited {
+                if !entry.contains(&field) {
+                    entry.push(field);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Phase B: inside each exclusive-lock scope, flag same-lock
+    // re-acquisition — direct, or through a self method that acquires
+    // the same field.
+    for f in &spans {
+        let (open, close) = f.body;
+        if ctx.in_tests(ctx.toks[open].line) {
+            continue;
+        }
+        for i in open + 1..close {
+            let Some(field) = acquisition_at(ctx.toks, i, &EXCLUSIVE_METHODS) else {
+                continue;
+            };
+            let scope_end = scope_end(ctx, open, close, i);
+            let mut j = i + 6; // past the acquisition's own tokens
+            while j < scope_end {
+                let line = ctx.toks[j].line;
+                if let Some(field2) = acquisition_at(ctx.toks, j, &ACQUIRE_METHODS) {
+                    if field2 == field && !ctx.allowed_tok(LOCK_REENTRY, j) {
+                        findings.push(ctx.finding(
+                            LOCK_REENTRY,
+                            line,
+                            format!(
+                                "re-acquires `self.{field}` while fn `{}` still holds its \
+                                 exclusive guard (deadlock with the vendored std-backed locks)",
+                                f.name
+                            ),
+                        ));
+                    }
+                    j += 6;
+                    continue;
+                }
+                if let Some(callee) = self_call_at(ctx.toks, j) {
+                    if locks
+                        .get(callee)
+                        .is_some_and(|fields| fields.iter().any(|f| *f == field))
+                        && !ctx.allowed_tok(LOCK_REENTRY, j)
+                    {
+                        findings.push(ctx.finding(
+                            LOCK_REENTRY,
+                            line,
+                            format!(
+                                "calls `self.{callee}()` — which acquires `self.{field}` — while \
+                                 fn `{}` still holds the `self.{field}` exclusive guard",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Where the guard taken at token `acq` stops being live, approximated:
+/// a `let`-bound guard lives to the end of its enclosing block (or an
+/// explicit `drop(<name>)`); a temporary (no `let`, or an `if let` /
+/// `while let` scrutinee) lives to the end of the statement.
+fn scope_end(ctx: &FileCtx<'_>, body_open: usize, body_close: usize, acq: usize) -> usize {
+    // Walk back to the statement start, looking for `let` (and whether
+    // it is an `if let` / `while let`).
+    let mut is_let = false;
+    let mut binding: Option<&str> = None;
+    let mut j = acq;
+    while j > body_open + 1 {
+        j -= 1;
+        let t = &ctx.toks[j];
+        if t.is_punct(";") || matches!(t.kind, Kind::Open(Delim::Brace) | Kind::Close(Delim::Brace))
+        {
+            break;
+        }
+        if t.is_ident("let") {
+            let conditional = ctx
+                .toks
+                .get(j.wrapping_sub(1))
+                .is_some_and(|p| p.is_ident("if") || p.is_ident("while"));
+            if !conditional {
+                is_let = true;
+                // `let [mut] NAME = ...`: a plain binding we can track
+                // through `drop(NAME)`. Destructuring bindings get block
+                // scope without drop tracking.
+                let mut k = j + 1;
+                if ctx.toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                    k += 1;
+                }
+                if ctx.toks.get(k).map(|t| t.kind) == Some(Kind::Ident)
+                    && ctx.toks.get(k + 1).is_some_and(|t| t.is_punct("="))
+                {
+                    binding = Some(ctx.toks[k].text.as_str());
+                }
+            }
+            break;
+        }
+    }
+    if is_let {
+        // Innermost block enclosing the acquisition.
+        let mut end = body_close;
+        let mut best_open = body_open;
+        for (&o, &c) in &ctx.delims {
+            if ctx.toks[o].kind == Kind::Open(Delim::Brace) && o < acq && acq < c && o > best_open {
+                best_open = o;
+                end = c;
+            }
+        }
+        // An explicit early drop truncates the scope.
+        if let Some(name) = binding {
+            let mut k = acq;
+            while k + 3 < end {
+                if ctx.toks[k].is_ident("drop")
+                    && ctx.toks[k + 1].kind == Kind::Open(Delim::Paren)
+                    && ctx.toks[k + 2].is_ident(name)
+                    && ctx.toks[k + 3].kind == Kind::Close(Delim::Paren)
+                {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        end
+    } else {
+        // Temporary guard: to the end of the statement — the next `;`
+        // at this depth, or the close of the first block the statement
+        // opens (`if let ... { ... }`), whichever comes first.
+        let mut depth = 0i32;
+        let mut k = acq;
+        while k < body_close {
+            match ctx.toks[k].kind {
+                Kind::Open(Delim::Brace) if depth == 0 && k > acq => {
+                    return ctx.delims.get(&k).copied().unwrap_or(body_close);
+                }
+                Kind::Open(_) => depth += 1,
+                Kind::Close(_) => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                }
+                Kind::Punct if ctx.toks[k].text == ";" && depth == 0 => return k,
+                _ => {}
+            }
+            k += 1;
+        }
+        body_close
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint: must-use-snapshot
+// ---------------------------------------------------------------------
+
+fn lint_must_use(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len().saturating_sub(1) {
+        if !ctx.toks[i].is_ident("struct") && !ctx.toks[i].is_ident("enum") {
+            continue;
+        }
+        let name_tok = &ctx.toks[i + 1];
+        if name_tok.kind != Kind::Ident {
+            continue;
+        }
+        let name = name_tok.text.as_str();
+        if !MUST_USE_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        let line = name_tok.line;
+        if ctx.in_tests(line) || ctx.allowed(MUST_USE, line) {
+            continue;
+        }
+        if has_must_use_attr(ctx, i) {
+            continue;
+        }
+        findings.push(ctx.finding(
+            MUST_USE,
+            line,
+            format!(
+                "type `{name}` names a snapshot/plan/guard but is not `#[must_use]`: a silently \
+                 dropped value of it is a query that never ran or a pin that never held"
+            ),
+        ));
+    }
+}
+
+/// Walks backward from the `struct`/`enum` keyword over visibility and
+/// attributes, checking any `#[...]` group for `must_use`.
+fn has_must_use_attr(ctx: &FileCtx<'_>, kw: usize) -> bool {
+    let mut i = kw;
+    while i > 0 {
+        i -= 1;
+        let t = &ctx.toks[i];
+        if t.is_ident("pub") {
+            continue;
+        }
+        if t.kind == Kind::Close(Delim::Paren) {
+            // `pub(crate)` and friends: rewind to the open.
+            let mut depth = 1;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                match ctx.toks[i].kind {
+                    Kind::Close(Delim::Paren) => depth += 1,
+                    Kind::Open(Delim::Paren) => depth -= 1,
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if t.kind == Kind::Close(Delim::Bracket) {
+            // An attribute group: rewind to its open, check for the
+            // marker, and keep walking (multiple attributes stack).
+            let mut depth = 1;
+            let close = i;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                match ctx.toks[i].kind {
+                    Kind::Close(Delim::Bracket) => depth += 1,
+                    Kind::Open(Delim::Bracket) => depth -= 1,
+                    _ => {}
+                }
+            }
+            if ctx.toks[close.min(ctx.toks.len() - 1)].kind == Kind::Close(Delim::Bracket)
+                && ctx.toks[i..close].iter().any(|t| t.is_ident("must_use"))
+            {
+                return true;
+            }
+            // Expect the `#` before the bracket; consume it if present.
+            if i > 0 && ctx.toks[i - 1].is_punct("#") {
+                i -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> Vec<Finding> {
+        scan_source(rel, src, &Config::default())
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_service_files_outside_tests() {
+        let src = r#"
+            fn hot(x: Option<u32>) -> u32 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        let f = scan("crates/store/src/service.rs", src);
+        assert_eq!(f.iter().filter(|f| f.lint == NO_UNWRAP).count(), 1);
+        assert_eq!(f[0].line, 2);
+        // The same text in a non-service file is out of scope.
+        assert!(scan("crates/rdf/src/term.rs", src)
+            .iter()
+            .all(|f| f.lint != NO_UNWRAP));
+    }
+
+    #[test]
+    fn allow_comment_needs_a_reason() {
+        let hatched = r#"
+            fn hot(x: Option<u32>) -> u32 {
+                // analyzer-allow: no-unwrap-in-service the caller checked is_some
+                x.unwrap()
+            }
+        "#;
+        assert!(scan("store/src/service.rs", hatched).is_empty());
+        let bare = r#"
+            fn hot(x: Option<u32>) -> u32 {
+                // analyzer-allow: no-unwrap-in-service
+                x.unwrap()
+            }
+        "#;
+        assert_eq!(scan("store/src/service.rs", bare).len(), 1, "no reason");
+    }
+
+    #[test]
+    fn relaxed_needs_justification() {
+        let src = "fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }";
+        let f = scan("crates/rdf/src/any.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, RELAXED);
+        let ok = "fn f(c: &AtomicU64) -> u64 {\n    // relaxed-ok: monotonic counter\n    c.load(Ordering::Relaxed)\n}";
+        assert!(scan("crates/rdf/src/any.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn two_snapshots_in_one_fn_flagged() {
+        let src = r#"
+            fn plan_then_run(&self) {
+                let plan = self.read_snapshot();
+                let out = self.read_snapshot();
+            }
+            fn fine(&self) {
+                let snap = self.read_snapshot();
+            }
+        "#;
+        let f = scan("crates/core/src/engine.rs", src);
+        assert_eq!(f.iter().filter(|f| f.lint == ONE_SNAPSHOT).count(), 1);
+        assert_eq!(f[0].line, 4, "reported at the second acquisition");
+    }
+
+    #[test]
+    fn snapshot_declarations_are_not_acquisitions() {
+        let src = r#"
+            fn read_snapshot(&self) -> Snap { self.snapshot() }
+        "#;
+        assert!(scan("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_reentry_direct_and_via_method() {
+        let src = r#"
+            impl S {
+                fn epoch(&self) -> u64 { self.inner.read().epoch }
+                fn bad_direct(&self) {
+                    let mut g = self.inner.write();
+                    let x = self.inner.read();
+                }
+                fn bad_via_method(&self) {
+                    let mut g = self.inner.write();
+                    let e = self.epoch();
+                }
+                fn fine_after_drop(&self) {
+                    let mut g = self.inner.write();
+                    drop(g);
+                    let e = self.epoch();
+                }
+                fn fine_statement_scope(&self) {
+                    *self.inner.write() = 1;
+                    let e = self.epoch();
+                }
+            }
+        "#;
+        let f = scan("store/src/service.rs", src);
+        let reentries: Vec<_> = f.iter().filter(|f| f.lint == LOCK_REENTRY).collect();
+        assert_eq!(reentries.len(), 2, "{reentries:?}");
+        assert_eq!(reentries[0].line, 6);
+        assert_eq!(reentries[1].line, 10);
+    }
+
+    #[test]
+    fn transitive_lock_sets_propagate() {
+        let src = r#"
+            impl S {
+                fn snapshot(&self) -> u64 { self.inner.read().epoch }
+                fn stats(&self) -> u64 { self.snapshot() }
+                fn bad(&self) {
+                    let mut g = self.inner.write();
+                    let s = self.stats();
+                }
+            }
+        "#;
+        let f = scan("store/src/service.rs", src);
+        assert_eq!(f.iter().filter(|f| f.lint == LOCK_REENTRY).count(), 1);
+    }
+
+    #[test]
+    fn must_use_suffixes_enforced() {
+        let src = r#"
+            pub struct FooSnapshot { x: u32 }
+            #[must_use = "holds the pin"]
+            pub struct BarGuard;
+            #[derive(Clone)]
+            #[must_use]
+            pub struct BazPlannedQuery;
+            pub struct Unrelated;
+        "#;
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(f.iter().filter(|f| f.lint == MUST_USE).count(), 1);
+        assert!(f[0].message.contains("FooSnapshot"));
+    }
+}

@@ -1,0 +1,117 @@
+//! End-to-end tests of the lint pass: the library API against the
+//! seeded violation fixture, and the `wdsparql-analyzer` binary's exit
+//! codes on both the fixture (must fail) and the real workspace (must
+//! stay clean — this is the same gate CI runs).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use wdsparql_analyzer::lints::{self, Config};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <ws>/crates/analyzer")
+        .to_path_buf()
+}
+
+/// The fixture marks every line that must be flagged with a
+/// `VIOLATION(<lint>)` comment; the scan must produce exactly those
+/// findings — same lint, same line, nothing extra.
+#[test]
+fn fixture_findings_match_the_seeded_markers() {
+    let root = fixture_root();
+    let src = std::fs::read_to_string(root.join("store/src/service.rs")).expect("fixture exists");
+    let mut expected: BTreeMap<(String, u32), ()> = BTreeMap::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("VIOLATION(") {
+            let rest = &line[pos + "VIOLATION(".len()..];
+            let lint = rest[..rest.find(')').expect("marker closes")].to_string();
+            // A marker inside a doc comment refers to the item below it.
+            let at = if line.trim_start().starts_with("///") {
+                i as u32 + 2
+            } else {
+                i as u32 + 1
+            };
+            expected.insert((lint, at), ());
+        }
+    }
+    assert_eq!(expected.len(), 5, "the fixture seeds one per lint");
+
+    let findings = lints::scan_root(&root, &Config::default()).expect("scan succeeds");
+    let got: BTreeMap<(String, u32), ()> = findings
+        .iter()
+        .map(|f| ((f.lint.to_string(), f.line), ()))
+        .collect();
+    assert_eq!(
+        got, expected,
+        "findings must match the seeded markers exactly; raw: {findings:#?}"
+    );
+}
+
+#[test]
+fn binary_fails_on_the_fixture_with_file_line_diagnostics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wdsparql-analyzer"))
+        .arg("--check")
+        .arg(fixture_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "violations exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("store/src/service.rs:"),
+        "diagnostics carry file:line, got:\n{stdout}"
+    );
+    assert!(stdout.contains("[no-unwrap-in-service]"), "{stdout}");
+    assert!(stdout.contains("[one-snapshot-per-path]"), "{stdout}");
+    assert!(stdout.contains("[relaxed-ok-comment]"), "{stdout}");
+    assert!(stdout.contains("[no-lock-reentry]"), "{stdout}");
+    assert!(stdout.contains("[must-use-snapshot]"), "{stdout}");
+}
+
+#[test]
+fn binary_passes_on_the_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wdsparql-analyzer"))
+        .arg("--check")
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the workspace must stay lint-clean, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_report_is_written_and_shaped() {
+    let dir = std::env::temp_dir().join("wdsparql-analyzer-test-report");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("report.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_wdsparql-analyzer"))
+        .arg("--json")
+        .arg(&path)
+        .arg(fixture_root())
+        .output()
+        .expect("binary runs");
+    // Without --check, violations are informational: exit 0.
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(&path).expect("report written");
+    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(
+        json.contains("\"lint\": \"no-unwrap-in-service\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"file\": \"store/src/service.rs\""),
+        "{json}"
+    );
+    assert!(json.contains("\"line\": "), "{json}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -9,6 +9,8 @@
 //! correctness assertions still execute, in seconds instead of minutes;
 //! CI uses it to keep the harness exercised.
 
+#![forbid(unsafe_code)]
+
 use std::sync::OnceLock;
 use std::time::Duration;
 use wdsparql_bench::{fmt_duration, time_median, time_once, Table};

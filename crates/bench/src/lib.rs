@@ -5,6 +5,8 @@
 //! rendering (no serde format crate is in the approved dependency set, so
 //! tables are printed and optionally written as TSV).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -23,6 +23,8 @@
 //! `<select-q>` is `"SELECT ?x ?y WHERE { ... }"`. `<µ>` is a
 //! comma-separated binding list, e.g. `"x=alice,y=bob"`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use wdsparql_contain::{decide_containment, SearchBudget, Verdict};
 use wdsparql_core::{count_by_domain, enumerate_with_stats, Engine, Query, Strategy};

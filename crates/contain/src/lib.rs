@@ -32,6 +32,8 @@
 //!
 //! On a *fixed* graph everything is decidable outright ([`on_graph`]).
 
+#![forbid(unsafe_code)]
+
 pub mod decide;
 pub mod on_graph;
 pub mod order;

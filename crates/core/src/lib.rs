@@ -18,6 +18,8 @@
 //! * [`engine`] — the public [`Query`]/[`Engine`] API with strategy
 //!   selection and width analysis.
 
+#![forbid(unsafe_code)]
+
 pub mod counting;
 pub mod engine;
 pub mod enumerate;

@@ -11,6 +11,8 @@
 //! families with explicitly known grid/clique structure; everything
 //! downstream of the minor map is the paper's construction verbatim.
 
+#![forbid(unsafe_code)]
+
 pub mod clique;
 pub mod emb;
 pub mod lemma2;

@@ -8,6 +8,8 @@
 //! Everything downstream — the width measures, the Theorem 1 evaluator and
 //! the hardness reduction — is built from these primitives.
 
+#![forbid(unsafe_code)]
+
 pub mod core;
 pub mod gaifman;
 pub mod solver;

@@ -12,6 +12,8 @@
 //! family of *all* partial homomorphisms and report whether the empty
 //! assignment survives — this is exactly the k-consistency test.
 
+#![forbid(unsafe_code)]
+
 pub mod game;
 
 pub use game::{duplicator_wins, pebble_game, PebbleStats};

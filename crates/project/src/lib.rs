@@ -28,6 +28,8 @@
 //!   (ICDT'16), whose boundedness gives fixed-parameter tractability
 //!   (but, per the paper, *not* PTIME — the dichotomy genuinely breaks).
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod hardness;
 pub mod query;

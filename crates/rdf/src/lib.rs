@@ -17,6 +17,8 @@
 //! Everything here is deliberately *ground* (no blank nodes, no literals):
 //! the paper's setting is ground RDF graphs over IRIs.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod index;
 pub mod mapping;

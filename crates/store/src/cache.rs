@@ -137,7 +137,10 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
 
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
+            // relaxed-ok: monotonic counters read for reporting only; no
+            // other memory depends on their order.
             hits: self.hits.load(Ordering::Relaxed),
+            // relaxed-ok: same reporting-only counter as `hits` above.
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.lock().len(),
         }
@@ -169,6 +172,8 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
         compute: impl FnOnce() -> Vec<Mapping>,
     ) -> Arc<Vec<Mapping>> {
         if let Some(hit) = self.cache.lock().get(&key) {
+            // relaxed-ok: statistics counter; the hit itself synchronizes
+            // through the cache mutex.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -184,6 +189,8 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
                     // pending → cache here; no path nests them the other
                     // way round.)
                     if let Some(hit) = self.cache.lock().get(&key) {
+                        // relaxed-ok: statistics counter, ordered by the
+                        // pending+cache mutexes held here.
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return hit;
                     }
@@ -199,10 +206,14 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
         let mut computed_here = false;
         let value = Arc::clone(slot.get_or_init(|| {
             computed_here = true;
+            // relaxed-ok: one computation = one miss, counted for stats;
+            // publication order is carried by the OnceLock, not this add.
             self.misses.fetch_add(1, Ordering::Relaxed);
             Arc::new(compute())
         }));
         if !computed_here {
+            // relaxed-ok: statistics counter; joiners synchronized via the
+            // slot's OnceLock already.
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         if leader {

@@ -57,6 +57,8 @@
 //!   k-cliques) route to the WCOJ instead of blowing up the pairwise
 //!   pipeline's intermediates.
 
+#![forbid(unsafe_code)]
+
 mod cache;
 pub mod dict;
 pub mod encoded;

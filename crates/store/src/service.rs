@@ -101,6 +101,7 @@ pub(crate) fn stats_of(graph: &EncodedGraph, epoch: u64) -> StoreStats {
 /// A BGP answered together with the plan that produced it — both derived
 /// from one graph snapshot, so they can never diverge.
 #[derive(Clone, Debug)]
+#[must_use = "a dropped PlannedQuery is a query that was planned and evaluated for nothing"]
 pub struct PlannedQuery {
     /// Pattern indexes in selectivity order (the pairwise evaluation
     /// order; the WCOJ consumes it only as a selectivity signal).
@@ -124,6 +125,7 @@ type CacheKey = (String, u64);
 /// next snapshot. Dereferences to [`EncodedGraph`], so the whole
 /// [`TripleIndex`] surface is available on it.
 #[derive(Clone)]
+#[must_use = "a snapshot pins a graph version; dropping it unused pins nothing"]
 pub struct StoreSnapshot {
     graph: Arc<EncodedGraph>,
     epoch: u64,
@@ -247,8 +249,14 @@ pub(crate) fn eval_bgp_planned(
         for mu in &sols {
             let bound = pat.apply_partial(mu);
             for t in ix.match_pattern(&bound) {
+                // analyzer-allow: no-unwrap-in-service match_pattern yields
+                // exactly the triples the bound pattern matches, so a
+                // binding always exists; a None here is index corruption.
                 let nu =
                     binding_of(&bound, &t).expect("match_pattern returns only matching triples");
+                // analyzer-allow: no-unwrap-in-service nu binds only the
+                // pattern's free variables, which are disjoint from mu's by
+                // construction of apply_partial.
                 let merged = mu
                     .union(&nu)
                     .expect("bound pattern cannot rebind branch variables");
@@ -287,7 +295,7 @@ pub(crate) fn strategy_cache_key(
             JoinStrategy::Wco => 'w',
             JoinStrategy::Auto => 'a',
         };
-        write!(key, "{tag}|").expect("writing to a String cannot fail");
+        let _ = write!(key, "{tag}|"); // infallible: fmt::Write on String
     }
     for pat in patterns {
         for term in pat.positions() {
@@ -295,7 +303,7 @@ pub(crate) fn strategy_cache_key(
                 Term::Var(v) => ('v', v.id()),
                 Term::Iri(i) => ('i', i.id()),
             };
-            write!(key, "{kind}{id},").expect("writing to a String cannot fail");
+            let _ = write!(key, "{kind}{id},"); // infallible: fmt::Write on String
         }
     }
     key
@@ -413,6 +421,9 @@ impl TripleStore {
     where
         I: IntoIterator<Item = Triple>,
     {
+        // analyzer-allow: no-unwrap-in-service bulk_load is documented as
+        // the panicking facade over try_bulk_load; callers that cannot
+        // tolerate the capacity panic use the fallible form.
         self.try_bulk_load(triples)
             .expect("bulk_load exceeds the store's capacity")
     }

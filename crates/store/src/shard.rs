@@ -98,7 +98,13 @@ where
         let handles: Vec<_> = jobs.into_iter().map(|f| s.spawn(f)).collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's own panic on the caller: the
+                // original message and location survive, instead of a
+                // generic join-failure panic swallowing them.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -107,25 +113,34 @@ where
 /// left run first).
 fn merge_two<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len() + b.len());
-    let mut a = a.into_iter().peekable();
-    let mut b = b.into_iter().peekable();
+    let mut a = a.into_iter();
+    let mut b = b.into_iter();
+    let mut next_a = a.next();
+    let mut next_b = b.next();
     loop {
-        match (a.peek(), b.peek()) {
+        match (next_a.take(), next_b.take()) {
             (Some(x), Some(y)) => {
                 if x <= y {
-                    out.push(a.next().expect("peeked"));
+                    out.push(x);
+                    next_a = a.next();
+                    next_b = Some(y);
                 } else {
-                    out.push(b.next().expect("peeked"));
+                    out.push(y);
+                    next_a = Some(x);
+                    next_b = b.next();
                 }
             }
-            (Some(_), None) => {
+            (Some(x), None) => {
+                out.push(x);
                 out.extend(a);
                 break;
             }
-            (None, _) => {
+            (None, Some(y)) => {
+                out.push(y);
                 out.extend(b);
                 break;
             }
+            (None, None) => break,
         }
     }
     out
@@ -153,6 +168,7 @@ fn merge_many_sorted<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
 /// An owned, per-shard-consistent view of every shard at one epoch
 /// vector: the scatter-gather [`TripleIndex`] the evaluators run on.
 #[derive(Clone)]
+#[must_use = "a sharded snapshot pins every shard's graph version; dropping it unused pins nothing"]
 pub struct ShardedSnapshot {
     shards: Vec<StoreSnapshot>,
 }
@@ -388,6 +404,7 @@ impl fmt::Display for ShardedStats {
 /// A BGP answered by the sharded facade together with its plan and its
 /// read provenance (the sharded analogue of [`crate::PlannedQuery`]).
 #[derive(Clone, Debug)]
+#[must_use = "a dropped ShardedPlannedQuery is a scatter-gather query that ran for nothing"]
 pub struct ShardedPlannedQuery {
     /// Pattern indexes in selectivity order (the pairwise evaluation
     /// order; the WCOJ consumes it only as a selectivity signal).
@@ -505,6 +522,9 @@ impl ShardedStore {
     where
         I: IntoIterator<Item = Triple>,
     {
+        // analyzer-allow: no-unwrap-in-service bulk_load is documented as
+        // the panicking facade over try_bulk_load; capacity-sensitive
+        // callers use the fallible form.
         self.try_bulk_load(triples)
             .expect("bulk_load exceeds a shard's capacity")
     }
@@ -668,6 +688,10 @@ impl ShardedStore {
                 .map(|(i, shard)| {
                     if next.peek() == Some(&&i) {
                         next.next();
+                        // analyzer-allow: one-snapshot-per-path disjoint
+                        // branches: either the full-facade snapshot above
+                        // returns early or the routed slots are pinned
+                        // here — no query path acquires twice.
                         shard.read_snapshot()
                     } else {
                         StoreSnapshot::empty()

@@ -6,6 +6,8 @@
 //! form), the `wdpf` translation and its inverse, and subtree machinery
 //! (supports, subtree children) used by the width measures and evaluators.
 
+#![forbid(unsafe_code)]
+
 pub mod subtree;
 pub mod translate;
 pub mod wdpt;

@@ -11,6 +11,8 @@
 //!   paper's conclusions, with independently checkable certificates
 //!   ([`recognition`]).
 
+#![forbid(unsafe_code)]
+
 pub mod branch;
 pub mod domination;
 pub mod gtg;

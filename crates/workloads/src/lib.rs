@@ -11,6 +11,8 @@
 //! * [`instances`] — matched (query, graph, µ, expected) membership
 //!   instances for the dichotomy experiments.
 
+#![forbid(unsafe_code)]
+
 pub mod graphs;
 pub mod instances;
 pub mod paper;

@@ -51,6 +51,8 @@
 //!   Theorem 3 breaks (§5);
 //! * [`contain`] — containment/equivalence/subsumption static analysis.
 
+#![forbid(unsafe_code)]
+
 pub use wdsparql_algebra as algebra;
 pub use wdsparql_contain as contain;
 pub use wdsparql_core as core;
