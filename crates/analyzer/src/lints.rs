@@ -8,6 +8,7 @@
 //! | `relaxed-ok-comment`    | every `Ordering::Relaxed` carries a `// relaxed-ok:` justification |
 //! | `no-lock-reentry`       | an exclusive-lock scope must not re-enter the same lock |
 //! | `must-use-snapshot`     | snapshot / plan / guard types must be `#[must_use]` |
+//! | `wcoj-buffer-recycle`   | every trie level buffer popped off the open-level `stack` must return to the `spare` pool (and vice versa) on every exit path |
 //!
 //! Every lint has an inline escape hatch: a comment on the flagged line,
 //! or in the contiguous comment block immediately above it, of the form
@@ -29,6 +30,12 @@ pub const ONE_SNAPSHOT: &str = "one-snapshot-per-path";
 pub const RELAXED: &str = "relaxed-ok-comment";
 pub const LOCK_REENTRY: &str = "no-lock-reentry";
 pub const MUST_USE: &str = "must-use-snapshot";
+pub const WCOJ_RECYCLE: &str = "wcoj-buffer-recycle";
+
+/// The field pairing [`WCOJ_RECYCLE`] enforces: trie level buffers
+/// shuttle between the open-level stack and the recycle pool.
+const RECYCLE_STACK: &str = "stack";
+const RECYCLE_POOL: &str = "spare";
 
 /// Method names whose call acquires a store snapshot.
 const SNAPSHOT_FNS: [&str; 4] = [
@@ -69,6 +76,8 @@ pub struct Config {
     pub service_files: Vec<String>,
     /// Path fragment selecting the files under the lock-reentry rule.
     pub lock_fragment: String,
+    /// Files under the trie-buffer recycle discipline.
+    pub recycle_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -80,6 +89,7 @@ impl Default for Config {
                 "store/src/cache.rs".to_string(),
             ],
             lock_fragment: "store/src/".to_string(),
+            recycle_files: vec!["store/src/wcoj.rs".to_string()],
         }
     }
 }
@@ -156,6 +166,13 @@ pub fn scan_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         lint_lock_reentry(&ctx, &mut findings);
     }
     lint_must_use(&ctx, &mut findings);
+    if cfg
+        .recycle_files
+        .iter()
+        .any(|suffix| rel.ends_with(suffix.as_str()))
+    {
+        lint_wcoj_recycle(&ctx, &mut findings);
+    }
     findings
 }
 
@@ -714,6 +731,101 @@ fn scope_end(ctx: &FileCtx<'_>, body_open: usize, body_close: usize, acq: usize)
 }
 
 // ---------------------------------------------------------------------
+// Lint: wcoj-buffer-recycle
+// ---------------------------------------------------------------------
+
+/// `self . FIELD . METHOD (` starting at token `i`; returns the pair.
+fn field_method_at(toks: &[Token], i: usize) -> Option<(&str, &str)> {
+    if toks.len() < i + 6 {
+        return None;
+    }
+    (toks[i].is_ident("self")
+        && toks[i + 1].is_punct(".")
+        && toks[i + 2].kind == Kind::Ident
+        && toks[i + 3].is_punct(".")
+        && toks[i + 4].kind == Kind::Ident
+        && toks[i + 5].kind == Kind::Open(Delim::Paren))
+    .then(|| (toks[i + 2].text.as_str(), toks[i + 4].text.as_str()))
+}
+
+/// Trie level buffers shuttle between the open-level `stack` and the
+/// `spare` recycle pool (the leapfrog's allocation-free descent). The
+/// lint enforces the conservation law per function: every
+/// `self.stack.pop(...)` must be matched by a later `self.spare.push(...)`
+/// in the same body, every `self.spare.pop(...)` by a later
+/// `self.stack.push(...)` — and no `return` may sit between a take and
+/// its give (an early exit there drops the buffer on the floor, and the
+/// pool never refills: a slow leak per binding step).
+fn lint_wcoj_recycle(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for f in fn_spans(ctx.toks, &ctx.delims) {
+        let (open, close) = f.body;
+        if ctx.in_tests(ctx.toks[open].line) {
+            continue;
+        }
+        let mut sites: Vec<(usize, &str, &str)> = Vec::new();
+        for i in open + 1..close {
+            if let Some((field, method)) = field_method_at(ctx.toks, i) {
+                if (field == RECYCLE_STACK || field == RECYCLE_POOL)
+                    && (method == "pop" || method == "push")
+                {
+                    sites.push((i, field, method));
+                }
+            }
+        }
+        for (take_field, give_field) in
+            [(RECYCLE_STACK, RECYCLE_POOL), (RECYCLE_POOL, RECYCLE_STACK)]
+        {
+            let takes: Vec<usize> = sites
+                .iter()
+                .filter(|(_, f, m)| *f == take_field && *m == "pop")
+                .map(|&(i, _, _)| i)
+                .collect();
+            let mut gives: Vec<usize> = sites
+                .iter()
+                .filter(|(_, f, m)| *f == give_field && *m == "push")
+                .map(|&(i, _, _)| i)
+                .collect();
+            for take in takes {
+                if ctx.allowed_tok(WCOJ_RECYCLE, take) {
+                    continue;
+                }
+                // Pair with the first give after the take.
+                let Some(pos) = gives.iter().position(|&g| g > take) else {
+                    findings.push(ctx.finding(
+                        WCOJ_RECYCLE,
+                        ctx.toks[take].line,
+                        format!(
+                            "fn `{}` pops a level buffer off `self.{take_field}` but never \
+                             pushes one back to `self.{give_field}`: the buffer leaks and the \
+                             recycle pool starves — return it, or justify with \
+                             `// {} {} <reason>`",
+                            f.name, ALLOW_MARKER, WCOJ_RECYCLE
+                        ),
+                    ));
+                    continue;
+                };
+                let give = gives.remove(pos);
+                // An exit between the take and its give drops the buffer.
+                for j in take + 6..give {
+                    if ctx.toks[j].is_ident("return") && !ctx.allowed_tok(WCOJ_RECYCLE, j) {
+                        findings.push(ctx.finding(
+                            WCOJ_RECYCLE,
+                            ctx.toks[j].line,
+                            format!(
+                                "fn `{}` returns between `self.{take_field}.pop()` and \
+                                 `self.{give_field}.push()`: this exit path leaks the level \
+                                 buffer",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Lint: must-use-snapshot
 // ---------------------------------------------------------------------
 
@@ -923,6 +1035,66 @@ mod tests {
         "#;
         let f = scan("store/src/service.rs", src);
         assert_eq!(f.iter().filter(|f| f.lint == LOCK_REENTRY).count(), 1);
+    }
+
+    #[test]
+    fn wcoj_recycle_enforces_the_buffer_conservation_law() {
+        // The real open()/up() shape: every pop matched by the opposite
+        // push — clean.
+        let ok = r#"
+            fn open(&mut self) {
+                let sub = self.spare.pop().unwrap_or_default();
+                self.stack.push(std::mem::replace(&mut self.runs, sub));
+            }
+            fn up(&mut self) {
+                let parent = self.stack.pop().expect("up without open");
+                self.spare.push(std::mem::replace(&mut self.runs, parent));
+            }
+        "#;
+        assert!(scan("crates/store/src/wcoj.rs", ok).is_empty());
+        // A popped buffer that never returns to the pool leaks.
+        let leak = r#"
+            fn up(&mut self) {
+                let parent = self.stack.pop().expect("up without open");
+                self.runs = parent;
+            }
+        "#;
+        let f = scan("crates/store/src/wcoj.rs", leak);
+        assert_eq!(f.iter().filter(|f| f.lint == WCOJ_RECYCLE).count(), 1);
+        assert_eq!(f[0].line, 3);
+        // An early return between the take and the give leaks too.
+        let bail = r#"
+            fn open(&mut self, empty: bool) {
+                let sub = self.spare.pop().unwrap_or_default();
+                if empty {
+                    return;
+                }
+                self.stack.push(std::mem::replace(&mut self.runs, sub));
+            }
+        "#;
+        let f = scan("crates/store/src/wcoj.rs", bail);
+        assert_eq!(f.iter().filter(|f| f.lint == WCOJ_RECYCLE).count(), 1);
+        assert_eq!(f[0].line, 5, "reported at the leaking exit");
+        // The hatch silences it, with a reason.
+        let hatched = r#"
+            fn into_parent(&mut self) -> Vec<u32> {
+                // analyzer-allow: wcoj-buffer-recycle the caller owns the
+                // buffer and recycles it itself
+                self.stack.pop().expect("into_parent without open")
+            }
+        "#;
+        assert!(scan("crates/store/src/wcoj.rs", hatched).is_empty());
+        // Out-of-scope files are not checked.
+        assert!(scan("crates/store/src/service.rs", leak)
+            .iter()
+            .all(|f| f.lint != WCOJ_RECYCLE));
+        // Unmatched pushes (a fresh buffer entering the cycle) are fine.
+        let fresh = r#"
+            fn seed(&mut self, runs: Vec<u32>) {
+                self.stack.push(runs);
+            }
+        "#;
+        assert!(scan("crates/store/src/wcoj.rs", fresh).is_empty());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Seeded `wcoj-buffer-recycle` violations: a leapfrog-style trie whose
+//! level buffers must shuttle between the open-level `stack` and the
+//! `spare` recycle pool on every exit path. Scanned by the lint tests —
+//! never compiled.
+
+pub struct FixtureTrie {
+    runs: Vec<u32>,
+    stack: Vec<Vec<u32>>,
+    spare: Vec<Vec<u32>>,
+}
+
+impl FixtureTrie {
+    /// Conforming descent: the recycled buffer is installed on the stack.
+    fn open(&mut self) {
+        let sub = self.spare.pop().unwrap_or_default();
+        self.stack.push(std::mem::replace(&mut self.runs, sub));
+    }
+
+    /// Conforming ascent: the retired buffer returns to the pool.
+    fn up(&mut self) {
+        let parent = self.stack.pop().expect("up() without open()");
+        self.spare.push(std::mem::replace(&mut self.runs, parent));
+    }
+
+    /// Leak: the retired level buffer is dropped, never pooled.
+    fn up_leaky(&mut self) {
+        let parent = self.stack.pop().unwrap_or_default(); // VIOLATION(wcoj-buffer-recycle)
+        self.runs = parent;
+    }
+
+    /// Leak: bails out between taking a pooled buffer and installing it.
+    fn open_bails(&mut self, empty: bool) {
+        let sub = self.spare.pop().unwrap_or_default();
+        if empty {
+            return; // VIOLATION(wcoj-buffer-recycle)
+        }
+        self.stack.push(std::mem::replace(&mut self.runs, sub));
+    }
+
+    /// Hatched: the popped buffer escapes to the caller by design.
+    fn into_parent(&mut self) -> Vec<u32> {
+        // analyzer-allow: wcoj-buffer-recycle the caller owns the buffer
+        // and recycles it itself
+        self.stack.pop().unwrap_or_default()
+    }
+}

@@ -26,27 +26,33 @@ fn workspace_root() -> PathBuf {
 #[test]
 fn fixture_findings_match_the_seeded_markers() {
     let root = fixture_root();
-    let src = std::fs::read_to_string(root.join("store/src/service.rs")).expect("fixture exists");
-    let mut expected: BTreeMap<(String, u32), ()> = BTreeMap::new();
-    for (i, line) in src.lines().enumerate() {
-        if let Some(pos) = line.find("VIOLATION(") {
-            let rest = &line[pos + "VIOLATION(".len()..];
-            let lint = rest[..rest.find(')').expect("marker closes")].to_string();
-            // A marker inside a doc comment refers to the item below it.
-            let at = if line.trim_start().starts_with("///") {
-                i as u32 + 2
-            } else {
-                i as u32 + 1
-            };
-            expected.insert((lint, at), ());
+    let mut expected: BTreeMap<(String, String, u32), ()> = BTreeMap::new();
+    for rel in ["store/src/service.rs", "store/src/wcoj.rs"] {
+        let src = std::fs::read_to_string(root.join(rel)).expect("fixture exists");
+        for (i, line) in src.lines().enumerate() {
+            if let Some(pos) = line.find("VIOLATION(") {
+                let rest = &line[pos + "VIOLATION(".len()..];
+                let lint = rest[..rest.find(')').expect("marker closes")].to_string();
+                // A marker inside a doc comment refers to the item below it.
+                let at = if line.trim_start().starts_with("///") {
+                    i as u32 + 2
+                } else {
+                    i as u32 + 1
+                };
+                expected.insert((rel.to_string(), lint, at), ());
+            }
         }
     }
-    assert_eq!(expected.len(), 5, "the fixture seeds one per lint");
+    assert_eq!(
+        expected.len(),
+        7,
+        "one marker per lint, plus the two wcoj-buffer-recycle shapes"
+    );
 
     let findings = lints::scan_root(&root, &Config::default()).expect("scan succeeds");
-    let got: BTreeMap<(String, u32), ()> = findings
+    let got: BTreeMap<(String, String, u32), ()> = findings
         .iter()
-        .map(|f| ((f.lint.to_string(), f.line), ()))
+        .map(|f| ((f.file.clone(), f.lint.to_string(), f.line), ()))
         .collect();
     assert_eq!(
         got, expected,
@@ -72,6 +78,11 @@ fn binary_fails_on_the_fixture_with_file_line_diagnostics() {
     assert!(stdout.contains("[relaxed-ok-comment]"), "{stdout}");
     assert!(stdout.contains("[no-lock-reentry]"), "{stdout}");
     assert!(stdout.contains("[must-use-snapshot]"), "{stdout}");
+    assert!(stdout.contains("[wcoj-buffer-recycle]"), "{stdout}");
+    assert!(
+        stdout.contains("store/src/wcoj.rs:"),
+        "recycle findings carry file:line, got:\n{stdout}"
+    );
 }
 
 #[test]

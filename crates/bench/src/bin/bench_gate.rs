@@ -1,0 +1,210 @@
+//! bench_gate — the CI regression gate over `BENCH_*.json` baselines:
+//! compares a freshly measured bench JSON against a committed baseline
+//! and fails (exit 1) when the selected group's geometric-mean latency
+//! ratio exceeds the threshold.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--prefix store_scan/] [--max-ratio 1.05]
+//! ```
+//!
+//! Only entries present in *both* files are compared (new benches are
+//! not regressions). The gate is the geometric mean over the matched
+//! entries, not any single entry — single-entry jitter on a shared CI
+//! runner is noise, a uniform shift across a whole group is a
+//! regression.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(regressed) => {
+            if regressed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!(
+                "usage: bench_gate <baseline.json> <current.json> \
+                 [--prefix <group/>] [--max-ratio <r>]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut prefix = String::new();
+    let mut max_ratio = 1.05f64;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--prefix" => prefix = it.next().ok_or("--prefix needs a value")?.clone(),
+            "--max-ratio" => {
+                max_ratio = it
+                    .next()
+                    .ok_or("--max-ratio needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-ratio: {e}"))?;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return Err("expected exactly two json paths".into());
+    };
+    let baseline = load_medians(baseline_path)?;
+    let current = load_medians(current_path)?;
+    let mut log_ratio_sum = 0.0f64;
+    let mut matched = 0usize;
+    for (name, &cur) in &current {
+        if !name.starts_with(&prefix) {
+            continue;
+        }
+        let Some(&base) = baseline.get(name) else {
+            println!("  new   {name}: {cur} ns (no baseline)");
+            continue;
+        };
+        let ratio = cur as f64 / base as f64;
+        println!("  {ratio:>5.2}x {name}: {base} -> {cur} ns");
+        log_ratio_sum += ratio.ln();
+        matched += 1;
+    }
+    if matched == 0 {
+        return Err(format!(
+            "no entries matching prefix {prefix:?} in both files"
+        ));
+    }
+    let geomean = (log_ratio_sum / matched as f64).exp();
+    let regressed = geomean > max_ratio;
+    println!(
+        "bench_gate: {matched} entr{} under {prefix:?}, geometric mean {geomean:.3}x \
+         (threshold {max_ratio:.2}x) -> {}",
+        if matched == 1 { "y" } else { "ies" },
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+    Ok(regressed)
+}
+
+/// `name -> median_ns` for every entry line of a `BENCH_*.json` file.
+/// The format is the vendored criterion's line-oriented JSON: one entry
+/// object per line with `"name"` and `"median_ns"` fields.
+fn load_medians(path: &str) -> Result<BTreeMap<String, u128>, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in doc.lines() {
+        let Some(name) = str_field(line, "name") else {
+            continue;
+        };
+        let Some(median) = int_field(line, "median_ns") else {
+            continue;
+        };
+        out.insert(name, median);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no bench entries found"));
+    }
+    Ok(out)
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let (_, rest) = line.split_once(&format!("\"{key}\":"))?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn int_field(line: &str, key: &str) -> Option<u128> {
+    let (_, rest) = line.split_once(&format!("\"{key}\":"))?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(dir: &str, name: &str, body: &str) -> String {
+        let d = std::env::temp_dir().join(dir);
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join(name);
+        std::fs::write(&p, body).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    const BASE: &str = r#"{
+  "targets": ["store_scan"],
+  "entries": [
+    {"name": "store_scan/a", "median_ns": 100, "samples": 10},
+    {"name": "store_scan/b", "median_ns": 200, "samples": 10},
+    {"name": "other/x", "median_ns": 50, "samples": 10}
+  ]
+}"#;
+
+    #[test]
+    fn within_threshold_passes() {
+        let b = fixture("bench-gate-ok", "base.json", BASE);
+        let cur = BASE.replace("\"median_ns\": 100", "\"median_ns\": 103");
+        let c = fixture("bench-gate-ok", "cur.json", &cur);
+        let args: Vec<String> = [&b, &c, "--prefix", "store_scan/"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), Ok(false));
+    }
+
+    #[test]
+    fn uniform_regression_fails() {
+        let b = fixture("bench-gate-bad", "base.json", BASE);
+        let cur = BASE
+            .replace("\"median_ns\": 100", "\"median_ns\": 120")
+            .replace("\"median_ns\": 200", "\"median_ns\": 240");
+        let c = fixture("bench-gate-bad", "cur.json", &cur);
+        let args: Vec<String> = [&b, &c, "--prefix", "store_scan/"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), Ok(true));
+    }
+
+    #[test]
+    fn prefix_scopes_the_gate_and_new_entries_are_ignored() {
+        let b = fixture("bench-gate-scope", "base.json", BASE);
+        // `other/x` regresses 10x, but the store_scan prefix ignores it;
+        // a brand-new entry has no baseline and is skipped.
+        let cur = BASE
+            .replace("\"median_ns\": 50", "\"median_ns\": 500")
+            .replace(
+                "{\"name\": \"store_scan/b\", \"median_ns\": 200, \"samples\": 10},",
+                "{\"name\": \"store_scan/b\", \"median_ns\": 200, \"samples\": 10},\n    \
+             {\"name\": \"store_scan/new\", \"median_ns\": 999, \"samples\": 10},",
+            );
+        let c = fixture("bench-gate-scope", "cur.json", &cur);
+        let args: Vec<String> = [&b, &c, "--prefix", "store_scan/"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args), Ok(false));
+        // No prefix: everything matches, and the other/x blowup trips it.
+        let args: Vec<String> = [&b, &c].iter().map(|s| s.to_string()).collect();
+        assert_eq!(run(&args), Ok(true));
+    }
+
+    #[test]
+    fn missing_or_empty_files_error() {
+        assert!(run(&["/nonexistent.json".to_string(), "/also.json".to_string()]).is_err());
+        let e = fixture("bench-gate-empty", "empty.json", "{}");
+        assert!(run(&[e.clone(), e]).is_err());
+    }
+}

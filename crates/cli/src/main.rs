@@ -10,11 +10,16 @@
 //! wdsparql forest   <query>                 print the wdPF translation
 //! wdsparql store [--shards N] [--max-triples N]
 //!                [--join-strategy pairwise|wco|auto]
+//!                [--profile] [--metrics-json PATH]
 //!                   <data.nt> [query]       bulk-load into the triple store
 //!                                           (hash-sharded when N > 1),
 //!                                           report stats, run the query
 //!                                           through the service with the
-//!                                           chosen BGP join strategy
+//!                                           chosen BGP join strategy;
+//!                                           `--profile` prints the query's
+//!                                           execution profile (span tree),
+//!                                           `--metrics-json` dumps the
+//!                                           process-wide metrics registry
 //! wdsparql demo                             run a tiny built-in scenario
 //! ```
 //!
@@ -53,7 +58,8 @@ const USAGE: &str = "usage:
   wdsparql contain <query1> <query2>
   wdsparql forest  <query>
   wdsparql store   [--shards N] [--max-triples N]
-                   [--join-strategy pairwise|wco|auto] <data.nt> [query]
+                   [--join-strategy pairwise|wco|auto]
+                   [--profile] [--metrics-json PATH] <data.nt> [query]
   wdsparql demo";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -168,11 +174,16 @@ fn run(args: &[String]) -> Result<(), String> {
 /// guard surfaces as a clean error instead of a panic. `--join-strategy`
 /// picks how the service joins BGPs: `pairwise`, `wco` (the
 /// worst-case-optimal leapfrog join) or `auto` (the default: cyclic
-/// cores take the WCOJ).
+/// cores take the WCOJ). `--profile` runs the BGP through the profiled
+/// query path and prints the execution span tree (EXPLAIN ANALYZE
+/// style); `--metrics-json PATH` dumps the process-wide metrics
+/// registry as JSON after the run.
 fn run_store(args: &[String]) -> Result<(), String> {
     let mut shards = 1usize;
     let mut max_triples: Option<usize> = None;
     let mut strategy = wdsparql_store::JoinStrategy::default();
+    let mut profile = false;
+    let mut metrics_json: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -191,12 +202,32 @@ fn run_store(args: &[String]) -> Result<(), String> {
                     format!("--join-strategy: {value:?} is not pairwise, wco or auto")
                 })?;
             }
+            "--profile" => profile = true,
+            "--metrics-json" => {
+                metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.to_string());
+            }
             _ => positional.push(arg),
         }
     }
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    store_command(shards, max_triples, strategy, profile, &positional)?;
+    if let Some(path) = metrics_json {
+        std::fs::write(&path, wdsparql_store::metrics_json())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("(metrics registry written to {path})");
+    }
+    Ok(())
+}
+
+fn store_command(
+    shards: usize,
+    max_triples: Option<usize>,
+    strategy: wdsparql_store::JoinStrategy,
+    profile: bool,
+    positional: &[&String],
+) -> Result<(), String> {
     let graph = load_graph(positional.first().copied())?;
     let query_text = positional.get(1).copied();
     // Load in batches, as an ingest pipeline would: each batch appends
@@ -232,7 +263,11 @@ fn run_store(args: &[String]) -> Result<(), String> {
             Engine::from_sharded_store(std::sync::Arc::clone(&store)).with_join_strategy(strategy);
         print_solutions(&query, &engine.evaluate(&query));
         if let Some(pats) = bgp_patterns(query.pattern()) {
-            let planned = store.query_with_plan(&pats);
+            let planned = if profile {
+                store.query_with_profile(&pats)
+            } else {
+                store.query_with_plan(&pats)
+            };
             let again = store.query(&pats);
             assert_eq!(planned.solutions.len(), again.len());
             report_bgp_service(
@@ -243,6 +278,7 @@ fn run_store(args: &[String]) -> Result<(), String> {
                 &format!("epochs {:?}", planned.read),
                 store.cache_stats(),
             );
+            print_profile(planned.profile.as_ref());
         }
         return Ok(());
     }
@@ -270,7 +306,11 @@ fn run_store(args: &[String]) -> Result<(), String> {
     // cached BGP path — plan and solutions from one snapshot; a second
     // run shows the cache.
     if let Some(pats) = bgp_patterns(query.pattern()) {
-        let planned = store.query_with_plan(&pats);
+        let planned = if profile {
+            store.query_with_profile(&pats)
+        } else {
+            store.query_with_plan(&pats)
+        };
         let again = store.query(&pats);
         assert_eq!(planned.solutions.len(), again.len());
         report_bgp_service(
@@ -281,8 +321,17 @@ fn run_store(args: &[String]) -> Result<(), String> {
             &format!("epoch {}", planned.epoch),
             store.cache_stats(),
         );
+        print_profile(planned.profile.as_ref());
     }
     Ok(())
+}
+
+/// Prints the execution profile requested by `--profile`, if any.
+fn print_profile(profile: Option<&wdsparql_obs::QueryProfile>) {
+    if let Some(p) = profile {
+        println!("execution profile:");
+        print!("{p}");
+    }
 }
 
 fn report_ingest_lifecycle(staged_deltas: usize, staged_segments: usize, compactions: u64) {
@@ -533,6 +582,36 @@ mod tests {
         let err = run(&s(&["store", "--join-strategy", "bogus", &p])).unwrap_err();
         assert!(err.contains("join-strategy"), "unexpected error: {err}");
         assert!(run(&s(&["store", &p, "--join-strategy"])).is_err());
+    }
+
+    #[test]
+    fn store_subcommand_profile_and_metrics() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb p c .\na p c .\nc p a .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        let triangle = "((?x, p, ?y) AND (?y, p, ?z)) AND (?x, p, ?z)";
+        // --profile runs the profiled BGP path, single and sharded.
+        assert!(run(&s(&["store", "--profile", &p, triangle])).is_ok());
+        assert!(run(&s(&["store", "--shards", "2", "--profile", &p, triangle])).is_ok());
+        // --metrics-json writes a registry snapshot.
+        let out = dir.join("metrics.json");
+        let out_s = out.to_string_lossy().to_string();
+        assert!(run(&s(&["store", "--metrics-json", &out_s, &p, triangle])).is_ok());
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"store.queries_total\""), "{json}");
+        assert!(json.contains("\"query.total_ns\""), "{json}");
+        // Flag validation.
+        assert!(run(&s(&["store", &p, "--metrics-json"])).is_err());
+        assert!(run(&s(&[
+            "store",
+            "--metrics-json",
+            "/nonexistent-dir/x.json",
+            &p
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -275,6 +275,77 @@ fn store_join_strategy_wco_end_to_end() {
 }
 
 #[test]
+fn store_profile_prints_a_span_tree() {
+    let data = triangle_nt("profile");
+    let out = wdsparql(&["store", "--profile", data.to_str().unwrap(), TRIANGLE_QUERY]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("execution profile:"),
+        "unexpected output: {text}"
+    );
+    // The root span names the resolved join strategy...
+    assert!(text.contains("strategy=wco"), "unexpected output: {text}");
+    assert!(text.contains("cache=miss"), "unexpected output: {text}");
+    // ...and the execute span carries one `level ?v` child per WCOJ
+    // variable level, rows and all.
+    assert!(text.contains("execute"), "unexpected output: {text}");
+    for level in ["level ?x", "level ?y", "level ?z"] {
+        let line = text
+            .lines()
+            .find(|l| l.contains(level))
+            .unwrap_or_else(|| panic!("missing {level}: {text}"));
+        assert!(line.contains("rows="), "no row count on {level}: {line}");
+        assert!(line.contains("seeks="), "no seek count on {level}: {line}");
+    }
+    // The sharded facade profiles too, with read provenance.
+    let out = wdsparql(&[
+        "store",
+        "--shards",
+        "2",
+        "--profile",
+        data.to_str().unwrap(),
+        TRIANGLE_QUERY,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("routing=fan-out") && text.contains("shards_read="),
+        "unexpected output: {text}"
+    );
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
+fn store_metrics_json_dumps_the_registry() {
+    let data = triangle_nt("metrics");
+    let out_path = std::env::temp_dir().join(format!(
+        "wdsparql_smoke_{}_metrics.json",
+        std::process::id()
+    ));
+    let out = wdsparql(&[
+        "store",
+        "--metrics-json",
+        out_path.to_str().unwrap(),
+        data.to_str().unwrap(),
+        TRIANGLE_QUERY,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = std::fs::read_to_string(&out_path).expect("metrics file written");
+    for key in [
+        "\"schema\": 1",
+        "\"store.queries_total\"",
+        "\"store.triples\"",
+        "\"query.total_ns\"",
+        "\"shard_rows\"",
+    ] {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
 fn store_join_strategy_flag_validates() {
     let data = triangle_nt("wco_flag");
     let out = wdsparql(&["store", "--join-strategy", "bogus", data.to_str().unwrap()]);

@@ -1,0 +1,52 @@
+//! validate_metrics — the CI schema gate for `--metrics-json` output.
+//!
+//! ```text
+//! cargo run -p wdsparql-obs --example validate_metrics -- SNAPSHOT.json SCHEMA.json
+//! ```
+//!
+//! Parses both documents with the crate's own JSON reader and checks
+//! the snapshot for key presence and types against the schema
+//! (`crates/obs/metrics-schema.json`). Exits nonzero listing every
+//! violation, so a metrics rename or type change fails CI instead of
+//! silently breaking downstream scrapers.
+
+use std::process::ExitCode;
+use wdsparql_obs::json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [snapshot_path, schema_path] = args.as_slice() else {
+        eprintln!("usage: validate_metrics SNAPSHOT.json SCHEMA.json");
+        return ExitCode::from(2);
+    };
+    let snapshot = match load(snapshot_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {snapshot_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let schema = match load(schema_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {schema_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let errors = json::validate_schema(&snapshot, &schema);
+    if errors.is_empty() {
+        println!("validate_metrics: {snapshot_path} matches {schema_path}");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("schema violation: {e}");
+        }
+        eprintln!("validate_metrics: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn load(path: &str) -> Result<json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    json::parse(&text).map_err(|e| e.to_string())
+}

@@ -1,0 +1,369 @@
+//! A minimal JSON value parser and schema validator — just enough to
+//! let CI check a metrics snapshot against the checked-in
+//! `metrics-schema.json` (the workspace has no serde).
+//!
+//! The parser accepts the full JSON grammar the registry emits:
+//! objects, arrays, strings (with the common escapes), non-negative
+//! integers, and the literals. [`validate_schema`] then checks **key
+//! presence and types**: every key the schema names must exist in the
+//! snapshot with the named type (`"u64"` or `"string"`, or a nested
+//! object/array validated recursively). Extra snapshot keys are
+//! allowed — the schema is a floor, so adding metrics is not a
+//! breaking change.
+
+use std::fmt;
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All registry numbers are non-negative integers; floats are
+    /// rejected at parse time to keep u64 round trips exact.
+    Num(u64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "u64",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// A parse error with a byte offset into the input.
+#[derive(Debug)]
+pub struct ParseError {
+    pub at: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        at,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{}`", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(&c) => Err(err(*pos, format!("unexpected character `{}`", c as char))),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Value,
+) -> Result<Value, ParseError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected `{word}`")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if let Some(b'.' | b'e' | b'E' | b'-') = bytes.get(*pos) {
+        return Err(err(
+            *pos,
+            "only non-negative integers appear in metric snapshots",
+        ));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| err(start, "number does not fit in u64"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "bad \\u escape"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "unsupported escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = utf8_len(c);
+                let chunk = bytes
+                    .get(*pos..*pos + ch_len)
+                    .and_then(|b| std::str::from_utf8(b).ok())
+                    .ok_or_else(|| err(*pos, "invalid utf-8 in string"))?;
+                out.push_str(chunk);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+/// Checks `snapshot` against `schema`: every schema key must be present
+/// in the snapshot with the schema'd type. Leaf schema values are the
+/// type-name strings `"u64"` / `"string"`; objects recurse; an array
+/// schema holds one element schema every snapshot element must match.
+/// Returns the list of violations (empty = valid).
+pub fn validate_schema(snapshot: &Value, schema: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    validate_at(snapshot, schema, "$", &mut errors);
+    errors
+}
+
+fn validate_at(snapshot: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    match schema {
+        Value::Str(ty) => {
+            let ok = match ty.as_str() {
+                "u64" => matches!(snapshot, Value::Num(_)),
+                "string" => matches!(snapshot, Value::Str(_)),
+                other => {
+                    errors.push(format!("{path}: schema names unknown type `{other}`"));
+                    return;
+                }
+            };
+            if !ok {
+                errors.push(format!(
+                    "{path}: expected {ty}, found {}",
+                    snapshot.type_name()
+                ));
+            }
+        }
+        Value::Obj(members) => match snapshot {
+            Value::Obj(_) => {
+                for (key, sub) in members {
+                    match snapshot.get(key) {
+                        Some(v) => validate_at(v, sub, &format!("{path}.{key}"), errors),
+                        None => errors.push(format!("{path}: missing key `{key}`")),
+                    }
+                }
+            }
+            other => errors.push(format!(
+                "{path}: expected object, found {}",
+                other.type_name()
+            )),
+        },
+        Value::Arr(elem_schema) => match (snapshot, elem_schema.first()) {
+            (Value::Arr(items), Some(sub)) => {
+                for (i, item) in items.iter().enumerate() {
+                    validate_at(item, sub, &format!("{path}[{i}]"), errors);
+                }
+            }
+            (Value::Arr(_), None) => {}
+            (other, _) => errors.push(format!(
+                "{path}: expected array, found {}",
+                other.type_name()
+            )),
+        },
+        other => errors.push(format!(
+            "{path}: schema values must be type names, objects or arrays, found {}",
+            other.type_name()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": 1, "b": [2, "x"], "c": {"d": true, "e": null}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("b"),
+            Some(&Value::Arr(vec![Value::Num(2), Value::Str("x".into())]))
+        );
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")),
+            Some(&Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn rejects_floats_and_trailing_garbage() {
+        assert!(parse("1.5").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse(r#"{"a""#).is_err());
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let v = parse(r#""a\n\"bA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\"bA"));
+    }
+
+    #[test]
+    fn schema_validation_reports_missing_keys_and_type_mismatches() {
+        let schema = parse(r#"{"counters": {"hits": "u64"}, "names": ["string"]}"#).unwrap();
+        let good = parse(r#"{"counters": {"hits": 3, "extra": 9}, "names": ["a"]}"#).unwrap();
+        assert!(validate_schema(&good, &schema).is_empty());
+        let bad = parse(r#"{"counters": {"hits": "three"}, "names": [1]}"#).unwrap();
+        let errors = validate_schema(&bad, &schema);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("$.counters.hits"));
+        let missing = parse(r#"{"names": []}"#).unwrap();
+        let errors = validate_schema(&missing, &schema);
+        assert_eq!(errors, vec!["$: missing key `counters`".to_string()]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Property tests for the histogram bucketing scheme: every u64
+//! duration must land in exactly the bucket whose [floor, ceil] range
+//! contains it, indices must be monotone, and recording must be
+//! visible to percentile extraction.
+
+use proptest::prelude::*;
+use wdsparql_obs::{bucket_ceil, bucket_floor, bucket_index, Histogram, BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// An arbitrary duration lands in the bucket that brackets it.
+    #[test]
+    fn durations_land_in_their_bracketing_bucket(ns in any::<u64>()) {
+        let i = bucket_index(ns);
+        prop_assert!(i < BUCKETS, "index {i} out of range for {ns}");
+        prop_assert!(bucket_floor(i) <= ns, "floor({i}) > {ns}");
+        prop_assert!(ns <= bucket_ceil(i), "ceil({i}) < {ns}");
+    }
+
+    /// Indices never decrease as the value grows (adjacent probe).
+    #[test]
+    fn bucket_index_is_monotone(ns in any::<u64>()) {
+        if ns < u64::MAX {
+            prop_assert!(bucket_index(ns) <= bucket_index(ns + 1));
+        }
+        prop_assert!(bucket_index(ns / 2) <= bucket_index(ns));
+    }
+
+    /// A single recorded value is its own p50/p99 (the clamp to the
+    /// recorded max makes singleton extraction exact).
+    #[test]
+    fn a_single_sample_is_every_percentile(ns in any::<u64>()) {
+        let h = Histogram::new();
+        h.record(ns);
+        let s = h.capture();
+        prop_assert_eq!(s.count(), 1);
+        prop_assert_eq!(s.p50(), ns);
+        prop_assert_eq!(s.p99(), ns);
+    }
+}

@@ -32,5 +32,5 @@ pub use index::TripleIndex;
 pub use mapping::Mapping;
 pub use ntriples::{parse_ntriples, write_ntriples, NtError};
 pub use term::{iri, var, Iri, Term, Variable};
-pub use trie::{gallop, MaterializedTrie, TrieCursor};
+pub use trie::{gallop, MaterializedTrie, TrieCursor, TrieOpStats};
 pub use triple::{tp, Triple, TriplePattern};

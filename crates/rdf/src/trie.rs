@@ -23,6 +23,37 @@ use crate::mapping::Mapping;
 use crate::term::Iri;
 use crate::term::Variable;
 
+/// Cumulative operation counters a [`TrieCursor`] may expose for query
+/// profiling: how many `seek`s it served and an estimate of the
+/// galloping work they cost (the summed bit-lengths of the row
+/// distances galloped over — each doubling probe plus each binary-search
+/// halving inspects one position, so a jump of `d` rows costs
+/// `O(log d)` ≈ `bit_len(d)` steps).
+///
+/// Backends that do not count return the default zeros; profilers must
+/// treat the stats as best-effort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrieOpStats {
+    /// `seek` calls served.
+    pub seeks: u64,
+    /// Estimated galloping steps (summed `bit_len` of seek distances).
+    pub gallop_steps: u64,
+}
+
+impl TrieOpStats {
+    /// Folds another counter sample into this one.
+    pub fn absorb(&mut self, other: TrieOpStats) {
+        self.seeks += other.seeks;
+        self.gallop_steps += other.gallop_steps;
+    }
+
+    /// The galloping cost of moving `rows` positions: `bit_len(rows)`,
+    /// 0 when the seek did not move.
+    pub fn gallop_cost(rows: usize) -> u64 {
+        (usize::BITS - rows.leading_zeros()) as u64
+    }
+}
+
 /// A seekable, sorted cursor over the match trie of one triple pattern.
 ///
 /// The cursor starts at a **virtual root** above level 0 — the leapfrog
@@ -63,6 +94,12 @@ pub trait TrieCursor {
 
     /// Returns to the parent level (positioned on the opened key).
     fn up(&mut self);
+
+    /// Cumulative [`TrieOpStats`] since construction — a profiling
+    /// hook; the default reports nothing.
+    fn op_stats(&self) -> TrieOpStats {
+        TrieOpStats::default()
+    }
 }
 
 /// The count of leading elements of `run` satisfying `pred` (which must
@@ -104,6 +141,7 @@ pub struct MaterializedTrie<'a> {
     /// `stack.len() - 1`; an empty stack is the virtual root — the
     /// bottom frame holds the root's unused placeholder range).
     stack: Vec<(usize, usize)>,
+    stats: TrieOpStats,
 }
 
 impl<'a> MaterializedTrie<'a> {
@@ -124,6 +162,7 @@ impl<'a> MaterializedTrie<'a> {
             lo: 0,
             hi: 0,
             stack: Vec::new(),
+            stats: TrieOpStats::default(),
         }
     }
 
@@ -180,7 +219,10 @@ impl TrieCursor for MaterializedTrie<'_> {
 
     fn seek(&mut self, target: u64) {
         let Some(level) = self.level() else { return };
-        self.lo += gallop(&self.rows[self.lo..self.hi], |r| r[level] < target);
+        let moved = gallop(&self.rows[self.lo..self.hi], |r| r[level] < target);
+        self.stats.seeks += 1;
+        self.stats.gallop_steps += TrieOpStats::gallop_cost(moved);
+        self.lo += moved;
     }
 
     fn open(&mut self) {
@@ -204,6 +246,10 @@ impl TrieCursor for MaterializedTrie<'_> {
         let (lo, hi) = self.stack.pop().expect("up() without a matching open()");
         self.lo = lo;
         self.hi = hi;
+    }
+
+    fn op_stats(&self) -> TrieOpStats {
+        self.stats
     }
 }
 
@@ -256,6 +302,23 @@ mod tests {
         t.open();
         assert_eq!(t.key(), Some(1));
         t.up();
+    }
+
+    #[test]
+    fn op_stats_count_seeks_and_their_gallop_cost() {
+        let rows: Vec<[u64; 3]> = (0..64).map(|i| [i, 0, 0]).collect();
+        let mut t = MaterializedTrie::from_rows(rows, 1, |k| Iri::new(&format!("i{k}")));
+        assert_eq!(t.op_stats(), TrieOpStats::default());
+        t.open();
+        t.seek(32);
+        t.seek(32); // in place: a seek, but zero gallop cost
+        let stats = t.op_stats();
+        assert_eq!(stats.seeks, 2);
+        assert_eq!(stats.gallop_steps, TrieOpStats::gallop_cost(32));
+        let mut folded = TrieOpStats::default();
+        folded.absorb(stats);
+        folded.absorb(stats);
+        assert_eq!(folded.seeks, 4);
     }
 
     #[test]

@@ -23,11 +23,18 @@ use wdsparql_rdf::Mapping;
 /// Cache hit/miss counters (monotonic over the cache's lifetime).
 /// `hits` counts results served without a computation — from the LRU or
 /// by joining another thread's in-flight computation; `misses` counts
-/// actual evaluations.
+/// actual evaluations. `evictions` counts entries pushed out by
+/// capacity pressure (epoch invalidations via `clear`/`retain` are not
+/// evictions), and `stampede_waits` is the subset of `hits` that were
+/// served by joining an in-flight computation rather than the LRU.
+/// Every counter is mirrored into the process-wide metrics registry
+/// ([`crate::obs`]) as `cache.*`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    pub evictions: u64,
+    pub stampede_waits: u64,
     pub entries: usize,
 }
 
@@ -71,20 +78,25 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
         Some(Arc::clone(value))
     }
 
-    pub(crate) fn put(&mut self, key: K, value: Arc<Vec<Mapping>>) {
+    /// Inserts (or refreshes) `key`; returns `true` when a stale entry
+    /// was evicted to make room — the owner's eviction counter hook.
+    pub(crate) fn put(&mut self, key: K, value: Arc<Vec<Mapping>>) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         self.tick += 1;
+        let mut evicted = false;
         if let Some((_, stamp)) = self.map.get(&key) {
             self.order.remove(stamp);
         } else if self.map.len() >= self.capacity {
             if let Some((_, oldest)) = self.order.pop_first() {
                 self.map.remove(&oldest);
+                evicted = true;
             }
         }
         self.order.insert(self.tick, key.clone());
         self.map.insert(key, (value, self.tick));
+        evicted
     }
 
     pub(crate) fn clear(&mut self) {
@@ -123,6 +135,8 @@ pub(crate) struct ResultCache<K> {
     pending: Mutex<HashMap<K, PendingSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    stampede_waits: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone> ResultCache<K> {
@@ -132,6 +146,8 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             pending: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stampede_waits: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +158,10 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             hits: self.hits.load(Ordering::Relaxed),
             // relaxed-ok: same reporting-only counter as `hits` above.
             misses: self.misses.load(Ordering::Relaxed),
+            // relaxed-ok: same reporting-only counter as `hits` above.
+            evictions: self.evictions.load(Ordering::Relaxed),
+            // relaxed-ok: same reporting-only counter as `hits` above.
+            stampede_waits: self.stampede_waits.load(Ordering::Relaxed),
             entries: self.cache.lock().len(),
         }
     }
@@ -175,6 +195,7 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             // relaxed-ok: statistics counter; the hit itself synchronizes
             // through the cache mutex.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::on_cache_hit();
             return hit;
         }
         let (slot, leader) = {
@@ -192,6 +213,7 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
                         // relaxed-ok: statistics counter, ordered by the
                         // pending+cache mutexes held here.
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        crate::obs::on_cache_hit();
                         return hit;
                     }
                     let slot: PendingSlot = Arc::new(OnceLock::new());
@@ -209,12 +231,17 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             // relaxed-ok: one computation = one miss, counted for stats;
             // publication order is carried by the OnceLock, not this add.
             self.misses.fetch_add(1, Ordering::Relaxed);
+            crate::obs::on_cache_miss();
             Arc::new(compute())
         }));
         if !computed_here {
             // relaxed-ok: statistics counter; joiners synchronized via the
             // slot's OnceLock already.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            // relaxed-ok: as above — the stampede-wait subset of hits.
+            self.stampede_waits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::on_cache_hit();
+            crate::obs::on_cache_stampede_wait();
         }
         if leader {
             // Publish before unregistering, so a racer either sees the
@@ -222,8 +249,11 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             // owner's epochs moved meanwhile: the entry would be keyed
             // to a stale epoch — correct but unreachable, so only dead
             // weight.
-            if still_valid() {
-                self.cache.lock().put(key.clone(), Arc::clone(&value));
+            if still_valid() && self.cache.lock().put(key.clone(), Arc::clone(&value)) {
+                // relaxed-ok: statistics counter; eviction itself is
+                // ordered by the cache mutex.
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                crate::obs::on_cache_eviction();
             }
             self.pending.lock().remove(&key);
         }
@@ -341,6 +371,24 @@ mod tests {
         let cs = cache.stats();
         assert_eq!(cs.misses, 1);
         assert_eq!(cs.hits, 7, "joiners count as hits");
+        assert_eq!(cs.stampede_waits, 7, "every joiner waited on the slot");
         assert!(cache.pending_is_empty(), "slot unregistered");
+    }
+
+    #[test]
+    fn capacity_evictions_are_counted() {
+        let cache: ResultCache<u32> = ResultCache::new(2);
+        for k in 0..4 {
+            cache.get_or_compute(k, || true, || vec![Mapping::new()]);
+        }
+        let cs = cache.stats();
+        assert_eq!(cs.misses, 4);
+        assert_eq!(cs.entries, 2);
+        assert_eq!(cs.evictions, 2, "third and fourth insert each evicted");
+        assert_eq!(cs.stampede_waits, 0);
+        // Epoch-style invalidation is not an eviction.
+        cache.clear();
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.stats().entries, 0);
     }
 }

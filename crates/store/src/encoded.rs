@@ -259,6 +259,7 @@ impl EncodedGraph {
         let added = segment.len();
         self.delta_rows += added;
         self.segments.push(segment);
+        crate::obs::on_segment_append();
         if self.dict.len() > prev_terms {
             let mut new_terms: Vec<Iri> = (prev_terms..self.dict.len())
                 .map(|id| self.dict.decode(id as TermId))
@@ -294,6 +295,7 @@ impl EncodedGraph {
         if self.segments.is_empty() && self.pso.len() == self.spo.len() {
             return false;
         }
+        let start = std::time::Instant::now();
         if !self.segments.is_empty() {
             self.compactions += 1;
             self.delta_rows = 0;
@@ -319,6 +321,7 @@ impl EncodedGraph {
         self.pso_off = pso_off;
         debug_assert!(self.osp.is_sorted() && self.pos.is_sorted() && self.pso.is_sorted());
         debug_assert_eq!(self.pso_off, self.pos_off);
+        crate::obs::on_compaction(start.elapsed());
         true
     }
 

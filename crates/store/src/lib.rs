@@ -62,6 +62,7 @@
 mod cache;
 pub mod dict;
 pub mod encoded;
+pub mod obs;
 mod segment;
 pub mod service;
 pub mod shard;
@@ -70,10 +71,13 @@ pub mod wcoj;
 pub use cache::CacheStats;
 pub use dict::{Dictionary, TermId};
 pub use encoded::{CompactionPolicy, EncodedGraph};
+pub use obs::metrics_json;
 pub use segment::{CapacityError, MAX_TRIPLES};
-pub use service::{eval_bgp_pairwise, PlannedQuery, StoreSnapshot, StoreStats, TripleStore};
+pub use service::{
+    eval_bgp_pairwise, PairwiseStepStats, PlannedQuery, StoreSnapshot, StoreStats, TripleStore,
+};
 pub use shard::{ShardedPlannedQuery, ShardedSnapshot, ShardedStats, ShardedStore};
 pub use wcoj::{
-    bgp_is_cyclic, eval_bgp_wco, eval_bgp_with_strategy, resolve_strategy, wco_variable_order,
-    JoinStrategy,
+    bgp_is_cyclic, eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_strategy,
+    wco_variable_order, JoinStrategy, WcoLevelStats,
 };

@@ -22,11 +22,16 @@
 
 use crate::cache::ResultCache;
 use crate::encoded::{CapacityError, EncodedGraph};
-use crate::wcoj::{eval_bgp_wco, eval_bgp_with_strategy, resolve_with_order, JoinStrategy};
+use crate::wcoj::{
+    eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_with_order, JoinStrategy,
+    WcoLevelStats,
+};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+use wdsparql_obs::{QueryProfile, Span};
 use wdsparql_rdf::{
     binding_of, Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern, Variable,
 };
@@ -113,6 +118,10 @@ pub struct PlannedQuery {
     /// The join strategy that actually ran (`Auto` already resolved to
     /// [`JoinStrategy::Pairwise`] or [`JoinStrategy::Wco`]).
     pub strategy: JoinStrategy,
+    /// The execution profile, on the
+    /// [`TripleStore::query_with_profile`] path only (`None` elsewhere —
+    /// nothing is collected unless profiling was requested).
+    pub profile: Option<QueryProfile>,
 }
 
 /// Cache key: query text plus the epoch it was computed under.
@@ -209,6 +218,22 @@ pub fn eval_bgp_pairwise(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Ve
     eval_bgp(ix, patterns)
 }
 
+/// Per-step counters of one pairwise run, reported by the profiled
+/// variant of the pipeline: one entry per plan position, in execution
+/// order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PairwiseStepStats {
+    /// Index of the pattern joined at this step (into the caller's
+    /// pattern list, i.e. a plan entry).
+    pub pattern: usize,
+    /// Index probes issued: 1 for the seed enumeration, one bound
+    /// `match_pattern` per left-hand row for a bind join.
+    pub scans: u64,
+    /// Intermediate result cardinality *after* this step (for the seed:
+    /// after the semi-join prune).
+    pub rows: u64,
+}
+
 /// Evaluates the conjunction of `patterns` in the given `order` with a
 /// sorted semi-join on the first shared variable and index-nested-loop
 /// (bind) joins for the rest. Does **not** re-plan: `order` is the plan.
@@ -216,6 +241,28 @@ pub(crate) fn eval_bgp_planned(
     ix: &dyn TripleIndex,
     patterns: &[TriplePattern],
     order: &[usize],
+) -> Vec<Mapping> {
+    eval_pairwise_inner(ix, patterns, order, None)
+}
+
+/// As [`eval_bgp_planned`], additionally reporting per-step counters —
+/// scan probes and intermediate cardinalities, one entry per plan
+/// position.
+pub(crate) fn eval_bgp_planned_profiled(
+    ix: &dyn TripleIndex,
+    patterns: &[TriplePattern],
+    order: &[usize],
+) -> (Vec<Mapping>, Vec<PairwiseStepStats>) {
+    let mut steps = Vec::with_capacity(order.len());
+    let sols = eval_pairwise_inner(ix, patterns, order, Some(&mut steps));
+    (sols, steps)
+}
+
+fn eval_pairwise_inner(
+    ix: &dyn TripleIndex,
+    patterns: &[TriplePattern],
+    order: &[usize],
+    mut steps: Option<&mut Vec<PairwiseStepStats>>,
 ) -> Vec<Mapping> {
     if patterns.is_empty() {
         return vec![Mapping::new()];
@@ -243,8 +290,16 @@ pub(crate) fn eval_bgp_planned(
             }
         }
     }
+    if let Some(s) = steps.as_deref_mut() {
+        s.push(PairwiseStepStats {
+            pattern: order[0],
+            scans: 1,
+            rows: sols.len() as u64,
+        });
+    }
     for &i in &order[1..] {
         let pat = &patterns[i];
+        let probes = sols.len() as u64;
         let mut next = Vec::new();
         for mu in &sols {
             let bound = pat.apply_partial(mu);
@@ -264,6 +319,13 @@ pub(crate) fn eval_bgp_planned(
             }
         }
         sols = next;
+        if let Some(s) = steps.as_deref_mut() {
+            s.push(PairwiseStepStats {
+                pattern: i,
+                scans: probes,
+                rows: sols.len() as u64,
+            });
+        }
     }
     sols
 }
@@ -443,6 +505,7 @@ impl TripleStore {
         // held at all. The snapshot `Arc` must drop before the write
         // lock, or `Arc::make_mut` below would see it and deep-clone the
         // whole graph on every load.
+        let start = Instant::now();
         let (all_present, epoch) = {
             let (snapshot, epoch) = self.snapshot();
             (batch.iter().all(|t| snapshot.contains(t)), epoch)
@@ -461,11 +524,14 @@ impl TripleStore {
         let added = Arc::make_mut(&mut inner.graph).insert_batch_capped(batch, limit)?;
         if added > 0 {
             inner.epoch += 1;
+            crate::obs::on_epoch_bump();
             // Every cached entry is keyed to an older epoch and is now
             // unreachable — drop them so the result sets free their
             // memory immediately instead of lingering until evicted.
             self.cache.clear();
         }
+        drop(inner);
+        crate::obs::on_bulk_load(start.elapsed());
         Ok(added)
     }
 
@@ -535,10 +601,22 @@ impl TripleStore {
         f(&self.snapshot().0)
     }
 
-    /// A consistent stats snapshot.
+    /// A consistent stats snapshot. Also refreshes the process-wide
+    /// registry's `store.*` gauges — the registry keeps the last
+    /// published observation, this remains the source of truth.
     pub fn stats(&self) -> StoreStats {
         let (graph, epoch) = self.snapshot();
-        stats_of(&graph, epoch)
+        let stats = stats_of(&graph, epoch);
+        crate::obs::publish_store_gauges(
+            stats.triples as u64,
+            stats.terms as u64,
+            stats.base_rows as u64,
+            stats.delta_rows as u64,
+            stats.segments as u64,
+            stats.epoch,
+            1,
+        );
+        stats
     }
 
     pub fn cache_stats(&self) -> CacheStats {
@@ -596,21 +674,84 @@ impl TripleStore {
         patterns: &[TriplePattern],
         between: impl FnOnce(),
     ) -> PlannedQuery {
+        let start = Instant::now();
         let (graph, epoch) = self.snapshot();
         let configured = self.join_strategy();
+        let plan_start = Instant::now();
         let plan = plan_order(&*graph, patterns);
         let strategy = resolve_with_order(&*graph, patterns, configured, &plan);
+        let plan_elapsed = plan_start.elapsed();
         between();
         let key = strategy_cache_key(patterns, Some(configured));
         let solutions = self.cached(epoch, key, || match strategy {
             JoinStrategy::Wco => eval_bgp_wco(&*graph, patterns),
             _ => eval_bgp_planned(&*graph, patterns, &plan),
         });
+        crate::obs::on_query(strategy == JoinStrategy::Wco, start.elapsed(), plan_elapsed);
         PlannedQuery {
             plan,
             solutions,
             epoch,
             strategy,
+            profile: None,
+        }
+    }
+
+    /// As [`TripleStore::query_with_plan`], additionally building an
+    /// execution profile: a span tree with plan timing, the resolved
+    /// strategy, the cache outcome, and — when the evaluation actually
+    /// ran (a cache miss) — per-level WCOJ counters or per-step pairwise
+    /// intermediate cardinalities. A cache hit reports `cache=hit` and
+    /// no `execute` span: nothing was executed.
+    pub fn query_with_profile(&self, patterns: &[TriplePattern]) -> PlannedQuery {
+        let start = Instant::now();
+        let (graph, epoch) = self.snapshot();
+        let configured = self.join_strategy();
+        let plan_start = Instant::now();
+        let plan = plan_order(&*graph, patterns);
+        let strategy = resolve_with_order(&*graph, patterns, configured, &plan);
+        let plan_elapsed = plan_start.elapsed();
+        let key = strategy_cache_key(patterns, Some(configured));
+        let mut execute: Option<Span> = None;
+        let solutions = self.cached(epoch, key, || {
+            let exec_start = Instant::now();
+            let (sols, detail) = match strategy {
+                JoinStrategy::Wco => {
+                    let (sols, levels) = eval_bgp_wco_profiled(&*graph, patterns);
+                    (sols, wco_level_spans(&levels))
+                }
+                _ => {
+                    let (sols, steps) = eval_bgp_planned_profiled(&*graph, patterns, &plan);
+                    (sols, pairwise_step_spans(patterns, &steps))
+                }
+            };
+            let mut span = Span::new("execute").timed(exec_start.elapsed());
+            for child in detail {
+                span.push(child);
+            }
+            execute = Some(span);
+            sols
+        });
+        let total = start.elapsed();
+        crate::obs::on_query(strategy == JoinStrategy::Wco, total, plan_elapsed);
+        let computed_here = execute.is_some();
+        let mut root = Span::new("query")
+            .timed(total)
+            .field("strategy", strategy)
+            .field("epoch", epoch)
+            .field("patterns", patterns.len())
+            .field("rows", solutions.len())
+            .field("cache", if computed_here { "miss" } else { "hit" });
+        root.push(plan_span(&plan, plan_elapsed));
+        if let Some(span) = execute {
+            root.push(span);
+        }
+        PlannedQuery {
+            plan,
+            solutions,
+            epoch,
+            strategy,
+            profile: Some(QueryProfile::new(root)),
         }
     }
 
@@ -632,6 +773,49 @@ impl TripleStore {
         self.cache
             .get_or_compute((key, epoch), || self.inner.read().epoch == epoch, compute)
     }
+}
+
+/// The `plan` child span of a query profile: the chosen pattern order
+/// and the time planning (ordering + strategy resolution) took.
+pub(crate) fn plan_span(plan: &[usize], elapsed: Duration) -> Span {
+    let order = plan
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    Span::new("plan").timed(elapsed).field("order", order)
+}
+
+/// One `level ?v` span per WCOJ variable level, carrying the leapfrog's
+/// per-level counters.
+pub(crate) fn wco_level_spans(levels: &[(Variable, WcoLevelStats)]) -> Vec<Span> {
+    levels
+        .iter()
+        .map(|(v, s)| {
+            Span::new(format!("level {v}"))
+                .field("rows", s.rows)
+                .field("seeks", s.seeks)
+                .field("gallop_steps", s.gallop_steps)
+        })
+        .collect()
+}
+
+/// One `join` span per pairwise plan step, carrying the step's pattern,
+/// probe count and intermediate cardinality.
+pub(crate) fn pairwise_step_spans(
+    patterns: &[TriplePattern],
+    steps: &[PairwiseStepStats],
+) -> Vec<Span> {
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Span::new(if i == 0 { "scan" } else { "join" })
+                .field("pattern", patterns[s.pattern])
+                .field("scans", s.scans)
+                .field("rows", s.rows)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -953,6 +1137,75 @@ mod tests {
                 s.set_join_strategy(crate::JoinStrategy::Pairwise);
                 s.query(&chain)
             })
+        );
+    }
+
+    #[test]
+    fn query_with_profile_builds_a_span_tree() {
+        let s = TripleStore::from_triples(
+            [
+                ("a", "p", "b"),
+                ("b", "p", "c"),
+                ("a", "p", "c"),
+                ("c", "p", "d"),
+                ("b", "p", "d"),
+            ]
+            .map(|(s, p, o)| Triple::from_strs(s, p, o)),
+        );
+        let triangle = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("z")),
+            tp(var("x"), iri("p"), var("z")),
+        ];
+        let out = s.query_with_profile(&triangle);
+        assert_eq!(out.strategy, JoinStrategy::Wco);
+        assert_eq!(out.solutions, s.query_with_plan(&triangle).solutions);
+        let profile = out.profile.expect("profiling was requested");
+        assert_eq!(profile.root.get("strategy"), Some("wco"));
+        assert_eq!(profile.root.get("cache"), Some("miss"));
+        assert!(profile.root.duration().is_some());
+        let exec = profile
+            .root
+            .children()
+            .iter()
+            .find(|c| c.name() == "execute")
+            .expect("a miss has an execute span");
+        assert_eq!(exec.children().len(), 3, "one span per variable level");
+        for level in exec.children() {
+            assert!(level.name().starts_with("level ?"), "{}", level.name());
+            assert!(level.get("rows").is_some());
+            assert!(level.get("seeks").is_some());
+            assert!(level.get("gallop_steps").is_some());
+        }
+        let text = profile.to_string();
+        assert!(text.contains("├─ plan"), "rendered tree:\n{text}");
+        // The same query again is served from the cache: no execute span.
+        let again = s.query_with_profile(&triangle);
+        let cached = again.profile.expect("profiling was requested");
+        assert_eq!(cached.root.get("cache"), Some("hit"));
+        assert!(cached.root.children().iter().all(|c| c.name() != "execute"));
+        // An acyclic chain resolves pairwise: scan + join steps with
+        // intermediate cardinalities.
+        let chain = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("z")),
+        ];
+        let pq = s.query_with_profile(&chain);
+        assert_eq!(pq.strategy, JoinStrategy::Pairwise);
+        let profile = pq.profile.expect("profiling was requested");
+        let exec = profile
+            .root
+            .children()
+            .iter()
+            .find(|c| c.name() == "execute")
+            .expect("a miss has an execute span");
+        assert_eq!(exec.children().len(), 2);
+        assert_eq!(exec.children()[0].name(), "scan");
+        assert_eq!(exec.children()[1].name(), "join");
+        assert_eq!(
+            exec.children()[1].get("rows").map(str::to_owned),
+            Some(pq.solutions.len().to_string()),
+            "the last step's cardinality is the answer count"
         );
     }
 

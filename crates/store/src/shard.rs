@@ -47,11 +47,18 @@
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::encoded::{CapacityError, EncodedGraph};
-use crate::service::{eval_bgp_planned, plan_order, StoreSnapshot, StoreStats, TripleStore};
-use crate::wcoj::{eval_bgp_wco, eval_bgp_with_strategy, resolve_with_order, JoinStrategy};
+use crate::service::{
+    eval_bgp_planned, eval_bgp_planned_profiled, pairwise_step_spans, plan_order, plan_span,
+    wco_level_spans, StoreSnapshot, StoreStats, TripleStore,
+};
+use crate::wcoj::{
+    eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_with_order, JoinStrategy,
+};
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+use wdsparql_obs::{QueryProfile, Span};
 use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern, Variable};
 
 /// Facade cache key: the BGP key plus the `(shard, epoch)` pairs the
@@ -278,19 +285,28 @@ impl TripleIndex for ShardedSnapshot {
 
     fn match_pattern(&self, pat: &TriplePattern) -> Vec<Triple> {
         match self.route(pat) {
-            Some(i) => self.shard(i).match_pattern(pat),
+            Some(i) => {
+                crate::obs::on_routed_read();
+                self.shard(i).match_pattern(pat)
+            }
             None => {
                 // Scatter (to threads when the host and the run sizes
                 // warrant it) and concatenate lazily in shard order.
+                let start = Instant::now();
                 let est = self.fanout_estimate(pat);
-                self.gather(self.parallel_fanout(est), |g| g.match_pattern(pat))
+                let out = self.gather(self.parallel_fanout(est), |g| g.match_pattern(pat));
+                crate::obs::on_fanout(start.elapsed());
+                out
             }
         }
     }
 
     fn solutions(&self, pat: &TriplePattern) -> Vec<Mapping> {
         match self.route(pat) {
-            Some(i) => self.shard(i).solutions(pat),
+            Some(i) => {
+                crate::obs::on_routed_read();
+                self.shard(i).solutions(pat)
+            }
             None => {
                 // Scatter and concatenate in shard order. (This used to
                 // sort every shard's run and k-way merge them — an
@@ -298,8 +314,9 @@ impl TripleIndex for ShardedSnapshot {
                 // 3.5× slower than one shard, purchasing a global order
                 // no caller relies on. Shard order is deterministic,
                 // which is all the caches and tests need.)
+                let start = Instant::now();
                 let est = self.fanout_estimate(pat);
-                if self.parallel_fanout(est) {
+                let out = if self.parallel_fanout(est) {
                     self.gather(true, |g| g.solutions(pat))
                 } else {
                     // Sequential: bind each shard's matches straight
@@ -314,7 +331,9 @@ impl TripleIndex for ShardedSnapshot {
                         );
                     }
                     out
-                }
+                };
+                crate::obs::on_fanout(start.elapsed());
+                out
             }
         }
     }
@@ -417,6 +436,10 @@ pub struct ShardedPlannedQuery {
     pub read: Vec<(usize, u64)>,
     /// The join strategy that actually ran (`Auto` already resolved).
     pub strategy: JoinStrategy,
+    /// The execution profile, when requested through
+    /// [`ShardedStore::query_with_profile`] (`None` from
+    /// [`ShardedStore::query_with_plan`]).
+    pub profile: Option<QueryProfile>,
 }
 
 /// N hash-partitioned-by-subject [`TripleStore`] shards behind one
@@ -556,7 +579,7 @@ impl ShardedStore {
             .filter(|(_, batch)| !batch.is_empty())
             .map(|(i, batch)| {
                 let shard = &self.shards[i];
-                move || shard.try_bulk_load(batch)
+                move || (i, shard.try_bulk_load(batch))
             })
             .collect();
         let results = run_jobs(jobs, parallel);
@@ -566,9 +589,14 @@ impl ShardedStore {
         self.retain_current_cache();
         let mut added = 0;
         let mut first_err = None;
-        for r in results {
+        for (i, r) in results {
             match r {
-                Ok(n) => added += n,
+                Ok(n) => {
+                    added += n;
+                    if n > 0 {
+                        crate::obs::on_shard_rows(i, n as u64);
+                    }
+                }
                 Err(e) => first_err = first_err.or(Some(e)),
             }
         }
@@ -641,12 +669,22 @@ impl ShardedStore {
             .iter()
             .map(|s| crate::service::stats_of(s.graph(), s.epoch()))
             .collect();
-        ShardedStats {
+        let stats = ShardedStats {
             triples: TripleIndex::len(&snap),
             terms: TripleIndex::dom(&snap).count(),
             epochs: snap.epochs(),
             shards,
-        }
+        };
+        crate::obs::publish_store_gauges(
+            stats.triples as u64,
+            stats.terms as u64,
+            stats.shards.iter().map(|s| s.base_rows as u64).sum(),
+            stats.shards.iter().map(|s| s.delta_rows as u64).sum(),
+            stats.shards.iter().map(|s| s.segments as u64).sum(),
+            stats.epochs.iter().sum(),
+            stats.shards.len() as u64,
+        );
+        stats
     }
 
     pub fn cache_stats(&self) -> CacheStats {
@@ -752,12 +790,15 @@ impl ShardedStore {
     /// plan and solutions from one snapshot, the plan computed exactly
     /// once.
     pub fn query_with_plan(&self, patterns: &[TriplePattern]) -> ShardedPlannedQuery {
+        let start = Instant::now();
         let read = self.read_set(patterns);
         let snap = self.read_snapshot_for(&read);
         let configured = self.join_strategy();
         let key = self.key_for(patterns, configured, &read, &snap);
+        let plan_start = Instant::now();
         let plan = plan_order(&snap, patterns);
         let strategy = resolve_with_order(&snap, patterns, configured, &plan);
+        let plan_elapsed = plan_start.elapsed();
         let solutions = self.cache.get_or_compute(
             key.clone(),
             || self.key_still_current(&key),
@@ -766,11 +807,85 @@ impl ShardedStore {
                 _ => eval_bgp_planned(&snap, patterns, &plan),
             },
         );
+        crate::obs::on_query(strategy == JoinStrategy::Wco, start.elapsed(), plan_elapsed);
         ShardedPlannedQuery {
             plan,
             solutions,
             read: key.1,
             strategy,
+            profile: None,
+        }
+    }
+
+    /// As [`ShardedStore::query_with_plan`], additionally building an
+    /// execution profile (the sharded analogue of
+    /// [`TripleStore::query_with_profile`]): the root span carries the
+    /// read provenance — which shards the query pinned, at which
+    /// epochs, and whether it was fully subject-routed or a fan-out —
+    /// on top of the plan timing, strategy, cache outcome and (on a
+    /// cache miss) per-level WCOJ or per-step pairwise counters.
+    pub fn query_with_profile(&self, patterns: &[TriplePattern]) -> ShardedPlannedQuery {
+        let start = Instant::now();
+        let read = self.read_set(patterns);
+        let snap = self.read_snapshot_for(&read);
+        let configured = self.join_strategy();
+        let key = self.key_for(patterns, configured, &read, &snap);
+        let plan_start = Instant::now();
+        let plan = plan_order(&snap, patterns);
+        let strategy = resolve_with_order(&snap, patterns, configured, &plan);
+        let plan_elapsed = plan_start.elapsed();
+        let mut execute: Option<Span> = None;
+        let solutions = self.cache.get_or_compute(
+            key.clone(),
+            || self.key_still_current(&key),
+            || {
+                let exec_start = Instant::now();
+                let (sols, detail) = match strategy {
+                    JoinStrategy::Wco => {
+                        let (sols, levels) = eval_bgp_wco_profiled(&snap, patterns);
+                        (sols, wco_level_spans(&levels))
+                    }
+                    _ => {
+                        let (sols, steps) = eval_bgp_planned_profiled(&snap, patterns, &plan);
+                        (sols, pairwise_step_spans(patterns, &steps))
+                    }
+                };
+                let mut span = Span::new("execute").timed(exec_start.elapsed());
+                for child in detail {
+                    span.push(child);
+                }
+                execute = Some(span);
+                sols
+            },
+        );
+        let total = start.elapsed();
+        crate::obs::on_query(strategy == JoinStrategy::Wco, total, plan_elapsed);
+        let computed_here = execute.is_some();
+        let routed = key.1.len() < self.shards.len();
+        let shards_read = key
+            .1
+            .iter()
+            .map(|&(i, e)| format!("{i}@{e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut root = Span::new("query")
+            .timed(total)
+            .field("strategy", strategy)
+            .field("routing", if routed { "routed" } else { "fan-out" })
+            .field("shards_read", shards_read)
+            .field("patterns", patterns.len())
+            .field("rows", solutions.len())
+            .field("cache", if computed_here { "miss" } else { "hit" });
+        root.push(plan_span(&plan, plan_elapsed));
+        if let Some(span) = execute {
+            root.push(span);
+        }
+        ShardedPlannedQuery {
+            plan,
+            solutions,
+            read: key.1,
+            strategy,
+            profile: Some(QueryProfile::new(root)),
         }
     }
 }
@@ -1101,6 +1216,56 @@ mod tests {
         let mut want = single.read_snapshot().solutions(&pat);
         want.sort();
         assert_eq!(sorted_got, want);
+    }
+
+    #[test]
+    fn sharded_query_with_profile_builds_a_span_tree() {
+        let mut triples = fixture();
+        triples.push(Triple::from_strs("a", "p", "c")); // close a triangle
+        let sharded = ShardedStore::from_triples(3, triples);
+        let triangle = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("z")),
+            tp(var("x"), iri("p"), var("z")),
+        ];
+        // Unbound subjects: a fan-out over every shard, WCO under Auto.
+        let planned = sharded.query_with_profile(&triangle);
+        assert_eq!(planned.strategy, JoinStrategy::Wco);
+        let profile = planned.profile.as_ref().expect("profile requested");
+        let root = &profile.root;
+        assert_eq!(root.name(), "query");
+        assert_eq!(root.get("strategy"), Some("wco"));
+        assert_eq!(root.get("routing"), Some("fan-out"));
+        assert_eq!(root.get("cache"), Some("miss"));
+        let shards_read = root.get("shards_read").expect("read provenance");
+        assert_eq!(shards_read.split(',').count(), 3, "{shards_read}");
+        let execute = root
+            .children()
+            .iter()
+            .find(|s| s.name() == "execute")
+            .expect("cache miss must carry an execute span");
+        let levels: Vec<_> = execute
+            .children()
+            .iter()
+            .filter(|s| s.name().starts_with("level "))
+            .collect();
+        assert_eq!(levels.len(), 3, "one span per WCOJ variable level");
+        assert!(levels.iter().all(|s| s.get("rows").is_some()));
+        // Same query again: served from the facade cache, no execution.
+        let again = sharded.query_with_profile(&triangle);
+        let root = &again.profile.as_ref().unwrap().root;
+        assert_eq!(root.get("cache"), Some("hit"));
+        assert!(root.children().iter().all(|s| s.name() != "execute"));
+        assert_eq!(again.solutions, planned.solutions);
+        // A fully subject-routed query reports routed provenance.
+        let routed = sharded.query_with_profile(&[tp(iri("b"), iri("p"), var("y"))]);
+        let root = &routed.profile.as_ref().unwrap().root;
+        assert_eq!(root.get("routing"), Some("routed"));
+        assert_eq!(
+            root.get("shards_read").unwrap().split(',').count(),
+            1,
+            "one routed shard"
+        );
     }
 
     #[test]

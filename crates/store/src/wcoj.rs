@@ -45,8 +45,26 @@ use crate::service::{eval_bgp, plan_order};
 use std::collections::BTreeSet;
 use std::fmt;
 use wdsparql_rdf::{
-    gallop, Iri, Mapping, MaterializedTrie, Term, TrieCursor, TripleIndex, TriplePattern, Variable,
+    gallop, Iri, Mapping, MaterializedTrie, Term, TrieCursor, TrieOpStats, TripleIndex,
+    TriplePattern, Variable,
 };
+
+/// Execution counters of one leapfrog level (one variable of the global
+/// order), reported by [`eval_bgp_wco_profiled`]:
+///
+/// * `rows` — successful alignments, i.e. keys bound at this level (the
+///   level's output cardinality across the whole run);
+/// * `seeks` — `seek` calls the leapfrog search issued here to drag
+///   laggard cursors to the running maximum;
+/// * `gallop_steps` — galloping work those seeks reported through
+///   [`TrieCursor::op_stats`] (best-effort: backends that do not count
+///   contribute zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WcoLevelStats {
+    pub rows: u64,
+    pub seeks: u64,
+    pub gallop_steps: u64,
+}
 
 /// How a service evaluates multi-pattern (BGP) queries. The knob on
 /// [`crate::TripleStore`], [`crate::ShardedStore`] and the engine.
@@ -296,6 +314,27 @@ pub fn wco_variable_order(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> V
 /// mapping over `vars(patterns)` whose image lies in the graph — without
 /// materialising any pairwise intermediate.
 pub fn eval_bgp_wco(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Vec<Mapping> {
+    eval_wco_inner(ix, patterns, None)
+}
+
+/// As [`eval_bgp_wco`], additionally reporting per-level execution
+/// counters — one `(variable, stats)` pair per variable of the global
+/// order, in that order. Queries that short-circuit before the leapfrog
+/// runs (a failed ground gate, an all-ground BGP) report no levels.
+pub fn eval_bgp_wco_profiled(
+    ix: &dyn TripleIndex,
+    patterns: &[TriplePattern],
+) -> (Vec<Mapping>, Vec<(Variable, WcoLevelStats)>) {
+    let mut levels = Vec::new();
+    let sols = eval_wco_inner(ix, patterns, Some(&mut levels));
+    (sols, levels)
+}
+
+fn eval_wco_inner(
+    ix: &dyn TripleIndex,
+    patterns: &[TriplePattern],
+    profile: Option<&mut Vec<(Variable, WcoLevelStats)>>,
+) -> Vec<Mapping> {
     // Ground patterns join nothing; they are containment gates.
     for pat in patterns {
         if pat.vars().is_empty() && ix.match_pattern(pat).is_empty() {
@@ -325,7 +364,21 @@ pub fn eval_bgp_wco(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> Vec<Map
     }
     let mut binding: Vec<Option<Iri>> = vec![None; order.len()];
     let mut out = Vec::new();
-    join_level(&mut cursors, &by_var, 0, &order, &mut binding, &mut out);
+    let mut level_stats = profile
+        .as_ref()
+        .map(|_| vec![WcoLevelStats::default(); order.len()]);
+    join_level(
+        &mut cursors,
+        &by_var,
+        0,
+        &order,
+        &mut binding,
+        &mut out,
+        level_stats.as_deref_mut(),
+    );
+    if let (Some(p), Some(stats)) = (profile, level_stats) {
+        *p = order.iter().copied().zip(stats).collect();
+    }
     out
 }
 
@@ -342,6 +395,7 @@ fn join_level(
     order: &[Variable],
     binding: &mut [Option<Iri>],
     out: &mut Vec<Mapping>,
+    mut stats: Option<&mut [WcoLevelStats]>,
 ) {
     if level == by_var.len() {
         out.push(Mapping::from_pairs(order.iter().zip(binding.iter()).map(
@@ -354,9 +408,36 @@ fn join_level(
     for &c in active {
         cursors[c].open();
     }
-    while leapfrog_align(cursors, active).is_some() {
+    loop {
+        // Gallop work is attributed to the level whose alignment drove
+        // it: delta of the active cursors' cumulative counters around
+        // the search (a cursor participating in several levels reports
+        // one total; the deltas split it correctly).
+        let before = stats
+            .as_ref()
+            .map(|_| gallop_total(cursors, active))
+            .unwrap_or_default();
+        let (key, seeks) = leapfrog_align(cursors, active);
+        if let Some(s) = stats.as_deref_mut() {
+            s[level].seeks += seeks;
+            s[level].gallop_steps += gallop_total(cursors, active).saturating_sub(before);
+            if key.is_some() {
+                s[level].rows += 1;
+            }
+        }
+        if key.is_none() {
+            break;
+        }
         binding[level] = Some(cursors[active[0]].value());
-        join_level(cursors, by_var, level + 1, order, binding, out);
+        join_level(
+            cursors,
+            by_var,
+            level + 1,
+            order,
+            binding,
+            out,
+            stats.as_deref_mut(),
+        );
         // One cursor moves past the matched key; the next alignment
         // drags the rest along.
         cursors[active[0]].advance();
@@ -367,15 +448,29 @@ fn join_level(
     }
 }
 
+/// Sum of the active cursors' reported galloping steps (profiling only).
+fn gallop_total(cursors: &[Box<dyn TrieCursor + '_>], active: &[usize]) -> u64 {
+    active
+        .iter()
+        .map(|&c| cursors[c].op_stats().gallop_steps)
+        .sum()
+}
+
 /// The leapfrog search: gallop the laggards to the running maximum until
-/// every active cursor sits on the same key (returned), or one exhausts
-/// (`None`).
-fn leapfrog_align(cursors: &mut [Box<dyn TrieCursor + '_>], active: &[usize]) -> Option<u64> {
+/// every active cursor sits on the same key (`Some`), or one exhausts
+/// (`None`). Also returns the number of `seek` calls issued.
+fn leapfrog_align(
+    cursors: &mut [Box<dyn TrieCursor + '_>],
+    active: &[usize],
+) -> (Option<u64>, u64) {
+    let mut seeks = 0u64;
     loop {
         let mut max: Option<u64> = None;
         let mut aligned = true;
         for &c in active {
-            let k = cursors[c].key()?;
+            let Some(k) = cursors[c].key() else {
+                return (None, seeks);
+            };
             match max {
                 None => max = Some(k),
                 Some(m) if k != m => {
@@ -387,11 +482,12 @@ fn leapfrog_align(cursors: &mut [Box<dyn TrieCursor + '_>], active: &[usize]) ->
         }
         let m = max.expect("active is non-empty");
         if aligned {
-            return Some(m);
+            return (Some(m), seeks);
         }
         for &c in active {
             if cursors[c].key() != Some(m) {
                 cursors[c].seek(m);
+                seeks += 1;
             }
         }
     }
@@ -421,6 +517,7 @@ struct SliceTrie<'a> {
     /// sub-trie per binding step, and reusing the buffers keeps that
     /// allocation-free after the first few steps.
     spare: Vec<Vec<&'a [Row]>>,
+    stats: TrieOpStats,
     dict: &'a Dictionary,
 }
 
@@ -438,6 +535,7 @@ impl<'a> SliceTrie<'a> {
             runs: Vec::new(),
             stack: Vec::new(),
             spare: Vec::new(),
+            stats: TrieOpStats::default(),
             dict,
         }
     }
@@ -477,6 +575,7 @@ impl TrieCursor for SliceTrie<'_> {
 
     fn seek(&mut self, target: u64) {
         let Some(pos) = self.pos() else { return };
+        self.stats.seeks += 1;
         let Ok(t) = TermId::try_from(target) else {
             // Beyond any dictionary id: exhausted.
             self.runs.clear();
@@ -484,7 +583,9 @@ impl TrieCursor for SliceTrie<'_> {
         };
         for r in &mut self.runs {
             if r[0][pos] < t {
-                *r = &r[gallop(r, |row| row[pos] < t)..];
+                let moved = gallop(r, |row| row[pos] < t);
+                self.stats.gallop_steps += TrieOpStats::gallop_cost(moved);
+                *r = &r[moved..];
             }
         }
         self.runs.retain(|r| !r.is_empty());
@@ -512,6 +613,10 @@ impl TrieCursor for SliceTrie<'_> {
     fn up(&mut self) {
         let parent = self.stack.pop().expect("up() without a matching open()");
         self.spare.push(std::mem::replace(&mut self.runs, parent));
+    }
+
+    fn op_stats(&self) -> TrieOpStats {
+        self.stats
     }
 }
 
@@ -819,6 +924,42 @@ mod tests {
             let generic = sorted(eval_bgp_wco(&r, &pats));
             assert_eq!(generic, want, "materialised backend on {pats:?}");
         }
+    }
+
+    #[test]
+    fn profiled_wco_reports_per_level_counters() {
+        let g = EncodedGraph::from_triples(ring_graph(12));
+        let pats = triangle_bgp();
+        let (sols, levels) = eval_bgp_wco_profiled(&g, &pats);
+        assert_eq!(sorted(sols.clone()), sorted(eval_bgp_wco(&g, &pats)));
+        let order = wco_variable_order(&g, &pats);
+        assert_eq!(
+            levels.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            order,
+            "one stats entry per ordered variable"
+        );
+        assert!(
+            levels.iter().all(|(_, s)| s.rows > 0),
+            "every level bound keys on a graph with triangles: {levels:?}"
+        );
+        // Each deepest-level alignment emits exactly one solution.
+        assert_eq!(
+            levels.last().expect("three levels").1.rows,
+            sols.len() as u64
+        );
+        assert!(
+            levels.iter().any(|(_, s)| s.seeks > 0),
+            "intersecting distinct key sets must seek: {levels:?}"
+        );
+        assert!(
+            levels.iter().any(|(_, s)| s.gallop_steps > 0),
+            "seeks that move report gallop work: {levels:?}"
+        );
+        // Short-circuited queries report no levels.
+        let ground = [tp(iri("v0"), iri("p"), iri("v1"))];
+        let (sols, levels) = eval_bgp_wco_profiled(&g, &ground);
+        assert_eq!(sols.len(), 1);
+        assert!(levels.is_empty());
     }
 
     #[test]

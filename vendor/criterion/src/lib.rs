@@ -9,18 +9,21 @@
 //!
 //! Measurement model: each benchmark is warmed up once, then timed for
 //! `sample_size` samples of adaptively-chosen iteration count; the
-//! median per-iteration time is reported on stdout as
-//! `group/id ... median <time> (<samples> samples)`. `--bench`,
-//! `--test` and filter arguments from `cargo bench` are accepted;
-//! `--test` (used by `cargo test` over bench targets) runs each
-//! benchmark body exactly once, keeping `cargo test -q` fast.
+//! median and p99 per-iteration times are reported on stdout as
+//! `group/id ... median <time> p99 <time> (<samples> samples)`.
+//! `--bench`, `--test` and filter arguments from `cargo bench` are
+//! accepted; `--test` (used by `cargo test` over bench targets) runs
+//! each benchmark body exactly once, keeping `cargo test -q` fast.
 //!
 //! Besides the stdout report, `criterion_main!` writes the measured
-//! medians as machine-readable JSON (`BENCH_<target>.json` in the
-//! working directory, a path the target pinned with
+//! distribution (median plus nearest-rank p50/p90/p99 over the
+//! per-sample means) as machine-readable JSON (`BENCH_<target>.json`
+//! in the working directory, a path the target pinned with
 //! [`set_bench_json_path`], or the path in `$BENCH_JSON_PATH`), so the
-//! perf trajectory can be tracked across PRs. Set `BENCH_JSON=0` to disable;
-//! nothing is written in `--test` mode.
+//! perf trajectory can be tracked across PRs. Documents written by the
+//! medians-only predecessor still parse — their percentile fields are
+//! simply absent. Set `BENCH_JSON=0` to disable; nothing is written in
+//! `--test` mode.
 
 use std::fmt::Display;
 use std::hint;
@@ -28,11 +31,16 @@ use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One measured benchmark, accumulated across every group of the
-/// running bench target.
+/// running bench target. The percentile fields are `None` only for
+/// entries parsed back from a medians-only predecessor document; every
+/// fresh measurement carries them.
 #[derive(Clone, Debug)]
 struct JsonEntry {
     name: String,
     median_ns: u128,
+    p50_ns: Option<u128>,
+    p90_ns: Option<u128>,
+    p99_ns: Option<u128>,
     samples: usize,
 }
 
@@ -161,6 +169,10 @@ fn parse_bench_json(doc: &str) -> (Vec<String>, Vec<JsonEntry>) {
             entries.push(JsonEntry {
                 name,
                 median_ns,
+                // Absent in medians-only predecessor documents.
+                p50_ns: line_int_field(line, "p50_ns"),
+                p90_ns: line_int_field(line, "p90_ns"),
+                p99_ns: line_int_field(line, "p99_ns"),
                 samples: samples as usize,
             });
         }
@@ -182,8 +194,16 @@ fn render_bench_json(targets: &[String], entries: &[JsonEntry]) -> String {
     out.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let percentiles = match (e.p50_ns, e.p90_ns, e.p99_ns) {
+            (Some(p50), Some(p90), Some(p99)) => {
+                format!(" \"p50_ns\": {p50}, \"p90_ns\": {p90}, \"p99_ns\": {p99},")
+            }
+            // A legacy medians-only entry stays medians-only rather
+            // than inventing percentiles it never measured.
+            _ => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {}, \"samples\": {}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"median_ns\": {},{percentiles} \"samples\": {}}}{comma}\n",
             json_escape(&e.name),
             e.median_ns,
             e.samples
@@ -289,18 +309,49 @@ impl Display for BenchmarkId {
     }
 }
 
+/// The summarized distribution of one benchmark's per-sample means:
+/// the median plus nearest-rank p50/p90/p99. With `sample_size`
+/// samples the tail percentiles are the top order statistics — crude,
+/// but exactly what a latency-distribution baseline needs.
+#[derive(Clone, Copy, Debug)]
+struct Measurement {
+    median: Duration,
+    p50: Duration,
+    p90: Duration,
+    p99: Duration,
+}
+
+impl Measurement {
+    /// Summarizes a **sorted** run of per-sample means.
+    fn from_sorted(sorted: &[Duration]) -> Measurement {
+        Measurement {
+            median: sorted[sorted.len() / 2],
+            p50: percentile(sorted, 0.50),
+            p90: percentile(sorted, 0.90),
+            p99: percentile(sorted, 0.99),
+        }
+    }
+}
+
+/// The nearest-rank `q`-percentile of a sorted run: the ⌈q·n⌉-th
+/// smallest element.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Passed to benchmark closures; `iter` runs and times the payload.
 pub struct Bencher<'a> {
     samples: usize,
     test_mode: bool,
-    result: &'a mut Option<Duration>,
+    result: &'a mut Option<Measurement>,
 }
 
 impl Bencher<'_> {
     pub fn iter<T>(&mut self, mut payload: impl FnMut() -> T) {
         if self.test_mode {
             black_box(payload());
-            *self.result = Some(Duration::ZERO);
+            *self.result = Some(Measurement::from_sorted(&[Duration::ZERO]));
             return;
         }
         // Warm-up and per-sample iteration sizing: aim for samples that
@@ -315,16 +366,16 @@ impl Bencher<'_> {
             let target = Duration::from_millis(1).as_nanos();
             (target / once.as_nanos().max(1)).clamp(1, 10_000) as usize
         };
-        let mut medians = Vec::with_capacity(self.samples);
+        let mut means = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(payload());
             }
-            medians.push(start.elapsed() / iters_per_sample as u32);
+            means.push(start.elapsed() / iters_per_sample as u32);
         }
-        medians.sort();
-        *self.result = Some(medians[medians.len() / 2]);
+        means.sort();
+        *self.result = Some(Measurement::from_sorted(&means));
     }
 }
 
@@ -435,17 +486,23 @@ impl Criterion {
         self.filter.as_deref().is_none_or(|f| full_name.contains(f))
     }
 
-    fn report(&self, name: &str, samples: usize, median: Option<Duration>) {
-        match median {
+    fn report(&self, name: &str, samples: usize, measurement: Option<Measurement>) {
+        match measurement {
             _ if self.test_mode => println!("test {name} ... ok"),
-            Some(d) => {
-                println!("{name:<56} median {d:>12.3?} ({samples} samples)");
+            Some(m) => {
+                println!(
+                    "{name:<56} median {:>12.3?} p99 {:>12.3?} ({samples} samples)",
+                    m.median, m.p99
+                );
                 json_entries()
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .push(JsonEntry {
                         name: name.to_string(),
-                        median_ns: d.as_nanos(),
+                        median_ns: m.median.as_nanos(),
+                        p50_ns: Some(m.p50.as_nanos()),
+                        p90_ns: Some(m.p90.as_nanos()),
+                        p99_ns: Some(m.p99.as_nanos()),
                         samples,
                     });
             }
@@ -482,7 +539,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_records_a_median() {
+    fn bencher_records_a_full_measurement() {
         let mut result = None;
         let mut b = Bencher {
             samples: 3,
@@ -494,7 +551,25 @@ mod tests {
             n = n.wrapping_add(1);
             n
         });
-        assert!(result.is_some());
+        let m = result.expect("iter must record a measurement");
+        assert!(
+            m.p50 <= m.p90 && m.p90 <= m.p99,
+            "percentiles must be ordered"
+        );
+        assert!(m.median <= m.p99);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank_order_statistics() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_nanos).collect();
+        assert_eq!(percentile(&sorted, 0.50), Duration::from_nanos(50));
+        assert_eq!(percentile(&sorted, 0.90), Duration::from_nanos(90));
+        assert_eq!(percentile(&sorted, 0.99), Duration::from_nanos(99));
+        let one = [Duration::from_nanos(7)];
+        assert_eq!(percentile(&one, 0.99), Duration::from_nanos(7));
+        let m = Measurement::from_sorted(&sorted);
+        assert_eq!(m.median, Duration::from_nanos(51), "median is sorted[n/2]");
+        assert_eq!(m.p99, Duration::from_nanos(99));
     }
 
     #[test]
@@ -509,18 +584,31 @@ mod tests {
             JsonEntry {
                 name: "g/one".into(),
                 median_ns: 1500,
+                p50_ns: Some(1500),
+                p90_ns: Some(1800),
+                p99_ns: Some(2500),
                 samples: 10,
             },
             JsonEntry {
+                // A medians-only entry (parsed from a predecessor
+                // document) must render without invented percentiles.
                 name: "g/two \"quoted\"".into(),
                 median_ns: 7,
+                p50_ns: None,
+                p90_ns: None,
+                p99_ns: None,
                 samples: 3,
             },
         ];
         let doc = render_bench_json(&["store_scan".into()], &entries);
         assert!(doc.contains("\"targets\": [\"store_scan\"]"));
-        assert!(doc.contains("{\"name\": \"g/one\", \"median_ns\": 1500, \"samples\": 10},"));
-        assert!(doc.contains("\\\"quoted\\\""));
+        assert!(doc.contains(
+            "{\"name\": \"g/one\", \"median_ns\": 1500, \
+             \"p50_ns\": 1500, \"p90_ns\": 1800, \"p99_ns\": 2500, \"samples\": 10},"
+        ));
+        assert!(
+            doc.contains("{\"name\": \"g/two \\\"quoted\\\"\", \"median_ns\": 7, \"samples\": 3}")
+        );
         // The last entry carries no trailing comma.
         assert!(doc.contains("\"samples\": 3}\n"));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
@@ -530,7 +618,12 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].name, "g/one");
         assert_eq!((parsed[0].median_ns, parsed[0].samples), (1500, 10));
+        assert_eq!(
+            (parsed[0].p50_ns, parsed[0].p90_ns, parsed[0].p99_ns),
+            (Some(1500), Some(1800), Some(2500))
+        );
         assert_eq!(parsed[1].name, "g/two \"quoted\"");
+        assert_eq!(parsed[1].p99_ns, None);
     }
 
     #[test]
@@ -541,6 +634,23 @@ mod tests {
         assert_eq!(targets, vec!["store_scan".to_string()]);
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].median_ns, 42);
+        assert_eq!(
+            (entries[0].p50_ns, entries[0].p90_ns, entries[0].p99_ns),
+            (None, None, None),
+            "predecessor entries have no percentile fields"
+        );
+    }
+
+    /// A fresh measured entry, percentiles synthesized off the median.
+    fn entry(name: &str, median_ns: u128) -> JsonEntry {
+        JsonEntry {
+            name: name.into(),
+            median_ns,
+            p50_ns: Some(median_ns),
+            p90_ns: Some(median_ns + 1),
+            p99_ns: Some(median_ns + 2),
+            samples: 10,
+        }
     }
 
     #[test]
@@ -548,38 +658,15 @@ mod tests {
         let existing = render_bench_json(
             &["store_scan".into()],
             &[
-                JsonEntry {
-                    name: "scan/a".into(),
-                    median_ns: 10,
-                    samples: 10,
-                },
-                JsonEntry {
-                    name: "scan/renamed-away".into(),
-                    median_ns: 11,
-                    samples: 10,
-                },
-                JsonEntry {
-                    name: "join/b".into(),
-                    median_ns: 20,
-                    samples: 10,
-                },
+                entry("scan/a", 10),
+                entry("scan/renamed-away", 11),
+                entry("join/b", 20),
             ],
         );
         // A different target re-measures the `scan` group and adds a
         // `write` group: `join` survives untouched, `scan` is replaced
         // wholesale (the stale renamed entry is pruned).
-        let run = [
-            JsonEntry {
-                name: "scan/a".into(),
-                median_ns: 15,
-                samples: 10,
-            },
-            JsonEntry {
-                name: "write/c".into(),
-                median_ns: 30,
-                samples: 10,
-            },
-        ];
+        let run = [entry("scan/a", 15), entry("write/c", 30)];
         let (targets, merged) = merge_bench_json(Some(&existing), "store_write", &run);
         assert_eq!(
             targets,
