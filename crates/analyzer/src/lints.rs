@@ -9,6 +9,7 @@
 //! | `no-lock-reentry`       | an exclusive-lock scope must not re-enter the same lock |
 //! | `must-use-snapshot`     | snapshot / plan / guard types must be `#[must_use]` |
 //! | `wcoj-buffer-recycle`   | every trie level buffer popped off the open-level `stack` must return to the `spare` pool (and vice versa) on every exit path |
+//! | `budget-checkpoint`     | every `loop`/`while` in the streaming hot paths must checkpoint the query budget (`budget.check()`) so deadlines and cancellation can interrupt it |
 //!
 //! Every lint has an inline escape hatch: a comment on the flagged line,
 //! or in the contiguous comment block immediately above it, of the form
@@ -31,6 +32,7 @@ pub const RELAXED: &str = "relaxed-ok-comment";
 pub const LOCK_REENTRY: &str = "no-lock-reentry";
 pub const MUST_USE: &str = "must-use-snapshot";
 pub const WCOJ_RECYCLE: &str = "wcoj-buffer-recycle";
+pub const BUDGET_CHECKPOINT: &str = "budget-checkpoint";
 
 /// The field pairing [`WCOJ_RECYCLE`] enforces: trie level buffers
 /// shuttle between the open-level stack and the recycle pool.
@@ -78,6 +80,8 @@ pub struct Config {
     pub lock_fragment: String,
     /// Files under the trie-buffer recycle discipline.
     pub recycle_files: Vec<String>,
+    /// Files whose loops must checkpoint the query budget.
+    pub budget_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -87,9 +91,15 @@ impl Default for Config {
                 "store/src/service.rs".to_string(),
                 "store/src/shard.rs".to_string(),
                 "store/src/cache.rs".to_string(),
+                "store/src/join.rs".to_string(),
             ],
             lock_fragment: "store/src/".to_string(),
             recycle_files: vec!["store/src/wcoj.rs".to_string()],
+            budget_files: vec![
+                "store/src/wcoj.rs".to_string(),
+                "store/src/join.rs".to_string(),
+                "store/src/shard.rs".to_string(),
+            ],
         }
     }
 }
@@ -172,6 +182,13 @@ pub fn scan_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         .any(|suffix| rel.ends_with(suffix.as_str()))
     {
         lint_wcoj_recycle(&ctx, &mut findings);
+    }
+    if cfg
+        .budget_files
+        .iter()
+        .any(|suffix| rel.ends_with(suffix.as_str()))
+    {
+        lint_budget_checkpoint(&ctx, &mut findings);
     }
     findings
 }
@@ -826,6 +843,70 @@ fn lint_wcoj_recycle(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// Lint: budget-checkpoint
+// ---------------------------------------------------------------------
+
+/// Streaming hot paths must stay interruptible: a `loop`/`while` that
+/// never consults the query budget outlives every deadline and ignores
+/// cancellation (the PR 8 streaming-core contract — checkpoints at
+/// stream-pull granularity *and* inside the join inner loops). The lint
+/// requires a `budget.check()` call lexically inside each loop (the
+/// keyword through its body close; a check in the loop condition
+/// counts), with the usual hatch for planning-time loops whose trip
+/// count is bounded by the query size, not the data.
+fn lint_budget_checkpoint(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for f in fn_spans(ctx.toks, &ctx.delims) {
+        let (open, close) = f.body;
+        if ctx.in_tests(ctx.toks[open].line) {
+            continue;
+        }
+        for i in open + 1..close {
+            let kw = &ctx.toks[i];
+            if !kw.is_ident("loop") && !kw.is_ident("while") {
+                continue;
+            }
+            // The loop body: the first brace after the keyword (header
+            // parens/brackets are skipped whole — Rust bans brace
+            // expressions in loop headers, so this brace is the body).
+            let mut j = i + 1;
+            let mut body_open = None;
+            while j < close {
+                match ctx.toks[j].kind {
+                    Kind::Open(Delim::Brace) => {
+                        body_open = Some(j);
+                        break;
+                    }
+                    Kind::Open(_) => j = ctx.delims.get(&j).copied().unwrap_or(j) + 1,
+                    _ => j += 1,
+                }
+            }
+            let Some(body_open) = body_open else {
+                continue;
+            };
+            let body_close = ctx.delims.get(&body_open).copied().unwrap_or(close);
+            let checked = (i..body_close).any(|k| {
+                ctx.toks[k].is_ident("budget")
+                    && ctx.toks.get(k + 1).is_some_and(|t| t.is_punct("."))
+                    && ctx.toks.get(k + 2).is_some_and(|t| t.is_ident("check"))
+            });
+            if checked || ctx.allowed_tok(BUDGET_CHECKPOINT, i) {
+                continue;
+            }
+            findings.push(ctx.finding(
+                BUDGET_CHECKPOINT,
+                kw.line,
+                format!(
+                    "`{}` in fn `{}` never checkpoints the query budget: this loop outlives \
+                     every deadline and ignores cancellation — call `budget.check()?` inside \
+                     it, or justify with `// {} {} <reason>`",
+                    kw.text, f.name, ALLOW_MARKER, BUDGET_CHECKPOINT
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Lint: must-use-snapshot
 // ---------------------------------------------------------------------
 
@@ -1095,6 +1176,66 @@ mod tests {
             }
         "#;
         assert!(scan("crates/store/src/wcoj.rs", fresh).is_empty());
+    }
+
+    #[test]
+    fn budget_checkpoint_required_in_streaming_hot_paths() {
+        // A checkpointed pull loop and a `while let` whose body checks
+        // through a receiver are both clean.
+        let ok = r#"
+            fn pull(&mut self) -> Result<Option<u32>, ExecError> {
+                loop {
+                    self.budget.check()?;
+                    if self.done() { return Ok(None); }
+                }
+            }
+            fn drain(&mut self, budget: &QueryBudget) -> Result<(), ExecError> {
+                while let Some(x) = self.next() {
+                    budget.check()?;
+                }
+                Ok(())
+            }
+        "#;
+        assert!(scan("crates/store/src/join.rs", ok)
+            .iter()
+            .all(|f| f.lint != BUDGET_CHECKPOINT));
+        // A bare loop and a bare while are each one finding.
+        let bare = r#"
+            fn spin(&mut self) {
+                loop {
+                    if self.done() { break; }
+                }
+                while self.more() {
+                    self.step();
+                }
+            }
+        "#;
+        let f = scan("crates/store/src/shard.rs", bare);
+        let hits: Vec<_> = f.iter().filter(|f| f.lint == BUDGET_CHECKPOINT).collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].line, 3);
+        assert_eq!(hits[1].line, 6);
+        // The hatch silences it, with a reason; test code is out of scope.
+        let hatched = r#"
+            fn order(&self) {
+                // analyzer-allow: budget-checkpoint planning-time loop,
+                // bounded by the query size
+                while self.more() {
+                    self.step();
+                }
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t() { loop { break; } }
+            }
+        "#;
+        assert!(scan("crates/store/src/wcoj.rs", hatched)
+            .iter()
+            .all(|f| f.lint != BUDGET_CHECKPOINT));
+        // Files outside the streaming hot paths are not checked.
+        assert!(scan("crates/store/src/service.rs", bare)
+            .iter()
+            .all(|f| f.lint != BUDGET_CHECKPOINT));
     }
 
     #[test]

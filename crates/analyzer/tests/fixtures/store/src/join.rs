@@ -1,0 +1,51 @@
+//! Seeded `budget-checkpoint` violations: a pairwise bind-join stream
+//! whose pull and merge loops must stay interruptible under a query
+//! budget. Scanned by the lint tests — never compiled.
+
+pub struct FixtureStream {
+    budget: Budget,
+    pos: usize,
+}
+
+impl FixtureStream {
+    /// Conforming pull loop: checkpoints the budget every iteration.
+    fn pull(&mut self) -> Result<Option<u32>, ExecError> {
+        loop {
+            self.budget.check()?;
+            if self.pos > 3 {
+                return Ok(None);
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Unbounded enumeration that never consults the budget.
+    fn drain(&mut self) {
+        loop { // VIOLATION(budget-checkpoint)
+            if self.pos > 3 {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// A merge loop that also never consults the budget.
+    fn merge(&mut self, other: &[u32]) -> usize {
+        let mut i = 0;
+        while i < other.len() { // VIOLATION(budget-checkpoint)
+            i += 1;
+        }
+        i
+    }
+
+    /// Hatched: a planning-time loop bounded by the query size.
+    fn order(&self, patterns: &[u32]) -> usize {
+        let mut n = 0;
+        // analyzer-allow: budget-checkpoint planning-time loop, bounded
+        // by the query size rather than the data
+        while n < patterns.len() {
+            n += 1;
+        }
+        n
+    }
+}

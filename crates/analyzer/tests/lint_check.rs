@@ -27,7 +27,11 @@ fn workspace_root() -> PathBuf {
 fn fixture_findings_match_the_seeded_markers() {
     let root = fixture_root();
     let mut expected: BTreeMap<(String, String, u32), ()> = BTreeMap::new();
-    for rel in ["store/src/service.rs", "store/src/wcoj.rs"] {
+    for rel in [
+        "store/src/service.rs",
+        "store/src/wcoj.rs",
+        "store/src/join.rs",
+    ] {
         let src = std::fs::read_to_string(root.join(rel)).expect("fixture exists");
         for (i, line) in src.lines().enumerate() {
             if let Some(pos) = line.find("VIOLATION(") {
@@ -45,8 +49,9 @@ fn fixture_findings_match_the_seeded_markers() {
     }
     assert_eq!(
         expected.len(),
-        7,
-        "one marker per lint, plus the two wcoj-buffer-recycle shapes"
+        9,
+        "one marker per lint, plus the two wcoj-buffer-recycle shapes \
+         and the two budget-checkpoint loop shapes"
     );
 
     let findings = lints::scan_root(&root, &Config::default()).expect("scan succeeds");
@@ -79,9 +84,14 @@ fn binary_fails_on_the_fixture_with_file_line_diagnostics() {
     assert!(stdout.contains("[no-lock-reentry]"), "{stdout}");
     assert!(stdout.contains("[must-use-snapshot]"), "{stdout}");
     assert!(stdout.contains("[wcoj-buffer-recycle]"), "{stdout}");
+    assert!(stdout.contains("[budget-checkpoint]"), "{stdout}");
     assert!(
         stdout.contains("store/src/wcoj.rs:"),
         "recycle findings carry file:line, got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("store/src/join.rs:"),
+        "budget findings carry file:line, got:\n{stdout}"
     );
 }
 

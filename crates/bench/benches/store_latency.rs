@@ -9,6 +9,12 @@
 //! into the workspace-root `BENCH_store.json` next to the medians of
 //! the other store targets (the vendored criterion emits
 //! `p50_ns`/`p90_ns`/`p99_ns` alongside `median_ns`).
+//!
+//! A second group measures the streaming core's LIMIT pushdown on the
+//! quiesced store: time-to-first-solution (LIMIT 1) and LIMIT-10
+//! against full enumeration, for the triangle and the 4-clique under
+//! the pairwise pipeline — the shapes where stopping after k pulls
+//! skips the bulk of the probe work.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,6 +30,9 @@ const PREDICATES: usize = 8;
 /// Closed `p0`-triangles seeded on top of the stream, so the cyclic
 /// query has guaranteed answers.
 const TRIANGLES: usize = 64;
+/// Closed `p0`-4-cliques seeded likewise, so the 4-clique streaming
+/// benches have solutions to find early.
+const CLIQUES: usize = 16;
 const SHARDS: usize = 4;
 
 /// `cargo test` runs bench targets with `--test` (each body once); a
@@ -34,10 +43,10 @@ fn test_mode() -> bool {
 }
 
 fn seed_triples() -> Vec<Triple> {
-    let (nodes, draws, triangles) = if test_mode() {
-        (200, 1_000, 8)
+    let (nodes, draws, triangles, cliques) = if test_mode() {
+        (200, 1_000, 8, 4)
     } else {
-        (NODES, DRAWS, TRIANGLES)
+        (NODES, DRAWS, TRIANGLES, CLIQUES)
     };
     triple_stream(nodes, draws, PREDICATES, 42)
         .chain((0..triangles).flat_map(|i| {
@@ -47,6 +56,16 @@ fn seed_triples() -> Vec<Triple> {
                 Triple::from_strs(&b, "p0", &c),
                 Triple::from_strs(&a, "p0", &c),
             ]
+        }))
+        .chain((0..cliques).flat_map(|i| {
+            let v = [
+                format!("q{i}a"),
+                format!("q{i}b"),
+                format!("q{i}c"),
+                format!("q{i}d"),
+            ];
+            [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3)]
+                .map(|(a, b)| Triple::from_strs(&v[a], "p0", &v[b]))
         }))
         .collect()
 }
@@ -176,5 +195,60 @@ fn bench_latency_under_churn(c: &mut Criterion) {
     drop(churn);
 }
 
-criterion_group!(benches, bench_latency_under_churn);
+/// LIMIT pushdown on the quiesced store: time-to-first-solution and
+/// LIMIT-10 against full enumeration for the triangle and the
+/// 4-clique, all on the uncached `query_limited` streaming path under
+/// the pairwise pipeline — the strategy where the old materialise-all
+/// evaluator paid the full probe cost before the first row.
+fn bench_streaming_limits(c: &mut Criterion) {
+    let store = workload();
+    store.set_join_strategy(wdsparql_store::JoinStrategy::Pairwise);
+    let p0 = Iri::new("p0");
+    let triangle = [
+        tp(var("x"), p0, var("y")),
+        tp(var("y"), p0, var("z")),
+        tp(var("x"), p0, var("z")),
+    ];
+    let clique4 = [
+        tp(var("x"), p0, var("y")),
+        tp(var("y"), p0, var("z")),
+        tp(var("x"), p0, var("z")),
+        tp(var("x"), p0, var("w")),
+        tp(var("y"), p0, var("w")),
+        tp(var("z"), p0, var("w")),
+    ];
+    // Correctness before timing: both shapes must stream a first row.
+    assert!(
+        !store.solutions_limit(&triangle, 1).is_empty(),
+        "no triangle to stream"
+    );
+    assert!(
+        !store.solutions_limit(&clique4, 1).is_empty(),
+        "no 4-clique to stream"
+    );
+
+    let mut group = c.benchmark_group("store_latency");
+    group.sample_size(30);
+    for (name, pats) in [("triangle", &triangle[..]), ("clique4", &clique4[..])] {
+        group.bench_function(format!("{name}_ttfs"), |b| {
+            b.iter(|| black_box(store.solutions_limit(black_box(pats), 1).len()))
+        });
+        group.bench_function(format!("{name}_limit10"), |b| {
+            b.iter(|| black_box(store.solutions_limit(black_box(pats), 10).len()))
+        });
+        group.bench_function(format!("{name}_full_stream"), |b| {
+            b.iter(|| {
+                let budget = wdsparql_rdf::QueryBudget::unlimited();
+                let rows = store
+                    .query_limited(black_box(pats), usize::MAX, &budget)
+                    .expect("an unlimited budget never fails a checkpoint");
+                black_box(rows.len())
+            })
+        });
+    }
+    group.finish();
+    store.set_join_strategy(wdsparql_store::JoinStrategy::default());
+}
+
+criterion_group!(benches, bench_latency_under_churn, bench_streaming_limits);
 criterion_main!(benches);

@@ -10,12 +10,18 @@
 //! wdsparql forest   <query>                 print the wdPF translation
 //! wdsparql store [--shards N] [--max-triples N]
 //!                [--join-strategy pairwise|wco|auto]
+//!                [--limit K] [--deadline-ms T]
 //!                [--profile] [--metrics-json PATH]
 //!                   <data.nt> [query]       bulk-load into the triple store
 //!                                           (hash-sharded when N > 1),
 //!                                           report stats, run the query
 //!                                           through the service with the
 //!                                           chosen BGP join strategy;
+//!                                           `--limit K` streams only the
+//!                                           first K solutions (LIMIT
+//!                                           pushdown), `--deadline-ms T`
+//!                                           budgets the query — exceeding
+//!                                           it is a clean error;
 //!                                           `--profile` prints the query's
 //!                                           execution profile (span tree),
 //!                                           `--metrics-json` dumps the
@@ -59,6 +65,7 @@ const USAGE: &str = "usage:
   wdsparql forest  <query>
   wdsparql store   [--shards N] [--max-triples N]
                    [--join-strategy pairwise|wco|auto]
+                   [--limit K] [--deadline-ms T]
                    [--profile] [--metrics-json PATH] <data.nt> [query]
   wdsparql demo";
 
@@ -177,12 +184,18 @@ fn run(args: &[String]) -> Result<(), String> {
 /// cores take the WCOJ). `--profile` runs the BGP through the profiled
 /// query path and prints the execution span tree (EXPLAIN ANALYZE
 /// style); `--metrics-json PATH` dumps the process-wide metrics
-/// registry as JSON after the run.
+/// registry as JSON after the run. `--limit K` and `--deadline-ms T`
+/// take the streaming service path instead: the evaluation stops after
+/// the first K solutions (LIMIT pushdown — later solutions are never
+/// computed), and a missed deadline surfaces as a clean
+/// `query deadline exceeded` error rather than running to completion.
 fn run_store(args: &[String]) -> Result<(), String> {
     let mut shards = 1usize;
     let mut max_triples: Option<usize> = None;
     let mut strategy = wdsparql_store::JoinStrategy::default();
     let mut profile = false;
+    let mut limit: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut metrics_json: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
@@ -203,6 +216,8 @@ fn run_store(args: &[String]) -> Result<(), String> {
                 })?;
             }
             "--profile" => profile = true,
+            "--limit" => limit = Some(flag("--limit")?),
+            "--deadline-ms" => deadline_ms = Some(flag("--deadline-ms")? as u64),
             "--metrics-json" => {
                 metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.to_string());
             }
@@ -212,7 +227,15 @@ fn run_store(args: &[String]) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    store_command(shards, max_triples, strategy, profile, &positional)?;
+    store_command(
+        shards,
+        max_triples,
+        strategy,
+        profile,
+        limit,
+        deadline_ms,
+        &positional,
+    )?;
     if let Some(path) = metrics_json {
         std::fs::write(&path, wdsparql_store::metrics_json())
             .map_err(|e| format!("{path}: {e}"))?;
@@ -221,15 +244,22 @@ fn run_store(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn store_command(
     shards: usize,
     max_triples: Option<usize>,
     strategy: wdsparql_store::JoinStrategy,
     profile: bool,
+    limit: Option<usize>,
+    deadline_ms: Option<u64>,
     positional: &[&String],
 ) -> Result<(), String> {
     let graph = load_graph(positional.first().copied())?;
     let query_text = positional.get(1).copied();
+    let streaming = limit.is_some() || deadline_ms.is_some();
+    if streaming && query_text.is_none() {
+        return Err("--limit/--deadline-ms need a query to run".into());
+    }
     // Load in batches, as an ingest pipeline would: each batch appends
     // sorted delta segments (scattered across the shards when sharded);
     // the explicit compact folds whatever the adaptive policy left
@@ -259,6 +289,26 @@ fn store_command(
             return Ok(());
         };
         let query = Query::parse(text).map_err(|e| e.to_string())?;
+        if streaming {
+            let pats = bgp_patterns(query.pattern())
+                .ok_or("--limit/--deadline-ms need an AND-only (BGP) query")?;
+            let budget = budget_from(deadline_ms);
+            match limit {
+                Some(k) => {
+                    let rows = store
+                        .query_limited(&pats, k, &budget)
+                        .map_err(|e| e.to_string())?;
+                    print_streamed(&rows, Some(k));
+                }
+                None => {
+                    let rows = store
+                        .query_budgeted(&pats, &budget)
+                        .map_err(|e| e.to_string())?;
+                    print_streamed(&rows, None);
+                }
+            }
+            return Ok(());
+        }
         let engine =
             Engine::from_sharded_store(std::sync::Arc::clone(&store)).with_join_strategy(strategy);
         print_solutions(&query, &engine.evaluate(&query));
@@ -300,6 +350,26 @@ fn store_command(
         return Ok(());
     };
     let query = Query::parse(text).map_err(|e| e.to_string())?;
+    if streaming {
+        let pats = bgp_patterns(query.pattern())
+            .ok_or("--limit/--deadline-ms need an AND-only (BGP) query")?;
+        let budget = budget_from(deadline_ms);
+        match limit {
+            Some(k) => {
+                let rows = store
+                    .query_limited(&pats, k, &budget)
+                    .map_err(|e| e.to_string())?;
+                print_streamed(&rows, Some(k));
+            }
+            None => {
+                let rows = store
+                    .query_budgeted(&pats, &budget)
+                    .map_err(|e| e.to_string())?;
+                print_streamed(&rows, None);
+            }
+        }
+        return Ok(());
+    }
     let engine = Engine::from_store(std::sync::Arc::clone(&store)).with_join_strategy(strategy);
     print_solutions(&query, &engine.evaluate(&query));
     // AND-only queries additionally go through the service's planned,
@@ -324,6 +394,37 @@ fn store_command(
         print_profile(planned.profile.as_ref());
     }
     Ok(())
+}
+
+/// The query budget implied by `--deadline-ms` (unlimited without it).
+fn budget_from(deadline_ms: Option<u64>) -> wdsparql_rdf::QueryBudget {
+    match deadline_ms {
+        Some(ms) => wdsparql_rdf::QueryBudget::with_deadline(std::time::Duration::from_millis(ms)),
+        None => wdsparql_rdf::QueryBudget::unlimited(),
+    }
+}
+
+/// Prints the solutions of the streaming (`--limit`/`--deadline-ms`)
+/// service path: every row under a limit (the user asked for exactly
+/// these), the first 10 otherwise.
+fn print_streamed(rows: &[Mapping], limit: Option<usize>) {
+    match limit {
+        Some(k) => {
+            println!("streamed {} solution(s) under limit {k}:", rows.len());
+            for mu in rows {
+                println!("  -> {mu}");
+            }
+        }
+        None => {
+            println!("streamed {} solution(s) within deadline:", rows.len());
+            for mu in rows.iter().take(10) {
+                println!("  -> {mu}");
+            }
+            if rows.len() > 10 {
+                println!("  ... ({} more)", rows.len() - 10);
+            }
+        }
+    }
 }
 
 /// Prints the execution profile requested by `--profile`, if any.
@@ -600,7 +701,7 @@ mod tests {
         let out_s = out.to_string_lossy().to_string();
         assert!(run(&s(&["store", "--metrics-json", &out_s, &p, triangle])).is_ok());
         let json = std::fs::read_to_string(&out).unwrap();
-        assert!(json.contains("\"schema\": 1"), "{json}");
+        assert!(json.contains("\"schema\": 2"), "{json}");
         assert!(json.contains("\"store.queries_total\""), "{json}");
         assert!(json.contains("\"query.total_ns\""), "{json}");
         // Flag validation.
@@ -612,6 +713,59 @@ mod tests {
             &p
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn store_subcommand_limit_and_deadline() {
+        let dir = std::env::temp_dir().join("wdsparql-cli-test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.nt");
+        std::fs::write(&path, "a p b .\nb p c .\na p c .\nc p a .\n").unwrap();
+        let p = path.to_string_lossy().to_string();
+        let triangle = "((?x, p, ?y) AND (?y, p, ?z)) AND (?x, p, ?z)";
+        // The streamed paths run green under a generous budget, single
+        // and sharded.
+        assert!(run(&s(&["store", "--limit", "1", &p, triangle])).is_ok());
+        assert!(run(&s(&["store", "--deadline-ms", "10000", &p, triangle])).is_ok());
+        assert!(run(&s(&[
+            "store",
+            "--shards",
+            "2",
+            "--limit",
+            "1",
+            "--deadline-ms",
+            "10000",
+            &p,
+            triangle
+        ]))
+        .is_ok());
+        // A zero deadline is a clean, typed failure — single and sharded.
+        let err = run(&s(&["store", "--deadline-ms", "0", &p, triangle])).unwrap_err();
+        assert!(err.contains("deadline exceeded"), "unexpected error: {err}");
+        let err = run(&s(&[
+            "store",
+            "--shards",
+            "2",
+            "--deadline-ms",
+            "0",
+            &p,
+            triangle,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("deadline exceeded"), "unexpected error: {err}");
+        // The streamed path needs a BGP query, and a query at all.
+        assert!(run(&s(&[
+            "store",
+            "--limit",
+            "1",
+            &p,
+            "(?x, p, ?y) OPT (?y, p, ?z)"
+        ]))
+        .is_err());
+        assert!(run(&s(&["store", "--limit", "1", &p])).is_err());
+        // Flag validation.
+        assert!(run(&s(&["store", &p, "--limit"])).is_err());
+        assert!(run(&s(&["store", &p, "--deadline-ms"])).is_err());
     }
 
     #[test]

@@ -333,7 +333,7 @@ fn store_metrics_json_dumps_the_registry() {
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let json = std::fs::read_to_string(&out_path).expect("metrics file written");
     for key in [
-        "\"schema\": 1",
+        "\"schema\": 2",
         "\"store.queries_total\"",
         "\"store.triples\"",
         "\"query.total_ns\"",
@@ -343,6 +343,88 @@ fn store_metrics_json_dumps_the_registry() {
     }
     let _ = std::fs::remove_file(&data);
     let _ = std::fs::remove_file(&out_path);
+}
+
+/// A fixture holding the complete directed graph on `n` vertices — the
+/// dense worst case for the pairwise 4-clique join.
+fn dense_nt(name: &str, n: usize) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("wdsparql_smoke_{}_{name}.nt", std::process::id()));
+    let mut text = String::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                text.push_str(&format!("<v{i}> <p> <v{j}> .\n"));
+            }
+        }
+    }
+    std::fs::write(&path, text).expect("create fixture");
+    path
+}
+
+const FOUR_CLIQUE_QUERY: &str = "((((?a, p, ?b) AND (?b, p, ?c)) AND ((?c, p, ?d) AND \
+                                 (?a, p, ?c))) AND ((?a, p, ?d) AND (?b, p, ?d)))";
+
+#[test]
+fn store_deadline_fails_fast_with_a_clean_error() {
+    // A pairwise 4-clique over the dense graph enumerates far longer
+    // than 10ms; the deadline must cut it short with a typed error
+    // (never a panic), well before the full-enumeration runtime.
+    let data = dense_nt("deadline", 40);
+    let start = std::time::Instant::now();
+    let out = wdsparql(&[
+        "store",
+        "--join-strategy",
+        "pairwise",
+        "--deadline-ms",
+        "10",
+        data.to_str().unwrap(),
+        FOUR_CLIQUE_QUERY,
+    ]);
+    let elapsed = start.elapsed();
+    let _ = std::fs::remove_file(&data);
+    assert!(!out.status.success(), "a missed deadline must fail");
+    let err = stderr(&out);
+    assert!(
+        err.contains("query deadline exceeded"),
+        "unexpected stderr: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must be an error, not a panic: {err}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "deadline must cut enumeration short, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn store_limit_echoes_exactly_k_rows() {
+    let data = dense_nt("limit", 6);
+    for shards in ["1", "2"] {
+        let out = wdsparql(&[
+            "store",
+            "--shards",
+            shards,
+            "--limit",
+            "3",
+            data.to_str().unwrap(),
+            TRIANGLE_QUERY,
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains("streamed 3 solution(s) under limit 3"),
+            "unexpected output: {text}"
+        );
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("  -> ")).count(),
+            3,
+            "exactly K rows must be echoed: {text}"
+        );
+    }
+    let _ = std::fs::remove_file(&data);
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! well-designed pattern) and [`Engine`] (an RDF graph with evaluation
 //! strategies).
 
-use crate::enumerate::enumerate_forest_with;
+use crate::enumerate::{enumerate_forest_budgeted, enumerate_forest_with};
 use crate::naive::check_forest;
 use crate::pebble_eval::check_forest_pebble;
 use std::fmt;
@@ -10,7 +10,7 @@ use std::sync::{Arc, OnceLock};
 use wdsparql_algebra::{
     eval as reference_eval, filter_solutions, parse_pattern, FilterExpr, GraphPattern, SolutionSet,
 };
-use wdsparql_rdf::{Mapping, RdfGraph, TripleIndex};
+use wdsparql_rdf::{ExecError, Mapping, QueryBudget, RdfGraph, TripleIndex};
 use wdsparql_store::{JoinStrategy, ShardedStore, TripleStore};
 use wdsparql_tree::{TranslateError, Wdpf};
 use wdsparql_width::{branch_treewidth_forest, domination_width, local_width_forest};
@@ -278,6 +278,19 @@ impl Engine {
         self.with_index(|g| enumerate_forest_with(q.forest(), g, self.strategy))
     }
 
+    /// As [`Engine::evaluate`], under a [`QueryBudget`]: enumeration
+    /// checkpoints the budget throughout the OPT/UNION forest walk (and
+    /// inside the leapfrog join's seek loops), so a deadline or a
+    /// tripped cancellation token surfaces as a typed [`ExecError`]
+    /// instead of running the query to completion.
+    pub fn evaluate_budgeted(
+        &self,
+        q: &Query,
+        budget: &QueryBudget,
+    ) -> Result<SolutionSet, ExecError> {
+        self.with_index(|g| enumerate_forest_budgeted(q.forest(), g, self.strategy, budget))
+    }
+
     /// Enumerates `⟦P FILTER R⟧_G` for a top-level filter (error-as-false
     /// semantics; the §5 FILTER extension). Note that filtering breaks
     /// the width-based tractability guarantees — see
@@ -508,6 +521,22 @@ mod tests {
         // immediately.
         store.bulk_load([wdsparql_rdf::Triple::from_strs("g", "p", "h")]);
         assert_eq!(via_sharded.count(&q), mem.count(&q) + 1);
+    }
+
+    #[test]
+    fn evaluate_budgeted_agrees_and_honours_deadlines() {
+        let e = engine();
+        let q =
+            Query::parse("(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))")
+                .unwrap();
+        assert_eq!(
+            e.evaluate_budgeted(&q, &QueryBudget::unlimited()),
+            Ok(e.evaluate(&q))
+        );
+        assert_eq!(
+            e.evaluate_budgeted(&q, &QueryBudget::with_deadline(std::time::Duration::ZERO)),
+            Err(ExecError::DeadlineExceeded)
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use wdsparql_algebra::SolutionSet;
 use wdsparql_hom::{all_homs_into_graph, TGraph};
-use wdsparql_rdf::{Mapping, TripleIndex, TriplePattern};
-use wdsparql_store::{bgp_is_cyclic, eval_bgp_wco, JoinStrategy};
+use wdsparql_rdf::{ExecError, Mapping, QueryBudget, SolutionStream, TripleIndex, TriplePattern};
+use wdsparql_store::{bgp_is_cyclic, JoinStrategy, WcoStream};
 use wdsparql_tree::{NodeId, Wdpf, Wdpt};
 
 /// Enumerates `⟦T⟧_G` (pairwise node joins — the hom solver's
@@ -28,9 +28,8 @@ pub fn enumerate_forest(f: &Wdpf, g: &dyn TripleIndex) -> SolutionSet {
 /// As [`enumerate_tree`], with a [`JoinStrategy`] for the per-node query
 /// cores (see [`enumerate_forest_with`]).
 pub fn enumerate_tree_with(t: &Wdpt, g: &dyn TripleIndex, strategy: JoinStrategy) -> SolutionSet {
-    solutions_below(t, g, t.root(), &Mapping::new(), strategy)
-        .into_iter()
-        .collect()
+    enumerate_tree_budgeted(t, g, strategy, &QueryBudget::unlimited())
+        .expect("an unlimited budget never fails a checkpoint")
 }
 
 /// As [`enumerate_forest`], with a [`JoinStrategy`] knob for the
@@ -41,11 +40,40 @@ pub fn enumerate_tree_with(t: &Wdpt, g: &dyn TripleIndex, strategy: JoinStrategy
 /// first — a triangle with one variable already bound is no longer
 /// cyclic, so `Auto` leaves it on the fail-first path.
 pub fn enumerate_forest_with(f: &Wdpf, g: &dyn TripleIndex, strategy: JoinStrategy) -> SolutionSet {
+    enumerate_forest_budgeted(f, g, strategy, &QueryBudget::unlimited())
+        .expect("an unlimited budget never fails a checkpoint")
+}
+
+/// As [`enumerate_tree_with`], under a [`QueryBudget`]: enumeration
+/// checkpoints once per node-extension step (and the leapfrog join
+/// checkpoints inside its seek loops), so a deadline or cancellation
+/// surfaces as a typed [`ExecError`] instead of running to completion.
+pub fn enumerate_tree_budgeted(
+    t: &Wdpt,
+    g: &dyn TripleIndex,
+    strategy: JoinStrategy,
+    budget: &QueryBudget,
+) -> Result<SolutionSet, ExecError> {
+    Ok(
+        solutions_below(t, g, t.root(), &Mapping::new(), strategy, budget)?
+            .into_iter()
+            .collect(),
+    )
+}
+
+/// As [`enumerate_forest_with`], under a [`QueryBudget`] (see
+/// [`enumerate_tree_budgeted`]).
+pub fn enumerate_forest_budgeted(
+    f: &Wdpf,
+    g: &dyn TripleIndex,
+    strategy: JoinStrategy,
+    budget: &QueryBudget,
+) -> Result<SolutionSet, ExecError> {
     let mut out = SolutionSet::new();
     for t in &f.trees {
-        out.extend(enumerate_tree_with(t, g, strategy));
+        out.extend(enumerate_tree_budgeted(t, g, strategy, budget)?);
     }
-    out
+    Ok(out)
 }
 
 /// The homomorphisms of one node's pattern set extending `base`, routed
@@ -63,21 +91,24 @@ fn node_homs(
     g: &dyn TripleIndex,
     base: &Mapping,
     strategy: JoinStrategy,
-) -> Vec<Mapping> {
+    budget: &QueryBudget,
+) -> Result<Vec<Mapping>, ExecError> {
     if strategy != JoinStrategy::Pairwise {
         let bound: Vec<TriplePattern> = pat.iter().map(|t| t.apply_partial(base)).collect();
         if strategy == JoinStrategy::Wco || bgp_is_cyclic(&bound) {
             let fixed = base.restrict(pat.vars());
-            return eval_bgp_wco(g, &bound)
+            return WcoStream::new(g, &bound, budget, false)
+                .collect_limit(None)?
                 .into_iter()
                 .map(|mu| {
-                    mu.union(&fixed)
-                        .expect("bound patterns cannot rebind fixed variables")
+                    Ok(mu
+                        .union(&fixed)
+                        .expect("bound patterns cannot rebind fixed variables"))
                 })
                 .collect();
         }
     }
-    all_homs_into_graph(pat, g, base)
+    Ok(all_homs_into_graph(pat, g, base))
 }
 
 /// All maximal solutions of the subtree rooted at `n`, each including the
@@ -89,21 +120,26 @@ fn solutions_below(
     n: NodeId,
     base: &Mapping,
     strategy: JoinStrategy,
-) -> Vec<Mapping> {
+    budget: &QueryBudget,
+) -> Result<Vec<Mapping>, ExecError> {
+    // One checkpoint per branch extension: product blow-up happens one
+    // node-extension at a time, so this bounds the work between checks.
+    budget.check()?;
     let mut out = Vec::new();
-    for nu in node_homs(t.pat(n), g, base, strategy) {
+    for nu in node_homs(t.pat(n), g, base, strategy, budget)? {
         let combined = base
             .union(&nu)
             .expect("solver extensions agree with their fixed bindings");
         // Children combine by product; a child with no extension is absent.
         let mut partials = vec![combined.clone()];
         for &c in t.children(n) {
-            let exts = solutions_below(t, g, c, &combined, strategy);
+            let exts = solutions_below(t, g, c, &combined, strategy, budget)?;
             if exts.is_empty() {
                 continue;
             }
             let mut next = Vec::with_capacity(partials.len() * exts.len());
             for p in &partials {
+                budget.check()?;
                 for e in &exts {
                     let u = p
                         .union(e)
@@ -115,7 +151,7 @@ fn solutions_below(
         }
         out.extend(partials);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -197,6 +233,57 @@ mod tests {
     fn empty_graph_has_no_solutions() {
         let f = Wdpf::from_pattern(&parse_pattern("(?x, p, ?y)").unwrap()).unwrap();
         assert!(enumerate_forest(&f, &RdfGraph::new()).is_empty());
+    }
+
+    /// A budget that can never be satisfied fails every enumeration
+    /// with the typed error before doing index work, and an unlimited
+    /// budget reproduces the unbudgeted result exactly — across all
+    /// three join strategies.
+    #[test]
+    fn budgeted_enumeration_types_its_failures_and_agrees_when_unlimited() {
+        use std::time::Duration;
+        use wdsparql_rdf::CancelToken;
+        let g = sample_graph();
+        let p =
+            parse_pattern("(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))")
+                .unwrap();
+        let f = Wdpf::from_pattern(&p).unwrap();
+        for strategy in [
+            JoinStrategy::Pairwise,
+            JoinStrategy::Wco,
+            JoinStrategy::Auto,
+        ] {
+            let want = enumerate_forest_with(&f, &g, strategy);
+            assert_eq!(
+                enumerate_forest_budgeted(&f, &g, strategy, &QueryBudget::unlimited()),
+                Ok(want),
+                "{strategy}: unlimited budget must not change the result"
+            );
+            // Fresh budget per query: the first checkpoint is the one
+            // call guaranteed to consult the clock.
+            assert_eq!(
+                enumerate_forest_budgeted(
+                    &f,
+                    &g,
+                    strategy,
+                    &QueryBudget::with_deadline(Duration::ZERO)
+                ),
+                Err(ExecError::DeadlineExceeded),
+                "{strategy}: a zero deadline must fail typed"
+            );
+            let token = CancelToken::new();
+            token.cancel();
+            assert_eq!(
+                enumerate_forest_budgeted(
+                    &f,
+                    &g,
+                    strategy,
+                    &QueryBudget::unlimited().and_cancel(token)
+                ),
+                Err(ExecError::Cancelled),
+                "{strategy}: a tripped token must fail typed"
+            );
+        }
     }
 
     /// Every join strategy enumerates the same solution sets — on

@@ -30,7 +30,10 @@ pub mod pebble_eval;
 
 pub use counting::{count_by_domain, count_forest, enumerate_with_stats, EnumStats};
 pub use engine::{Engine, Query, QueryError, Strategy, WidthReport};
-pub use enumerate::{enumerate_forest, enumerate_forest_with, enumerate_tree, enumerate_tree_with};
+pub use enumerate::{
+    enumerate_forest, enumerate_forest_budgeted, enumerate_forest_with, enumerate_tree,
+    enumerate_tree_budgeted, enumerate_tree_with,
+};
 pub use explain::{explain_forest, explain_tree, Explanation, TreeRejection};
 pub use lemma1::{child_extends, mu_subtree};
 pub use naive::{check_forest, check_tree};

@@ -4,10 +4,13 @@
 //!
 //! The catalog is a plain struct — registration is the field list, so
 //! the hot path is exactly one atomic RMW per event with no name
-//! lookup, no lock, and no allocation. `schema: 1` pins the JSON
+//! lookup, no lock, and no allocation. `schema: 2` pins the JSON
 //! layout; CI validates a live snapshot against
 //! `crates/obs/metrics-schema.json` (key presence + types), and adding
-//! a metric is a schema *addition*, never a mutation.
+//! a metric is a schema *addition*, never a mutation. (Schema 2 added
+//! the streaming-execution metrics: `store.deadline_exceeded_total`,
+//! `query.rows_streamed`, and the per-shard read-load sections
+//! `shard_read_rows` / `shard_read_ns`.)
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 
@@ -46,6 +49,8 @@ pub struct Registry {
     pub routed_reads: Counter,
     /// Sharded reads that had to fan out across every shard.
     pub fanout_reads: Counter,
+    /// Budgeted queries that failed their deadline checkpoint.
+    pub deadline_exceeded: Counter,
 
     // Gauges — last published observation (refreshed by `stats()`).
     /// Triples in the store (sharded: summed over shards).
@@ -66,6 +71,12 @@ pub struct Registry {
     /// Rows ingested per shard slot — the load-balance signal
     /// (shard `i >= SHARD_SLOTS` folds into the last slot).
     pub shard_rows: [Counter; SHARD_SLOTS],
+    /// Rows *served* per shard slot by routed/fan-out reads — the
+    /// read-side load-balance twin of `shard_rows`.
+    pub shard_read_rows: [Counter; SHARD_SLOTS],
+    /// Per-shard read latency (ns) — splits the global `fanout_ns` by
+    /// the shard that did the work, so a hot shard shows up by slot.
+    pub shard_read_ns: [Histogram; SHARD_SLOTS],
 
     // Latency histograms (nanoseconds).
     /// End-to-end BGP query latency (plan + cache + execute).
@@ -78,6 +89,10 @@ pub struct Registry {
     pub compact_ns: Histogram,
     /// Parallel shard fan-out read latency.
     pub fanout_ns: Histogram,
+    /// Rows streamed per completed budgeted/limited query (a row-count
+    /// histogram, not nanoseconds — LIMIT pushdown shows up as a low
+    /// p50 against a large full-enumeration max).
+    pub rows_streamed: Histogram,
 }
 
 impl Registry {
@@ -101,6 +116,10 @@ impl Registry {
                 ("cache.stampede_waits", self.cache_stampede_waits.get()),
                 ("shard.routed_reads", self.routed_reads.get()),
                 ("shard.fanout_reads", self.fanout_reads.get()),
+                (
+                    "store.deadline_exceeded_total",
+                    self.deadline_exceeded.get(),
+                ),
             ],
             gauges: vec![
                 ("store.triples", self.triples.get()),
@@ -117,12 +136,15 @@ impl Registry {
                 ("store.bulk_load_ns", self.bulk_load_ns.capture()),
                 ("store.compact_ns", self.compact_ns.capture()),
                 ("shard.fanout_ns", self.fanout_ns.capture()),
+                ("query.rows_streamed", self.rows_streamed.capture()),
             ],
             shard_rows: self.shard_rows.iter().map(Counter::get).collect(),
+            shard_read_rows: self.shard_read_rows.iter().map(Counter::get).collect(),
+            shard_read_ns: self.shard_read_ns.iter().map(Histogram::capture).collect(),
         }
     }
 
-    /// The stable-schema JSON snapshot (`schema: 1`).
+    /// The stable-schema JSON snapshot (`schema: 2`).
     pub fn to_json(&self) -> String {
         self.capture().to_json()
     }
@@ -136,6 +158,8 @@ pub struct RegistrySnapshot {
     gauges: Vec<(&'static str, u64)>,
     histograms: Vec<(&'static str, HistogramSnapshot)>,
     shard_rows: Vec<u64>,
+    shard_read_rows: Vec<u64>,
+    shard_read_ns: Vec<HistogramSnapshot>,
 }
 
 impl RegistrySnapshot {
@@ -158,11 +182,11 @@ impl RegistrySnapshot {
             .map(|&(_, v)| v)
     }
 
-    /// Renders the snapshot as the `schema: 1` JSON document: fixed
+    /// Renders the snapshot as the `schema: 2` JSON document: fixed
     /// member order, exact u64 integers, each histogram summarized as
     /// `count`/`sum`/`max`/`p50`/`p90`/`p99`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 1,\n  \"counters\": {\n");
+        let mut out = String::from("{\n  \"schema\": 2,\n  \"counters\": {\n");
         push_pairs(&mut out, &self.counters);
         out.push_str("  },\n  \"gauges\": {\n");
         push_pairs(&mut out, &self.gauges);
@@ -173,25 +197,44 @@ impl RegistrySnapshot {
             } else {
                 ""
             };
-            out.push_str(&format!(
-                "    \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}{comma}\n",
-                h.count(),
-                h.sum(),
-                h.max(),
-                h.p50(),
-                h.p90(),
-                h.p99(),
-            ));
+            out.push_str(&format!("    \"{name}\": {}{comma}\n", hist_json(h)));
         }
         out.push_str("  },\n  \"shard_rows\": [");
-        for (i, v) in self.shard_rows.iter().enumerate() {
+        push_u64s(&mut out, &self.shard_rows);
+        out.push_str("],\n  \"shard_read_rows\": [");
+        push_u64s(&mut out, &self.shard_read_rows);
+        out.push_str("],\n  \"shard_read_ns\": [");
+        for (i, h) in self.shard_read_ns.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&v.to_string());
+            out.push_str(&hist_json(h));
         }
         out.push_str("]\n}\n");
         out
+    }
+}
+
+/// One histogram summary object, shared by the named-histogram section
+/// and the per-shard read-latency array.
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.count(),
+        h.sum(),
+        h.max(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+    )
+}
+
+fn push_u64s(out: &mut String, values: &[u64]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.to_string());
     }
 }
 
@@ -214,6 +257,10 @@ mod tests {
         r.cache_hits.inc();
         r.triples.set(1234);
         r.shard_rows[2].add(50);
+        r.shard_read_rows[3].add(7);
+        r.shard_read_ns[3].record(4_000);
+        r.deadline_exceeded.inc();
+        r.rows_streamed.record(10);
         r.query_ns.record(1_000);
         r.query_ns.record(2_000);
         let text = r.to_json();
@@ -242,6 +289,32 @@ mod tests {
             }
             other => panic!("shard_rows should be an array, got {other:?}"),
         }
+        match doc.get("shard_read_rows") {
+            Some(json::Value::Arr(slots)) => {
+                assert_eq!(slots.len(), SHARD_SLOTS);
+                assert_eq!(slots[3].as_u64(), Some(7));
+            }
+            other => panic!("shard_read_rows should be an array, got {other:?}"),
+        }
+        match doc.get("shard_read_ns") {
+            Some(json::Value::Arr(slots)) => {
+                assert_eq!(slots.len(), SHARD_SLOTS);
+                assert_eq!(slots[3].get("count").and_then(json::Value::as_u64), Some(1));
+                assert_eq!(slots[0].get("count").and_then(json::Value::as_u64), Some(0));
+            }
+            other => panic!("shard_read_ns should be an array, got {other:?}"),
+        }
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("store.deadline_exceeded_total"))
+                .and_then(json::Value::as_u64),
+            Some(1)
+        );
+        let streamed = doc
+            .get("histograms")
+            .and_then(|h| h.get("query.rows_streamed"))
+            .unwrap();
+        assert_eq!(streamed.get("sum").and_then(json::Value::as_u64), Some(10));
         assert_eq!(r.capture().counter("cache.hits"), Some(1));
     }
 

@@ -12,6 +12,9 @@
 //! * indexed [`RdfGraph`]s with triple-pattern matching ([`graph`]),
 //! * the [`TripleIndex`] trait — the pattern-matching surface shared by
 //!   every graph backend ([`index`]),
+//! * the pull-based execution substrate — [`SolutionStream`],
+//!   [`QueryBudget`] deadlines/cancellation and the typed [`ExecError`]
+//!   ([`exec`]),
 //! * a small N-Triples-style reader/writer ([`ntriples`]).
 //!
 //! Everything here is deliberately *ground* (no blank nodes, no literals):
@@ -19,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod exec;
 pub mod graph;
 pub mod index;
 pub mod mapping;
@@ -27,6 +31,7 @@ pub mod term;
 pub mod trie;
 pub mod triple;
 
+pub use exec::{CancelToken, ExecError, QueryBudget, SolutionStream, VecStream};
 pub use graph::{binding_of, pattern_matches, RdfGraph};
 pub use index::TripleIndex;
 pub use mapping::Mapping;

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use wdsparql_rdf::Mapping;
+use wdsparql_rdf::{ExecError, Mapping};
 
 /// Cache hit/miss counters (monotonic over the cache's lifetime).
 /// `hits` counts results served without a computation — from the LRU or
@@ -38,8 +38,11 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// In-flight computation slot: filled exactly once, everyone else waits.
-type PendingSlot = Arc<OnceLock<Arc<Vec<Mapping>>>>;
+/// In-flight computation slot: filled exactly once, everyone else
+/// waits. The slot holds the computation's *outcome* — a budget failure
+/// ([`ExecError`]) lands here too, so every waiter of a doomed
+/// computation gets the same typed error instead of a partial result.
+type PendingSlot = Arc<OnceLock<Result<Arc<Vec<Mapping>>, ExecError>>>;
 
 /// A small LRU over solution sets. Recency is a logical clock; the
 /// tick-ordered index makes eviction `O(log n)` (pop the smallest
@@ -191,12 +194,32 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
         still_valid: impl FnOnce() -> bool,
         compute: impl FnOnce() -> Vec<Mapping>,
     ) -> Arc<Vec<Mapping>> {
+        // analyzer-allow: no-unwrap-in-service an infallible computation
+        // wrapped in Ok can never surface a budget error.
+        self.get_or_try_compute(key, still_valid, || Ok(compute()))
+            .expect("an infallible computation cannot fail")
+    }
+
+    /// The fallible twin of [`ResultCache::get_or_compute`] — the entry
+    /// point for budgeted queries. A `compute` that fails its
+    /// [`wdsparql_rdf::QueryBudget`] stores the [`ExecError`] in the
+    /// in-flight slot, so every concurrent waiter of the doomed
+    /// computation receives the same typed error; **errors are never
+    /// inserted into the LRU** (cached entries only ever hold complete
+    /// result sets), so the next caller of the key recomputes under its
+    /// own budget.
+    pub(crate) fn get_or_try_compute(
+        &self,
+        key: K,
+        still_valid: impl FnOnce() -> bool,
+        compute: impl FnOnce() -> Result<Vec<Mapping>, ExecError>,
+    ) -> Result<Arc<Vec<Mapping>>, ExecError> {
         if let Some(hit) = self.cache.lock().get(&key) {
             // relaxed-ok: statistics counter; the hit itself synchronizes
             // through the cache mutex.
             self.hits.fetch_add(1, Ordering::Relaxed);
             crate::obs::on_cache_hit();
-            return hit;
+            return Ok(hit);
         }
         let (slot, leader) = {
             let mut pending = self.pending.lock();
@@ -214,7 +237,7 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
                         // pending+cache mutexes held here.
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         crate::obs::on_cache_hit();
-                        return hit;
+                        return Ok(hit);
                     }
                     let slot: PendingSlot = Arc::new(OnceLock::new());
                     e.insert(Arc::clone(&slot));
@@ -223,17 +246,20 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             }
         };
         // Exactly one closure runs per slot; every other caller blocks
-        // inside `get_or_init` until the value lands. The miss counter
+        // inside `get_or_init` until the outcome lands. The miss counter
         // therefore counts computations, not callers.
         let mut computed_here = false;
-        let value = Arc::clone(slot.get_or_init(|| {
-            computed_here = true;
-            // relaxed-ok: one computation = one miss, counted for stats;
-            // publication order is carried by the OnceLock, not this add.
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            crate::obs::on_cache_miss();
-            Arc::new(compute())
-        }));
+        let value = slot
+            .get_or_init(|| {
+                computed_here = true;
+                // relaxed-ok: one computation = one miss, counted for
+                // stats; publication order is carried by the OnceLock,
+                // not this add.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::obs::on_cache_miss();
+                compute().map(Arc::new)
+            })
+            .clone();
         if !computed_here {
             // relaxed-ok: statistics counter; joiners synchronized via the
             // slot's OnceLock already.
@@ -248,12 +274,14 @@ impl<K: Eq + Hash + Clone> ResultCache<K> {
             // cache entry or the pending slot. Skip the insert when the
             // owner's epochs moved meanwhile: the entry would be keyed
             // to a stale epoch — correct but unreachable, so only dead
-            // weight.
-            if still_valid() && self.cache.lock().put(key.clone(), Arc::clone(&value)) {
-                // relaxed-ok: statistics counter; eviction itself is
-                // ordered by the cache mutex.
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                crate::obs::on_cache_eviction();
+            // weight. Errors never land in the LRU at all.
+            if let Ok(complete) = &value {
+                if still_valid() && self.cache.lock().put(key.clone(), Arc::clone(complete)) {
+                    // relaxed-ok: statistics counter; eviction itself is
+                    // ordered by the cache mutex.
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::on_cache_eviction();
+                }
             }
             self.pending.lock().remove(&key);
         }
@@ -373,6 +401,47 @@ mod tests {
         assert_eq!(cs.hits, 7, "joiners count as hits");
         assert_eq!(cs.stampede_waits, 7, "every joiner waited on the slot");
         assert!(cache.pending_is_empty(), "slot unregistered");
+    }
+
+    #[test]
+    fn budget_errors_propagate_to_waiters_and_are_never_cached() {
+        use std::sync::Barrier;
+        let cache: Arc<ResultCache<String>> = Arc::new(ResultCache::new(8));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_try_compute(
+                    "doomed".to_string(),
+                    || true,
+                    || {
+                        // Hold the slot so every thread joins in flight.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        Err(ExecError::DeadlineExceeded)
+                    },
+                )
+            }));
+        }
+        for h in handles {
+            assert_eq!(
+                h.join().unwrap(),
+                Err(ExecError::DeadlineExceeded),
+                "every caller of the doomed key sees the typed error"
+            );
+        }
+        let cs = cache.stats();
+        assert_eq!(cs.misses, 1, "the doomed computation ran once");
+        assert_eq!(cs.entries, 0, "an error must never land in the LRU");
+        assert!(cache.pending_is_empty(), "slot unregistered after error");
+        // The key is recomputable afterwards, under a fresh budget.
+        let ok = cache
+            .get_or_try_compute("doomed".to_string(), || true, || Ok(vec![Mapping::new()]))
+            .expect("fresh computation succeeds");
+        assert_eq!(ok.len(), 1);
+        assert_eq!(cache.stats().entries, 1, "complete results cache normally");
     }
 
     #[test]

@@ -62,6 +62,7 @@
 mod cache;
 pub mod dict;
 pub mod encoded;
+pub mod join;
 pub mod obs;
 mod segment;
 pub mod service;
@@ -71,6 +72,7 @@ pub mod wcoj;
 pub use cache::CacheStats;
 pub use dict::{Dictionary, TermId};
 pub use encoded::{CompactionPolicy, EncodedGraph};
+pub use join::{open_bgp_stream, PairwiseStream};
 pub use obs::metrics_json;
 pub use segment::{CapacityError, MAX_TRIPLES};
 pub use service::{
@@ -79,5 +81,5 @@ pub use service::{
 pub use shard::{ShardedPlannedQuery, ShardedSnapshot, ShardedStats, ShardedStore};
 pub use wcoj::{
     bgp_is_cyclic, eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_strategy,
-    wco_variable_order, JoinStrategy, WcoLevelStats,
+    wco_variable_order, JoinStrategy, WcoLevelStats, WcoStream,
 };

@@ -30,7 +30,7 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
-/// The `schema: 1` JSON snapshot of the registry — what the CLI's
+/// The `schema: 2` JSON snapshot of the registry — what the CLI's
 /// `--metrics-json PATH` writes and CI validates against
 /// `crates/obs/metrics-schema.json`.
 pub fn metrics_json() -> String {
@@ -117,6 +117,28 @@ pub(crate) fn on_shard_rows(shard: usize, rows: u64) {
     registry().shard_rows[shard.min(SHARD_SLOTS - 1)].add(rows);
 }
 
+/// One shard's share of a read (routed or fan-out): rows served and
+/// time spent, by slot — the read-side load-balance signal.
+#[cfg(feature = "obs")]
+pub(crate) fn on_shard_read(shard: usize, rows: u64, elapsed: Duration) {
+    let slot = shard.min(SHARD_SLOTS - 1);
+    let r = registry();
+    r.shard_read_rows[slot].add(rows);
+    r.shard_read_ns[slot].record(ns(elapsed));
+}
+
+/// A budgeted query failed its deadline checkpoint.
+#[cfg(feature = "obs")]
+pub(crate) fn on_deadline_exceeded() {
+    registry().deadline_exceeded.inc();
+}
+
+/// A budgeted/limited query completed, streaming `rows` solutions.
+#[cfg(feature = "obs")]
+pub(crate) fn on_rows_streamed(rows: u64) {
+    registry().rows_streamed.record(rows);
+}
+
 /// Refreshes the `store.*` gauges from a stats snapshot (called by the
 /// services' `stats()`, so the registry mirrors the latest observation).
 #[cfg(feature = "obs")]
@@ -170,6 +192,12 @@ pub(crate) fn on_fanout(_elapsed: std::time::Duration) {}
 #[cfg(not(feature = "obs"))]
 pub(crate) fn on_shard_rows(_shard: usize, _rows: u64) {}
 #[cfg(not(feature = "obs"))]
+pub(crate) fn on_shard_read(_shard: usize, _rows: u64, _elapsed: std::time::Duration) {}
+#[cfg(not(feature = "obs"))]
+pub(crate) fn on_deadline_exceeded() {}
+#[cfg(not(feature = "obs"))]
+pub(crate) fn on_rows_streamed(_rows: u64) {}
+#[cfg(not(feature = "obs"))]
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn publish_store_gauges(
     _triples: u64,
@@ -187,8 +215,11 @@ mod tests {
     #[test]
     fn metrics_json_is_schema_valid_from_a_cold_start() {
         let text = super::metrics_json();
-        assert!(text.contains("\"schema\": 1"));
+        assert!(text.contains("\"schema\": 2"));
         assert!(text.contains("\"cache.hits\""));
         assert!(text.contains("\"query.total_ns\""));
+        assert!(text.contains("\"store.deadline_exceeded_total\""));
+        assert!(text.contains("\"query.rows_streamed\""));
+        assert!(text.contains("\"shard_read_ns\""));
     }
 }

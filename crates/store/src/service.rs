@@ -22,6 +22,8 @@
 
 use crate::cache::ResultCache;
 use crate::encoded::{CapacityError, EncodedGraph};
+use crate::join::open_bgp_stream;
+pub(crate) use crate::join::{eval_bgp_planned, eval_bgp_planned_profiled};
 use crate::wcoj::{
     eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_with_order, JoinStrategy,
     WcoLevelStats,
@@ -33,7 +35,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use wdsparql_obs::{QueryProfile, Span};
 use wdsparql_rdf::{
-    binding_of, Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern, Variable,
+    ExecError, Iri, Mapping, QueryBudget, RdfGraph, SolutionStream, Term, Triple, TripleIndex,
+    TriplePattern, Variable,
 };
 
 pub use crate::cache::CacheStats;
@@ -232,102 +235,6 @@ pub struct PairwiseStepStats {
     /// Intermediate result cardinality *after* this step (for the seed:
     /// after the semi-join prune).
     pub rows: u64,
-}
-
-/// Evaluates the conjunction of `patterns` in the given `order` with a
-/// sorted semi-join on the first shared variable and index-nested-loop
-/// (bind) joins for the rest. Does **not** re-plan: `order` is the plan.
-pub(crate) fn eval_bgp_planned(
-    ix: &dyn TripleIndex,
-    patterns: &[TriplePattern],
-    order: &[usize],
-) -> Vec<Mapping> {
-    eval_pairwise_inner(ix, patterns, order, None)
-}
-
-/// As [`eval_bgp_planned`], additionally reporting per-step counters —
-/// scan probes and intermediate cardinalities, one entry per plan
-/// position.
-pub(crate) fn eval_bgp_planned_profiled(
-    ix: &dyn TripleIndex,
-    patterns: &[TriplePattern],
-    order: &[usize],
-) -> (Vec<Mapping>, Vec<PairwiseStepStats>) {
-    let mut steps = Vec::with_capacity(order.len());
-    let sols = eval_pairwise_inner(ix, patterns, order, Some(&mut steps));
-    (sols, steps)
-}
-
-fn eval_pairwise_inner(
-    ix: &dyn TripleIndex,
-    patterns: &[TriplePattern],
-    order: &[usize],
-    mut steps: Option<&mut Vec<PairwiseStepStats>>,
-) -> Vec<Mapping> {
-    if patterns.is_empty() {
-        return vec![Mapping::new()];
-    }
-    debug_assert_eq!(order.len(), patterns.len());
-    let first = &patterns[order[0]];
-    let mut sols = ix.solutions(first);
-    // Semi-join: when the two most selective patterns share a variable,
-    // drop seed solutions whose value for it cannot occur in the second
-    // pattern. The first pattern's side is already in hand (`sols` was
-    // just enumerated), so only the second pattern's sorted candidate
-    // values are scanned.
-    if let Some(&second) = order.get(1) {
-        let shared = first
-            .vars()
-            .intersection(&patterns[second].vars())
-            .copied()
-            .next();
-        if let Some(v) = shared {
-            if let Some(vals) = ix.candidate_values(&patterns[second], v) {
-                sols.retain(|mu| {
-                    mu.get(v)
-                        .is_some_and(|val| vals.binary_search(&val).is_ok())
-                });
-            }
-        }
-    }
-    if let Some(s) = steps.as_deref_mut() {
-        s.push(PairwiseStepStats {
-            pattern: order[0],
-            scans: 1,
-            rows: sols.len() as u64,
-        });
-    }
-    for &i in &order[1..] {
-        let pat = &patterns[i];
-        let probes = sols.len() as u64;
-        let mut next = Vec::new();
-        for mu in &sols {
-            let bound = pat.apply_partial(mu);
-            for t in ix.match_pattern(&bound) {
-                // analyzer-allow: no-unwrap-in-service match_pattern yields
-                // exactly the triples the bound pattern matches, so a
-                // binding always exists; a None here is index corruption.
-                let nu =
-                    binding_of(&bound, &t).expect("match_pattern returns only matching triples");
-                // analyzer-allow: no-unwrap-in-service nu binds only the
-                // pattern's free variables, which are disjoint from mu's by
-                // construction of apply_partial.
-                let merged = mu
-                    .union(&nu)
-                    .expect("bound pattern cannot rebind branch variables");
-                next.push(merged);
-            }
-        }
-        sols = next;
-        if let Some(s) = steps.as_deref_mut() {
-            s.push(PairwiseStepStats {
-                pattern: i,
-                scans: probes,
-                rows: sols.len() as u64,
-            });
-        }
-    }
-    sols
 }
 
 /// Collision-free cache key: every term is rendered as its kind tag
@@ -753,6 +660,73 @@ impl TripleStore {
             strategy,
             profile: Some(QueryProfile::new(root)),
         }
+    }
+
+    /// As [`TripleStore::query`], evaluated under `budget`: the
+    /// streaming evaluators checkpoint the deadline/cancellation token
+    /// at every pull and inside their inner loops, so a failed budget
+    /// surfaces as a typed [`ExecError`] within one seek/merge step
+    /// instead of running to completion. Complete results are cached
+    /// exactly like [`TripleStore::query`]'s (same key, so the two
+    /// paths serve each other); a budget failure is never cached — the
+    /// next caller recomputes under its own budget.
+    pub fn query_budgeted(
+        &self,
+        patterns: &[TriplePattern],
+        budget: &QueryBudget,
+    ) -> Result<Arc<Vec<Mapping>>, ExecError> {
+        // Checkpoint before even consulting the cache: an already-dead
+        // budget (zero deadline, tripped token) fails here, so the
+        // outcome does not depend on what happens to be cached.
+        budget.check()?;
+        let (graph, epoch) = self.snapshot();
+        let strategy = self.join_strategy();
+        let key = strategy_cache_key(patterns, Some(strategy));
+        let out = self.cache.get_or_try_compute(
+            (key, epoch),
+            || self.inner.read().epoch == epoch,
+            || open_bgp_stream(&*graph, patterns, strategy, budget).collect_limit(None),
+        );
+        match &out {
+            Ok(rows) => crate::obs::on_rows_streamed(rows.len() as u64),
+            Err(ExecError::DeadlineExceeded) => crate::obs::on_deadline_exceeded(),
+            Err(ExecError::Cancelled) => {}
+        }
+        out
+    }
+
+    /// Streams the first `limit` solutions of a BGP under `budget` —
+    /// LIMIT pushdown: enumeration stops the moment the k-th solution
+    /// arrives, so the evaluators do work proportional to the prefix,
+    /// not the full result. The prefix equals the first `limit` rows of
+    /// the corresponding full run (same plan, same snapshot, same
+    /// order). **Uncached** in both directions: a k-prefix is a partial
+    /// result and cached entries only ever hold complete ones.
+    pub fn query_limited(
+        &self,
+        patterns: &[TriplePattern],
+        limit: usize,
+        budget: &QueryBudget,
+    ) -> Result<Vec<Mapping>, ExecError> {
+        budget.check()?;
+        let (graph, _epoch) = self.snapshot();
+        let strategy = self.join_strategy();
+        let out = open_bgp_stream(&*graph, patterns, strategy, budget).collect_limit(Some(limit));
+        match &out {
+            Ok(rows) => crate::obs::on_rows_streamed(rows.len() as u64),
+            Err(ExecError::DeadlineExceeded) => crate::obs::on_deadline_exceeded(),
+            Err(ExecError::Cancelled) => {}
+        }
+        out
+    }
+
+    /// The infallible facade over [`TripleStore::query_limited`]: the
+    /// first `limit` solutions under an unlimited budget.
+    pub fn solutions_limit(&self, patterns: &[TriplePattern], limit: usize) -> Vec<Mapping> {
+        // analyzer-allow: no-unwrap-in-service an unlimited budget never
+        // fails a checkpoint, so the streamed prefix always arrives.
+        self.query_limited(patterns, limit, &QueryBudget::unlimited())
+            .expect("an unlimited budget never fails a checkpoint")
     }
 
     /// Shared variables helper for callers composing their own joins.
@@ -1254,6 +1228,68 @@ mod tests {
         let s = store();
         let sols = s.query(&[]);
         assert_eq!(sols.as_slice(), &[Mapping::new()]);
+    }
+
+    #[test]
+    fn query_budgeted_shares_the_cache_and_types_its_failures() {
+        let s = store();
+        let pats = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+        ];
+        // An unlimited budget agrees with the materialising path and
+        // lands in the same cache entry.
+        let budgeted = s
+            .query_budgeted(&pats, &QueryBudget::unlimited())
+            .expect("unlimited");
+        assert_eq!(budgeted, s.query(&pats), "one cache entry serves both");
+        assert_eq!(s.cache_stats().misses, 1, "query() hit the budgeted entry");
+        // A dead budget fails typed, and the failure is not cached: the
+        // key stays recomputable.
+        let s2 = store();
+        let err = s2.query_budgeted(&pats, &QueryBudget::with_deadline(Duration::ZERO));
+        assert_eq!(err, Err(ExecError::DeadlineExceeded));
+        assert_eq!(s2.cache_stats().entries, 0, "errors never land in the LRU");
+        assert_eq!(
+            s2.query_budgeted(&pats, &QueryBudget::unlimited())
+                .expect("fresh budget")
+                .len(),
+            2
+        );
+        // Cancellation surfaces as its own variant.
+        let token = wdsparql_rdf::CancelToken::new();
+        token.cancel();
+        let s3 = store();
+        assert_eq!(
+            s3.query_budgeted(&pats, &QueryBudget::with_cancel(token)),
+            Err(ExecError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn query_limited_streams_the_exact_prefix_uncached() {
+        let s = store();
+        let pats = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("q"), var("z")),
+        ];
+        let full = s.query(&pats);
+        assert_eq!(full.len(), 2);
+        for k in 0..=full.len() {
+            assert_eq!(
+                s.solutions_limit(&pats, k),
+                full[..k],
+                "LIMIT {k} must be the exact k-prefix of the full run"
+            );
+        }
+        // Over-asking caps at the full result.
+        assert_eq!(s.solutions_limit(&pats, 99), *full);
+        // Limited runs neither read nor populate the result cache.
+        let entries = s.cache_stats().entries;
+        let hits = s.cache_stats().hits;
+        s.solutions_limit(&pats, 1);
+        assert_eq!(s.cache_stats().entries, entries);
+        assert_eq!(s.cache_stats().hits, hits);
     }
 
     #[test]

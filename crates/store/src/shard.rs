@@ -47,6 +47,7 @@
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::encoded::{CapacityError, EncodedGraph};
+use crate::join::open_bgp_stream;
 use crate::service::{
     eval_bgp_planned, eval_bgp_planned_profiled, pairwise_step_spans, plan_order, plan_span,
     wco_level_spans, StoreSnapshot, StoreStats, TripleStore,
@@ -59,7 +60,10 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use wdsparql_obs::{QueryProfile, Span};
-use wdsparql_rdf::{Iri, Mapping, RdfGraph, Term, Triple, TripleIndex, TriplePattern, Variable};
+use wdsparql_rdf::{
+    ExecError, Iri, Mapping, QueryBudget, RdfGraph, SolutionStream, Term, Triple, TripleIndex,
+    TriplePattern, Variable,
+};
 
 /// Facade cache key: the BGP key plus the `(shard, epoch)` pairs the
 /// query read. Routing is a pure function of the query text, so equal
@@ -117,14 +121,16 @@ where
 }
 
 /// Merges two sorted runs into one sorted run (stable: ties take the
-/// left run first).
-fn merge_two<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+/// left run first), checkpointing `budget` once per emitted item so a
+/// deadline interrupts the merge within one comparison step.
+fn merge_two<T: Ord>(a: Vec<T>, b: Vec<T>, budget: &QueryBudget) -> Result<Vec<T>, ExecError> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let mut a = a.into_iter();
     let mut b = b.into_iter();
     let mut next_a = a.next();
     let mut next_b = b.next();
     loop {
+        budget.check()?;
         match (next_a.take(), next_b.take()) {
             (Some(x), Some(y)) => {
                 if x <= y {
@@ -150,26 +156,32 @@ fn merge_two<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
             (None, None) => break,
         }
     }
-    out
+    Ok(out)
 }
 
 /// K-way merge of sorted runs, tournament-style (pairwise rounds), so
-/// total work is `O(items · log runs)`.
-fn merge_many_sorted<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
+/// total work is `O(items · log runs)`. The budget threads into every
+/// pairwise merge, so the whole tournament stays interruptible.
+fn merge_many_sorted<T: Ord>(
+    mut runs: Vec<Vec<T>>,
+    budget: &QueryBudget,
+) -> Result<Vec<T>, ExecError> {
     runs.retain(|r| !r.is_empty());
     runs.sort_by_key(Vec::len);
     while runs.len() > 1 {
+        budget.check()?;
         let mut next = Vec::with_capacity(runs.len().div_ceil(2));
         let mut iter = runs.into_iter();
         while let Some(a) = iter.next() {
+            budget.check()?;
             match iter.next() {
-                Some(b) => next.push(merge_two(a, b)),
+                Some(b) => next.push(merge_two(a, b, budget)?),
                 None => next.push(a),
             }
         }
         runs = next;
     }
-    runs.pop().unwrap_or_default()
+    Ok(runs.pop().unwrap_or_default())
 }
 
 /// An owned, per-shard-consistent view of every shard at one epoch
@@ -228,14 +240,20 @@ impl ShardedSnapshot {
 
     /// Runs `per_shard` on every shard (scoped threads when `parallel`)
     /// and concatenates the runs in shard order — subjects partition the
-    /// shards, so the runs are disjoint and no merge is owed.
+    /// shards, so the runs are disjoint and no merge is owed. The
+    /// closure receives the shard index so read paths can attribute
+    /// their per-shard load ([`crate::obs::on_shard_read`]).
     fn gather<T: Send>(
         &self,
         parallel: bool,
-        per_shard: impl Fn(&EncodedGraph) -> Vec<T> + Sync,
+        per_shard: impl Fn(usize, &EncodedGraph) -> Vec<T> + Sync,
     ) -> Vec<T> {
         let per_shard = &per_shard;
-        let jobs: Vec<_> = self.graphs().map(|g| move || per_shard(g)).collect();
+        let jobs: Vec<_> = self
+            .graphs()
+            .enumerate()
+            .map(|(i, g)| move || per_shard(i, g))
+            .collect();
         let runs = run_jobs(jobs, parallel);
         let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
         for run in runs {
@@ -287,14 +305,22 @@ impl TripleIndex for ShardedSnapshot {
         match self.route(pat) {
             Some(i) => {
                 crate::obs::on_routed_read();
-                self.shard(i).match_pattern(pat)
+                let start = Instant::now();
+                let out = self.shard(i).match_pattern(pat);
+                crate::obs::on_shard_read(i, out.len() as u64, start.elapsed());
+                out
             }
             None => {
                 // Scatter (to threads when the host and the run sizes
                 // warrant it) and concatenate lazily in shard order.
                 let start = Instant::now();
                 let est = self.fanout_estimate(pat);
-                let out = self.gather(self.parallel_fanout(est), |g| g.match_pattern(pat));
+                let out = self.gather(self.parallel_fanout(est), |i, g| {
+                    let shard_start = Instant::now();
+                    let run = g.match_pattern(pat);
+                    crate::obs::on_shard_read(i, run.len() as u64, shard_start.elapsed());
+                    run
+                });
                 crate::obs::on_fanout(start.elapsed());
                 out
             }
@@ -305,7 +331,10 @@ impl TripleIndex for ShardedSnapshot {
         match self.route(pat) {
             Some(i) => {
                 crate::obs::on_routed_read();
-                self.shard(i).solutions(pat)
+                let start = Instant::now();
+                let out = self.shard(i).solutions(pat);
+                crate::obs::on_shard_read(i, out.len() as u64, start.elapsed());
+                out
             }
             None => {
                 // Scatter and concatenate in shard order. (This used to
@@ -317,17 +346,29 @@ impl TripleIndex for ShardedSnapshot {
                 let start = Instant::now();
                 let est = self.fanout_estimate(pat);
                 let out = if self.parallel_fanout(est) {
-                    self.gather(true, |g| g.solutions(pat))
+                    self.gather(true, |i, g| {
+                        let shard_start = Instant::now();
+                        let run = g.solutions(pat);
+                        crate::obs::on_shard_read(i, run.len() as u64, shard_start.elapsed());
+                        run
+                    })
                 } else {
                     // Sequential: bind each shard's matches straight
                     // into the gathered run — no per-shard mapping
                     // vectors.
                     let mut out = Vec::with_capacity(est);
-                    for g in self.graphs() {
+                    for (i, g) in self.graphs().enumerate() {
+                        let shard_start = Instant::now();
+                        let before = out.len();
                         out.extend(
                             g.match_pattern(pat)
                                 .into_iter()
                                 .filter_map(|t| wdsparql_rdf::binding_of(pat, &t)),
+                        );
+                        crate::obs::on_shard_read(
+                            i,
+                            (out.len() - before) as u64,
+                            shard_start.elapsed(),
                         );
                     }
                     out
@@ -347,12 +388,16 @@ impl TripleIndex for ShardedSnapshot {
                 // computed in parallel when it pays.
                 let est = self.fanout_estimate(pat);
                 let runs: Option<Vec<Vec<Iri>>> = self
-                    .gather(self.parallel_fanout(est), |g| {
+                    .gather(self.parallel_fanout(est), |_, g| {
                         vec![g.candidate_values(pat, v)]
                     })
                     .into_iter()
                     .collect();
-                let mut merged = merge_many_sorted(runs?);
+                // analyzer-allow: no-unwrap-in-service the trait's
+                // budget-less signature merges under an unlimited budget,
+                // which never fails a checkpoint.
+                let mut merged = merge_many_sorted(runs?, &QueryBudget::unlimited())
+                    .expect("an unlimited budget never fails a checkpoint");
                 merged.dedup();
                 Some(merged)
             }
@@ -785,6 +830,71 @@ impl ShardedStore {
         )
     }
 
+    /// As [`ShardedStore::query`], evaluated under `budget`: the
+    /// streaming evaluators run over the scatter-gather snapshot and
+    /// checkpoint the deadline/cancellation token at every pull and
+    /// inside the WCOJ/merge inner loops, so a failed budget surfaces
+    /// as a typed [`ExecError`]. Complete results are cached under the
+    /// usual epoch-vector key; failures never are.
+    pub fn query_budgeted(
+        &self,
+        patterns: &[TriplePattern],
+        budget: &QueryBudget,
+    ) -> Result<Arc<Vec<Mapping>>, ExecError> {
+        // Checkpoint before even consulting the cache: an already-dead
+        // budget fails here, independent of what happens to be cached.
+        budget.check()?;
+        let read = self.read_set(patterns);
+        let snap = self.read_snapshot_for(&read);
+        let strategy = self.join_strategy();
+        let key = self.key_for(patterns, strategy, &read, &snap);
+        let out = self.cache.get_or_try_compute(
+            key.clone(),
+            || self.key_still_current(&key),
+            || open_bgp_stream(&snap, patterns, strategy, budget).collect_limit(None),
+        );
+        match &out {
+            Ok(rows) => crate::obs::on_rows_streamed(rows.len() as u64),
+            Err(ExecError::DeadlineExceeded) => crate::obs::on_deadline_exceeded(),
+            Err(ExecError::Cancelled) => {}
+        }
+        out
+    }
+
+    /// Streams the first `limit` solutions over the sharded layout
+    /// under `budget` — LIMIT pushdown across the scatter-gather path;
+    /// see [`TripleStore::query_limited`] for the contract. Uncached:
+    /// a k-prefix is a partial result.
+    pub fn query_limited(
+        &self,
+        patterns: &[TriplePattern],
+        limit: usize,
+        budget: &QueryBudget,
+    ) -> Result<Vec<Mapping>, ExecError> {
+        // Checkpoint before any snapshot work: an already-dead budget
+        // fails here, before the store spends effort on its behalf.
+        budget.check()?;
+        let read = self.read_set(patterns);
+        let snap = self.read_snapshot_for(&read);
+        let strategy = self.join_strategy();
+        let out = open_bgp_stream(&snap, patterns, strategy, budget).collect_limit(Some(limit));
+        match &out {
+            Ok(rows) => crate::obs::on_rows_streamed(rows.len() as u64),
+            Err(ExecError::DeadlineExceeded) => crate::obs::on_deadline_exceeded(),
+            Err(ExecError::Cancelled) => {}
+        }
+        out
+    }
+
+    /// The infallible facade over [`ShardedStore::query_limited`]: the
+    /// first `limit` solutions under an unlimited budget.
+    pub fn solutions_limit(&self, patterns: &[TriplePattern], limit: usize) -> Vec<Mapping> {
+        // analyzer-allow: no-unwrap-in-service an unlimited budget never
+        // fails a checkpoint, so the streamed prefix always arrives.
+        self.query_limited(patterns, limit, &QueryBudget::unlimited())
+            .expect("an unlimited budget never fails a checkpoint")
+    }
+
     /// As [`ShardedStore::query`], but also returns the evaluation
     /// order, the resolved strategy and the query's read provenance —
     /// plan and solutions from one snapshot, the plan computed exactly
@@ -1195,6 +1305,46 @@ mod tests {
                 sorted(&sharded.query(&triangle)),
                 want,
                 "{strategy} diverged on the sharded facade"
+            );
+        }
+    }
+
+    #[test]
+    fn facade_budgeted_and_limited_queries_stream_consistently() {
+        use std::time::Duration;
+        let mut triples = fixture();
+        triples.push(Triple::from_strs("a", "p", "c")); // close a triangle
+        let sharded = ShardedStore::from_triples(3, triples);
+        let triangle = [
+            tp(var("x"), iri("p"), var("y")),
+            tp(var("y"), iri("p"), var("z")),
+            tp(var("x"), iri("p"), var("z")),
+        ];
+        for strategy in [
+            JoinStrategy::Pairwise,
+            JoinStrategy::Wco,
+            JoinStrategy::Auto,
+        ] {
+            sharded.set_join_strategy(strategy);
+            let full = sharded
+                .query_budgeted(&triangle, &QueryBudget::unlimited())
+                .expect("unlimited");
+            assert_eq!(
+                full,
+                sharded.query(&triangle),
+                "{strategy}: budgeted and materialised paths share the cache"
+            );
+            for k in 0..=full.len() {
+                assert_eq!(
+                    sharded.solutions_limit(&triangle, k),
+                    full[..k],
+                    "{strategy}: LIMIT {k} must be the exact k-prefix"
+                );
+            }
+            assert_eq!(
+                sharded.query_budgeted(&triangle, &QueryBudget::with_deadline(Duration::ZERO)),
+                Err(ExecError::DeadlineExceeded),
+                "{strategy}: a dead budget fails typed, not by panicking"
             );
         }
     }

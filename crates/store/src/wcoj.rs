@@ -45,8 +45,8 @@ use crate::service::{eval_bgp, plan_order};
 use std::collections::BTreeSet;
 use std::fmt;
 use wdsparql_rdf::{
-    gallop, Iri, Mapping, MaterializedTrie, Term, TrieCursor, TrieOpStats, TripleIndex,
-    TriplePattern, Variable,
+    gallop, ExecError, Iri, Mapping, MaterializedTrie, QueryBudget, SolutionStream, Term,
+    TrieCursor, TrieOpStats, TripleIndex, TriplePattern, Variable,
 };
 
 /// Execution counters of one leapfrog level (one variable of the global
@@ -118,6 +118,9 @@ pub fn bgp_is_cyclic(patterns: &[TriplePattern]) -> bool {
         .map(|p| p.vars())
         .filter(|vs| !vs.is_empty())
         .collect();
+    // analyzer-allow: budget-checkpoint planning-time GYO reduction,
+    // bounded by the query size (each round removes a variable or an
+    // edge) — never data-dependent.
     loop {
         let mut changed = false;
         // Ear variables: occurring in exactly one remaining hyperedge.
@@ -283,6 +286,8 @@ pub fn wco_variable_order(ix: &dyn TripleIndex, patterns: &[TriplePattern]) -> V
             .unwrap_or(usize::MAX)
     };
     let mut order: Vec<Variable> = Vec::with_capacity(vars.len());
+    // analyzer-allow: budget-checkpoint planning-time ordering, bounded
+    // by the query's variable count — never data-dependent.
     while order.len() < vars.len() {
         let connected = |v: Variable| {
             patterns.iter().any(|p| {
@@ -335,116 +340,243 @@ fn eval_wco_inner(
     patterns: &[TriplePattern],
     profile: Option<&mut Vec<(Variable, WcoLevelStats)>>,
 ) -> Vec<Mapping> {
-    // Ground patterns join nothing; they are containment gates.
-    for pat in patterns {
-        if pat.vars().is_empty() && ix.match_pattern(pat).is_empty() {
-            return Vec::new();
-        }
-    }
-    let var_pats: Vec<&TriplePattern> = patterns.iter().filter(|p| !p.vars().is_empty()).collect();
-    if var_pats.is_empty() {
-        return vec![Mapping::new()];
-    }
-    let order = wco_variable_order(ix, patterns);
-    let index_of = |v: Variable| -> usize {
-        order
-            .iter()
-            .position(|&u| u == v)
-            .expect("the variable order covers every pattern variable")
-    };
-    let mut cursors: Vec<Box<dyn TrieCursor + '_>> = Vec::with_capacity(var_pats.len());
-    let mut by_var: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
-    for (c, pat) in var_pats.iter().enumerate() {
-        let mut vs: Vec<Variable> = pat.vars().into_iter().collect();
-        vs.sort_by_key(|&v| index_of(v));
-        for &v in &vs {
-            by_var[index_of(v)].push(c);
-        }
-        cursors.push(ix.trie_cursor(pat, &vs));
-    }
-    let mut binding: Vec<Option<Iri>> = vec![None; order.len()];
-    let mut out = Vec::new();
-    let mut level_stats = profile
-        .as_ref()
-        .map(|_| vec![WcoLevelStats::default(); order.len()]);
-    join_level(
-        &mut cursors,
-        &by_var,
-        0,
-        &order,
-        &mut binding,
-        &mut out,
-        level_stats.as_deref_mut(),
-    );
-    if let (Some(p), Some(stats)) = (profile, level_stats) {
-        *p = order.iter().copied().zip(stats).collect();
+    let budget = QueryBudget::unlimited();
+    let mut stream = WcoStream::new(ix, patterns, &budget, profile.is_some());
+    let out = stream
+        .collect_limit(None)
+        .expect("an unlimited budget never fails a checkpoint");
+    if let Some(p) = profile {
+        *p = stream.level_stats();
     }
     out
 }
 
-/// One level of the leapfrog recursion, bracketed the classic LFTJ way:
-/// **entering** the level opens every cursor whose trie participates
-/// here — descending from its aligned parent key, or from its virtual
-/// root if this is its first variable (which is what rewinds it each
-/// time an outer variable advances) — then the intersection loop runs,
-/// and **leaving** restores every participant to its parent state.
-fn join_level(
-    cursors: &mut [Box<dyn TrieCursor + '_>],
-    by_var: &[Vec<usize>],
+/// Where a [`WcoStream`] resumes inside one level of the leapfrog
+/// intersection.
+enum WcoMode {
+    /// Entering the level: open every participating cursor (descending
+    /// from its aligned parent key, or from its virtual root if this is
+    /// its first variable — which is what rewinds it each time an outer
+    /// variable advances).
+    Open,
+    /// Run the leapfrog search at the current level.
+    Align,
+    /// A key at this level was consumed (emitted, or its subtree
+    /// exhausted): move one cursor past it — the next alignment drags
+    /// the rest along.
+    Advance,
+}
+
+/// The leapfrog triejoin as a resumable explicit-stack cursor: the
+/// recursion of the classic LFTJ flattened into (`level`, [`WcoMode`])
+/// so each [`SolutionStream::next`] pull runs the intersection exactly
+/// until the next full binding is found, then suspends. The classic
+/// bracketing survives: entering a level opens its cursors, leaving
+/// restores them to their parent state ([`WcoMode::Open`] / the
+/// exhausted-alignment arm).
+///
+/// Checkpoints: the per-level loop and the leapfrog search both call
+/// [`QueryBudget::check`] every iteration, so a deadline or
+/// cancellation is noticed within one seek/gallop step.
+pub struct WcoStream<'a> {
+    cursors: Vec<Box<dyn TrieCursor + 'a>>,
+    by_var: Vec<Vec<usize>>,
+    order: Vec<Variable>,
+    binding: Vec<Option<Iri>>,
     level: usize,
-    order: &[Variable],
-    binding: &mut [Option<Iri>],
-    out: &mut Vec<Mapping>,
-    mut stats: Option<&mut [WcoLevelStats]>,
-) {
-    if level == by_var.len() {
-        out.push(Mapping::from_pairs(order.iter().zip(binding.iter()).map(
-            |(&v, b)| (v, b.expect("every level bound before emitting")),
-        )));
-        return;
-    }
-    let active = &by_var[level];
-    debug_assert!(!active.is_empty(), "every ordered variable has a pattern");
-    for &c in active {
-        cursors[c].open();
-    }
-    loop {
-        // Gallop work is attributed to the level whose alignment drove
-        // it: delta of the active cursors' cumulative counters around
-        // the search (a cursor participating in several levels reports
-        // one total; the deltas split it correctly).
-        let before = stats
-            .as_ref()
-            .map(|_| gallop_total(cursors, active))
-            .unwrap_or_default();
-        let (key, seeks) = leapfrog_align(cursors, active);
-        if let Some(s) = stats.as_deref_mut() {
-            s[level].seeks += seeks;
-            s[level].gallop_steps += gallop_total(cursors, active).saturating_sub(before);
-            if key.is_some() {
-                s[level].rows += 1;
+    mode: WcoMode,
+    done: bool,
+    /// The single empty-mapping solution of an all-ground BGP whose
+    /// gates all passed (no cursors to run in that case).
+    pending: Option<Mapping>,
+    stats: Option<Vec<WcoLevelStats>>,
+    budget: &'a QueryBudget,
+}
+
+impl<'a> WcoStream<'a> {
+    /// Opens the leapfrog join of `patterns` over `ix` under `budget`.
+    /// With `profiled`, per-level counters accumulate for
+    /// [`WcoStream::level_stats`].
+    pub fn new(
+        ix: &'a dyn TripleIndex,
+        patterns: &[TriplePattern],
+        budget: &'a QueryBudget,
+        profiled: bool,
+    ) -> WcoStream<'a> {
+        // Ground patterns join nothing; they are containment gates.
+        for pat in patterns {
+            if pat.vars().is_empty() && ix.match_pattern(pat).is_empty() {
+                return WcoStream::closed(budget, None);
             }
         }
-        if key.is_none() {
-            break;
+        let var_pats: Vec<&TriplePattern> =
+            patterns.iter().filter(|p| !p.vars().is_empty()).collect();
+        if var_pats.is_empty() {
+            return WcoStream::closed(budget, Some(Mapping::new()));
         }
-        binding[level] = Some(cursors[active[0]].value());
-        join_level(
+        let order = wco_variable_order(ix, patterns);
+        let index_of = |v: Variable| -> usize {
+            order
+                .iter()
+                .position(|&u| u == v)
+                .expect("the variable order covers every pattern variable")
+        };
+        let mut cursors: Vec<Box<dyn TrieCursor + 'a>> = Vec::with_capacity(var_pats.len());
+        let mut by_var: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+        for (c, pat) in var_pats.iter().enumerate() {
+            let mut vs: Vec<Variable> = pat.vars().into_iter().collect();
+            vs.sort_by_key(|&v| index_of(v));
+            for &v in &vs {
+                by_var[index_of(v)].push(c);
+            }
+            cursors.push(ix.trie_cursor(pat, &vs));
+        }
+        let binding = vec![None; order.len()];
+        let stats = profiled.then(|| vec![WcoLevelStats::default(); order.len()]);
+        WcoStream {
             cursors,
             by_var,
-            level + 1,
             order,
             binding,
-            out,
-            stats.as_deref_mut(),
-        );
-        // One cursor moves past the matched key; the next alignment
-        // drags the rest along.
-        cursors[active[0]].advance();
+            level: 0,
+            mode: WcoMode::Open,
+            done: false,
+            pending: None,
+            stats,
+            budget,
+        }
     }
-    binding[level] = None;
-    for &c in active {
-        cursors[c].up();
+
+    /// A stream that yields `pending` (if any) and then exhausts — the
+    /// short-circuit shapes that never run the leapfrog.
+    fn closed(budget: &'a QueryBudget, pending: Option<Mapping>) -> WcoStream<'a> {
+        WcoStream {
+            cursors: Vec::new(),
+            by_var: Vec::new(),
+            order: Vec::new(),
+            binding: Vec::new(),
+            level: 0,
+            mode: WcoMode::Open,
+            done: pending.is_none(),
+            pending,
+            stats: None,
+            budget,
+        }
+    }
+
+    /// Per-level execution counters, one `(variable, stats)` pair per
+    /// variable of the global order (empty unless built `profiled`, or
+    /// when the query short-circuited before the leapfrog ran).
+    pub fn level_stats(&self) -> Vec<(Variable, WcoLevelStats)> {
+        match &self.stats {
+            Some(s) => self.order.iter().copied().zip(s.iter().copied()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn emit(&self) -> Mapping {
+        Mapping::from_pairs(
+            self.order
+                .iter()
+                .zip(self.binding.iter())
+                .map(|(&v, b)| (v, b.expect("every level bound before emitting"))),
+        )
+    }
+
+    /// Resumes the flattened recursion until the next solution, the end
+    /// of the intersection, or a failed checkpoint.
+    fn pull(&mut self) -> Result<Option<Mapping>, ExecError> {
+        if self.cursors.is_empty() {
+            self.done = true;
+            return Ok(self.pending.take());
+        }
+        loop {
+            self.budget.check()?;
+            match self.mode {
+                WcoMode::Open => {
+                    let active = &self.by_var[self.level];
+                    debug_assert!(!active.is_empty(), "every ordered variable has a pattern");
+                    for &c in active {
+                        self.cursors[c].open();
+                    }
+                    self.mode = WcoMode::Align;
+                }
+                WcoMode::Align => {
+                    let active = &self.by_var[self.level];
+                    // Gallop work is attributed to the level whose
+                    // alignment drove it: delta of the active cursors'
+                    // cumulative counters around the search (a cursor
+                    // participating in several levels reports one
+                    // total; the deltas split it correctly).
+                    let before = self
+                        .stats
+                        .as_ref()
+                        .map(|_| gallop_total(&self.cursors, active))
+                        .unwrap_or_default();
+                    let (key, seeks) = leapfrog_align(&mut self.cursors, active, self.budget)?;
+                    let active = &self.by_var[self.level];
+                    if let Some(s) = self.stats.as_deref_mut() {
+                        s[self.level].seeks += seeks;
+                        s[self.level].gallop_steps +=
+                            gallop_total(&self.cursors, active).saturating_sub(before);
+                        if key.is_some() {
+                            s[self.level].rows += 1;
+                        }
+                    }
+                    match key {
+                        None => {
+                            // This level is exhausted: restore its
+                            // cursors to their parent state and resume
+                            // one level up (or finish at the root).
+                            self.binding[self.level] = None;
+                            for &c in &self.by_var[self.level] {
+                                self.cursors[c].up();
+                            }
+                            if self.level == 0 {
+                                self.done = true;
+                                return Ok(None);
+                            }
+                            self.level -= 1;
+                            self.mode = WcoMode::Advance;
+                        }
+                        Some(_) => {
+                            let probe = self.by_var[self.level][0];
+                            self.binding[self.level] = Some(self.cursors[probe].value());
+                            if self.level + 1 == self.order.len() {
+                                // A full binding: emit it and resume by
+                                // advancing past this deepest key.
+                                self.mode = WcoMode::Advance;
+                                return Ok(Some(self.emit()));
+                            }
+                            self.level += 1;
+                            self.mode = WcoMode::Open;
+                        }
+                    }
+                }
+                WcoMode::Advance => {
+                    let probe = self.by_var[self.level][0];
+                    self.cursors[probe].advance();
+                    self.mode = WcoMode::Align;
+                }
+            }
+        }
+    }
+}
+
+impl SolutionStream for WcoStream<'_> {
+    fn next(&mut self) -> Result<Option<Mapping>, ExecError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.pull() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // Budget errors are sticky: a failed stream stays
+                // failed instead of resuming mid-intersection.
+                self.done = true;
+                Err(e)
+            }
+        }
     }
 }
 
@@ -458,18 +590,22 @@ fn gallop_total(cursors: &[Box<dyn TrieCursor + '_>], active: &[usize]) -> u64 {
 
 /// The leapfrog search: gallop the laggards to the running maximum until
 /// every active cursor sits on the same key (`Some`), or one exhausts
-/// (`None`). Also returns the number of `seek` calls issued.
+/// (`None`). Also returns the number of `seek` calls issued. Each
+/// galloping round checkpoints `budget`, so a deadline interrupts even
+/// a pathological intersection within one seek.
 fn leapfrog_align(
     cursors: &mut [Box<dyn TrieCursor + '_>],
     active: &[usize],
-) -> (Option<u64>, u64) {
+    budget: &QueryBudget,
+) -> Result<(Option<u64>, u64), ExecError> {
     let mut seeks = 0u64;
     loop {
+        budget.check()?;
         let mut max: Option<u64> = None;
         let mut aligned = true;
         for &c in active {
             let Some(k) = cursors[c].key() else {
-                return (None, seeks);
+                return Ok((None, seeks));
             };
             match max {
                 None => max = Some(k),
@@ -482,7 +618,7 @@ fn leapfrog_align(
         }
         let m = max.expect("active is non-empty");
         if aligned {
-            return (Some(m), seeks);
+            return Ok((Some(m), seeks));
         }
         for &c in active {
             if cursors[c].key() != Some(m) {
