@@ -461,3 +461,31 @@ mod tests {
         assert_eq!(cache.stats().entries, 0);
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    #[test]
+    fn infallible_waiter_joining_doomed_budgeted_leader_panics() {
+        let cache: Arc<ResultCache<String>> = Arc::new(ResultCache::new(8));
+        let c2 = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            let _ = c2.get_or_try_compute(
+                "k".to_string(),
+                || true,
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                    Err(ExecError::DeadlineExceeded)
+                },
+            );
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // The infallible path joins the in-flight slot and receives the
+        // leader's Err -> expect() panics.
+        let waiter = std::thread::spawn(move || {
+            cache.get_or_compute("k".to_string(), || true, || vec![Mapping::new()])
+        });
+        leader.join().unwrap();
+        assert!(waiter.join().is_err(), "waiter should have panicked (bug repro)");
+    }
+}
