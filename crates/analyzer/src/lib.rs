@@ -12,14 +12,21 @@
 //!   (`Mutex`, `RwLock`, `AtomicU64`, `OnceLock`, `thread`) plus a DFS
 //!   explorer with bounded preemptions, used by the model tests under
 //!   `tests/` to exhaustively check the store's epoch/cache protocols.
+//! * [`fsim`] — a simulated storage layer whose every op is a crash
+//!   point (torn/reordered pages for unsynced data, ordered namespace
+//!   journal), an exhaustive crash-image explorer, and the executable
+//!   commit-protocol specification ([`fsim::proto`]) the durable-store
+//!   PR must implement. Storage ops double as [`sched`] yield points,
+//!   so concurrent writers × crash points explore together.
 //!
-//! The two passes are complementary: the lints stop new code from
-//! *writing* the bug classes we have already fixed, and the scheduler
-//! proves the protocol fixes themselves hold under every interleaving
-//! within the bound.
+//! The passes are complementary: the lints stop new code from
+//! *writing* the bug classes we have already fixed, and the two
+//! explorers prove the protocol fixes themselves hold under every
+//! interleaving and crash point within the bound.
 
 #![forbid(unsafe_code)]
 
+pub mod fsim;
 pub mod lex;
 pub mod lints;
 pub mod sched;

@@ -10,14 +10,27 @@
 //! | `must-use-snapshot`     | snapshot / plan / guard types must be `#[must_use]` |
 //! | `wcoj-buffer-recycle`   | every trie level buffer popped off the open-level `stack` must return to the `spare` pool (and vice versa) on every exit path |
 //! | `budget-checkpoint`     | every `loop`/`while` in the streaming hot paths must checkpoint the query budget (`budget.check()`) so deadlines and cancellation can interrupt it |
+//! | `lock-order-cycle`      | the workspace-wide lock-acquisition-order graph must stay acyclic (cross-file: edges follow resolved method calls) |
+//! | `io-ordering`           | persistence code must not publish (`rename`/`publish`) without a dominating `fsync`/`sync_all`/`dir_sync` earlier in the function |
+//! | `unused-hatch`          | a `// analyzer-allow:` comment that silences nothing is stale and must go (warning; error under `--strict-hatches`) |
 //!
 //! Every lint has an inline escape hatch: a comment on the flagged line,
 //! or in the contiguous comment block immediately above it, of the form
 //! `// analyzer-allow: <lint-name> <reason>`. The reason is mandatory —
-//! an allow without a justification is itself a violation.
+//! an allow without a justification is itself a violation. Hatches are
+//! tracked: one that no lint ever consulted is reported by
+//! `unused-hatch`, so fixes cannot leave silencers behind.
+//!
+//! Most lints are per-file token walks. `lock-order-cycle` is the
+//! exception: [`scan_sources`] lexes the whole in-scope file set first
+//! and resolves calls across files (same-file definitions win; a
+//! cross-file edge needs the receiver field to name the defining file's
+//! stem, e.g. `self.cache.clear()` resolves into `cache.rs`), then
+//! rejects any cycle in the resulting lock-order graph.
 
 use crate::lex::{self, Comment, Delim, Kind, Token};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -33,6 +46,9 @@ pub const LOCK_REENTRY: &str = "no-lock-reentry";
 pub const MUST_USE: &str = "must-use-snapshot";
 pub const WCOJ_RECYCLE: &str = "wcoj-buffer-recycle";
 pub const BUDGET_CHECKPOINT: &str = "budget-checkpoint";
+pub const LOCK_ORDER: &str = "lock-order-cycle";
+pub const IO_ORDERING: &str = "io-ordering";
+pub const UNUSED_HATCH: &str = "unused-hatch";
 
 /// The field pairing [`WCOJ_RECYCLE`] enforces: trie level buffers
 /// shuttle between the open-level stack and the recycle pool.
@@ -50,10 +66,28 @@ const SNAPSHOT_FNS: [&str; 4] = [
 /// Type-name suffixes [`MUST_USE`] requires `#[must_use]` on.
 const MUST_USE_SUFFIXES: [&str; 3] = ["Snapshot", "Guard", "PlannedQuery"];
 
+/// How a finding affects the `--check` exit code: errors always fail,
+/// warnings fail only under `--strict-hatches`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
 /// One lint violation, pointing at a file and line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     pub lint: &'static str,
+    pub severity: Severity,
     /// Path relative to the scan root.
     pub file: String,
     pub line: u32,
@@ -64,8 +98,15 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.lint, self.message
+            "{}:{}: [{}]{} {}",
+            self.file,
+            self.line,
+            self.lint,
+            match self.severity {
+                Severity::Error => "",
+                Severity::Warning => " warning:",
+            },
+            self.message
         )
     }
 }
@@ -82,6 +123,13 @@ pub struct Config {
     pub recycle_files: Vec<String>,
     /// Files whose loops must checkpoint the query budget.
     pub budget_files: Vec<String>,
+    /// Files whose lock acquisitions join the workspace-wide
+    /// lock-order graph checked by [`LOCK_ORDER`].
+    pub lock_order_files: Vec<String>,
+    /// Persistence files under the [`IO_ORDERING`] publish-after-sync
+    /// rule. The durable store does not exist yet; listing its planned
+    /// paths here means the rule is live the day the first line lands.
+    pub io_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -99,6 +147,15 @@ impl Default for Config {
                 "store/src/wcoj.rs".to_string(),
                 "store/src/join.rs".to_string(),
                 "store/src/shard.rs".to_string(),
+            ],
+            lock_order_files: vec![
+                "store/src/service.rs".to_string(),
+                "store/src/shard.rs".to_string(),
+                "store/src/cache.rs".to_string(),
+            ],
+            io_files: vec![
+                "store/src/persist.rs".to_string(),
+                "store/src/manifest.rs".to_string(),
             ],
         }
     }
@@ -128,7 +185,7 @@ pub fn scan_root(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
         collect_rs(root, &mut files)?;
     }
     files.sort();
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for file in &files {
         let src = std::fs::read_to_string(file)?;
         let rel = file
@@ -136,10 +193,9 @@ pub fn scan_root(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
             .unwrap_or(file)
             .to_string_lossy()
             .into_owned();
-        findings.extend(scan_source(&rel, &src, cfg));
+        sources.push((rel, src));
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    Ok(scan_sources(&sources, cfg))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -157,40 +213,68 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Lints a whole file set as one unit: every per-file lint, then the
+/// cross-file lock-order analysis over the in-scope files, then the
+/// stale-hatch sweep (which must run last — any lint, including the
+/// cross-file one, can be what a hatch silences). `files` pairs each
+/// reported/config-matched path with its source text.
+pub fn scan_sources(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let lexed: Vec<_> = files.iter().map(|(_, src)| lex::lex(src)).collect();
+    let ctxs: Vec<FileCtx<'_>> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((rel, _), lx)| FileCtx::new(rel, &lx.tokens, &lx.comments))
+        .collect();
+    let mut findings = Vec::new();
+    for ctx in &ctxs {
+        let rel = ctx.rel;
+        if cfg
+            .service_files
+            .iter()
+            .any(|suffix| rel.ends_with(suffix.as_str()))
+        {
+            lint_no_unwrap(ctx, &mut findings);
+        }
+        lint_one_snapshot(ctx, &mut findings);
+        lint_relaxed(ctx, &mut findings);
+        if rel.contains(cfg.lock_fragment.as_str()) {
+            lint_lock_reentry(ctx, &mut findings);
+        }
+        lint_must_use(ctx, &mut findings);
+        if cfg
+            .recycle_files
+            .iter()
+            .any(|suffix| rel.ends_with(suffix.as_str()))
+        {
+            lint_wcoj_recycle(ctx, &mut findings);
+        }
+        if cfg
+            .budget_files
+            .iter()
+            .any(|suffix| rel.ends_with(suffix.as_str()))
+        {
+            lint_budget_checkpoint(ctx, &mut findings);
+        }
+        if cfg
+            .io_files
+            .iter()
+            .any(|suffix| rel.ends_with(suffix.as_str()))
+        {
+            lint_io_ordering(ctx, &mut findings);
+        }
+    }
+    lint_lock_order(&ctxs, cfg, &mut findings);
+    for ctx in &ctxs {
+        lint_unused_hatches(ctx, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
 /// Lints one file's source text. `rel` is the path reported in findings
 /// and matched against the path-scoped lint config.
 pub fn scan_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let lexed = lex::lex(src);
-    let ctx = FileCtx::new(rel, &lexed.tokens, &lexed.comments);
-    let mut findings = Vec::new();
-    if cfg
-        .service_files
-        .iter()
-        .any(|suffix| rel.ends_with(suffix.as_str()))
-    {
-        lint_no_unwrap(&ctx, &mut findings);
-    }
-    lint_one_snapshot(&ctx, &mut findings);
-    lint_relaxed(&ctx, &mut findings);
-    if rel.contains(cfg.lock_fragment.as_str()) {
-        lint_lock_reentry(&ctx, &mut findings);
-    }
-    lint_must_use(&ctx, &mut findings);
-    if cfg
-        .recycle_files
-        .iter()
-        .any(|suffix| rel.ends_with(suffix.as_str()))
-    {
-        lint_wcoj_recycle(&ctx, &mut findings);
-    }
-    if cfg
-        .budget_files
-        .iter()
-        .any(|suffix| rel.ends_with(suffix.as_str()))
-    {
-        lint_budget_checkpoint(&ctx, &mut findings);
-    }
-    findings
+    scan_sources(&[(rel.to_string(), src.to_string())], cfg)
 }
 
 // ---------------------------------------------------------------------
@@ -206,6 +290,9 @@ struct FileCtx<'a> {
     delims: HashMap<usize, usize>,
     /// Line ranges covered by `#[cfg(test)]` / `#[test]` items.
     test_ranges: Vec<(u32, u32)>,
+    /// Lines whose `analyzer-allow:` hatch some lint consulted — the
+    /// complement (per [`lint_unused_hatches`]) is stale.
+    used_hatches: RefCell<BTreeSet<u32>>,
 }
 
 impl<'a> FileCtx<'a> {
@@ -218,6 +305,7 @@ impl<'a> FileCtx<'a> {
             comment_lines: comments.iter().map(|c| (c.line, c.text.as_str())).collect(),
             delims,
             test_ranges,
+            used_hatches: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -237,7 +325,16 @@ impl<'a> FileCtx<'a> {
                 let text = text.trim_start();
                 text.strip_prefix(marker).is_some_and(|tail| {
                     let tail = tail.trim();
-                    !tail.is_empty() && tail.starts_with(required) && tail.len() > required.len()
+                    if tail.is_empty() || !tail.starts_with(required) {
+                        return false;
+                    }
+                    // The hatch was consulted for its lint at a real
+                    // candidate site — not stale, even when the missing
+                    // reason makes it invalid.
+                    if marker == ALLOW_MARKER && !required.is_empty() {
+                        self.used_hatches.borrow_mut().insert(l);
+                    }
+                    tail.len() > required.len()
                 })
             })
         };
@@ -284,9 +381,17 @@ impl<'a> FileCtx<'a> {
     fn finding(&self, lint: &'static str, line: u32, message: String) -> Finding {
         Finding {
             lint,
+            severity: Severity::Error,
             file: self.rel.to_string(),
             line,
             message,
+        }
+    }
+
+    fn warning(&self, lint: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            severity: Severity::Warning,
+            ..self.finding(lint, line, message)
         }
     }
 }
@@ -993,6 +1098,313 @@ fn has_must_use_attr(ctx: &FileCtx<'_>, kw: usize) -> bool {
     false
 }
 
+// ---------------------------------------------------------------------
+// Lint: io-ordering
+// ---------------------------------------------------------------------
+
+/// Calls that make a write visible to recovery.
+const PUBLISH_FNS: [&str; 2] = ["rename", "publish"];
+/// Calls that make written data durable first.
+const SYNC_FNS: [&str; 4] = ["fsync", "sync_all", "sync_data", "dir_sync"];
+
+/// Persistence code must sync before it publishes: a `rename` (or a
+/// method named `publish`) with no `fsync`/`sync_all`/`sync_data`/
+/// `dir_sync` call earlier in the same function body is exactly the
+/// rename-before-fsync crash bug the `fsim` model checker catches
+/// dynamically — a crash can persist the new name pointing at data
+/// still in the page cache.
+fn lint_io_ordering(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for f in fn_spans(ctx.toks, &ctx.delims) {
+        let (open, close) = f.body;
+        if ctx.in_tests(ctx.toks[open].line) {
+            continue;
+        }
+        let mut synced = false;
+        for i in open + 1..close {
+            let tok = &ctx.toks[i];
+            if tok.kind != Kind::Ident
+                || ctx.toks.get(i + 1).map(|t| t.kind) != Some(Kind::Open(Delim::Paren))
+                || ctx
+                    .toks
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|t| t.is_ident("fn"))
+            {
+                continue;
+            }
+            let name = tok.text.as_str();
+            if SYNC_FNS.contains(&name) {
+                synced = true;
+            } else if PUBLISH_FNS.contains(&name) && !synced {
+                if ctx.allowed_tok(IO_ORDERING, i) {
+                    continue;
+                }
+                findings.push(ctx.finding(
+                    IO_ORDERING,
+                    tok.line,
+                    format!(
+                        "fn `{}` publishes via `{name}()` with no dominating sync: a crash can \
+                         persist the new name before the data it points to (the \
+                         rename-before-fsync class) — fsync the file and dir_sync the directory \
+                         first, or justify with `// {} {} <reason>`",
+                        f.name, ALLOW_MARKER, IO_ORDERING
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint: unused-hatch
+// ---------------------------------------------------------------------
+
+/// Every `analyzer-allow:` comment must silence something. A hatch no
+/// lint consulted during the scan — because the violation it excused
+/// was fixed, the lint name is misspelled, or the file fell out of the
+/// lint's scope — is reported as a warning so fixes cannot leave
+/// silencers behind. Must run after every other lint (including the
+/// cross-file pass), since any of them may be the consumer.
+fn lint_unused_hatches(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    let used = ctx.used_hatches.borrow();
+    let mut lines: Vec<(&u32, &&str)> = ctx.comment_lines.iter().collect();
+    lines.sort();
+    for (&line, text) in lines {
+        let Some(tail) = text.trim_start().strip_prefix(ALLOW_MARKER) else {
+            continue;
+        };
+        if ctx.in_tests(line) || used.contains(&line) {
+            continue;
+        }
+        let name = tail
+            .split_whitespace()
+            .next()
+            .unwrap_or("<missing lint name>");
+        findings.push(ctx.warning(
+            UNUSED_HATCH,
+            line,
+            format!(
+                "stale `// {ALLOW_MARKER} {name}` hatch: no `{name}` violation is silenced \
+                 here — delete it, or fix the lint name"
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint: lock-order-cycle (cross-file)
+// ---------------------------------------------------------------------
+
+/// `"store/src/cache.rs"` → `"cache"`.
+fn file_stem(rel: &str) -> &str {
+    let base = rel.rsplit('/').next().unwrap_or(rel);
+    base.strip_suffix(".rs").unwrap_or(base)
+}
+
+/// The workspace-wide lock-order analysis. Over every file in
+/// [`Config::lock_order_files`]:
+///
+/// 1. build a symbol graph: each function's *lock set* — the lock
+///    fields (`self.FIELD.{read|write|lock}()`) it may acquire,
+///    directly or through resolved calls. Same-file calls resolve via
+///    `self.method()`; cross-file calls via `self.<field>.<method>()`
+///    where `<field>` names the defining file's stem (the workspace
+///    convention: `self.cache.clear()` lives in `cache.rs`). Anything
+///    else stays unresolved — under-approximating edges keeps the lint
+///    free of std-method false positives (`.len()`, `.get()`, ...);
+/// 2. add an edge `A → B` whenever `B` is acquired (directly or via a
+///    resolved call) inside the live scope of a guard for `A`. Locks
+///    are named `<file-stem>.<field>`; self-edges are `no-lock-reentry`
+///    territory, not an order;
+/// 3. reject any cycle. Each cycle is reported once, at the edge out of
+///    its lexicographically smallest lock, and is hatchable there.
+fn lint_lock_order(ctxs: &[FileCtx<'_>], cfg: &Config, findings: &mut Vec<Finding>) {
+    let scoped: Vec<&FileCtx<'_>> = ctxs
+        .iter()
+        .filter(|c| {
+            cfg.lock_order_files
+                .iter()
+                .any(|suffix| c.rel.ends_with(suffix.as_str()))
+        })
+        .collect();
+    if scoped.is_empty() {
+        return;
+    }
+    let spans: Vec<Vec<FnSpan>> = scoped.iter().map(|c| fn_spans(c.toks, &c.delims)).collect();
+    // Where is `fn name` defined? (file position in `scoped` → span idx)
+    let mut defs: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, fns) in spans.iter().enumerate() {
+        for (si, f) in fns.iter().enumerate() {
+            defs.entry(f.name.as_str()).or_default().push((fi, si));
+        }
+    }
+    // Resolve the call starting at token `i` of file `fi`, if any.
+    let resolve = |fi: usize, i: usize| -> Option<(usize, usize)> {
+        let toks = scoped[fi].toks;
+        if let Some((field, method)) = field_method_at(toks, i) {
+            if ACQUIRE_METHODS.contains(&method) {
+                return None; // an acquisition, not a call
+            }
+            let (ti, _) = scoped
+                .iter()
+                .enumerate()
+                .find(|(_, c)| file_stem(c.rel) == field)?;
+            return defs
+                .get(method)?
+                .iter()
+                .find(|&&(dfi, _)| dfi == ti)
+                .copied();
+        }
+        let callee = self_call_at(toks, i)?;
+        defs.get(callee)?
+            .iter()
+            .find(|&&(dfi, _)| dfi == fi)
+            .copied()
+    };
+    // Fixpoint: each function's transitive lock set, across files.
+    let lock_id = |fi: usize, field: &str| format!("{}.{field}", file_stem(scoped[fi].rel));
+    let mut lock_sets: HashMap<(usize, usize), BTreeSet<String>> = HashMap::new();
+    for (fi, fns) in spans.iter().enumerate() {
+        for (si, f) in fns.iter().enumerate() {
+            let mut set = BTreeSet::new();
+            for i in f.body.0 + 1..f.body.1 {
+                if let Some(field) = acquisition_at(scoped[fi].toks, i, &ACQUIRE_METHODS) {
+                    set.insert(lock_id(fi, field));
+                }
+            }
+            lock_sets.insert((fi, si), set);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for (fi, fns) in spans.iter().enumerate() {
+            for (si, f) in fns.iter().enumerate() {
+                let mut inherited: BTreeSet<String> = BTreeSet::new();
+                for i in f.body.0 + 1..f.body.1 {
+                    if let Some(callee) = resolve(fi, i) {
+                        if let Some(set) = lock_sets.get(&callee) {
+                            inherited.extend(set.iter().cloned());
+                        }
+                    }
+                }
+                let entry = lock_sets.entry((fi, si)).or_default();
+                for l in inherited {
+                    changed |= entry.insert(l);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Edges: B acquired while A's guard is live. Site = (file, token).
+    let mut edges: BTreeMap<String, Vec<(String, usize, usize)>> = BTreeMap::new();
+    for (fi, fns) in spans.iter().enumerate() {
+        let ctx = scoped[fi];
+        for f in fns {
+            let (open, close) = f.body;
+            if ctx.in_tests(ctx.toks[open].line) {
+                continue;
+            }
+            for i in open + 1..close {
+                let Some(field) = acquisition_at(ctx.toks, i, &ACQUIRE_METHODS) else {
+                    continue;
+                };
+                let held = lock_id(fi, field);
+                let end = scope_end(ctx, open, close, i);
+                for j in i + 6..end {
+                    if let Some(f2) = acquisition_at(ctx.toks, j, &ACQUIRE_METHODS) {
+                        let next = lock_id(fi, f2);
+                        if next != held {
+                            edges.entry(held.clone()).or_default().push((next, fi, j));
+                        }
+                    } else if let Some(callee) = resolve(fi, j) {
+                        for next in lock_sets.get(&callee).into_iter().flatten() {
+                            if *next != held {
+                                edges
+                                    .entry(held.clone())
+                                    .or_default()
+                                    .push((next.clone(), fi, j));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Cycle rejection: report each cycle once, at the edge out of its
+    // smallest lock.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for (src, outs) in &edges {
+        for (dst, fi, tok) in outs {
+            let Some(path) = shortest_path(&edges, dst, src) else {
+                continue;
+            };
+            // `path` is `dst`-exclusive and `src`-inclusive; the cycle
+            // node list is src, dst, ..., last-before-src.
+            let mut cycle = vec![src.clone(), dst.clone()];
+            cycle.extend(path[..path.len() - 1].iter().cloned());
+            if cycle.iter().min() != Some(src) || reported.contains(&cycle) {
+                continue;
+            }
+            let ctx = scoped[*fi];
+            if ctx.allowed_tok(LOCK_ORDER, *tok) {
+                reported.insert(cycle);
+                continue;
+            }
+            let rendered = cycle
+                .iter()
+                .chain(std::iter::once(src))
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            findings.push(ctx.finding(
+                LOCK_ORDER,
+                ctx.toks[*tok].line,
+                format!(
+                    "lock-order cycle {rendered}: this edge acquires `{dst}` while holding \
+                     `{src}`, but another path acquires them in the opposite order — pick one \
+                     global order, or justify with `// {} {} <reason>`",
+                    ALLOW_MARKER, LOCK_ORDER
+                ),
+            ));
+            reported.insert(cycle);
+        }
+    }
+}
+
+/// BFS shortest node path `from → … → to` over the edge map, inclusive
+/// of `to`, exclusive of `from`. `None` when unreachable.
+fn shortest_path(
+    edges: &BTreeMap<String, Vec<(String, usize, usize)>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(node) = queue.pop_front() {
+        for (next, _, _) in edges.get(node).into_iter().flatten() {
+            if next != from && !prev.contains_key(next.as_str()) {
+                prev.insert(next, node);
+                if next == to {
+                    let mut path = vec![to.to_string()];
+                    let mut at = to;
+                    while let Some(&p) = prev.get(at) {
+                        if p == from {
+                            break;
+                        }
+                        path.push(p.to_string());
+                        at = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1236,6 +1648,182 @@ mod tests {
         assert!(scan("crates/store/src/service.rs", bare)
             .iter()
             .all(|f| f.lint != BUDGET_CHECKPOINT));
+    }
+
+    fn scan_pair(a: (&str, &str), b: (&str, &str)) -> Vec<Finding> {
+        scan_sources(
+            &[
+                (a.0.to_string(), a.1.to_string()),
+                (b.0.to_string(), b.1.to_string()),
+            ],
+            &Config::default(),
+        )
+    }
+
+    const SHARD_SIDE: &str = r#"
+        impl Shard {
+            fn routing_epoch(&self) -> u64 { self.routing.read().epoch }
+            fn rebalance(&self) {
+                let g = self.routing.write();
+                self.cache.purge_slots();
+            }
+        }
+    "#;
+
+    #[test]
+    fn lock_order_cycle_detected_across_files() {
+        // shard holds `routing` then enters cache (`slots`); cache
+        // holds `slots` then enters shard (`routing`): a cross-file
+        // ABBA no single-file analysis can see.
+        let cache_cyclic = r#"
+            impl Cache {
+                fn purge_slots(&self) { let g = self.slots.lock(); }
+                fn refill(&self) {
+                    let g = self.slots.lock();
+                    let e = self.shard.routing_epoch();
+                }
+            }
+        "#;
+        let f = scan_pair(
+            ("store/src/shard.rs", SHARD_SIDE),
+            ("store/src/cache.rs", cache_cyclic),
+        );
+        let cycles: Vec<_> = f.iter().filter(|f| f.lint == LOCK_ORDER).collect();
+        assert_eq!(cycles.len(), 1, "{f:#?}");
+        assert_eq!(
+            cycles[0].file, "store/src/cache.rs",
+            "reported at the smallest lock's edge"
+        );
+        assert!(
+            cycles[0].message.contains("cache.slots"),
+            "{}",
+            cycles[0].message
+        );
+        assert!(
+            cycles[0].message.contains("shard.routing"),
+            "{}",
+            cycles[0].message
+        );
+
+        // Dropping the back edge leaves a DAG: clean.
+        let cache_dag = r#"
+            impl Cache {
+                fn purge_slots(&self) { let g = self.slots.lock(); }
+            }
+        "#;
+        let f = scan_pair(
+            ("store/src/shard.rs", SHARD_SIDE),
+            ("store/src/cache.rs", cache_dag),
+        );
+        assert!(f.iter().all(|f| f.lint != LOCK_ORDER), "{f:#?}");
+    }
+
+    #[test]
+    fn lock_order_cycle_is_hatchable_at_the_reported_edge() {
+        let cache_hatched = r#"
+            impl Cache {
+                fn purge_slots(&self) { let g = self.slots.lock(); }
+                fn refill(&self) {
+                    let g = self.slots.lock();
+                    // analyzer-allow: lock-order-cycle the shard side
+                    // never runs concurrently with refill (startup only)
+                    let e = self.shard.routing_epoch();
+                }
+            }
+        "#;
+        let f = scan_pair(
+            ("store/src/shard.rs", SHARD_SIDE),
+            ("store/src/cache.rs", cache_hatched),
+        );
+        assert!(
+            f.iter()
+                .all(|f| f.lint != LOCK_ORDER && f.lint != UNUSED_HATCH),
+            "hatched and the hatch counts as used: {f:#?}"
+        );
+    }
+
+    #[test]
+    fn io_ordering_requires_a_sync_before_publish() {
+        let bad = r#"
+            fn publish_segment(&self, dir: &Dir) -> io::Result<()> {
+                self.file.write_all(&self.bytes)?;
+                dir.rename("seg.tmp", "seg-1")
+            }
+        "#;
+        let f = scan_source("store/src/persist.rs", bad, &Config::default());
+        assert_eq!(
+            f.iter().filter(|f| f.lint == IO_ORDERING).count(),
+            1,
+            "{f:#?}"
+        );
+        assert_eq!(f[0].line, 4);
+
+        let good = r#"
+            fn publish_segment(&self, dir: &Dir) -> io::Result<()> {
+                self.file.write_all(&self.bytes)?;
+                self.file.sync_all()?;
+                dir.rename("seg.tmp", "seg-1")?;
+                dir.dir_sync()
+            }
+        "#;
+        assert!(scan_source("store/src/persist.rs", good, &Config::default()).is_empty());
+
+        // Out-of-scope files are not checked.
+        assert!(scan_source("store/src/service.rs", bad, &Config::default())
+            .iter()
+            .all(|f| f.lint != IO_ORDERING));
+    }
+
+    #[test]
+    fn stale_hatches_are_warnings() {
+        // The unwrap this hatch once excused is gone: the hatch is
+        // stale and must be reported — as a warning, not an error.
+        let src = r#"
+            fn hot(x: Option<u32>) -> u32 {
+                // analyzer-allow: no-unwrap-in-service the caller checked is_some
+                x.unwrap_or(0)
+            }
+        "#;
+        let f = scan("store/src/service.rs", src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].lint, UNUSED_HATCH);
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert_eq!(f[0].line, 3);
+        assert!(
+            f[0].message.contains("no-unwrap-in-service"),
+            "{}",
+            f[0].message
+        );
+        assert!(f[0].to_string().contains("warning:"), "{}", f[0]);
+
+        // A consulted hatch is not stale — even in the same file as a
+        // stale one.
+        let mixed = r#"
+            fn hot(x: Option<u32>) -> u32 {
+                // analyzer-allow: no-unwrap-in-service the caller checked is_some
+                x.unwrap()
+            }
+            fn cold(y: u32) -> u32 {
+                // analyzer-allow: budget-checkpoint nothing loops here anymore
+                y + 1
+            }
+        "#;
+        let f = scan("store/src/service.rs", mixed);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].lint, UNUSED_HATCH);
+        assert_eq!(f[0].line, 7);
+
+        // Hatches in test code are out of scope, like the lints.
+        let in_tests = r#"
+            #[cfg(test)]
+            mod tests {
+                fn t(x: Option<u32>) -> u32 {
+                    // analyzer-allow: no-unwrap-in-service leftover
+                    x.unwrap_or(0)
+                }
+            }
+        "#;
+        assert!(scan("store/src/service.rs", in_tests).is_empty());
     }
 
     #[test]

@@ -43,6 +43,18 @@ fn try_ctx() -> Option<(Arc<Controller>, usize)> {
     CTX.with(|c| c.borrow().clone())
 }
 
+/// Explicit yield point for non-shim state machines — the `fsim`
+/// storage ops call this before every operation. Inside
+/// [`crate::sched::Explorer::check`] it hands the scheduler an
+/// interleaving decision; outside it is a no-op, so the same model code
+/// runs under both the crash explorer alone and the combined
+/// schedules × crash-points product.
+pub fn sched_yield() {
+    if let Some((ctrl, tid)) = try_ctx() {
+        ctrl.yield_point(tid);
+    }
+}
+
 // ---------------------------------------------------------------------
 // Mutex
 // ---------------------------------------------------------------------

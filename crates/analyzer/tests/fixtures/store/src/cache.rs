@@ -1,0 +1,44 @@
+//! Seeded fixture: the cache half of the cross-file lock-order cycle,
+//! plus a stale hatch.
+//!
+//! Never compiled — scanned only. `refill` holds `slots` and calls
+//! back into the shard (`self.shard.routing_epoch()` resolves into
+//! `shard.rs`, which locks `routing`): the back edge `cache.slots ->
+//! shard.routing`, closing the cycle `shard.rs` opens. The cycle is
+//! reported here because `cache.slots` is the smallest lock in it.
+
+pub struct FixtureSlots {
+    slots: Mutex<Vec<Slot>>,
+    shard: FixtureShards,
+    generation: u64,
+}
+
+impl FixtureSlots {
+    /// The entry point `shard.rs` calls while holding `routing`.
+    pub fn purge_slots(&self) {
+        let mut slots = self.slots.lock();
+        slots.clear();
+    }
+
+    /// Holds `slots` while re-entering the shard: closes the ABBA
+    /// cycle, in the opposite order to `FixtureShards::rebalance`.
+    pub fn refill(&self) {
+        let mut slots = self.slots.lock();
+        let epoch = self.shard.routing_epoch(); // VIOLATION(lock-order-cycle)
+        slots.push(Slot::for_epoch(epoch));
+    }
+
+    /// Conforming: reads the epoch before taking `slots`.
+    pub fn refill_ordered(&self) {
+        let epoch = self.shard.routing_epoch();
+        let mut slots = self.slots.lock();
+        slots.push(Slot::for_epoch(epoch));
+    }
+
+    /// The unwrap this hatch once excused became `unwrap_or`; the
+    /// silencer left behind must be flagged as stale.
+    pub fn generation_or(&self, g: Option<u64>) -> u64 {
+        // analyzer-allow: no-unwrap-in-service VIOLATION(unused-hatch)
+        g.unwrap_or(self.generation)
+    }
+}

@@ -1,0 +1,38 @@
+//! Seeded fixture for the `io-ordering` publish-after-sync rule — the
+//! static half of the commit protocol the `fsim` crash explorer checks
+//! dynamically.
+//!
+//! Never compiled — scanned only. The durable store does not exist in
+//! the workspace yet; this fixture pins the rule's behavior so it is
+//! live (and tested) the day `store/src/persist.rs` lands.
+
+pub struct SegmentWriter {
+    file: File,
+    bytes: Vec<u8>,
+}
+
+impl SegmentWriter {
+    /// Conforming: data fsync dominates the rename, and the directory
+    /// entry is synced after it — the correct commit sequence.
+    pub fn publish_segment(&mut self, dir: &Dir) -> io::Result<()> {
+        self.file.write_all(&self.bytes)?;
+        self.file.sync_all()?;
+        dir.rename("seg.tmp", "seg-1")?;
+        dir.dir_sync()
+    }
+
+    /// The rename-before-fsync crash bug: a crash after the rename
+    /// persists can leave the manifest pointing at torn data.
+    pub fn publish_unsynced(&mut self, dir: &Dir) -> io::Result<()> {
+        self.file.write_all(&self.bytes)?;
+        dir.rename("seg.tmp", "seg-1") // VIOLATION(io-ordering)
+    }
+
+    /// Hatched: the justification keeps the silencer consulted.
+    pub fn publish_batched(&mut self, dir: &Dir) -> io::Result<()> {
+        self.file.write_all(&self.bytes)?;
+        // analyzer-allow: io-ordering the bulk importer syncs the whole
+        // directory tree once at the end of the batch
+        dir.rename("seg.tmp", "seg-1")
+    }
+}

@@ -1,0 +1,37 @@
+//! Seeded fixture: the shard half of a cross-file lock-order cycle.
+//!
+//! Never compiled — scanned only. `rebalance` acquires `routing` and
+//! then enters the cache (`self.cache.purge_slots()` resolves into
+//! `cache.rs`, which locks `slots`): the edge `shard.routing ->
+//! cache.slots`. The opposite edge lives in `cache.rs`, which is where
+//! the cycle is reported (at the edge out of the lexicographically
+//! smallest lock).
+
+pub struct FixtureShards {
+    routing: RwLock<RoutingTable>,
+    cache: FixtureSlots,
+}
+
+impl FixtureShards {
+    /// The lock the cache side re-enters through `routing_epoch`.
+    pub fn routing_epoch(&self) -> u64 {
+        self.routing.read().epoch
+    }
+
+    /// Holds `routing` exclusively while purging the cache: the
+    /// forward edge of the seeded ABBA cycle.
+    pub fn rebalance(&self) {
+        let guard = self.routing.write();
+        self.cache.purge_slots();
+        guard.commit();
+    }
+
+    /// Conforming: takes the same locks strictly one at a time.
+    pub fn rebalance_ordered(&self) {
+        {
+            let guard = self.routing.write();
+            guard.commit();
+        }
+        self.cache.purge_slots();
+    }
+}

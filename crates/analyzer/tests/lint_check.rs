@@ -31,6 +31,9 @@ fn fixture_findings_match_the_seeded_markers() {
         "store/src/service.rs",
         "store/src/wcoj.rs",
         "store/src/join.rs",
+        "store/src/shard.rs",
+        "store/src/cache.rs",
+        "store/src/persist.rs",
     ] {
         let src = std::fs::read_to_string(root.join(rel)).expect("fixture exists");
         for (i, line) in src.lines().enumerate() {
@@ -49,7 +52,7 @@ fn fixture_findings_match_the_seeded_markers() {
     }
     assert_eq!(
         expected.len(),
-        9,
+        12,
         "one marker per lint, plus the two wcoj-buffer-recycle shapes \
          and the two budget-checkpoint loop shapes"
     );
@@ -85,6 +88,9 @@ fn binary_fails_on_the_fixture_with_file_line_diagnostics() {
     assert!(stdout.contains("[must-use-snapshot]"), "{stdout}");
     assert!(stdout.contains("[wcoj-buffer-recycle]"), "{stdout}");
     assert!(stdout.contains("[budget-checkpoint]"), "{stdout}");
+    assert!(stdout.contains("[lock-order-cycle]"), "{stdout}");
+    assert!(stdout.contains("[io-ordering]"), "{stdout}");
+    assert!(stdout.contains("[unused-hatch] warning:"), "{stdout}");
     assert!(
         stdout.contains("store/src/wcoj.rs:"),
         "recycle findings carry file:line, got:\n{stdout}"
@@ -124,15 +130,64 @@ fn json_report_is_written_and_shaped() {
     // Without --check, violations are informational: exit 0.
     assert_eq!(out.status.code(), Some(0));
     let json = std::fs::read_to_string(&path).expect("report written");
-    assert!(json.trim_start().starts_with('['), "{json}");
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"schema\": 1"), "{json}");
+    assert!(json.contains("\"summary\": "), "{json}");
+    assert!(json.contains("\"errors\": 11"), "{json}");
+    assert!(json.contains("\"warnings\": 1"), "{json}");
     assert!(
         json.contains("\"lint\": \"no-unwrap-in-service\""),
         "{json}"
     );
+    assert!(json.contains("\"severity\": \"error\""), "{json}");
+    assert!(json.contains("\"severity\": \"warning\""), "{json}");
     assert!(
         json.contains("\"file\": \"store/src/service.rs\""),
         "{json}"
     );
     assert!(json.contains("\"line\": "), "{json}");
     let _ = std::fs::remove_file(&path);
+}
+
+/// `unused-hatch` is advisory by default and fatal under
+/// `--strict-hatches`: the same warning-only tree passes plain
+/// `--check` and fails the strict one.
+#[test]
+fn strict_hatches_promotes_warnings_to_failures() {
+    let dir = std::env::temp_dir().join("wdsparql-analyzer-test-strict");
+    let src_dir = dir.join("store/src");
+    std::fs::create_dir_all(&src_dir).expect("temp tree");
+    std::fs::write(
+        src_dir.join("service.rs"),
+        "pub fn fixed(x: Option<u64>) -> u64 {\n\
+         \x20   // analyzer-allow: no-unwrap-in-service the caller checked\n\
+         \x20   x.unwrap_or(0)\n\
+         }\n",
+    )
+    .expect("fixture written");
+    let run = |strict: bool| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_wdsparql-analyzer"));
+        cmd.arg("--check");
+        if strict {
+            cmd.arg("--strict-hatches");
+        }
+        cmd.arg(&dir).output().expect("binary runs")
+    };
+    let lax = run(false);
+    assert_eq!(
+        lax.status.code(),
+        Some(0),
+        "warnings alone pass --check:\n{}",
+        String::from_utf8_lossy(&lax.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&lax.stdout);
+    assert!(stdout.contains("[unused-hatch] warning:"), "{stdout}");
+    let strict = run(true);
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "--strict-hatches makes the stale hatch fatal:\n{}",
+        String::from_utf8_lossy(&strict.stdout)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

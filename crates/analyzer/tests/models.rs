@@ -261,3 +261,94 @@ fn epoch_revalidated_publish_is_clean() {
         .expect("the still_valid re-check holds on every schedule");
     assert!(report.exhausted, "{report:?}");
 }
+
+// ---------------------------------------------------------------------
+// Protocol 4 — parallel scatter bulk_load (the PR 4 sharded ingest).
+// `ShardedStore::bulk_load` partitions the input, scatters each
+// partition to its shard on a worker, and only *publishes* the new
+// epoch/counts after joining every worker. The buggy pre-fix shape
+// publishes first: a reader that trusts the published counts then
+// observes shards the scatter has not reached yet.
+// ---------------------------------------------------------------------
+
+struct ScatterModel {
+    /// Per-shard triple stores, collapsed to item counts.
+    shards: Vec<RwLock<u64>>,
+    /// The facade's published per-shard counts, `None` until the load
+    /// commits.
+    published: Mutex<Option<Vec<u64>>>,
+}
+
+/// The reader-side contract: once counts are published, every shard
+/// must already hold at least that much data.
+fn assert_published_counts_are_backed(m: &ScatterModel) {
+    if let Some(counts) = m.published.lock().clone() {
+        for (shard, &n) in m.shards.iter().zip(&counts) {
+            assert!(
+                *shard.read() >= n,
+                "bulk_load published counts before its scatter workers finished"
+            );
+        }
+    }
+}
+
+fn scatter_model() -> Arc<ScatterModel> {
+    Arc::new(ScatterModel {
+        shards: vec![RwLock::new(0), RwLock::new(0)],
+        published: Mutex::new(None),
+    })
+}
+
+fn spawn_scatter_workers(m: &Arc<ScatterModel>) -> Vec<wdsparql_analyzer::sched::JoinHandle<()>> {
+    (0..2)
+        .map(|i| {
+            let m = Arc::clone(m);
+            spawn(move || *m.shards[i].write() += 1)
+        })
+        .collect()
+}
+
+#[test]
+fn scatter_publish_before_join_is_caught() {
+    let violation = Explorer::new(2)
+        .check(|| {
+            let m = scatter_model();
+            let m2 = Arc::clone(&m);
+            let reader = spawn(move || assert_published_counts_are_backed(&m2));
+            let workers = spawn_scatter_workers(&m);
+            // BUGGY: commit the load before the scatter barrier — the
+            // counts are the *intended* totals, not the loaded ones.
+            *m.published.lock() = Some(vec![1, 1]);
+            for w in workers {
+                w.join();
+            }
+            reader.join();
+            assert_published_counts_are_backed(&m);
+        })
+        .expect_err("the publish-before-join race must be caught");
+    assert!(
+        violation.message.contains("before its scatter workers"),
+        "{violation}"
+    );
+}
+
+#[test]
+fn scatter_join_then_publish_is_clean() {
+    let report = Explorer::new(2)
+        .check(|| {
+            let m = scatter_model();
+            let m2 = Arc::clone(&m);
+            let reader = spawn(move || assert_published_counts_are_backed(&m2));
+            let workers = spawn_scatter_workers(&m);
+            // FIXED: the join is the barrier; publication happens-after
+            // every shard write, exactly like `ShardedStore::bulk_load`.
+            for w in workers {
+                w.join();
+            }
+            *m.published.lock() = Some(vec![1, 1]);
+            reader.join();
+            assert_published_counts_are_backed(&m);
+        })
+        .expect("join-then-publish holds on every schedule");
+    assert!(report.exhausted, "{report:?}");
+}

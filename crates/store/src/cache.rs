@@ -486,6 +486,9 @@ mod review_repro {
             cache.get_or_compute("k".to_string(), || true, || vec![Mapping::new()])
         });
         leader.join().unwrap();
-        assert!(waiter.join().is_err(), "waiter should have panicked (bug repro)");
+        assert!(
+            waiter.join().is_err(),
+            "waiter should have panicked (bug repro)"
+        );
     }
 }
