@@ -112,8 +112,9 @@ impl fmt::Display for Finding {
 }
 
 /// Which paths each path-scoped lint applies to. Matching is by suffix
-/// (service files) or substring (lock files), so the same config covers
-/// both the real workspace layout and the seeded test fixtures.
+/// (service files) or substring (lock and persistence files), so the
+/// same config covers both the real workspace layout and the seeded
+/// test fixtures.
 pub struct Config {
     /// Files under the service-layer unwrap ban.
     pub service_files: Vec<String>,
@@ -126,9 +127,10 @@ pub struct Config {
     /// Files whose lock acquisitions join the workspace-wide
     /// lock-order graph checked by [`LOCK_ORDER`].
     pub lock_order_files: Vec<String>,
-    /// Persistence files under the [`IO_ORDERING`] publish-after-sync
-    /// rule. The durable store does not exist yet; listing its planned
-    /// paths here means the rule is live the day the first line lands.
+    /// Path fragments selecting the persistence files under the
+    /// [`IO_ORDERING`] publish-after-sync rule — matched by substring,
+    /// so one fragment covers the real `store/src/persist/` module tree
+    /// and the single-file fixtures alike.
     pub io_files: Vec<String>,
 }
 
@@ -140,6 +142,9 @@ impl Default for Config {
                 "store/src/shard.rs".to_string(),
                 "store/src/cache.rs".to_string(),
                 "store/src/join.rs".to_string(),
+                "store/src/persist/mod.rs".to_string(),
+                "store/src/persist/vfs.rs".to_string(),
+                "store/src/persist/format.rs".to_string(),
             ],
             lock_fragment: "store/src/".to_string(),
             recycle_files: vec!["store/src/wcoj.rs".to_string()],
@@ -153,10 +158,7 @@ impl Default for Config {
                 "store/src/shard.rs".to_string(),
                 "store/src/cache.rs".to_string(),
             ],
-            io_files: vec![
-                "store/src/persist.rs".to_string(),
-                "store/src/manifest.rs".to_string(),
-            ],
+            io_files: vec!["store/src/persist".to_string()],
         }
     }
 }
@@ -258,7 +260,7 @@ pub fn scan_sources(files: &[(String, String)], cfg: &Config) -> Vec<Finding> {
         if cfg
             .io_files
             .iter()
-            .any(|suffix| rel.ends_with(suffix.as_str()))
+            .any(|fragment| rel.contains(fragment.as_str()))
         {
             lint_io_ordering(ctx, &mut findings);
         }

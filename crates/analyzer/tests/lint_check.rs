@@ -116,6 +116,52 @@ fn binary_passes_on_the_workspace() {
     );
 }
 
+/// The `io-ordering` scope must cover the real persist module. The
+/// config once listed planned single-file paths; now that the durable
+/// store exists as a module tree, a scope that silently missed
+/// `store/src/persist/*.rs` would let the publish-after-sync rule rot
+/// on exactly the code it was written for. Matching is by substring,
+/// so one fragment covers both the fixture's `store/src/persist.rs`
+/// and every file of the real module. (That the workspace then stays
+/// clean *with* those files in scope is what
+/// `binary_passes_on_the_workspace` pins — the persist module's
+/// rename hatches are consumed there, so a stale scope would resurface
+/// as unused-hatch warnings.)
+#[test]
+fn io_ordering_scope_covers_the_real_persist_module() {
+    let cfg = Config::default();
+    let ws = workspace_root();
+    let persist_dir = ws.join("crates/store/src/persist");
+    let entries: Vec<String> = std::fs::read_dir(&persist_dir)
+        .expect("the durable store module exists")
+        .map(|e| {
+            let p = e.expect("dir entry").path();
+            p.strip_prefix(&ws)
+                .expect("under the workspace")
+                .display()
+                .to_string()
+        })
+        .collect();
+    assert!(
+        entries.iter().any(|p| p.ends_with("mod.rs")),
+        "persist module files present, got {entries:?}"
+    );
+    for rel in &entries {
+        assert!(
+            cfg.io_files.iter().any(|frag| rel.contains(frag.as_str())),
+            "{rel} must be inside the io-ordering scope {:?}",
+            cfg.io_files
+        );
+    }
+    // The seeded fixture file must stay in scope under the same
+    // fragments, or `fixture_findings_match_the_seeded_markers` would
+    // silently stop exercising the io-ordering rule.
+    assert!(cfg
+        .io_files
+        .iter()
+        .any(|frag| "store/src/persist.rs".contains(frag.as_str())));
+}
+
 #[test]
 fn json_report_is_written_and_shaped() {
     let dir = std::env::temp_dir().join("wdsparql-analyzer-test-report");

@@ -1,0 +1,137 @@
+//! store_restart — the cost of durability and the payoff of restart.
+//!
+//! Three measurements around the persist layer (medians merge into the
+//! workspace-root `BENCH_store.json`, shared with the other store
+//! targets):
+//!
+//! - `durable_ingest`: bulk-loading a workload into a store persisted
+//!   with [`TripleStore::persist_to`] — every batch runs the full
+//!   crash-safe commit (tmp → fsync → rename → dir_sync → log) before
+//!   it acks. The write-amplification price of durability.
+//! - `volatile_ingest`: the identical load into a plain in-RAM store —
+//!   the baseline the durable path is measured against.
+//! - `reopen`: [`TripleStore::open`] on a checkpointed store — the
+//!   restart-without-reingest path (manifest + checksummed pages +
+//!   recovery sweep) that replaces re-parsing N-Triples on boot.
+//!
+//! Before anything is timed, the reopened store is asserted equal to
+//! the ingested one (triple count and a pattern probe): we only
+//! measure restarts that restore the data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use wdsparql_rdf::term::var;
+use wdsparql_rdf::{tp, Triple};
+use wdsparql_store::TripleStore;
+use wdsparql_workloads::batched_triple_stream;
+
+const NODES: usize = 3_000;
+const DRAWS: usize = 20_000;
+const PREDICATES: usize = 8;
+const BATCH: usize = 1_000;
+
+/// `cargo test` runs bench targets with `--test` (each body once); a
+/// token workload keeps that pass fast while still exercising every
+/// bench path end to end.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// The pre-materialised ingest feed, interned once so the timed loops
+/// measure the store and the disk, not the string interner. Also pins
+/// the JSON report to the committed workspace-root baseline.
+fn batches() -> &'static Vec<Vec<Triple>> {
+    static BATCHES: OnceLock<Vec<Vec<Triple>>> = OnceLock::new();
+    BATCHES.get_or_init(|| {
+        criterion::set_bench_json_path(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_store.json"
+        ));
+        let (nodes, draws, batch) = if test_mode() {
+            (200, 2_000, 500)
+        } else {
+            (NODES, DRAWS, BATCH)
+        };
+        batched_triple_stream(nodes, draws, PREDICATES, batch, 42).collect()
+    })
+}
+
+/// A fresh store directory per build (the commit protocol is
+/// append-only per epoch, so reusing one would measure recovery of an
+/// ever-longer log, not a restart).
+fn fresh_dir() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wdsparql_bench_restart_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_ingest(dir: &PathBuf) -> TripleStore {
+    let store = TripleStore::new();
+    store.persist_to(dir).expect("fresh directory");
+    for batch in batches() {
+        store
+            .try_bulk_load(batch.iter().copied())
+            .expect("workload is far below MAX_TRIPLES");
+    }
+    store
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_restart");
+    group.sample_size(if test_mode() { 2 } else { 15 });
+
+    group.bench_function("durable_ingest", |b| {
+        b.iter(|| {
+            let dir = fresh_dir();
+            let store = durable_ingest(&dir);
+            let len = store.len();
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(len)
+        })
+    });
+
+    group.bench_function("volatile_ingest", |b| {
+        b.iter(|| {
+            let store = TripleStore::new();
+            for batch in batches() {
+                store.bulk_load(batch.iter().copied());
+            }
+            black_box(store.len())
+        })
+    });
+
+    // One persisted, checkpointed image reopened over and over: the
+    // pure restart path (compact folds the per-epoch delta segments
+    // into a checkpoint, so `open` reads manifest + base, not a log
+    // replay of every batch).
+    let dir = fresh_dir();
+    let ingested = durable_ingest(&dir);
+    ingested.compact();
+    let probe = tp(var("x"), wdsparql_rdf::iri("p0"), var("y"));
+    let want_len = ingested.len();
+    let want_probe = ingested.read_snapshot().graph().match_pattern(&probe).len();
+    let reopened = TripleStore::open(&dir).expect("store persisted above");
+    assert_eq!(reopened.len(), want_len, "restart must restore the data");
+    assert_eq!(
+        reopened.read_snapshot().graph().match_pattern(&probe).len(),
+        want_probe
+    );
+    group.bench_function("reopen", |b| {
+        b.iter(|| {
+            let store = TripleStore::open(&dir).expect("store persisted above");
+            black_box(store.len())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_restart);
+criterion_main!(benches);

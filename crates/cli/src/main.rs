@@ -12,6 +12,7 @@
 //!                [--join-strategy pairwise|wco|auto]
 //!                [--limit K] [--deadline-ms T]
 //!                [--profile] [--metrics-json PATH]
+//!                [--dir PATH] [--open]
 //!                   <data.nt> [query]       bulk-load into the triple store
 //!                                           (hash-sharded when N > 1),
 //!                                           report stats, run the query
@@ -25,7 +26,11 @@
 //!                                           `--profile` prints the query's
 //!                                           execution profile (span tree),
 //!                                           `--metrics-json` dumps the
-//!                                           process-wide metrics registry
+//!                                           process-wide metrics registry;
+//!                                           `--dir PATH` persists every
+//!                                           ingest batch durably to PATH,
+//!                                           `--open` reopens such a store
+//!                                           (then only `[query]` follows)
 //! wdsparql demo                             run a tiny built-in scenario
 //! ```
 //!
@@ -66,7 +71,8 @@ const USAGE: &str = "usage:
   wdsparql store   [--shards N] [--max-triples N]
                    [--join-strategy pairwise|wco|auto]
                    [--limit K] [--deadline-ms T]
-                   [--profile] [--metrics-json PATH] <data.nt> [query]
+                   [--profile] [--metrics-json PATH]
+                   [--dir PATH] [--open] <data.nt> [query]
   wdsparql demo";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -189,6 +195,11 @@ fn run(args: &[String]) -> Result<(), String> {
 /// the first K solutions (LIMIT pushdown — later solutions are never
 /// computed), and a missed deadline surfaces as a clean
 /// `query deadline exceeded` error rather than running to completion.
+/// `--dir PATH` makes the store durable: every ingest batch commits to
+/// disk (crash-safe tmp→fsync→rename protocol) before it is
+/// acknowledged. `--open` reopens a store previously persisted with
+/// `--dir` — no data file is read; the single positional argument is
+/// the optional query. Corruption on reopen is a clean error.
 fn run_store(args: &[String]) -> Result<(), String> {
     let mut shards = 1usize;
     let mut max_triples: Option<usize> = None;
@@ -197,6 +208,8 @@ fn run_store(args: &[String]) -> Result<(), String> {
     let mut limit: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut metrics_json: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut open = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -221,11 +234,16 @@ fn run_store(args: &[String]) -> Result<(), String> {
             "--metrics-json" => {
                 metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.to_string());
             }
+            "--dir" => dir = Some(it.next().ok_or("--dir needs a path")?.to_string()),
+            "--open" => open = true,
             _ => positional.push(arg),
         }
     }
     if shards == 0 {
         return Err("--shards must be at least 1".into());
+    }
+    if open && dir.is_none() {
+        return Err("--open needs --dir PATH to know which store to reopen".into());
     }
     store_command(
         shards,
@@ -234,6 +252,8 @@ fn run_store(args: &[String]) -> Result<(), String> {
         profile,
         limit,
         deadline_ms,
+        dir.as_deref(),
+        open,
         &positional,
     )?;
     if let Some(path) = metrics_json {
@@ -252,14 +272,33 @@ fn store_command(
     profile: bool,
     limit: Option<usize>,
     deadline_ms: Option<u64>,
+    dir: Option<&str>,
+    open: bool,
     positional: &[&String],
 ) -> Result<(), String> {
-    let graph = load_graph(positional.first().copied())?;
-    let query_text = positional.get(1).copied();
+    // `--open` reads no data file: the store's contents come from disk
+    // and the only positional is the optional query.
+    let (graph, query_text) = if open {
+        (wdsparql_rdf::RdfGraph::new(), positional.first().copied())
+    } else {
+        (
+            load_graph(positional.first().copied())?,
+            positional.get(1).copied(),
+        )
+    };
     let streaming = limit.is_some() || deadline_ms.is_some();
     if streaming && query_text.is_none() {
         return Err("--limit/--deadline-ms need a query to run".into());
     }
+    // On reopen the layout on disk decides single vs sharded: a
+    // `shard-0/` subdirectory marks a sharded store regardless of what
+    // `--shards` says today.
+    let sharded = if open {
+        let d = dir.expect("--open was checked to carry --dir");
+        std::path::Path::new(d).join("shard-0").is_dir()
+    } else {
+        shards > 1
+    };
     // Load in batches, as an ingest pipeline would: each batch appends
     // sorted delta segments (scattered across the shards when sharded);
     // the explicit compact folds whatever the adaptive policy left
@@ -269,8 +308,17 @@ fn store_command(
         let batch: Vec<_> = stream.by_ref().take(4096).collect();
         (!batch.is_empty()).then_some(batch)
     });
-    if shards > 1 {
-        let store = std::sync::Arc::new(wdsparql_store::ShardedStore::new(shards));
+    if sharded {
+        let store = if open {
+            let d = dir.expect("--open was checked to carry --dir");
+            std::sync::Arc::new(wdsparql_store::ShardedStore::open(d).map_err(|e| e.to_string())?)
+        } else {
+            let store = std::sync::Arc::new(wdsparql_store::ShardedStore::new(shards));
+            if let Some(d) = dir {
+                store.persist_to(d).map_err(|e| e.to_string())?;
+            }
+            store
+        };
         store.set_capacity_limit(max_triples);
         store.set_join_strategy(strategy);
         for batch in batches {
@@ -280,6 +328,9 @@ fn store_command(
         store.compact();
         let stats = store.stats();
         print!("{stats}");
+        if let Some(d) = dir {
+            println!("(durable store at {d}: shard epochs {:?})", store.epochs());
+        }
         report_ingest_lifecycle(
             staged.shards.iter().map(|s| s.delta_rows).sum(),
             staged.shards.iter().map(|s| s.segments).sum(),
@@ -332,7 +383,16 @@ fn store_command(
         }
         return Ok(());
     }
-    let store = std::sync::Arc::new(wdsparql_store::TripleStore::new());
+    let store = if open {
+        let d = dir.expect("--open was checked to carry --dir");
+        std::sync::Arc::new(wdsparql_store::TripleStore::open(d).map_err(|e| e.to_string())?)
+    } else {
+        let store = std::sync::Arc::new(wdsparql_store::TripleStore::new());
+        if let Some(d) = dir {
+            store.persist_to(d).map_err(|e| e.to_string())?;
+        }
+        store
+    };
     store.set_capacity_limit(max_triples);
     store.set_join_strategy(strategy);
     batches.try_for_each(|batch| {
@@ -345,6 +405,9 @@ fn store_command(
     store.compact();
     let stats = store.stats();
     println!("{stats}");
+    if let Some(d) = dir {
+        println!("(durable store at {d}: epoch {})", store.epoch());
+    }
     report_ingest_lifecycle(staged.delta_rows, staged.segments, stats.compactions);
     let Some(text) = query_text else {
         return Ok(());
@@ -701,7 +764,7 @@ mod tests {
         let out_s = out.to_string_lossy().to_string();
         assert!(run(&s(&["store", "--metrics-json", &out_s, &p, triangle])).is_ok());
         let json = std::fs::read_to_string(&out).unwrap();
-        assert!(json.contains("\"schema\": 2"), "{json}");
+        assert!(json.contains("\"schema\": 3"), "{json}");
         assert!(json.contains("\"store.queries_total\""), "{json}");
         assert!(json.contains("\"query.total_ns\""), "{json}");
         // Flag validation.

@@ -333,7 +333,7 @@ fn store_metrics_json_dumps_the_registry() {
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let json = std::fs::read_to_string(&out_path).expect("metrics file written");
     for key in [
-        "\"schema\": 2",
+        "\"schema\": 3",
         "\"store.queries_total\"",
         "\"store.triples\"",
         "\"query.total_ns\"",
@@ -455,5 +455,113 @@ fn store_capacity_guard_is_a_clean_error() {
     assert!(
         !err.contains("panicked"),
         "must be an error, not a panic: {err}"
+    );
+}
+
+#[test]
+fn store_restart_serves_identical_results() {
+    // Durable round-trip: ingest with `--dir`, then reopen the same
+    // directory with `--open` in a fresh process. The triangle query
+    // must return the same solutions at the same durable epoch —
+    // nothing about the store may depend on process-lifetime state.
+    let data = triangle_nt("restart");
+    let dir = std::env::temp_dir().join(format!(
+        "wdsparql_smoke_{}_restart_store",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ingest = wdsparql(&[
+        "store",
+        "--dir",
+        dir.to_str().unwrap(),
+        data.to_str().unwrap(),
+        TRIANGLE_QUERY,
+    ]);
+    assert!(ingest.status.success(), "stderr: {}", stderr(&ingest));
+    let first = stdout(&ingest);
+    assert!(first.contains("epoch 1)"), "durable epoch missing: {first}");
+
+    let reopen = wdsparql(&[
+        "store",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--open",
+        TRIANGLE_QUERY,
+    ]);
+    assert!(reopen.status.success(), "stderr: {}", stderr(&reopen));
+    let second = stdout(&reopen);
+    assert!(
+        second.contains("epoch 1)"),
+        "reopened epoch differs: {second}"
+    );
+
+    // The solution rows (engine output lines `  {?x → …}`) must match
+    // as sets across the restart.
+    let rows = |text: &str| -> Vec<String> {
+        let mut v: Vec<String> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .map(str::to_string)
+            .collect();
+        v.sort();
+        v
+    };
+    let (a, b) = (rows(&first), rows(&second));
+    assert!(!a.is_empty(), "triangle query must have solutions: {first}");
+    assert_eq!(a, b, "restart changed the answer set");
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_open_with_a_corrupt_manifest_is_a_clean_error() {
+    let data = triangle_nt("corrupt");
+    let dir = std::env::temp_dir().join(format!(
+        "wdsparql_smoke_{}_corrupt_store",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ingest = wdsparql(&[
+        "store",
+        "--dir",
+        dir.to_str().unwrap(),
+        data.to_str().unwrap(),
+    ]);
+    assert!(ingest.status.success(), "stderr: {}", stderr(&ingest));
+
+    // Smash the manifest's header page (magic + version live in the
+    // first bytes, under the header checksum).
+    let manifest = dir.join("manifest");
+    let mut bytes = std::fs::read(&manifest).expect("manifest exists");
+    for b in bytes.iter_mut().take(8) {
+        *b ^= 0xff;
+    }
+    std::fs::write(&manifest, bytes).expect("rewrite manifest");
+
+    let reopen = wdsparql(&["store", "--dir", dir.to_str().unwrap(), "--open"]);
+    assert!(!reopen.status.success(), "corrupt manifest must fail");
+    let err = stderr(&reopen);
+    assert!(
+        err.contains("corrupt manifest"),
+        "typed corruption error expected, got: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must be an error, not a panic: {err}"
+    );
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_open_requires_dir() {
+    let out = wdsparql(&["store", "--open"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--open needs --dir"),
+        "unexpected stderr: {}",
+        stderr(&out)
     );
 }

@@ -4,13 +4,15 @@
 //!
 //! The catalog is a plain struct — registration is the field list, so
 //! the hot path is exactly one atomic RMW per event with no name
-//! lookup, no lock, and no allocation. `schema: 2` pins the JSON
+//! lookup, no lock, and no allocation. `schema: 3` pins the JSON
 //! layout; CI validates a live snapshot against
 //! `crates/obs/metrics-schema.json` (key presence + types), and adding
 //! a metric is a schema *addition*, never a mutation. (Schema 2 added
 //! the streaming-execution metrics: `store.deadline_exceeded_total`,
 //! `query.rows_streamed`, and the per-shard read-load sections
-//! `shard_read_rows` / `shard_read_ns`.)
+//! `shard_read_rows` / `shard_read_ns`. Schema 3 added the durability
+//! metrics: `store.fsync_total`, `store.commit_retries_total`,
+//! `store.segments_quarantined_total` and `store.recovery_ns`.)
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 
@@ -51,6 +53,12 @@ pub struct Registry {
     pub fanout_reads: Counter,
     /// Budgeted queries that failed their deadline checkpoint.
     pub deadline_exceeded: Counter,
+    /// `fsync`/`dir_sync` calls issued by the persistence layer.
+    pub fsyncs: Counter,
+    /// Transient-I/O retries spent by the persistence layer.
+    pub commit_retries: Counter,
+    /// Segments renamed aside at recovery after failing verification.
+    pub segments_quarantined: Counter,
 
     // Gauges — last published observation (refreshed by `stats()`).
     /// Triples in the store (sharded: summed over shards).
@@ -93,6 +101,9 @@ pub struct Registry {
     /// histogram, not nanoseconds — LIMIT pushdown shows up as a low
     /// p50 against a large full-enumeration max).
     pub rows_streamed: Histogram,
+    /// Durable-store recovery latency (`TripleStore::open`: verify +
+    /// rebuild + replay).
+    pub recovery_ns: Histogram,
 }
 
 impl Registry {
@@ -120,6 +131,12 @@ impl Registry {
                     "store.deadline_exceeded_total",
                     self.deadline_exceeded.get(),
                 ),
+                ("store.fsync_total", self.fsyncs.get()),
+                ("store.commit_retries_total", self.commit_retries.get()),
+                (
+                    "store.segments_quarantined_total",
+                    self.segments_quarantined.get(),
+                ),
             ],
             gauges: vec![
                 ("store.triples", self.triples.get()),
@@ -137,6 +154,7 @@ impl Registry {
                 ("store.compact_ns", self.compact_ns.capture()),
                 ("shard.fanout_ns", self.fanout_ns.capture()),
                 ("query.rows_streamed", self.rows_streamed.capture()),
+                ("store.recovery_ns", self.recovery_ns.capture()),
             ],
             shard_rows: self.shard_rows.iter().map(Counter::get).collect(),
             shard_read_rows: self.shard_read_rows.iter().map(Counter::get).collect(),
@@ -144,7 +162,7 @@ impl Registry {
         }
     }
 
-    /// The stable-schema JSON snapshot (`schema: 2`).
+    /// The stable-schema JSON snapshot (`schema: 3`).
     pub fn to_json(&self) -> String {
         self.capture().to_json()
     }
@@ -182,11 +200,11 @@ impl RegistrySnapshot {
             .map(|&(_, v)| v)
     }
 
-    /// Renders the snapshot as the `schema: 2` JSON document: fixed
+    /// Renders the snapshot as the `schema: 3` JSON document: fixed
     /// member order, exact u64 integers, each histogram summarized as
     /// `count`/`sum`/`max`/`p50`/`p90`/`p99`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"schema\": 2,\n  \"counters\": {\n");
+        let mut out = String::from("{\n  \"schema\": 3,\n  \"counters\": {\n");
         push_pairs(&mut out, &self.counters);
         out.push_str("  },\n  \"gauges\": {\n");
         push_pairs(&mut out, &self.gauges);
@@ -261,6 +279,10 @@ mod tests {
         r.shard_read_ns[3].record(4_000);
         r.deadline_exceeded.inc();
         r.rows_streamed.record(10);
+        r.fsyncs.add(4);
+        r.commit_retries.inc();
+        r.segments_quarantined.inc();
+        r.recovery_ns.record(8_000);
         r.query_ns.record(1_000);
         r.query_ns.record(2_000);
         let text = r.to_json();
@@ -315,6 +337,29 @@ mod tests {
             .and_then(|h| h.get("query.rows_streamed"))
             .unwrap();
         assert_eq!(streamed.get("sum").and_then(json::Value::as_u64), Some(10));
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("store.fsync_total"))
+                .and_then(json::Value::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("store.commit_retries_total"))
+                .and_then(json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("store.segments_quarantined_total"))
+                .and_then(json::Value::as_u64),
+            Some(1)
+        );
+        let recovery = doc
+            .get("histograms")
+            .and_then(|h| h.get("store.recovery_ns"))
+            .unwrap();
+        assert_eq!(recovery.get("count").and_then(json::Value::as_u64), Some(1));
         assert_eq!(r.capture().counter("cache.hits"), Some(1));
     }
 

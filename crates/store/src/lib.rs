@@ -55,7 +55,16 @@
 //!   [`JoinStrategy`]`::{Pairwise, Wco, Auto}` knob on both services and
 //!   the engine — under `Auto`, cyclic query cores (triangles,
 //!   k-cliques) route to the WCOJ instead of blowing up the pairwise
-//!   pipeline's intermediates.
+//!   pipeline's intermediates;
+//! * [`persist`] — durable storage behind a fault-injectable [`Vfs`]:
+//!   checksummed paged segments, a length-prefixed manifest and a
+//!   commit log, with crash-safe tmp→fsync→rename→dir-sync publishes
+//!   and defensive recovery (torn log tails truncated, corrupt
+//!   referenced segments quarantined). [`TripleStore::open`] /
+//!   [`TripleStore::persist_to`] (and the [`ShardedStore`]
+//!   equivalents, one subdirectory per shard) wire it into the
+//!   services; every durable `bulk_load` is fsynced before it is
+//!   acknowledged.
 
 #![forbid(unsafe_code)]
 
@@ -64,6 +73,7 @@ pub mod dict;
 pub mod encoded;
 pub mod join;
 pub mod obs;
+pub mod persist;
 mod segment;
 pub mod service;
 pub mod shard;
@@ -74,9 +84,12 @@ pub use dict::{Dictionary, TermId};
 pub use encoded::{CompactionPolicy, EncodedGraph};
 pub use join::{open_bgp_stream, PairwiseStream};
 pub use obs::metrics_json;
+pub use persist::vfs::{Fault, FaultFs, FaultKind, RealFs, Vfs, VfsError};
+pub use persist::{PersistError, PersistOpts, Recovered, StoreDir};
 pub use segment::{CapacityError, MAX_TRIPLES};
 pub use service::{
-    eval_bgp_pairwise, PairwiseStepStats, PlannedQuery, StoreSnapshot, StoreStats, TripleStore,
+    eval_bgp_pairwise, PairwiseStepStats, PlannedQuery, StoreError, StoreSnapshot, StoreStats,
+    TripleStore,
 };
 pub use shard::{ShardedPlannedQuery, ShardedSnapshot, ShardedStats, ShardedStore};
 pub use wcoj::{

@@ -30,7 +30,7 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
-/// The `schema: 2` JSON snapshot of the registry — what the CLI's
+/// The `schema: 3` JSON snapshot of the registry — what the CLI's
 /// `--metrics-json PATH` writes and CI validates against
 /// `crates/obs/metrics-schema.json`.
 pub fn metrics_json() -> String {
@@ -133,6 +133,30 @@ pub(crate) fn on_deadline_exceeded() {
     registry().deadline_exceeded.inc();
 }
 
+/// The persistence layer issued an `fsync` or `dir_sync`.
+#[cfg(feature = "obs")]
+pub(crate) fn on_fsync() {
+    registry().fsyncs.inc();
+}
+
+/// The persistence layer retried a transient I/O failure.
+#[cfg(feature = "obs")]
+pub(crate) fn on_commit_retry() {
+    registry().commit_retries.inc();
+}
+
+/// Recovery quarantined `n` segments that failed verification.
+#[cfg(feature = "obs")]
+pub(crate) fn on_quarantine(n: u64) {
+    registry().segments_quarantined.add(n);
+}
+
+/// A durable store finished opening (verify + rebuild + replay).
+#[cfg(feature = "obs")]
+pub(crate) fn on_recovery(elapsed: Duration) {
+    registry().recovery_ns.record(ns(elapsed));
+}
+
 /// A budgeted/limited query completed, streaming `rows` solutions.
 #[cfg(feature = "obs")]
 pub(crate) fn on_rows_streamed(rows: u64) {
@@ -196,6 +220,14 @@ pub(crate) fn on_shard_read(_shard: usize, _rows: u64, _elapsed: std::time::Dura
 #[cfg(not(feature = "obs"))]
 pub(crate) fn on_deadline_exceeded() {}
 #[cfg(not(feature = "obs"))]
+pub(crate) fn on_fsync() {}
+#[cfg(not(feature = "obs"))]
+pub(crate) fn on_commit_retry() {}
+#[cfg(not(feature = "obs"))]
+pub(crate) fn on_quarantine(_n: u64) {}
+#[cfg(not(feature = "obs"))]
+pub(crate) fn on_recovery(_elapsed: std::time::Duration) {}
+#[cfg(not(feature = "obs"))]
 pub(crate) fn on_rows_streamed(_rows: u64) {}
 #[cfg(not(feature = "obs"))]
 #[allow(clippy::too_many_arguments)]
@@ -215,11 +247,15 @@ mod tests {
     #[test]
     fn metrics_json_is_schema_valid_from_a_cold_start() {
         let text = super::metrics_json();
-        assert!(text.contains("\"schema\": 2"));
+        assert!(text.contains("\"schema\": 3"));
         assert!(text.contains("\"cache.hits\""));
         assert!(text.contains("\"query.total_ns\""));
         assert!(text.contains("\"store.deadline_exceeded_total\""));
         assert!(text.contains("\"query.rows_streamed\""));
         assert!(text.contains("\"shard_read_ns\""));
+        assert!(text.contains("\"store.fsync_total\""));
+        assert!(text.contains("\"store.commit_retries_total\""));
+        assert!(text.contains("\"store.segments_quarantined_total\""));
+        assert!(text.contains("\"store.recovery_ns\""));
     }
 }

@@ -1,0 +1,472 @@
+//! The filesystem seam the durable store is written against.
+//!
+//! [`Vfs`] is the narrow, single-directory surface the commit protocol
+//! needs — the same op vocabulary as `wdsparql_analyzer::fsim::SimFs`,
+//! so the crash matrix the model checker enumerates replays verbatim
+//! against the production code. [`RealFs`] backs it with `std::fs` for
+//! production; [`FaultFs`] decorates any backend with injected
+//! transient/permanent errors, crashes-after-op-N and torn half-page
+//! writes, which is how the fault-injection suites drive the real
+//! commit and recovery paths through every failure they must survive.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// How an injected (or classified) I/O failure behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Worth retrying: the next attempt may succeed.
+    Transient,
+    /// Retrying is pointless; the commit must roll back.
+    Permanent,
+    /// The process (simulated) died mid-operation; every later op fails.
+    Crashed,
+}
+
+/// A failed [`Vfs`] operation, carrying how it failed and on what.
+#[derive(Debug, Clone)]
+pub struct VfsError {
+    pub kind: FaultKind,
+    /// `"op name"` description, e.g. `"rename seg-3.tmp -> seg-3"`.
+    pub op: String,
+}
+
+impl VfsError {
+    pub fn new(kind: FaultKind, op: impl Into<String>) -> VfsError {
+        VfsError {
+            kind,
+            op: op.into(),
+        }
+    }
+
+    pub fn is_transient(&self) -> bool {
+        self.kind == FaultKind::Transient
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FaultKind::Transient => "transient",
+            FaultKind::Permanent => "permanent",
+            FaultKind::Crashed => "crashed",
+        };
+        write!(f, "{kind} i/o failure during {}", self.op)
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// The single-directory filesystem surface of the commit protocol.
+///
+/// Names are flat (no subdirectories); `rename` within the directory is
+/// atomic; `dir_sync` makes completed namespace operations (`create`,
+/// `rename`, `remove`) durable, in order. This is exactly the
+/// durability model `fsim::SimFs` simulates.
+pub trait Vfs {
+    /// Creates (or truncates) `name` as an empty file.
+    fn create(&self, name: &str) -> VfsResult<()>;
+    /// Appends `data` to `name`.
+    fn append(&self, name: &str, data: &[u8]) -> VfsResult<()>;
+    /// Writes `data` at `offset`, extending the file if needed.
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> VfsResult<()>;
+    /// Truncates `name` to `len` bytes.
+    fn truncate(&self, name: &str, len: u64) -> VfsResult<()>;
+    /// Makes `name`'s contents durable.
+    fn fsync(&self, name: &str) -> VfsResult<()>;
+    /// Atomically renames `from` to `to` (replacing `to` if present).
+    fn rename(&self, from: &str, to: &str) -> VfsResult<()>;
+    /// Removes `name`.
+    fn remove(&self, name: &str) -> VfsResult<()>;
+    /// Makes completed namespace operations durable.
+    fn dir_sync(&self) -> VfsResult<()>;
+    /// Reads the whole file, `None` if it does not exist.
+    fn read(&self, name: &str) -> VfsResult<Option<Vec<u8>>>;
+    /// Reads up to `len` bytes at `offset`, `None` if the file does not
+    /// exist. Short reads past end-of-file are not errors.
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> VfsResult<Option<Vec<u8>>> {
+        Ok(self.read(name)?.map(|bytes| {
+            let start = (offset as usize).min(bytes.len());
+            let end = start.saturating_add(len).min(bytes.len());
+            bytes[start..end].to_vec()
+        }))
+    }
+    /// Lists the files in the directory, sorted by name.
+    fn list(&self) -> VfsResult<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------
+// RealFs
+// ---------------------------------------------------------------------
+
+/// Production [`Vfs`]: one real directory via `std::fs`.
+pub struct RealFs {
+    root: PathBuf,
+}
+
+impl RealFs {
+    /// Opens (creating if absent) `root` as the store directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<RealFs> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(RealFs { root })
+    }
+
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Maps an `io::Error` onto the retry taxonomy: interrupted/busy
+    /// conditions are worth another attempt, everything else is final.
+    fn classify(e: &io::Error) -> FaultKind {
+        match e.kind() {
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                FaultKind::Transient
+            }
+            _ => FaultKind::Permanent,
+        }
+    }
+
+    fn wrap<T>(res: io::Result<T>, op: impl FnOnce() -> String) -> VfsResult<T> {
+        res.map_err(|e| VfsError::new(Self::classify(&e), format!("{}: {e}", op())))
+    }
+}
+
+impl Vfs for RealFs {
+    fn create(&self, name: &str) -> VfsResult<()> {
+        Self::wrap(File::create(self.path(name)).map(|_| ()), || {
+            format!("create {name}")
+        })
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> VfsResult<()> {
+        let op = || format!("append {name}");
+        let mut f = Self::wrap(
+            OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(self.path(name)),
+            op,
+        )?;
+        Self::wrap(f.write_all(data), op)
+    }
+
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> VfsResult<()> {
+        let op = || format!("write_at {name}@{offset}");
+        let mut f = Self::wrap(
+            OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(self.path(name)),
+            op,
+        )?;
+        Self::wrap(f.seek(SeekFrom::Start(offset)).map(|_| ()), op)?;
+        Self::wrap(f.write_all(data), op)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> VfsResult<()> {
+        let op = || format!("truncate {name} to {len}");
+        let f = Self::wrap(OpenOptions::new().write(true).open(self.path(name)), op)?;
+        Self::wrap(f.set_len(len), op)
+    }
+
+    fn fsync(&self, name: &str) -> VfsResult<()> {
+        let op = || format!("fsync {name}");
+        let f = Self::wrap(File::open(self.path(name)), op)?;
+        Self::wrap(f.sync_all(), op)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> VfsResult<()> {
+        // analyzer-allow: io-ordering Vfs primitive: sync-before-publish is enforced one layer up, in the commit protocol that calls it
+        Self::wrap(std::fs::rename(self.path(from), self.path(to)), || {
+            format!("rename {from} -> {to}")
+        })
+    }
+
+    fn remove(&self, name: &str) -> VfsResult<()> {
+        Self::wrap(std::fs::remove_file(self.path(name)), || {
+            format!("remove {name}")
+        })
+    }
+
+    fn dir_sync(&self) -> VfsResult<()> {
+        let op = || "dir_sync".to_string();
+        let d = Self::wrap(File::open(&self.root), op)?;
+        Self::wrap(d.sync_all(), op)
+    }
+
+    fn read(&self, name: &str) -> VfsResult<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(VfsError::new(
+                Self::classify(&e),
+                format!("read {name}: {e}"),
+            )),
+        }
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> VfsResult<Option<Vec<u8>>> {
+        let op = || format!("read_at {name}@{offset}");
+        let mut f = match File::open(self.path(name)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(VfsError::new(Self::classify(&e), format!("{}: {e}", op())));
+            }
+        };
+        Self::wrap(f.seek(SeekFrom::Start(offset)).map(|_| ()), op)?;
+        let mut buf = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match f.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(VfsError::new(Self::classify(&e), format!("{}: {e}", op())));
+                }
+            }
+        }
+        buf.truncate(filled);
+        Ok(Some(buf))
+    }
+
+    fn list(&self) -> VfsResult<Vec<String>> {
+        let op = || "list".to_string();
+        let mut names = Vec::new();
+        for entry in Self::wrap(std::fs::read_dir(&self.root), op)? {
+            let entry = Self::wrap(entry, op)?;
+            let is_file = Self::wrap(entry.file_type(), op)?.is_file();
+            if is_file {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultFs
+// ---------------------------------------------------------------------
+
+/// A fault to arm at a specific operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The op fails once with a retryable error and has no effect.
+    Transient,
+    /// The op fails finally and has no effect.
+    Permanent,
+    /// The op fails and every op after it fails too.
+    Crash,
+    /// A write op persists only the first half of its payload, then the
+    /// process crashes. Non-write ops degrade to [`Fault::Crash`].
+    TornWrite,
+}
+
+struct FaultState {
+    next_op: usize,
+    /// Faults armed at exact op indexes; consumed when they fire.
+    plan: BTreeMap<usize, Fault>,
+    /// Every op at index >= this crashes.
+    crash_from: Option<usize>,
+    crashed: bool,
+}
+
+/// Decorates any [`Vfs`] with scripted failures.
+///
+/// Operations are numbered in call order (all ten verbs count), the
+/// same accounting `fsim::SimFs` uses, so a crash point found by the
+/// model checker can be replayed here by index.
+pub struct FaultFs<V> {
+    inner: V,
+    state: Mutex<FaultState>,
+}
+
+impl<V: Vfs> FaultFs<V> {
+    pub fn new(inner: V) -> FaultFs<V> {
+        FaultFs {
+            inner,
+            state: Mutex::new(FaultState {
+                next_op: 0,
+                plan: BTreeMap::new(),
+                crash_from: None,
+                crashed: false,
+            }),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Arms `fault` to fire at operation index `op` (0-based, counted
+    /// from construction or the last [`reset`](FaultFs::reset)).
+    pub fn inject(&self, op: usize, fault: Fault) {
+        self.locked().plan.insert(op, fault);
+    }
+
+    /// Every operation with index >= `op` fails as crashed.
+    pub fn crash_from(&self, op: usize) {
+        self.locked().crash_from = Some(op);
+    }
+
+    /// Operations performed so far (failed ones included).
+    pub fn op_count(&self) -> usize {
+        self.locked().next_op
+    }
+
+    /// True once a crash fault has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.locked().crashed
+    }
+
+    /// Clears all armed faults, the crash flag and the op counter.
+    pub fn reset(&self) {
+        let mut st = self.locked();
+        st.plan.clear();
+        st.crash_from = None;
+        st.crashed = false;
+        st.next_op = 0;
+    }
+
+    pub fn inner(&self) -> &V {
+        &self.inner
+    }
+
+    /// Accounts one op and returns the fault armed for it, if any.
+    fn gate(&self, op: &str) -> Result<Option<Fault>, VfsError> {
+        let mut st = self.locked();
+        if st.crashed {
+            return Err(VfsError::new(FaultKind::Crashed, op.to_string()));
+        }
+        let idx = st.next_op;
+        st.next_op += 1;
+        if st.crash_from.is_some_and(|from| idx >= from) {
+            st.crashed = true;
+            return Err(VfsError::new(FaultKind::Crashed, op.to_string()));
+        }
+        match st.plan.remove(&idx) {
+            None => Ok(None),
+            Some(Fault::Transient) => Err(VfsError::new(FaultKind::Transient, op.to_string())),
+            Some(Fault::Permanent) => Err(VfsError::new(FaultKind::Permanent, op.to_string())),
+            Some(Fault::Crash) => {
+                st.crashed = true;
+                Err(VfsError::new(FaultKind::Crashed, op.to_string()))
+            }
+            Some(Fault::TornWrite) => Ok(Some(Fault::TornWrite)),
+        }
+    }
+
+    /// A non-write op hit by [`Fault::TornWrite`] just crashes.
+    fn torn_as_crash(&self, op: &str) -> VfsError {
+        self.locked().crashed = true;
+        VfsError::new(FaultKind::Crashed, op.to_string())
+    }
+}
+
+impl<V: Vfs> Vfs for FaultFs<V> {
+    fn create(&self, name: &str) -> VfsResult<()> {
+        match self.gate("create")? {
+            None => self.inner.create(name),
+            Some(_) => Err(self.torn_as_crash("create")),
+        }
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> VfsResult<()> {
+        match self.gate("append")? {
+            None => self.inner.append(name, data),
+            Some(Fault::TornWrite) => {
+                // Half the payload lands, then the lights go out.
+                let _ = self.inner.append(name, &data[..data.len() / 2]);
+                Err(self.torn_as_crash("append"))
+            }
+            Some(_) => Err(self.torn_as_crash("append")),
+        }
+    }
+
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> VfsResult<()> {
+        match self.gate("write_at")? {
+            None => self.inner.write_at(name, offset, data),
+            Some(Fault::TornWrite) => {
+                let _ = self.inner.write_at(name, offset, &data[..data.len() / 2]);
+                Err(self.torn_as_crash("write_at"))
+            }
+            Some(_) => Err(self.torn_as_crash("write_at")),
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> VfsResult<()> {
+        match self.gate("truncate")? {
+            None => self.inner.truncate(name, len),
+            Some(_) => Err(self.torn_as_crash("truncate")),
+        }
+    }
+
+    fn fsync(&self, name: &str) -> VfsResult<()> {
+        match self.gate("fsync")? {
+            None => self.inner.fsync(name),
+            Some(_) => Err(self.torn_as_crash("fsync")),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> VfsResult<()> {
+        match self.gate("rename")? {
+            // analyzer-allow: io-ordering Vfs primitive: the commit protocol above this layer syncs before it publishes
+            None => self.inner.rename(from, to),
+            Some(_) => Err(self.torn_as_crash("rename")),
+        }
+    }
+
+    fn remove(&self, name: &str) -> VfsResult<()> {
+        match self.gate("remove")? {
+            None => self.inner.remove(name),
+            Some(_) => Err(self.torn_as_crash("remove")),
+        }
+    }
+
+    fn dir_sync(&self) -> VfsResult<()> {
+        match self.gate("dir_sync")? {
+            None => self.inner.dir_sync(),
+            Some(_) => Err(self.torn_as_crash("dir_sync")),
+        }
+    }
+
+    fn read(&self, name: &str) -> VfsResult<Option<Vec<u8>>> {
+        match self.gate("read")? {
+            None => self.inner.read(name),
+            Some(_) => Err(self.torn_as_crash("read")),
+        }
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> VfsResult<Option<Vec<u8>>> {
+        match self.gate("read_at")? {
+            None => self.inner.read_at(name, offset, len),
+            Some(_) => Err(self.torn_as_crash("read_at")),
+        }
+    }
+
+    fn list(&self) -> VfsResult<Vec<String>> {
+        match self.gate("list")? {
+            None => self.inner.list(),
+            Some(_) => Err(self.torn_as_crash("list")),
+        }
+    }
+}

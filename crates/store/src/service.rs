@@ -24,6 +24,8 @@ use crate::cache::ResultCache;
 use crate::encoded::{CapacityError, EncodedGraph};
 use crate::join::open_bgp_stream;
 pub(crate) use crate::join::{eval_bgp_planned, eval_bgp_planned_profiled};
+use crate::persist::vfs::Vfs;
+use crate::persist::{PersistError, PersistOpts, StoreDir};
 use crate::wcoj::{
     eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_with_order, JoinStrategy,
     WcoLevelStats,
@@ -31,6 +33,7 @@ use crate::wcoj::{
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use wdsparql_obs::{QueryProfile, Span};
@@ -40,6 +43,57 @@ use wdsparql_rdf::{
 };
 
 pub use crate::cache::CacheStats;
+
+/// Why a store mutation failed: the in-memory capacity guard refused
+/// the batch, or — on a durable store — the persistence layer could not
+/// make it durable. Either way the store is unchanged.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The batch would exceed [`crate::MAX_TRIPLES`] or the configured
+    /// [`TripleStore::set_capacity_limit`].
+    Capacity(CapacityError),
+    /// The durable commit (or open/attach) failed; see [`PersistError`].
+    Persist(PersistError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Capacity(e) => e.fmt(f),
+            StoreError::Persist(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Capacity(e) => Some(e),
+            StoreError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<CapacityError> for StoreError {
+    fn from(e: CapacityError) -> StoreError {
+        StoreError::Capacity(e)
+    }
+}
+
+impl From<PersistError> for StoreError {
+    fn from(e: PersistError) -> StoreError {
+        StoreError::Persist(e)
+    }
+}
+
+/// A recovered image that overflows the in-memory row bound can only
+/// come from a tampered or mismatched store directory — the store that
+/// wrote it enforced the same bound on every commit.
+fn replay_overflow(e: CapacityError) -> StoreError {
+    StoreError::Persist(PersistError::Corrupt(format!(
+        "recovered image exceeds the in-memory row bound: {e}"
+    )))
+}
 
 /// A snapshot of the store's contents, taken under the read lock.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -291,6 +345,13 @@ struct Inner {
     /// Lives here — not in the graph — so configuring it never pays the
     /// copy-on-write bill of [`Arc::make_mut`] on a pinned dataset.
     capacity_limit: Option<usize>,
+    /// The durable backing directory, when this store was opened with
+    /// [`TripleStore::open`] (or attached via
+    /// [`TripleStore::persist_to`]). `None` ⟹ purely in-memory. Living
+    /// inside `Inner` means every durable commit happens under the same
+    /// write lock that publishes the in-memory state, so the on-disk
+    /// epoch sequence and the served epoch sequence can never interleave.
+    persist: Option<StoreDir>,
 }
 
 /// The concurrent triple-store service.
@@ -328,6 +389,7 @@ impl TripleStore {
                 graph: Arc::new(EncodedGraph::new()),
                 epoch: 0,
                 capacity_limit: None,
+                persist: None,
             }),
             cache: ResultCache::new(capacity),
             strategy: RwLock::new(JoinStrategy::default()),
@@ -365,6 +427,115 @@ impl TripleStore {
         TripleStore::from_triples(g.iter().copied())
     }
 
+    /// Opens (or creates) a durable store rooted at `dir`.
+    ///
+    /// An empty or absent directory is formatted; an existing one is
+    /// recovered: leftover temp files are swept, the manifest and
+    /// checkpoint are verified by checksum, the commit log is replayed
+    /// (a torn tail is truncated, corrupt referenced segments are
+    /// quarantined), and the graph is rebuilt at the last consistent
+    /// epoch. Every subsequent [`TripleStore::bulk_load`] is committed
+    /// to disk before it is acknowledged.
+    pub fn open(dir: impl AsRef<Path>) -> Result<TripleStore, StoreError> {
+        TripleStore::open_with_opts(dir, PersistOpts::default())
+    }
+
+    /// [`TripleStore::open`] with explicit page-size / retry settings.
+    pub fn open_with_opts(
+        dir: impl AsRef<Path>,
+        opts: PersistOpts,
+    ) -> Result<TripleStore, StoreError> {
+        let sd = StoreDir::real(dir.as_ref(), opts)?;
+        TripleStore::open_dir(sd, 128)
+    }
+
+    /// [`TripleStore::open`] over an arbitrary [`Vfs`] — the hook the
+    /// fault-injection tests use to run the real open/commit/recover
+    /// code against [`crate::persist::vfs::FaultFs`].
+    pub fn open_with_vfs(
+        fs: Arc<dyn Vfs + Send + Sync>,
+        opts: PersistOpts,
+    ) -> Result<TripleStore, StoreError> {
+        TripleStore::open_dir(StoreDir::new(fs, opts), 128)
+    }
+
+    pub(crate) fn open_dir(
+        mut dir: StoreDir,
+        cache_capacity: usize,
+    ) -> Result<TripleStore, StoreError> {
+        let start = Instant::now();
+        let store = TripleStore::with_cache_capacity(cache_capacity);
+        let mut graph = EncodedGraph::new();
+        let mut epoch = 0;
+        if dir.is_formatted()? {
+            let rec = dir.recover()?;
+            epoch = rec.epoch;
+            graph
+                .insert_batch(rec.checkpoint)
+                .map_err(replay_overflow)?;
+            // The checkpoint is the bulk of the data: fold it into the
+            // base arrays now so the reopened store starts with the
+            // same compact shape a long-running one converges to.
+            graph.compact();
+            for (_epoch, delta) in rec.deltas {
+                graph.insert_batch(delta).map_err(replay_overflow)?;
+            }
+        } else {
+            dir.format()?;
+        }
+        {
+            let mut inner = store.inner.write();
+            inner.graph = Arc::new(graph);
+            inner.epoch = epoch;
+            inner.persist = Some(dir);
+        }
+        crate::obs::on_recovery(start.elapsed());
+        Ok(store)
+    }
+
+    /// Attaches durable storage at `dir` to this (so far volatile)
+    /// store: formats the directory, checkpoints the current contents
+    /// into it, and commits every later [`TripleStore::bulk_load`]
+    /// durably. Refuses a directory that already holds a store (open it
+    /// instead) and a store that is already durable.
+    pub fn persist_to(&self, dir: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.persist_to_opts(dir, PersistOpts::default())
+    }
+
+    /// [`TripleStore::persist_to`] with explicit settings.
+    pub fn persist_to_opts(
+        &self,
+        dir: impl AsRef<Path>,
+        opts: PersistOpts,
+    ) -> Result<(), StoreError> {
+        let sd = StoreDir::real(dir.as_ref(), opts)?;
+        self.attach(sd)
+    }
+
+    pub(crate) fn attach(&self, mut sd: StoreDir) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        if inner.persist.is_some() {
+            return Err(StoreError::Persist(PersistError::Corrupt(
+                "store is already durable".into(),
+            )));
+        }
+        if sd.is_formatted()? {
+            return Err(StoreError::Persist(PersistError::Corrupt(
+                "refusing to persist into a directory that already holds a store \
+                 (open it instead)"
+                    .into(),
+            )));
+        }
+        sd.format()?;
+        let image: Vec<Triple> = inner.graph.iter().collect();
+        if !image.is_empty() || inner.epoch > 0 {
+            sd.checkpoint(inner.epoch, &image)?;
+        }
+        inner.persist = Some(sd);
+        Ok(())
+    }
+
     /// Caps the store at `limit` rows: loads that would exceed it fail
     /// with [`CapacityError`] (`None` restores the hard
     /// [`crate::MAX_TRIPLES`] bound). An ingest guard for operators —
@@ -397,9 +568,12 @@ impl TripleStore {
             .expect("bulk_load exceeds the store's capacity")
     }
 
-    /// As [`TripleStore::bulk_load`], but surfaces the capacity guard as
-    /// an error instead of panicking. On `Err` the store is unchanged.
-    pub fn try_bulk_load<I>(&self, triples: I) -> Result<usize, CapacityError>
+    /// As [`TripleStore::bulk_load`], but surfaces the capacity guard —
+    /// and, on a durable store, persistence failures — as an error
+    /// instead of panicking. On `Err` the store is unchanged, both in
+    /// memory and on disk (a failed durable commit rolls back before
+    /// returning).
+    pub fn try_bulk_load<I>(&self, triples: I) -> Result<usize, StoreError>
     where
         I: IntoIterator<Item = Triple>,
     {
@@ -428,7 +602,37 @@ impl TripleStore {
             }
         }
         let limit = inner.capacity_limit.unwrap_or(crate::MAX_TRIPLES);
-        let added = Arc::make_mut(&mut inner.graph).insert_batch_capped(batch, limit)?;
+        let inner = &mut *inner;
+        let added = if let Some(dir) = inner.persist.as_mut() {
+            // Durable path: the exact fresh set must hit disk before it
+            // becomes visible, so an acked load is durable (the ack
+            // happens after fsync) and a failed one is invisible (the
+            // commit rolls back, and the graph was never touched).
+            let mut seen = HashSet::new();
+            let fresh: Vec<Triple> = batch
+                .iter()
+                .copied()
+                .filter(|t| !inner.graph.contains(t) && seen.insert(*t))
+                .collect();
+            if fresh.is_empty() {
+                return Ok(0);
+            }
+            // The capacity verdict must precede the durable commit: a
+            // batch acked to disk and then refused in memory would leave
+            // the two states disagreeing forever.
+            crate::segment::check_capacity(inner.graph.len() + fresh.len(), limit)?;
+            dir.commit_batch(inner.epoch + 1, &fresh)?;
+            // analyzer-allow: no-unwrap-in-service the capacity check
+            // above ran against this exact fresh set, so the capped
+            // insert cannot be refused after the durable commit acked.
+            let added = Arc::make_mut(&mut inner.graph)
+                .insert_batch_capped(fresh, limit)
+                .expect("capacity was checked before the durable commit");
+            debug_assert!(added > 0);
+            added
+        } else {
+            Arc::make_mut(&mut inner.graph).insert_batch_capped(batch, limit)?
+        };
         if added > 0 {
             inner.epoch += 1;
             crate::obs::on_epoch_bump();
@@ -437,7 +641,6 @@ impl TripleStore {
             // memory immediately instead of lingering until evicted.
             self.cache.clear();
         }
-        drop(inner);
         crate::obs::on_bulk_load(start.elapsed());
         Ok(added)
     }
@@ -446,6 +649,12 @@ impl TripleStore {
     /// (rebuilding the PSO permutation). The triple set is unchanged, so
     /// the epoch — and every cached result — stays valid. Returns `false`
     /// when there was nothing to fold.
+    ///
+    /// On a durable store a successful fold also writes a best-effort
+    /// checkpoint, folding the commit log into a fresh base image on
+    /// disk; a checkpoint failure is swallowed (the previous manifest +
+    /// log remain a complete, consistent description of the store — use
+    /// [`TripleStore::checkpoint`] to observe the error).
     pub fn compact(&self) -> bool {
         // The fold is O(rows + terms): doing it under the write lock
         // would stall every new snapshot for the duration. Instead,
@@ -464,6 +673,7 @@ impl TripleStore {
             let mut inner = self.inner.write();
             if inner.epoch == epoch {
                 inner.graph = Arc::new(folded);
+                Self::checkpoint_locked(&mut inner);
                 return true;
             }
         }
@@ -471,7 +681,44 @@ impl TripleStore {
         if inner.graph.is_compacted() {
             return false;
         }
-        Arc::make_mut(&mut inner.graph).compact()
+        let folded = Arc::make_mut(&mut inner.graph).compact();
+        if folded {
+            Self::checkpoint_locked(&mut inner);
+        }
+        folded
+    }
+
+    /// Best-effort checkpoint of the current image, under an
+    /// already-held write lock. No-op on volatile stores; on durable
+    /// ones a failure is deliberately ignored here — the old manifest
+    /// and log still describe the store exactly, and any orphaned
+    /// half-written base file is swept at the next recovery.
+    fn checkpoint_locked(inner: &mut Inner) {
+        if let Some(dir) = inner.persist.as_mut() {
+            let image: Vec<Triple> = inner.graph.iter().collect();
+            let _ = dir.checkpoint(inner.epoch, &image);
+        }
+    }
+
+    /// Checkpoints a durable store now: rewrites the on-disk base image
+    /// from the current graph and truncates the commit log. Returns
+    /// `Ok(false)` (and does nothing) on a volatile store, `Ok(true)`
+    /// after a durable checkpoint.
+    pub fn checkpoint(&self) -> Result<bool, StoreError> {
+        let mut inner = self.inner.write();
+        let inner = &mut *inner;
+        let Some(dir) = inner.persist.as_mut() else {
+            return Ok(false);
+        };
+        let image: Vec<Triple> = inner.graph.iter().collect();
+        dir.checkpoint(inner.epoch, &image)?;
+        Ok(true)
+    }
+
+    /// Whether this store is backed by a durable directory (opened via
+    /// [`TripleStore::open`] or attached via [`TripleStore::persist_to`]).
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().persist.is_some()
     }
 
     /// The current graph snapshot and its epoch (one brief read lock).
@@ -862,6 +1109,9 @@ mod tests {
         let err = s
             .try_bulk_load((0..4).map(|i| Triple::from_strs(&format!("s{i}"), "p", "o")))
             .unwrap_err();
+        let StoreError::Capacity(err) = err else {
+            panic!("expected a capacity error, got {err}");
+        };
         assert_eq!((err.attempted, err.limit), (5, 3));
         assert!(err.to_string().contains("configured limit of 3"));
         assert_eq!(s.len(), 1, "refused load leaves the store unchanged");

@@ -46,17 +46,19 @@
 //! the single-store semantics.
 
 use crate::cache::{CacheStats, ResultCache};
-use crate::encoded::{CapacityError, EncodedGraph};
+use crate::encoded::EncodedGraph;
 use crate::join::open_bgp_stream;
+use crate::persist::{PersistError, PersistOpts, StoreDir};
 use crate::service::{
     eval_bgp_planned, eval_bgp_planned_profiled, pairwise_step_spans, plan_order, plan_span,
-    wco_level_spans, StoreSnapshot, StoreStats, TripleStore,
+    wco_level_spans, StoreError, StoreSnapshot, StoreStats, TripleStore,
 };
 use crate::wcoj::{
     eval_bgp_wco, eval_bgp_wco_profiled, eval_bgp_with_strategy, resolve_with_order, JoinStrategy,
 };
 use parking_lot::RwLock;
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use wdsparql_obs::{QueryProfile, Span};
@@ -547,6 +549,73 @@ impl ShardedStore {
         ShardedStore::from_triples(shards, g.iter().copied())
     }
 
+    /// Opens a durable sharded store rooted at `dir`: one `shard-<i>`
+    /// subdirectory per shard, each an independent [`TripleStore`]
+    /// store directory with its own manifest, log, and recovery. The
+    /// shard count is discovered from the contiguous `shard-0 ..
+    /// shard-(n-1)` subdirectories present on disk.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ShardedStore, StoreError> {
+        ShardedStore::open_with_opts(dir, PersistOpts::default())
+    }
+
+    /// [`ShardedStore::open`] with explicit persistence settings.
+    pub fn open_with_opts(
+        dir: impl AsRef<Path>,
+        opts: PersistOpts,
+    ) -> Result<ShardedStore, StoreError> {
+        let dir = dir.as_ref();
+        let mut shards = Vec::new();
+        // analyzer-allow: budget-checkpoint bounded by the shard
+        // directories present on disk — an open-time discovery loop,
+        // not a query loop.
+        loop {
+            let shard_dir = dir.join(format!("shard-{}", shards.len()));
+            if !shard_dir.is_dir() {
+                break;
+            }
+            let sd = StoreDir::real(shard_dir, opts.clone())?;
+            shards.push(TripleStore::open_dir(sd, 0)?);
+        }
+        if shards.is_empty() {
+            return Err(StoreError::Persist(PersistError::Corrupt(format!(
+                "no shard directories (shard-0, shard-1, …) under {}",
+                dir.display()
+            ))));
+        }
+        Ok(ShardedStore {
+            shards,
+            cache: ResultCache::new(128),
+            strategy: RwLock::new(JoinStrategy::default()),
+        })
+    }
+
+    /// Attaches durable storage at `dir` to this (so far volatile)
+    /// sharded store: one freshly formatted `shard-<i>` subdirectory
+    /// per shard, current contents checkpointed into each. Later loads
+    /// commit durably shard by shard.
+    pub fn persist_to(&self, dir: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.persist_to_opts(dir, PersistOpts::default())
+    }
+
+    /// [`ShardedStore::persist_to`] with explicit settings.
+    pub fn persist_to_opts(
+        &self,
+        dir: impl AsRef<Path>,
+        opts: PersistOpts,
+    ) -> Result<(), StoreError> {
+        let dir = dir.as_ref();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let sd = StoreDir::real(dir.join(format!("shard-{i}")), opts.clone())?;
+            shard.attach(sd)?;
+        }
+        Ok(())
+    }
+
+    /// Whether the shards are backed by durable directories.
+    pub fn is_durable(&self) -> bool {
+        self.shards.iter().any(TripleStore::is_durable)
+    }
+
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
@@ -598,19 +667,20 @@ impl ShardedStore {
     }
 
     /// As [`ShardedStore::bulk_load`], but surfaces capacity exhaustion
-    /// as an error. Each shard's insert is atomic (a refused shard is
-    /// unchanged), but shards that fit have already committed when the
-    /// error returns — the idempotent retry semantics of
-    /// [`TripleStore::try_bulk_load`] make re-submitting the same batch
-    /// after freeing capacity safe.
-    pub fn try_bulk_load<I>(&self, triples: I) -> Result<usize, CapacityError>
+    /// (and, on a durable store, persistence failures) as an error. Each
+    /// shard's insert is atomic (a refused shard is unchanged), but
+    /// shards that fit have already committed when the error returns —
+    /// the idempotent retry semantics of [`TripleStore::try_bulk_load`]
+    /// make re-submitting the same batch after resolving the failure
+    /// safe.
+    pub fn try_bulk_load<I>(&self, triples: I) -> Result<usize, StoreError>
     where
         I: IntoIterator<Item = Triple>,
     {
         self.try_bulk_load_impl(triples, self.parallel_writes())
     }
 
-    fn try_bulk_load_impl<I>(&self, triples: I, parallel: bool) -> Result<usize, CapacityError>
+    fn try_bulk_load_impl<I>(&self, triples: I, parallel: bool) -> Result<usize, StoreError>
     where
         I: IntoIterator<Item = Triple>,
     {
@@ -1218,6 +1288,9 @@ mod tests {
         let err = store
             .try_bulk_load([Triple::new(a, Iri::new("q"), Iri::new("o"))])
             .unwrap_err();
+        let StoreError::Capacity(err) = err else {
+            panic!("expected a capacity error, got {err}");
+        };
         assert_eq!(err.limit, 1);
         assert_eq!(store.len(), 2);
     }

@@ -387,3 +387,132 @@ proptest! {
         prop_assert_eq!(joined, want);
     }
 }
+
+// ---------------------------------------------------------------------
+// Durable-store equivalence
+// ---------------------------------------------------------------------
+
+fn prop_tempdir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wdsparql-durable-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    // Each case touches a real temp directory (commits + reopen), so
+    // the case budget is smaller than the in-memory properties above.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A durable store fed a random script of batched loads and
+    /// compactions, then **reopened from disk**, is indistinguishable
+    /// from a volatile store fed the same script: same epoch, same
+    /// triple set, and the same answers over the full [`TripleIndex`]
+    /// surface (len / contains / dom / match_pattern / solutions for
+    /// every constant-and-variable pattern shape over the universe).
+    /// Replays under `PROPTEST_SEED=<u64>`.
+    #[test]
+    fn durable_store_matches_volatile(
+        script in proptest::collection::vec(
+            (
+                any::<bool>(),
+                proptest::collection::vec((0..6usize, 0..3usize, 0..6usize), 0..6),
+            ),
+            1..10,
+        )
+    ) {
+        let dir = prop_tempdir();
+        let opts = wdsparql_store::PersistOpts {
+            page_size: 64,
+            ..Default::default()
+        };
+        let durable = TripleStore::open_with_opts(&dir, opts).expect("open durable");
+        let volatile = TripleStore::new();
+        for (compact_after, coded) in &script {
+            let batch: Vec<Triple> = coded
+                .iter()
+                .map(|&(s, p, o)| {
+                    Triple::from_strs(&format!("sn{s}"), &format!("sp{p}"), &format!("sn{o}"))
+                })
+                .collect();
+            let a = durable.try_bulk_load(batch.iter().copied()).expect("durable load");
+            let b = volatile.try_bulk_load(batch.iter().copied()).expect("volatile load");
+            prop_assert_eq!(a, b, "added counts diverge");
+            prop_assert_eq!(durable.epoch(), volatile.epoch(), "epochs diverge mid-script");
+            if *compact_after {
+                prop_assert_eq!(durable.compact(), volatile.compact());
+            }
+        }
+        drop(durable);
+
+        let reopened = TripleStore::open(&dir).expect("reopen from disk");
+        prop_assert_eq!(reopened.epoch(), volatile.epoch(), "epoch lost across restart");
+        let got = reopened.read_snapshot();
+        let want = volatile.read_snapshot();
+        let (got, want) = (got.graph(), want.graph());
+        prop_assert_eq!(got.len(), want.len());
+        let gs: std::collections::BTreeSet<Triple> = got.triples().collect();
+        let ws: std::collections::BTreeSet<Triple> = want.triples().collect();
+        prop_assert_eq!(&gs, &ws, "triple sets diverge across restart");
+        let gd: std::collections::BTreeSet<Iri> = got.dom().collect();
+        let wd: std::collections::BTreeSet<Iri> = want.dom().collect();
+        prop_assert_eq!(gd, wd, "domains diverge across restart");
+        for t in &ws {
+            prop_assert!(got.contains(t));
+        }
+        // Every single-pattern shape over the universe answers alike.
+        for s in 0..9usize {
+            for p in 0..4usize {
+                for o in 0..9usize {
+                    let pat = tp(
+                        term_of(s, "sn"),
+                        if p < 3 { wdsparql_rdf::iri(&format!("sp{p}")) } else { wdsparql_rdf::var("p") },
+                        join_term_of(o, "sn"),
+                    );
+                    let mut gm = got.match_pattern(&pat);
+                    let mut wm = want.match_pattern(&pat);
+                    gm.sort();
+                    wm.sort();
+                    prop_assert_eq!(gm, wm, "match_pattern diverges on {:?}", &pat);
+                    prop_assert_eq!(
+                        got.candidate_count(&pat) == 0,
+                        want.candidate_count(&pat) == 0,
+                        "candidate emptiness diverges on {:?}", &pat
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The sharded equivalent: persist, reopen, and the scatter-gather
+    /// snapshot serves the same triples.
+    #[test]
+    fn durable_sharded_store_matches_volatile(
+        coded in proptest::collection::vec((0..12usize, 0..3usize, 0..12usize), 0..30),
+        shards in 1..4usize,
+    ) {
+        let dir = prop_tempdir();
+        let triples: Vec<Triple> = coded
+            .iter()
+            .map(|&(s, p, o)| {
+                Triple::from_strs(&format!("sn{s}"), &format!("sp{p}"), &format!("sn{o}"))
+            })
+            .collect();
+        let store = ShardedStore::new(shards);
+        store.bulk_load(triples.iter().copied());
+        store.persist_to(&dir).expect("attach");
+        let want: std::collections::BTreeSet<Triple> = store.snapshot().triples().collect();
+        drop(store);
+        let reopened = ShardedStore::open(&dir).expect("reopen sharded");
+        prop_assert_eq!(reopened.shard_count(), shards);
+        let reopened_set: std::collections::BTreeSet<Triple> = reopened.snapshot().triples().collect();
+        prop_assert_eq!(reopened_set, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
